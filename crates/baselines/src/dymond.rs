@@ -1,0 +1,247 @@
+//! DYMOND-lite: dynamic motif-nodes generative model (Zeno et al., WWW'21).
+//!
+//! DYMOND models a dynamic graph as arrivals of three motif types —
+//! triangles, wedges, and lone edges — with per-type rates and
+//! degree-weighted node roles. The original has O(n³ T) training (its
+//! limitation in the paper's Tables); this lite version estimates the
+//! per-timestamp motif mix from observed wedge/triangle statistics and
+//! generates by placing whole motifs until each timestamp's edge budget is
+//! met, sampling participating nodes by degree.
+
+use crate::traits::TemporalGraphGenerator;
+use rand::{Rng, RngCore};
+use tg_graph::{Snapshot, TemporalEdge, TemporalGraph};
+use tg_tensor::init::sample_categorical;
+
+/// Estimated motif mix: fraction of the edge budget spent on triangle /
+/// wedge / single-edge placements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotifMix {
+    pub triangle: f64,
+    pub wedge: f64,
+    pub single: f64,
+}
+
+impl MotifMix {
+    fn normalised(t: f64, w: f64, s: f64) -> Self {
+        let total = (t + w + s).max(1e-12);
+        MotifMix { triangle: t / total, wedge: w / total, single: s / total }
+    }
+}
+
+/// Estimate the observed motif mix from per-snapshot wedge and triangle
+/// counts (closed wedges form triangles; open wedges stay wedges).
+pub fn estimate_motif_mix(g: &TemporalGraph) -> MotifMix {
+    let mut tri_edges = 0.0f64;
+    let mut wedge_edges = 0.0f64;
+    let mut single_edges = 0.0f64;
+    for t in 0..g.n_timestamps() as u32 {
+        let snap = Snapshot::at_time(g, t, true);
+        if snap.n_edges() == 0 {
+            continue;
+        }
+        let adj = snap.undirected_adjacency();
+        let triangles = crate::dymond::count_triangles(&adj) as f64;
+        let wedges: f64 = adj
+            .iter()
+            .map(|nb| {
+                let d = nb.len() as f64;
+                d * (d - 1.0) / 2.0
+            })
+            .sum();
+        let open_wedges = (wedges - 3.0 * triangles).max(0.0);
+        let m = snap.n_edges() as f64;
+        tri_edges += 3.0 * triangles;
+        wedge_edges += 2.0 * open_wedges.min(m / 2.0);
+        single_edges += (m - 3.0 * triangles - open_wedges.min(m / 2.0)).max(0.0);
+    }
+    MotifMix::normalised(tri_edges, wedge_edges, single_edges)
+}
+
+pub(crate) fn count_triangles(adj: &[Vec<u32>]) -> u64 {
+    let mut count = 0u64;
+    for (u, nbrs) in adj.iter().enumerate() {
+        let u = u as u32;
+        for &v in nbrs {
+            if v <= u {
+                continue;
+            }
+            let a = &adj[u as usize];
+            let b = &adj[v as usize];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// DYMOND-lite generator.
+pub struct DymondGenerator {
+    /// Extra smoothing mass on node-role weights.
+    pub role_smoothing: f64,
+}
+
+impl Default for DymondGenerator {
+    fn default() -> Self {
+        DymondGenerator { role_smoothing: 1.0 }
+    }
+}
+
+impl DymondGenerator {
+    /// Sample `k` distinct nodes by degree weight.
+    fn sample_roles(
+        &self,
+        weights: &[f64],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Option<Vec<u32>> {
+        if weights.len() < k {
+            return None;
+        }
+        let mut w = weights.to_vec();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            if w.iter().all(|&x| x <= 0.0) {
+                return None;
+            }
+            let pick = sample_categorical(rng, &w);
+            out.push(pick as u32);
+            w[pick] = 0.0;
+        }
+        Some(out)
+    }
+}
+
+impl TemporalGraphGenerator for DymondGenerator {
+    fn name(&self) -> &'static str {
+        "DYMOND"
+    }
+
+    fn fit_generate(
+        &mut self,
+        observed: &TemporalGraph,
+        rng: &mut dyn RngCore,
+    ) -> TemporalGraph {
+        let n = observed.n_nodes();
+        let mix = estimate_motif_mix(observed);
+        let weights: Vec<f64> = observed
+            .static_degrees()
+            .iter()
+            .map(|&d| d as f64 + self.role_smoothing)
+            .collect();
+        let mut edges = Vec::with_capacity(observed.n_edges());
+        for (t, &m_t) in observed.edge_counts_per_timestamp().iter().enumerate() {
+            let mut remaining = m_t;
+            while remaining > 0 {
+                let r: f64 = rng.gen();
+                if r < mix.triangle && remaining >= 3 && n >= 3 {
+                    if let Some(nodes) = self.sample_roles(&weights, 3, rng) {
+                        edges.push(TemporalEdge::new(nodes[0], nodes[1], t as u32));
+                        edges.push(TemporalEdge::new(nodes[1], nodes[2], t as u32));
+                        edges.push(TemporalEdge::new(nodes[2], nodes[0], t as u32));
+                        remaining -= 3;
+                        continue;
+                    }
+                }
+                if r < mix.triangle + mix.wedge && remaining >= 2 && n >= 3 {
+                    if let Some(nodes) = self.sample_roles(&weights, 3, rng) {
+                        edges.push(TemporalEdge::new(nodes[0], nodes[1], t as u32));
+                        edges.push(TemporalEdge::new(nodes[1], nodes[2], t as u32));
+                        remaining -= 2;
+                        continue;
+                    }
+                }
+                // single edge
+                if let Some(nodes) = self.sample_roles(&weights, 2, rng) {
+                    edges.push(TemporalEdge::new(nodes[0], nodes[1], t as u32));
+                    remaining -= 1;
+                }
+            }
+        }
+        TemporalGraph::from_edges(n, observed.n_timestamps(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_output;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle_rich() -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..3u32 {
+            for base in [0u32, 3, 6] {
+                edges.push(TemporalEdge::new(base, base + 1, t));
+                edges.push(TemporalEdge::new(base + 1, base + 2, t));
+                edges.push(TemporalEdge::new(base + 2, base, t));
+            }
+        }
+        TemporalGraph::from_edges(9, 3, edges)
+    }
+
+    fn star_like() -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..3u32 {
+            for v in 1..9u32 {
+                edges.push(TemporalEdge::new(0, v, t));
+            }
+        }
+        TemporalGraph::from_edges(9, 3, edges)
+    }
+
+    #[test]
+    fn motif_mix_detects_triangles() {
+        let mix = estimate_motif_mix(&triangle_rich());
+        assert!(mix.triangle > 0.8, "{mix:?}");
+    }
+
+    #[test]
+    fn motif_mix_detects_wedges_on_stars() {
+        let mix = estimate_motif_mix(&star_like());
+        assert!(mix.triangle < 0.05, "{mix:?}");
+        assert!(mix.wedge > 0.5, "{mix:?}");
+    }
+
+    #[test]
+    fn generates_exact_budgets() {
+        let g = triangle_rich();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = DymondGenerator::default().fit_generate(&g, &mut rng);
+        validate_output(&g, &out);
+        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert!(out.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn triangle_rich_input_produces_triangles() {
+        let g = triangle_rich();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = DymondGenerator::default().fit_generate(&g, &mut rng);
+        let mut tri_total = 0.0;
+        for t in 0..3u32 {
+            let snap = Snapshot::at_time(&out, t, true);
+            tri_total += count_triangles(&snap.undirected_adjacency()) as f64;
+        }
+        assert!(tri_total >= 3.0, "generated only {tri_total} triangles");
+    }
+
+    #[test]
+    fn name_and_flag() {
+        assert_eq!(DymondGenerator::default().name(), "DYMOND");
+        assert!(DymondGenerator::default().is_learning_based());
+    }
+}

@@ -1,0 +1,158 @@
+//! Simple model-based generators: Erdős–Rényi (E-R) and Barabási–Albert
+//! (B-A). The paper applies static models per timestamp; both preserve the
+//! per-timestamp edge budget exactly. These are the "fast but structurally
+//! poor" reference points of Tables IV–VI and Fig. 6.
+
+use crate::traits::TemporalGraphGenerator;
+use rand::{Rng, RngCore};
+use tg_graph::{TemporalEdge, TemporalGraph};
+
+/// Erdős–Rényi `G(n, m_t)` per timestamp: each of the `m_t` edges picks a
+/// uniform ordered pair (no self-loops).
+#[derive(Default)]
+pub struct ErGenerator;
+
+impl TemporalGraphGenerator for ErGenerator {
+    fn name(&self) -> &'static str {
+        "E-R"
+    }
+
+    fn is_learning_based(&self) -> bool {
+        false
+    }
+
+    fn fit_generate(
+        &mut self,
+        observed: &TemporalGraph,
+        rng: &mut dyn RngCore,
+    ) -> TemporalGraph {
+        let n = observed.n_nodes();
+        let mut edges = Vec::with_capacity(observed.n_edges());
+        for (t, &m_t) in observed.edge_counts_per_timestamp().iter().enumerate() {
+            for _ in 0..m_t {
+                let u = rng.gen_range(0..n) as u32;
+                let mut v = rng.gen_range(0..n) as u32;
+                while v == u {
+                    v = rng.gen_range(0..n) as u32;
+                }
+                edges.push(TemporalEdge::new(u, v, t as u32));
+            }
+        }
+        TemporalGraph::from_edges(n, observed.n_timestamps(), edges)
+    }
+}
+
+/// Barabási–Albert-style preferential attachment per timestamp: sources
+/// are uniform, targets are drawn with probability proportional to
+/// `degree + 1` accumulated over the generated graph so far.
+#[derive(Default)]
+pub struct BaGenerator;
+
+impl TemporalGraphGenerator for BaGenerator {
+    fn name(&self) -> &'static str {
+        "B-A"
+    }
+
+    fn is_learning_based(&self) -> bool {
+        false
+    }
+
+    fn fit_generate(
+        &mut self,
+        observed: &TemporalGraph,
+        rng: &mut dyn RngCore,
+    ) -> TemporalGraph {
+        let n = observed.n_nodes();
+        let mut degree = vec![1.0f64; n]; // +1 smoothing
+        let mut max_w = 1.0f64;
+        let mut edges = Vec::with_capacity(observed.n_edges());
+        for (t, &m_t) in observed.edge_counts_per_timestamp().iter().enumerate() {
+            for _ in 0..m_t {
+                let u = rng.gen_range(0..n) as u32;
+                // rejection sampling against the max weight keeps each draw O(1)
+                let v = loop {
+                    let cand = rng.gen_range(0..n) as u32;
+                    if cand != u && rng.gen::<f64>() * max_w <= degree[cand as usize] {
+                        break cand;
+                    }
+                };
+                degree[u as usize] += 1.0;
+                degree[v as usize] += 1.0;
+                max_w = max_w.max(degree[u as usize]).max(degree[v as usize]);
+                edges.push(TemporalEdge::new(u, v, t as u32));
+            }
+        }
+        TemporalGraph::from_edges(n, observed.n_timestamps(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_output;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn observed() -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..4u32 {
+            for u in 0..10u32 {
+                edges.push(TemporalEdge::new(u, (u + 1 + t) % 20, t));
+            }
+        }
+        TemporalGraph::from_edges(20, 4, edges)
+    }
+
+    #[test]
+    fn er_preserves_budgets() {
+        let g = observed();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = ErGenerator.fit_generate(&g, &mut rng);
+        validate_output(&g, &out);
+        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert!(out.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn ba_preserves_budgets_and_skews_degrees() {
+        let g = observed();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = BaGenerator.fit_generate(&g, &mut rng);
+        validate_output(&g, &out);
+        assert_eq!(out.n_edges(), g.n_edges());
+        assert!(out.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn ba_is_heavier_tailed_than_er_on_average() {
+        // On a larger budget, BA's max degree should typically exceed ER's.
+        let mut edges = Vec::new();
+        for t in 0..2u32 {
+            for i in 0..1500u32 {
+                edges.push(TemporalEdge::new(i % 100, (i + 1) % 100, t));
+            }
+        }
+        let g = TemporalGraph::from_edges(100, 2, edges);
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let ba = BaGenerator.fit_generate(&g, &mut r1);
+            let er = ErGenerator.fit_generate(&g, &mut r2);
+            let max_ba = ba.static_degrees().into_iter().max().unwrap();
+            let max_er = er.static_degrees().into_iter().max().unwrap();
+            if max_ba > max_er {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "BA max degree exceeded ER in only {wins}/5 runs");
+    }
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(ErGenerator.name(), "E-R");
+        assert_eq!(BaGenerator.name(), "B-A");
+        assert!(!ErGenerator.is_learning_based());
+        assert!(!BaGenerator.is_learning_based());
+    }
+}

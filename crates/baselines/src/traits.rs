@@ -1,0 +1,32 @@
+//! The common interface every baseline generator implements.
+
+use rand::RngCore;
+use tg_graph::TemporalGraph;
+
+/// A temporal-graph generator: fit on an observed graph, emit a synthetic
+/// graph with the same node count, timestamp count, and per-timestamp edge
+/// budget (the paper's comparison protocol).
+pub trait TemporalGraphGenerator {
+    /// Method name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fit and generate in one call (most baselines are fit-once models).
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore)
+        -> TemporalGraph;
+
+    /// Whether the method is learning-based (deep) — used by the harness
+    /// to group rows the way the paper's tables do.
+    fn is_learning_based(&self) -> bool {
+        true
+    }
+}
+
+/// Check the generated graph honours the comparison protocol.
+pub fn validate_output(observed: &TemporalGraph, generated: &TemporalGraph) {
+    assert_eq!(generated.n_nodes(), observed.n_nodes(), "node count changed");
+    assert_eq!(
+        generated.n_timestamps(),
+        observed.n_timestamps(),
+        "timestamp count changed"
+    );
+}

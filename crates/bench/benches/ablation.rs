@@ -1,0 +1,128 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §4:
+//!
+//! - **D1** degree-weighted vs uniform initial sampling (Eq. 2 vs TGAE-n)
+//! - **D2** ego-graph vs random-walk context (th=20 vs th=1, TGAE-g)
+//! - **D3** neighbor truncation on/off (TGAE-t) — wall-clock cost
+//! - **D5** merged k-bipartite batching vs per-ego-graph encoding — the
+//!   paper's O(nT) → O(nT/n_s) training-step claim
+//! - **D6** dense vs candidate-sparse decoding softmax
+//!
+//! Quality counterparts of these ablations are produced by
+//! `exp_table7`; these benches isolate the *cost* side.
+
+#![allow(clippy::field_reassign_with_default)] // config-building style
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tg_datasets::SyntheticConfig;
+use tg_sampling::{InitialNodeSampler, SamplerConfig};
+use tgae::{Tgae, TgaeConfig};
+
+fn bench_graph(nodes: usize) -> tg_graph::TemporalGraph {
+    let cfg = SyntheticConfig {
+        nodes,
+        edges: nodes * 8,
+        timestamps: 10,
+        ..Default::default()
+    };
+    tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(11))
+}
+
+/// D1: initial-node sampling strategies.
+fn d1_node_sampling(c: &mut Criterion) {
+    let g = bench_graph(800);
+    let weighted = InitialNodeSampler::new(&g, true);
+    let uniform = InitialNodeSampler::new(&g, false);
+    let mut group = c.benchmark_group("d1_initial_sampling");
+    group.bench_function("degree_weighted", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| weighted.sample_batch(64, &mut rng))
+    });
+    group.bench_function("uniform", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| uniform.sample_batch(64, &mut rng))
+    });
+    group.finish();
+}
+
+/// Shared runner: one forward+backward step under a sampler config.
+fn step_time(c: &mut Criterion, label: &str, group: &str, cfg: TgaeConfig) {
+    let g = bench_graph(600);
+    let model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg.clone());
+    let sampler = InitialNodeSampler::new(&g, cfg.sampler.degree_weighted);
+    let mut grp = c.benchmark_group(group.to_string());
+    grp.sample_size(10);
+    grp.bench_function(label, |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let centers = sampler.sample_batch(cfg.batch_centers, &mut rng);
+        b.iter(|| {
+            let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+            tape.backward(loss)
+        })
+    });
+    grp.finish();
+}
+
+/// D2: ego-graph (th=20) vs random-walk chain (th=1) context.
+fn d2_ego_vs_walk(c: &mut Criterion) {
+    step_time(c, "ego_th20", "d2_context", TgaeConfig::default());
+    let mut walk = TgaeConfig::default();
+    walk.sampler = SamplerConfig::default().random_walk_variant();
+    step_time(c, "walk_th1", "d2_context", walk);
+}
+
+/// D3: truncation on (th=20) vs off (unbounded neighbors).
+fn d3_truncation(c: &mut Criterion) {
+    step_time(c, "truncated_th20", "d3_truncation", TgaeConfig::default());
+    let mut unbounded = TgaeConfig::default();
+    unbounded.sampler = SamplerConfig::default().no_truncation_variant();
+    step_time(c, "unbounded", "d3_truncation", unbounded);
+}
+
+/// D5: one merged batch of 64 centers vs 64 single-center batches —
+/// the bipartite-merge training-step reduction.
+fn d5_bipartite_merge(c: &mut Criterion) {
+    let g = bench_graph(600);
+    let cfg = TgaeConfig::default();
+    let model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg.clone());
+    let sampler = InitialNodeSampler::new(&g, true);
+    let mut grp = c.benchmark_group("d5_bipartite_merge");
+    grp.sample_size(10);
+    grp.bench_function("merged_batch_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let centers = sampler.sample_batch(64, &mut rng);
+        b.iter(|| {
+            let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+            tape.backward(loss)
+        })
+    });
+    grp.bench_function("per_ego_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let centers = sampler.sample_batch(64, &mut rng);
+        b.iter(|| {
+            for &center in &centers {
+                let (tape, loss, _) = model.forward_batch(&g, &[center], &mut rng);
+                tape.backward(loss);
+            }
+        })
+    });
+    grp.finish();
+}
+
+/// D6: dense n-way softmax vs candidate-sparse decoding.
+fn d6_dense_vs_sparse(c: &mut Criterion) {
+    let mut dense = TgaeConfig::default();
+    dense.dense_cutoff = usize::MAX;
+    step_time(c, "dense_softmax", "d6_decode", dense);
+    let mut sparse = TgaeConfig::default();
+    sparse.dense_cutoff = 0; // force candidate sampling
+    step_time(c, "sparse_softmax", "d6_decode", sparse);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = d1_node_sampling, d2_ego_vs_walk, d3_truncation, d5_bipartite_merge, d6_dense_vs_sparse
+}
+criterion_main!(benches);

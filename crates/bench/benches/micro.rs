@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the hot paths behind every table:
+//! ego-graph sampling, computation-graph building, TGAT forward/backward,
+//! motif census, snapshot statistics, and the core tensor kernels.
+
+#![allow(clippy::field_reassign_with_default)] // config-building style
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tg_datasets::{GridPoint, SyntheticConfig};
+use tg_graph::Snapshot;
+use tg_metrics::{count_motifs, GraphStats};
+use tg_sampling::{sample_ego_graph, ComputationGraph, InitialNodeSampler, SamplerConfig};
+use tg_tensor::matrix::{matmul_nn, segment_softmax, Matrix};
+use tgae::{Tgae, TgaeConfig};
+
+fn bench_graph() -> tg_graph::TemporalGraph {
+    let cfg = SyntheticConfig { nodes: 500, edges: 4000, timestamps: 10, ..Default::default() };
+    tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(1))
+}
+
+fn sampling_benches(c: &mut Criterion) {
+    let g = bench_graph();
+    let scfg = SamplerConfig::default();
+    c.bench_function("ego_graph_sample_k2", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| sample_ego_graph(&g, (10, 3), &scfg, &mut rng))
+    });
+    let sampler = InitialNodeSampler::new(&g, true);
+    c.bench_function("initial_node_batch_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| sampler.sample_batch(64, &mut rng))
+    });
+    for batch in [16usize, 64, 256] {
+        c.bench_with_input(
+            BenchmarkId::new("computation_graph_build", batch),
+            &batch,
+            |b, &batch| {
+                let mut rng = SmallRng::seed_from_u64(4);
+                let centers = sampler.sample_batch(batch, &mut rng);
+                b.iter(|| ComputationGraph::build(&g, &centers, &scfg, &mut rng))
+            },
+        );
+    }
+}
+
+fn model_benches(c: &mut Criterion) {
+    let g = bench_graph();
+    let cfg = TgaeConfig::default();
+    let model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+    let sampler = InitialNodeSampler::new(&g, true);
+    c.bench_function("tgae_forward_batch_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let centers = sampler.sample_batch(64, &mut rng);
+        b.iter(|| model.forward_batch(&g, &centers, &mut rng))
+    });
+    c.bench_function("tgae_forward_backward_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let centers = sampler.sample_batch(64, &mut rng);
+        b.iter(|| {
+            let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+            tape.backward(loss)
+        })
+    });
+}
+
+fn metric_benches(c: &mut Criterion) {
+    let g = bench_graph();
+    c.bench_function("motif_census_exact", |b| b.iter(|| count_motifs(&g, 2)));
+    let snap = Snapshot::accumulated(&g, g.n_timestamps() as u32 - 1, true);
+    c.bench_function("graph_stats_full", |b| b.iter(|| GraphStats::compute(&snap)));
+    c.bench_function("snapshot_accumulate", |b| {
+        b.iter(|| Snapshot::accumulated(&g, 9, true))
+    });
+}
+
+fn tensor_benches(c: &mut Criterion) {
+    let a = Matrix::from_fn(128, 128, |r, cc| ((r * 31 + cc) % 17) as f32 * 0.1);
+    let bm = Matrix::from_fn(128, 128, |r, cc| ((r * 7 + cc) % 13) as f32 * 0.1);
+    c.bench_function("matmul_128", |b| b.iter(|| matmul_nn(&a, &bm)));
+    let scores = Matrix::from_fn(4096, 1, |r, _| (r % 37) as f32 * 0.05);
+    let seg: Vec<u32> = (0..4096u32).map(|i| i / 16).collect();
+    c.bench_function("segment_softmax_4096x256", |b| {
+        b.iter(|| segment_softmax(&scores, &seg, 256))
+    });
+}
+
+fn generation_benches(c: &mut Criterion) {
+    let p = GridPoint { nodes: 500, timestamps: 5, density: 0.01 };
+    let g = p.generate(7);
+    let mut cfg = TgaeConfig::tiny();
+    cfg.epochs = 5;
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+    tgae::fit(&mut model, &g);
+    c.bench_function("tgae_generate_500n_5t", |b| {
+        let mut rng = SmallRng::seed_from_u64(8);
+        b.iter(|| tgae::generate(&model, &g, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sampling_benches, model_benches, metric_benches, tensor_benches, generation_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! `tg-bench`: the experiment harness regenerating every table and figure
+//! of the TGAE paper.
+//!
+//! | Binary          | Reproduces |
+//! |-----------------|------------|
+//! | `exp_table2`    | Table II (dataset statistics) |
+//! | `exp_table4_5`  | Tables IV & V (f_med / f_avg across 7 metrics) |
+//! | `exp_table6`    | Table VI (temporal-motif MMD) |
+//! | `exp_table7`    | Table VII (ablation variants) |
+//! | `exp_fig5`      | Figure 5 (metric curves over timestamps, DBLP) |
+//! | `exp_fig6`      | Figure 6 (time & peak-memory scalability sweeps) |
+//!
+//! Binaries print the paper-style table to stdout and write CSV artifacts
+//! under `results/`. Common flags: `--scale`, `--seed`, `--epochs`,
+//! `--budget-mb`, `--methods tgae,e-r,...`.
+//!
+//! Criterion micro/ablation benches live in `benches/`.
+
+pub mod datasets;
+pub mod memtrack;
+pub mod methods;
+pub mod runner;
+
+pub use memtrack::TrackingAllocator;

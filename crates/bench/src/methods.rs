@@ -1,0 +1,114 @@
+//! The experiment-grade method registry: TGAE (and variants) plus the ten
+//! baselines, with configurations sized for the harness datasets.
+
+use crate::runner::TgaeMethod;
+use tg_baselines::{
+    AeConfig, AeGenerator, BaGenerator, DymondGenerator, ErGenerator, NetGanConfig,
+    NetGanGenerator, TagGenConfig, TagGenGenerator, TemporalGraphGenerator, TgganGenerator,
+    TiggerConfig, TiggerGenerator,
+};
+use tgae::{TgaeConfig, TgaeVariant};
+
+/// TGAE configuration used across the experiments (CLI can scale epochs).
+pub fn tgae_config(epochs: usize, seed: u64) -> TgaeConfig {
+    TgaeConfig { epochs, seed, ..Default::default() }
+}
+
+/// All eleven methods in the paper's column order:
+/// TGAE, TIGGER, DYMOND, TGGAN, TagGen, NetGAN, E-R, B-A, VGAE, Graphite,
+/// SBMGNN.
+pub fn all_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGenerator>> {
+    let mut v: Vec<Box<dyn TemporalGraphGenerator>> =
+        vec![Box::new(TgaeMethod::new(tgae_config(epochs, seed)))];
+    v.extend(baseline_methods(epochs, seed));
+    v
+}
+
+/// The ten baselines with harness configurations.
+pub fn baseline_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGenerator>> {
+    vec![
+        Box::new(TiggerGenerator::new(TiggerConfig { seed, ..Default::default() })),
+        Box::new(DymondGenerator::default()),
+        Box::new(TgganGenerator::new(TagGenConfig { seed, ..Default::default() })),
+        Box::new(TagGenGenerator::new(TagGenConfig { seed, ..Default::default() })),
+        Box::new(NetGanGenerator::new(NetGanConfig {
+            epochs: epochs.min(80),
+            seed,
+            ..Default::default()
+        })),
+        Box::new(ErGenerator),
+        Box::new(BaGenerator),
+        Box::new(AeGenerator::vgae(AeConfig { epochs: epochs.min(80), seed, ..Default::default() })),
+        Box::new(AeGenerator::graphite(AeConfig {
+            epochs: epochs.min(80),
+            seed,
+            ..Default::default()
+        })),
+        Box::new(AeGenerator::sbmgnn(AeConfig {
+            epochs: epochs.min(80),
+            seed,
+            ..Default::default()
+        })),
+    ]
+}
+
+/// The five TGAE ablation variants of Table VII.
+pub fn ablation_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGenerator>> {
+    TgaeVariant::ALL
+        .iter()
+        .map(|&v| {
+            Box::new(TgaeMethod::new(tgae_config(epochs, seed).with_variant(v)))
+                as Box<dyn TemporalGraphGenerator>
+        })
+        .collect()
+}
+
+/// Filter methods by a comma-separated name list (case-insensitive);
+/// empty/None keeps everything.
+pub fn filter_methods(
+    methods: Vec<Box<dyn TemporalGraphGenerator>>,
+    filter: Option<&str>,
+) -> Vec<Box<dyn TemporalGraphGenerator>> {
+    match filter {
+        None | Some("") => methods,
+        Some(list) => {
+            let wanted: Vec<String> =
+                list.split(',').map(|s| s.trim().to_ascii_lowercase()).collect();
+            methods
+                .into_iter()
+                .filter(|m| wanted.iter().any(|w| w == &m.name().to_ascii_lowercase()))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_order_matches_paper_columns() {
+        let names: Vec<&str> = all_methods(5, 1).iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "TGAE", "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R", "B-A",
+                "VGAE", "Graphite", "SBMGNN"
+            ]
+        );
+    }
+
+    #[test]
+    fn ablations_are_the_five_variants() {
+        let names: Vec<&str> = ablation_methods(5, 1).iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["TGAE", "TGAE-g", "TGAE-t", "TGAE-n", "TGAE-p"]);
+    }
+
+    #[test]
+    fn filtering_works() {
+        let kept = filter_methods(all_methods(5, 1), Some("tgae, e-r"));
+        let names: Vec<&str> = kept.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["TGAE", "E-R"]);
+        assert_eq!(filter_methods(all_methods(5, 1), None).len(), 11);
+    }
+}

@@ -1,0 +1,334 @@
+//! The assembled TGAE model: features + TGAT encoder + variational
+//! ego-graph decoder, with the approximate mini-batch loss of Eq. 7.
+
+use crate::config::{TgaeConfig, TgaeVariant};
+use crate::decoder::{build_candidates, EgoDecoder};
+use crate::encoder::TgatEncoder;
+use crate::features::TemporalFeatures;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+use tg_graph::{NodeId, TemporalGraph, Time};
+use tg_sampling::ComputationGraph;
+use tg_tensor::prelude::*;
+
+/// Diagnostics of one batch forward pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Slots across all computation-graph levels.
+    pub n_slots: usize,
+    /// Message edges across all bipartite layers.
+    pub n_edges: usize,
+    /// Positive supervision entries (observed out-edges).
+    pub n_targets: usize,
+    /// Candidate columns in the decoder softmax.
+    pub n_candidates: usize,
+}
+
+/// The Temporal Graph Autoencoder.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Tgae {
+    pub cfg: TgaeConfig,
+    pub store: ParamStore,
+    pub features: TemporalFeatures,
+    pub encoder: TgatEncoder,
+    pub decoder: EgoDecoder,
+    pub n_nodes: usize,
+    pub n_timestamps: usize,
+}
+
+impl Tgae {
+    /// Initialise a model for graphs with the given shape. Parameter init
+    /// is seeded from `cfg.seed`.
+    pub fn new(n_nodes: usize, n_timestamps: usize, cfg: TgaeConfig) -> Self {
+        assert!(n_nodes >= 2 && n_timestamps >= 1);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let features =
+            TemporalFeatures::new(&mut store, &mut rng, n_nodes, n_timestamps, cfg.d_in);
+        let encoder = TgatEncoder::new(
+            &mut store,
+            &mut rng,
+            cfg.sampler.k,
+            cfg.d_in,
+            cfg.d_head,
+            cfg.heads,
+            cfg.d_model,
+        );
+        let decoder = EgoDecoder::new(&mut store, &mut rng, cfg.d_in, cfg.d_model, n_nodes);
+        Tgae { cfg, store, features, encoder, decoder, n_nodes, n_timestamps }
+    }
+
+    /// Whether the decoder is variational (everything but TGAE-p).
+    pub fn probabilistic(&self) -> bool {
+        self.cfg.variant != TgaeVariant::NonProbabilistic
+    }
+
+    /// Total trainable scalars.
+    pub fn n_parameters(&self) -> usize {
+        self.store.total_scalars()
+    }
+
+    /// Forward pass on a batch of center temporal nodes; returns the tape,
+    /// the scalar loss node, and diagnostics. The caller runs `backward`
+    /// and the optimizer step.
+    pub fn forward_batch<R: Rng + ?Sized>(
+        &self,
+        g: &TemporalGraph,
+        centers: &[(NodeId, Time)],
+        rng: &mut R,
+    ) -> (Tape, Var, BatchStats) {
+        let cg = ComputationGraph::build(g, centers, &self.cfg.sampler, rng);
+        let (slots, offsets) = cg.all_slots();
+        let mut tape = Tape::new();
+
+        // Features for every slot; the deepest level feeds the encoder.
+        let x_all = self.features.forward(&mut tape, &self.store, &slots);
+        let k = cg.k();
+        let outer_idx: Rc<Vec<u32>> =
+            Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
+        let x_outer = tape.gather_rows(x_all, outer_idx);
+        let enc_levels = self.encoder.forward(&mut tape, &self.store, &cg, x_outer);
+
+        // Variational latent over all slots, then outward decode.
+        let (z, mu, logvar) =
+            self.decoder.latent(&mut tape, &self.store, x_all, self.probabilistic(), rng);
+        let dec_levels =
+            self.decoder.decode_levels(&mut tape, &cg, enc_levels[0], z, &offsets);
+
+        // Supervision: observed out-neighbor rows per slot, per level.
+        let mut per_level_targets: Vec<Vec<(u32, NodeId, f32)>> = Vec::with_capacity(k + 1);
+        let mut positives: Vec<NodeId> = Vec::new();
+        let mut total_weight = 0.0f32;
+        for level in &cg.levels {
+            let mut targets: Vec<(u32, NodeId, f32)> = Vec::new();
+            for (r, &(v, t)) in level.iter().enumerate() {
+                let mut row: std::collections::HashMap<NodeId, f32> =
+                    std::collections::HashMap::new();
+                for nb in g.out_neighbors_at(v, t) {
+                    *row.entry(nb).or_insert(0.0) += 1.0;
+                }
+                for (nb, w) in row {
+                    positives.push(nb);
+                    total_weight += w;
+                    targets.push((r as u32, nb, w));
+                }
+            }
+            per_level_targets.push(targets);
+        }
+
+        let (candidates, lookup) = build_candidates(
+            self.n_nodes,
+            positives.iter().copied(),
+            self.cfg.dense_cutoff,
+            self.cfg.n_negatives,
+            rng,
+        );
+
+        let norm = total_weight.max(1.0);
+        let mut loss: Option<Var> = None;
+        let mut n_targets = 0usize;
+        for (level_var, targets) in dec_levels.iter().zip(&per_level_targets) {
+            if targets.is_empty() {
+                continue;
+            }
+            n_targets += targets.len();
+            let remapped: Vec<SparseTarget> = targets
+                .iter()
+                .map(|&(r, v, w)| (r, lookup[v as usize], w))
+                .collect();
+            let logits = self.decoder.score(&mut tape, &self.store, *level_var, candidates.clone());
+            let xent = tape.softmax_xent(logits, Rc::new(remapped), norm);
+            loss = Some(match loss {
+                Some(l) => tape.add(l, xent),
+                None => xent,
+            });
+        }
+
+        // KL over all slots (paper: KL is computed on all nodes of the batch).
+        if let Some(lv) = logvar {
+            let scale = self.cfg.kl_beta / slots.len().max(1) as f32;
+            let kl = tape.kl_normal(mu, lv, scale);
+            loss = Some(match loss {
+                Some(l) => tape.add(l, kl),
+                None => kl,
+            });
+        }
+        let loss = loss.unwrap_or_else(|| {
+            // nothing to supervise (isolated batch): zero-loss constant
+            tape.input(Matrix::scalar(0.0))
+        });
+
+        let stats = BatchStats {
+            n_slots: slots.len(),
+            n_edges: cg.n_edges(),
+            n_targets,
+            n_candidates: candidates.len(),
+        };
+        (tape, loss, stats)
+    }
+
+    /// Deterministic decode rows for a set of centers (generation path):
+    /// returns, per center, the probability row over `candidates`
+    /// (softmax already applied) as an owned matrix, along with the
+    /// candidate list used.
+    pub fn decode_rows_for_generation<R: Rng + ?Sized>(
+        &self,
+        g: &TemporalGraph,
+        centers: &[(NodeId, Time)],
+        rng: &mut R,
+    ) -> (Matrix, Rc<Vec<u32>>) {
+        let cg = ComputationGraph::build(g, centers, &self.cfg.sampler, rng);
+        assert_eq!(cg.centers(), centers, "generation centers must be distinct and sorted");
+        let (slots, offsets) = cg.all_slots();
+        let mut tape = Tape::new();
+        let x_all = self.features.forward(&mut tape, &self.store, &slots);
+        let k = cg.k();
+        let outer_idx: Rc<Vec<u32>> =
+            Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
+        let x_outer = tape.gather_rows(x_all, outer_idx);
+        let enc_levels = self.encoder.forward(&mut tape, &self.store, &cg, x_outer);
+        // deterministic latent: Z = mu
+        let (_, mu, _) = self.decoder.latent(&mut tape, &self.store, x_all, false, rng);
+        let dec_levels = self.decoder.decode_levels(&mut tape, &cg, enc_levels[0], mu, &offsets);
+
+        // Candidates: dense for small n; otherwise the observed temporal
+        // neighborhoods of the centers plus uniform negatives (the
+        // candidate-sparse assembly of DESIGN.md D6).
+        let mut positives: Vec<NodeId> = Vec::new();
+        if self.n_nodes > self.cfg.dense_cutoff {
+            for &(v, t) in centers {
+                for (u, _) in
+                    tg_sampling::temporal_neighbor_occurrences(g, v, t, self.cfg.sampler.time_window)
+                {
+                    positives.push(u);
+                }
+            }
+        }
+        let (candidates, _) = build_candidates(
+            self.n_nodes,
+            positives.iter().copied(),
+            self.cfg.dense_cutoff,
+            self.cfg.n_negatives * 4,
+            rng,
+        );
+        let logits = self.decoder.score(&mut tape, &self.store, dec_levels[0], candidates.clone());
+        let tau = self.cfg.gen_temperature.max(1e-3);
+        let sharpened = tape.value(logits).map(|x| x / tau);
+        let probs = tg_tensor::matrix::softmax_rows(&sharpened);
+        (probs, candidates)
+    }
+}
+
+use tg_tensor::matrix::Matrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::TemporalEdge;
+
+    fn toy_graph() -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..3u32 {
+            edges.push(TemporalEdge::new(0, 1, t));
+            edges.push(TemporalEdge::new(1, 2, t));
+            edges.push(TemporalEdge::new(2, 3, t));
+            edges.push(TemporalEdge::new(3, 0, t));
+            edges.push(TemporalEdge::new(0, 2, t));
+        }
+        TemporalGraph::from_edges(4, 3, edges)
+    }
+
+    #[test]
+    fn forward_batch_produces_finite_loss() {
+        let g = toy_graph();
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let centers = vec![(0u32, 0u32), (1, 1), (2, 2)];
+        let (tape, loss, stats) = model.forward_batch(&g, &centers, &mut rng);
+        let l = tape.value(loss).item();
+        assert!(l.is_finite(), "loss {l}");
+        assert!(l > 0.0);
+        assert!(stats.n_slots >= 3);
+        assert!(stats.n_targets > 0);
+        assert_eq!(stats.n_candidates, 4); // dense mode
+    }
+
+    #[test]
+    fn backward_reaches_every_parameter_family() {
+        let g = toy_graph();
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let centers = vec![(0u32, 0u32), (2, 1)];
+        let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+        let grads = tape.backward(loss);
+        assert!(grads.get(model.features.node_emb.table).is_some(), "node emb");
+        assert!(grads.get(model.features.time_emb.table).is_some(), "time emb");
+        assert!(grads.get(model.decoder.w_dec).is_some(), "w_dec");
+        assert!(grads.get(model.decoder.mlp_mu.layers[0].w).is_some(), "mlp_mu");
+    }
+
+    #[test]
+    fn non_probabilistic_variant_has_no_kl_and_is_deterministic() {
+        let g = toy_graph();
+        let cfg = TgaeConfig::tiny().with_variant(TgaeVariant::NonProbabilistic);
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+        let centers = vec![(0u32, 0u32)];
+        let l1 = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+            tape.value(loss).item()
+        };
+        let l2 = {
+            let mut rng = SmallRng::seed_from_u64(8); // different rng, same loss
+            let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+            tape.value(loss).item()
+        };
+        assert_eq!(l1, l2, "TGAE-p forward must not depend on sampling noise");
+    }
+
+    #[test]
+    fn probabilistic_variant_is_stochastic() {
+        let g = toy_graph();
+        // no-truncation + large threshold -> the computation graph is
+        // deterministic, so any loss difference comes from the VAE noise
+        let cfg = TgaeConfig {
+            sampler: tg_sampling::SamplerConfig {
+                threshold: usize::MAX,
+                ..Default::default()
+            },
+            ..TgaeConfig::tiny()
+        };
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+        let centers = vec![(0u32, 0u32)];
+        let mut rng1 = SmallRng::seed_from_u64(7);
+        let mut rng2 = SmallRng::seed_from_u64(8);
+        let (t1, l1, _) = model.forward_batch(&g, &centers, &mut rng1);
+        let (t2, l2, _) = model.forward_batch(&g, &centers, &mut rng2);
+        assert_ne!(t1.value(l1).item(), t2.value(l2).item());
+    }
+
+    #[test]
+    fn generation_rows_are_distributions() {
+        let g = toy_graph();
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let centers = vec![(0u32, 0u32), (1, 0)];
+        let (probs, cands) = model.decode_rows_for_generation(&g, &centers, &mut rng);
+        assert_eq!(probs.rows(), 2);
+        assert_eq!(probs.cols(), cands.len());
+        for r in 0..probs.rows() {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            assert!(probs.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_positive_and_reported() {
+        let g = toy_graph();
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::tiny());
+        assert!(model.n_parameters() > 100);
+    }
+}

@@ -1,0 +1,112 @@
+//! Model checkpointing: save/load a trained TGAE as JSON.
+//!
+//! Everything a model needs to regenerate graphs — config, parameter
+//! store, layer wiring — is serde-serialisable, so a checkpoint is a
+//! single self-describing file. JSON is chosen over a binary format
+//! because checkpoints at TGAE's scale are small (the biggest tensors are
+//! the `n x d` embedding/decoder tables) and diffable.
+
+use crate::model::Tgae;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors produced by checkpoint I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            PersistError::Codec(e) => write!(f, "checkpoint codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// Write a model checkpoint.
+pub fn save(model: &Tgae, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    serde_json::to_writer(BufWriter::new(f), model)?;
+    Ok(())
+}
+
+/// Load a model checkpoint.
+pub fn load(path: impl AsRef<Path>) -> Result<Tgae, PersistError> {
+    let f = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(f))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TgaeConfig;
+    use crate::trainer::fit;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tg_graph::{TemporalEdge, TemporalGraph};
+
+    fn toy() -> TemporalGraph {
+        let edges: Vec<TemporalEdge> =
+            (0..12).map(|i| TemporalEdge::new(i % 4, (i + 1) % 4, i % 3)).collect();
+        TemporalGraph::from_edges(4, 3, edges)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_generation() {
+        let g = toy();
+        let mut cfg = TgaeConfig::tiny();
+        cfg.epochs = 4;
+        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+        fit(&mut model, &g);
+        let dir = std::env::temp_dir().join("tgae_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save(&model, &path).expect("save");
+        let restored = load(&path).expect("load");
+        assert_eq!(restored.n_nodes, model.n_nodes);
+        assert_eq!(restored.n_parameters(), model.n_parameters());
+        let mut r1 = SmallRng::seed_from_u64(1);
+        let mut r2 = SmallRng::seed_from_u64(1);
+        let a = crate::generator::generate(&model, &g, &mut r1);
+        let b = crate::generator::generate(&restored, &g, &mut r2);
+        assert_eq!(a.edges(), b.edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let Err(err) = load("/definitely/not/a/path.json") else {
+            panic!("expected error")
+        };
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("tgae_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let Err(err) = load(&path) else { panic!("expected error") };
+        assert!(matches!(err, PersistError::Codec(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

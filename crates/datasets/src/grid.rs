@@ -1,0 +1,99 @@
+//! Scalability-test datasets for Figure 6.
+//!
+//! The paper labels its scalability inputs `nodes * timestamps * density`
+//! (e.g. `1k*10*0.01`): a temporal graph with `n` nodes, `T` timestamps,
+//! and `n·(n-1)·density` temporal edges. Three sweeps vary one axis at a
+//! time from the base point `1k*10*0.01`.
+
+use crate::synthetic::{generate, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tg_graph::TemporalGraph;
+
+/// One scalability operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridPoint {
+    pub nodes: usize,
+    pub timestamps: usize,
+    pub density: f64,
+}
+
+impl GridPoint {
+    /// Total temporal-edge budget implied by the density.
+    pub fn edge_budget(&self) -> usize {
+        (self.nodes as f64 * (self.nodes as f64 - 1.0) * self.density).round() as usize
+    }
+
+    /// The paper's axis label, e.g. `1k*10*0.01`.
+    pub fn label(&self) -> String {
+        let n = if self.nodes.is_multiple_of(1000) {
+            format!("{}k", self.nodes / 1000)
+        } else {
+            format!("{}", self.nodes)
+        };
+        format!("{}*{}*{}", n, self.timestamps, self.density)
+    }
+
+    /// Generate this point deterministically.
+    pub fn generate(&self, seed: u64) -> TemporalGraph {
+        let cfg = SyntheticConfig {
+            nodes: self.nodes,
+            edges: self.edge_budget(),
+            timestamps: self.timestamps,
+            communities: 8,
+            community_affinity: 0.6,
+            pa_smoothing: 1.0,
+            recency_repeat: 0.15,
+            recency_window: 256,
+            growth: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate(&cfg, &mut rng)
+    }
+}
+
+/// Node sweep: `{1k..5k} * 10 * 0.01` (Fig. 6 col. 1).
+pub fn node_sweep() -> Vec<GridPoint> {
+    (1..=5).map(|k| GridPoint { nodes: k * 1000, timestamps: 10, density: 0.01 }).collect()
+}
+
+/// Timestamp sweep: `1k * {10..50} * 0.01` (Fig. 6 col. 2).
+pub fn timestamp_sweep() -> Vec<GridPoint> {
+    (1..=5).map(|k| GridPoint { nodes: 1000, timestamps: k * 10, density: 0.01 }).collect()
+}
+
+/// Density sweep: `1k * 10 * {0.01..0.05}` (Fig. 6 col. 3).
+pub fn density_sweep() -> Vec<GridPoint> {
+    (1..=5).map(|k| GridPoint { nodes: 1000, timestamps: 10, density: 0.01 * k as f64 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_have_paper_shape() {
+        let ns = node_sweep();
+        assert_eq!(ns.len(), 5);
+        assert_eq!(ns[0].label(), "1k*10*0.01");
+        assert_eq!(ns[4].label(), "5k*10*0.01");
+        assert_eq!(timestamp_sweep()[2].label(), "1k*30*0.01");
+        assert_eq!(density_sweep()[1].label(), "1k*10*0.02");
+    }
+
+    #[test]
+    fn edge_budget_matches_density() {
+        let p = GridPoint { nodes: 1000, timestamps: 10, density: 0.01 };
+        assert_eq!(p.edge_budget(), 9990);
+    }
+
+    #[test]
+    fn generation_hits_budget_roughly() {
+        let p = GridPoint { nodes: 500, timestamps: 10, density: 0.01 };
+        let g = p.generate(3);
+        assert_eq!(g.n_nodes(), 500);
+        assert_eq!(g.n_timestamps(), 10);
+        let budget = p.edge_budget();
+        assert!(g.n_edges() >= budget * 95 / 100, "{} vs {}", g.n_edges(), budget);
+    }
+}

@@ -1,0 +1,25 @@
+//! `tg-graph`: temporal-graph storage for the TGAE reproduction.
+//!
+//! A temporal graph (paper §III, Def. 2) is a series of snapshots
+//! `{G_1, ..., G_T}` over a fixed node set; every edge carries a dense
+//! timestamp. This crate provides:
+//!
+//! - [`temporal::TemporalGraph`] — the immutable edge store with
+//!   per-timestamp slicing, temporal neighborhoods (Def. 3 with `d_N = 1`)
+//!   and temporal degrees (the Eq. 2 sampling weights);
+//! - [`snapshot::Snapshot`] — accumulated/exact static CSR snapshots, the
+//!   objects the paper's evaluation metrics are computed on;
+//! - [`builder::TemporalGraphBuilder`] — relabeling/compaction from raw
+//!   ids and epoch timestamps;
+//! - [`io`] — the `src dst timestamp` text interchange format used by the
+//!   paper's datasets (SNAP/Bitcoin/StackExchange dumps drop in directly).
+
+pub mod builder;
+pub mod io;
+pub mod snapshot;
+pub mod temporal;
+pub mod transform;
+
+pub use builder::TemporalGraphBuilder;
+pub use snapshot::Snapshot;
+pub use temporal::{NodeId, TemporalEdge, TemporalGraph, Time};

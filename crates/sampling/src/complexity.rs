@@ -1,0 +1,107 @@
+//! Analytic cost model for the paper's complexity claims (§I, §IV):
+//!
+//! - training steps: `O(nT / n_s)` after bipartite merging (vs `O(nT)`
+//!   per-ego training);
+//! - training space: `O(n (T + n_s))`;
+//! - per-batch computation-graph size bound: with truncation `th` and
+//!   radius `k`, at most `n_s · Σ_{i=0..k} (th+1)^i` slots.
+//!
+//! These estimates power the Fig. 6 discussion and are *checked against
+//! the real sampler* in the tests — the merged computation graph must
+//! never exceed the analytic slot bound.
+
+use crate::config::SamplerConfig;
+
+/// Predicted number of optimisation steps for one full pass over all `nT`
+/// temporal nodes with batches of `n_s` centers (the paper's
+/// `O(nT / n_s)` claim).
+pub fn predicted_steps_per_pass(n: usize, t: usize, n_s: usize) -> usize {
+    (n * t).div_ceil(n_s.max(1))
+}
+
+/// Predicted steps without bipartite merging (one ego-graph per step).
+pub fn predicted_steps_unmerged(n: usize, t: usize) -> usize {
+    n * t
+}
+
+/// Upper bound on slots in one merged computation graph: a (th+1)-ary tree
+/// of depth k per center, before cross-ego deduplication.
+pub fn slot_upper_bound(cfg: &SamplerConfig, n_s: usize) -> usize {
+    let branch = cfg.threshold.saturating_add(1);
+    let mut per_center = 0usize;
+    let mut level = 1usize;
+    for _ in 0..=cfg.k {
+        per_center = per_center.saturating_add(level);
+        level = level.saturating_mul(branch);
+    }
+    n_s.saturating_mul(per_center)
+}
+
+/// Predicted training-space scaling (paper: `O(n (T + n_s))` scalars):
+/// embedding tables `n·d + T·d` plus per-batch activations `∝ slots`.
+pub fn predicted_space_scalars(n: usize, t: usize, n_s: usize, d: usize) -> usize {
+    n * d + t * d + n_s * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tg_graph::{TemporalEdge, TemporalGraph};
+
+    #[test]
+    fn steps_math() {
+        assert_eq!(predicted_steps_per_pass(100, 10, 64), 16); // ceil(1000/64)
+        assert_eq!(predicted_steps_unmerged(100, 10), 1000);
+        // the merging win is exactly n_s
+        assert!(predicted_steps_unmerged(100, 10) / predicted_steps_per_pass(100, 10, 64) >= 62);
+    }
+
+    #[test]
+    fn slot_bound_formula() {
+        let cfg = SamplerConfig { k: 2, threshold: 3, time_window: 1, degree_weighted: true };
+        // per center: 1 + 4 + 16 = 21
+        assert_eq!(slot_upper_bound(&cfg, 2), 42);
+    }
+
+    #[test]
+    fn real_computation_graphs_respect_the_bound() {
+        // dense-ish random graph; the sampler must stay under the analytic
+        // tree bound for every seed
+        let mut edges = Vec::new();
+        for t in 0..4u32 {
+            for u in 0..30u32 {
+                for dv in 1..6u32 {
+                    edges.push(TemporalEdge::new(u, (u + dv) % 30, t));
+                }
+            }
+        }
+        let g = TemporalGraph::from_edges(30, 4, edges);
+        let cfg = SamplerConfig { k: 2, threshold: 4, time_window: 1, degree_weighted: true };
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let centers: Vec<(u32, u32)> = (0..8).map(|i| (i * 3 % 30, i % 4)).collect();
+            let cg = crate::bipartite::ComputationGraph::build(&g, &centers, &cfg, &mut rng);
+            let bound = slot_upper_bound(&cfg, centers.len());
+            assert!(
+                cg.n_slots() <= bound,
+                "seed {seed}: {} slots exceeds bound {bound}",
+                cg.n_slots()
+            );
+        }
+    }
+
+    #[test]
+    fn space_model_is_linear_in_each_argument() {
+        let base = predicted_space_scalars(1000, 10, 64, 32);
+        assert_eq!(predicted_space_scalars(2000, 10, 64, 32) - base, 1000 * 32);
+        assert_eq!(predicted_space_scalars(1000, 20, 64, 32) - base, 10 * 32);
+    }
+
+    #[test]
+    fn saturating_bounds_do_not_overflow() {
+        let cfg = SamplerConfig { k: 8, threshold: usize::MAX, time_window: 1, degree_weighted: true };
+        assert_eq!(slot_upper_bound(&cfg, 1000), usize::MAX);
+    }
+}

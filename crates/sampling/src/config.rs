@@ -1,0 +1,70 @@
+//! Sampler configuration shared by the ego-graph sampler and the TGAE
+//! trainer.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the temporal ego-graph sampler (paper §IV-B).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Ego-graph radius `k` — also the number of stacked TGAT layers.
+    pub k: usize,
+    /// Neighbor truncation threshold `th` (Algorithm 1). Values `< 2`
+    /// degenerate the ego-graph into a temporal random walk (the TGAE-g
+    /// ablation variant, §IV-F).
+    pub threshold: usize,
+    /// Temporal neighborhood window `t_N` (Def. 3): neighbors are edge
+    /// endpoints within `|t - t'| <= t_N`.
+    pub time_window: u32,
+    /// Degree-weighted initial node sampling (Eq. 2). `false` switches to
+    /// uniform sampling (the TGAE-n ablation variant).
+    pub degree_weighted: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { k: 2, threshold: 20, time_window: 1, degree_weighted: true }
+    }
+}
+
+impl SamplerConfig {
+    /// The random-walk degenerate configuration (TGAE-g): `th = 1`.
+    pub fn random_walk_variant(mut self) -> Self {
+        self.threshold = 1;
+        self
+    }
+
+    /// The no-truncation configuration (TGAE-t): unbounded neighbors.
+    pub fn no_truncation_variant(mut self) -> Self {
+        self.threshold = usize::MAX;
+        self
+    }
+
+    /// The uniform initial-sampling configuration (TGAE-n).
+    pub fn uniform_sampling_variant(mut self) -> Self {
+        self.degree_weighted = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers() {
+        let c = SamplerConfig::default();
+        assert_eq!(c.k, 2);
+        assert_eq!(c.threshold, 20);
+        assert!(c.degree_weighted);
+    }
+
+    #[test]
+    fn variants_toggle_the_right_knob() {
+        let c = SamplerConfig::default();
+        assert_eq!(c.random_walk_variant().threshold, 1);
+        assert_eq!(c.no_truncation_variant().threshold, usize::MAX);
+        assert!(!c.uniform_sampling_variant().degree_weighted);
+        // untouched fields preserved
+        assert_eq!(c.random_walk_variant().k, c.k);
+    }
+}

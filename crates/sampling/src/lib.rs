@@ -1,0 +1,26 @@
+//! `tg-sampling`: the TGAE paper's ego-graph sampling stack (§IV-B/C).
+//!
+//! - [`initial::InitialNodeSampler`] — degree-weighted (Eq. 2) or uniform
+//!   sampling of representative temporal nodes;
+//! - [`ego`] — Algorithm 1: `NodeSampling` truncation and recursive
+//!   `k-EgoGraph` sampling over temporal neighborhoods (Def. 3);
+//! - [`bipartite::ComputationGraph`] — the merged k-bipartite computation
+//!   graphs of Fig. 4 that batch all per-epoch ego-graphs into `k`
+//!   attention layers;
+//! - [`config::SamplerConfig`] — shared knobs, including the ablation
+//!   variants (random-walk `th<2`, no-truncation, uniform sampling).
+
+pub mod bipartite;
+pub mod complexity;
+pub mod config;
+pub mod ego;
+pub mod initial;
+
+pub use bipartite::{BipartiteLayer, ComputationGraph};
+pub use complexity::{
+    predicted_space_scalars, predicted_steps_per_pass, predicted_steps_unmerged,
+    slot_upper_bound,
+};
+pub use config::SamplerConfig;
+pub use ego::{node_sampling, sample_ego_graph, temporal_neighbor_occurrences, EgoGraph};
+pub use initial::InitialNodeSampler;

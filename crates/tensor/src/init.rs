@@ -1,0 +1,149 @@
+//! Weight initialisation and basic random sampling helpers.
+//!
+//! `rand 0.8` ships uniform sampling only; the Gaussian draws needed by
+//! Xavier-normal init and the VAE reparameterisation trick are produced with
+//! the Box–Muller transform so we avoid an extra dependency.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // u1 in (0,1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Matrix of i.i.d. `N(0, std^2)` draws.
+pub fn normal_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(standard_normal(rng) * std);
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform init: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(rng.gen_range(-a..=a));
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot normal init: `N(0, 2/(fan_in+fan_out))`.
+pub fn xavier_normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let std = (2.0 / (rows + cols) as f64).sqrt() as f32;
+    normal_matrix(rng, rows, cols, std)
+}
+
+/// Draw one index from an unnormalised non-negative weight vector.
+///
+/// Used by every categorical sampling step in the repo (initial-node
+/// sampling, edge generation, baseline generators). Panics if all weights
+/// are zero or any is negative.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(weights.iter().all(|w| *w >= 0.0), "negative weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "sample_categorical: all-zero weights");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample `k` distinct indices without replacement from unnormalised
+/// weights (sequential draw-and-zero). If fewer than `k` indices have
+/// positive weight, returns all of them.
+pub fn sample_categorical_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut w = weights.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let i = sample_categorical(rng, &w);
+        out.push(i);
+        w[i] = 0.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng) as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = xavier_uniform(&mut rng, 10, 30);
+        let a = (6.0f64 / 40.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = vec![0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[sample_categorical(&mut rng, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 4 * counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn without_replacement_distinct_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let w = vec![1.0; 6];
+        let picks = sample_categorical_without_replacement(&mut rng, &w, 4);
+        assert_eq!(picks.len(), 4);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "duplicates in {picks:?}");
+        // requesting more than positive-weight entries truncates
+        let w2 = vec![0.0, 1.0, 0.0, 2.0];
+        let picks2 = sample_categorical_without_replacement(&mut rng, &w2, 10);
+        assert_eq!(picks2.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn categorical_zero_weights_panics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        sample_categorical(&mut rng, &[0.0, 0.0]);
+    }
+}

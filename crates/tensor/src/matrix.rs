@@ -1,0 +1,597 @@
+//! Dense row-major `f32` matrix with the raw kernels used by the autodiff
+//! tape: matmul (all transpose variants), broadcasting adds, element-wise
+//! maps, and segment (scatter/gather) operations for graph attention.
+//!
+//! All shapes are `(rows, cols)`. Kernels are written with contiguous inner
+//! loops (ikj ordering for matmul) so the compiler can vectorise them; large
+//! matmuls are split across threads by `crate::parallel::par_chunks_mut`.
+
+use crate::parallel::{par_chunks_mut, PAR_THRESHOLD};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", &self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a closure evaluated at each `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1x1 matrix holding a scalar.
+    pub fn scalar(v: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a 1x1 matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar matrix");
+        self.data[0]
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combine with another matrix of identical shape.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// `self += alpha * other` element-wise (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements (accumulated in f64 for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// `C = A @ B` (no transposes).
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        matmul_nn(self, b)
+    }
+}
+
+/// `C = A @ B`. Shapes: `(m,k) @ (k,n) -> (m,n)`.
+pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul_nn: inner dim mismatch {:?} @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    let body = |r0: usize, chunk: &mut [f32]| {
+        let rows_here = chunk.len() / n;
+        for ri in 0..rows_here {
+            let r = r0 + ri;
+            let out_row = &mut chunk[ri * n..(ri + 1) * n];
+            let a_row = &a.data[r * k..(r + 1) * k];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD {
+        par_chunks_mut(&mut out.data, n, body);
+    } else {
+        body(0, &mut out.data);
+    }
+    out
+}
+
+/// `C = A @ B^T`. Shapes: `(m,k) @ (n,k)^T -> (m,n)`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_nt: inner dim mismatch {:?} @ {:?}^T", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut out = Matrix::zeros(m, n);
+    let body = |r0: usize, chunk: &mut [f32]| {
+        let rows_here = chunk.len() / n;
+        for ri in 0..rows_here {
+            let r = r0 + ri;
+            let a_row = &a.data[r * k..(r + 1) * k];
+            let out_row = &mut chunk[ri * n..(ri + 1) * n];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b.data[c * k..(c + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD {
+        par_chunks_mut(&mut out.data, n, body);
+    } else {
+        body(0, &mut out.data);
+    }
+    out
+}
+
+/// `C = A^T @ B`. Shapes: `(k,m)^T @ (k,n) -> (m,n)`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows, b.rows, "matmul_tn: inner dim mismatch {:?}^T @ {:?}", a.shape(), b.shape());
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    // out[r, c] = sum_k a[k, r] * b[k, c]; iterate k outer for contiguity.
+    for kk in 0..k {
+        let a_row = &a.data[kk * m..(kk + 1) * m];
+        let b_row = &b.data[kk * n..(kk + 1) * n];
+        for (r, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.data[r * n..(r + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Row-gather: `out[i, :] = x[idx[i], :]`.
+pub fn gather_rows(x: &Matrix, idx: &[u32]) -> Matrix {
+    let cols = x.cols;
+    let mut out = Matrix::zeros(idx.len(), cols);
+    for (i, &r) in idx.iter().enumerate() {
+        let r = r as usize;
+        debug_assert!(r < x.rows, "gather_rows: index {} out of {} rows", r, x.rows);
+        out.data[i * cols..(i + 1) * cols].copy_from_slice(&x.data[r * cols..(r + 1) * cols]);
+    }
+    out
+}
+
+/// Row-scatter-add: `out[idx[i], :] += x[i, :]` into a zero matrix with
+/// `out_rows` rows. Inverse (adjoint) of [`gather_rows`].
+pub fn scatter_add_rows(x: &Matrix, idx: &[u32], out_rows: usize) -> Matrix {
+    assert_eq!(x.rows, idx.len(), "scatter_add_rows: row/index mismatch");
+    let cols = x.cols;
+    let mut out = Matrix::zeros(out_rows, cols);
+    for (i, &r) in idx.iter().enumerate() {
+        let r = r as usize;
+        debug_assert!(r < out_rows);
+        let dst = &mut out.data[r * cols..(r + 1) * cols];
+        let src = &x.data[i * cols..(i + 1) * cols];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
+    out
+}
+
+/// Softmax within segments. `scores` is a column vector (Ex1); `seg[i]`
+/// names the segment of row `i`. Rows of the same segment are normalised
+/// together with the max-subtraction trick. Returns a column vector.
+///
+/// This is the edge-softmax of graph attention: segments are destination
+/// nodes, rows are incoming edges.
+pub fn segment_softmax(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matrix {
+    assert_eq!(scores.cols, 1, "segment_softmax expects a column vector");
+    assert_eq!(scores.rows, seg.len());
+    let mut max = vec![f32::NEG_INFINITY; n_segments];
+    for (i, &s) in seg.iter().enumerate() {
+        let v = scores.data[i];
+        let m = &mut max[s as usize];
+        if v > *m {
+            *m = v;
+        }
+    }
+    let mut out = Matrix::zeros(scores.rows, 1);
+    let mut denom = vec![0.0f64; n_segments];
+    for (i, &s) in seg.iter().enumerate() {
+        let e = (scores.data[i] - max[s as usize]).exp();
+        out.data[i] = e;
+        denom[s as usize] += e as f64;
+    }
+    for (i, &s) in seg.iter().enumerate() {
+        let d = denom[s as usize];
+        out.data[i] = if d > 0.0 { (out.data[i] as f64 / d) as f32 } else { 0.0 };
+    }
+    out
+}
+
+/// Scale each row `i` of `x` by the scalar `s[i]` (s is Ex1).
+pub fn scale_rows(x: &Matrix, s: &Matrix) -> Matrix {
+    assert_eq!(s.cols, 1);
+    assert_eq!(x.rows, s.rows);
+    let mut out = x.clone();
+    for r in 0..x.rows {
+        let f = s.data[r];
+        for v in out.row_mut(r) {
+            *v *= f;
+        }
+    }
+    out
+}
+
+/// Row-wise dot product of two same-shape matrices: returns Ex1 column.
+pub fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape());
+    let mut out = Matrix::zeros(a.rows, 1);
+    for r in 0..a.rows {
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.row(r).iter().zip(b.row(r)) {
+            acc += x * y;
+        }
+        out.data[r] = acc;
+    }
+    out
+}
+
+/// Horizontally concatenate two matrices with equal row counts.
+pub fn concat_cols(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows, b.rows, "concat_cols: row mismatch");
+    let mut out = Matrix::zeros(a.rows, a.cols + b.cols);
+    for r in 0..a.rows {
+        out.data[r * (a.cols + b.cols)..r * (a.cols + b.cols) + a.cols].copy_from_slice(a.row(r));
+        out.data[r * (a.cols + b.cols) + a.cols..(r + 1) * (a.cols + b.cols)]
+            .copy_from_slice(b.row(r));
+    }
+    out
+}
+
+/// Vertically stack matrices with equal column counts.
+pub fn concat_rows(mats: &[&Matrix]) -> Matrix {
+    assert!(!mats.is_empty());
+    let cols = mats[0].cols;
+    let rows: usize = mats.iter().map(|m| m.rows).sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for m in mats {
+        assert_eq!(m.cols, cols, "concat_rows: col mismatch");
+        data.extend_from_slice(&m.data);
+    }
+    Matrix { rows, cols, data }
+}
+
+/// Row-wise softmax (used by decoders over candidate sets).
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..x.rows {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v as f64;
+        }
+        if denom > 0.0 {
+            for v in row.iter_mut() {
+                *v = (*v as f64 / denom) as f32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul_nn(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = Matrix::eye(4);
+        assert_eq!(matmul_nn(&a, &i), a);
+        assert_eq!(matmul_nn(&i, &a), a);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r + 2 * c) as f32 * 0.5);
+        let b = Matrix::from_fn(4, 5, |r, c| (2 * r + c) as f32 * 0.25);
+        let direct = matmul_nt(&a, &b);
+        let explicit = matmul_nn(&a, &b.transpose());
+        for (x, y) in direct.as_slice().iter().zip(explicit.as_slice()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r + c) as f32 * 0.3);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * 2 + c) as f32 * 0.1);
+        let direct = matmul_tn(&a, &b);
+        let explicit = matmul_nn(&a.transpose(), &b);
+        for (x, y) in direct.as_slice().iter().zip(explicit.as_slice()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 7, |r, c| (r * 13 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint() {
+        // <gather(x, idx), y> == <x, scatter(y, idx)>
+        let x = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let idx = vec![4u32, 0, 0, 2];
+        let y = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.5);
+        let g = gather_rows(&x, &idx);
+        let s = scatter_add_rows(&y, &idx, 5);
+        let lhs: f64 = g.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(s.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let scores = Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, -1.0, 0.5]);
+        let seg = vec![0u32, 0, 1, 1, 1];
+        let sm = segment_softmax(&scores, &seg, 2);
+        let s0: f32 = sm.as_slice()[..2].iter().sum();
+        let s1: f32 = sm.as_slice()[2..].iter().sum();
+        assert!(approx(s0, 1.0));
+        assert!(approx(s1, 1.0));
+        // within a segment larger scores get larger mass
+        assert!(sm.get(1, 0) > sm.get(0, 0));
+        assert!(sm.get(2, 0) > sm.get(4, 0));
+    }
+
+    #[test]
+    fn segment_softmax_is_shift_invariant() {
+        let scores = Matrix::from_vec(4, 1, vec![100.0, 101.0, 102.0, 99.0]);
+        let shifted = scores.map(|v| v - 100.0);
+        let seg = vec![0u32, 0, 0, 0];
+        let a = segment_softmax(&scores, &seg, 1);
+        let b = segment_softmax(&shifted, &seg, 1);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let x = Matrix::from_fn(3, 4, |r, c| (r * c) as f32);
+        let p = softmax_rows(&x);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!(approx(s, 1.0));
+        }
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::full(3, 4, 1.0);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.shape(), (3, 6));
+        assert_eq!(c.get(1, 0), 0.0);
+        assert_eq!(c.get(1, 5), 1.0);
+        let d = concat_rows(&[&a, &Matrix::full(2, 2, 3.0)]);
+        assert_eq!(d.shape(), (5, 2));
+        assert_eq!(d.get(4, 1), 3.0);
+    }
+
+    #[test]
+    fn scale_rows_and_rowwise_dot() {
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let s = Matrix::from_vec(2, 1, vec![2., -1.]);
+        let y = scale_rows(&x, &s);
+        assert_eq!(y.as_slice(), &[2., 4., -3., -4.]);
+        let d = rowwise_dot(&x, &y);
+        assert_eq!(d.as_slice(), &[2. + 8., -9. - 16.]);
+    }
+
+    #[test]
+    fn sum_mean_norm() {
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(x.sum(), 10.0);
+        assert_eq!(x.mean(), 2.5);
+        assert!((x.frobenius_norm() - 30.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul_nn(&a, &b);
+    }
+
+    #[test]
+    fn big_matmul_parallel_path_matches_serial() {
+        // Force the parallel path and compare with a trivially computed cell.
+        let n = 64;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 5) as f32 - 2.0);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
+        let c = matmul_nn(&a, &b);
+        // verify a few cells against the definition
+        for &(r, cc) in &[(0usize, 0usize), (5, 9), (63, 63), (31, 2)] {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a.get(r, k) * b.get(k, cc);
+            }
+            assert!(approx(c.get(r, cc), acc), "cell ({r},{cc})");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Reusable neural-network building blocks: linear layers, MLPs, and
+//! embedding tables. Each layer registers its parameters in a shared
+//! [`ParamStore`] at construction and replays them onto a [`Tape`] per
+//! forward pass.
+
+use crate::init::{xavier_uniform, normal_matrix};
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Activation functions selectable on MLP hidden layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Relu,
+    LeakyRelu,
+    Sigmoid,
+    Tanh,
+    Identity,
+}
+
+impl Activation {
+    /// Apply this activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu => tape.leaky_relu(x, 0.2),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Dense affine layer `y = x W + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: Option<ParamId>,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Create with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.create(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        let b = Some(store.create(format!("{name}.b"), Matrix::zeros(1, out_dim)));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Create without a bias term.
+    pub fn new_no_bias<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.create(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        Linear { w, b: None, in_dim, out_dim }
+    }
+
+    /// Forward: `x (Rxin) -> (Rxout)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(store, b);
+                tape.add_row(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden activation and identity
+/// output (callers fuse their own loss/softmax).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub hidden_act: Activation,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, ..., out]`; requires at least one layer.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out]");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers, hidden_act }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i != last {
+                h = self.hidden_act.apply(tape, h);
+            }
+        }
+        h
+    }
+
+    /// Output dimension of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+}
+
+/// Embedding table: a learnable `(n, dim)` matrix with row lookup.
+///
+/// TGAE uses node-identity features ("node identity numbers as default node
+/// features"); an embedding lookup is the dense equivalent of one-hot input
+/// times a weight matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub n: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        n: usize,
+        dim: usize,
+    ) -> Self {
+        let std = (1.0 / dim as f64).sqrt() as f32;
+        let table = store.create(format!("{name}.table"), normal_matrix(rng, n, dim, std));
+        Embedding { table, n, dim }
+    }
+
+    /// Look up rows by index.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, idx: Rc<Vec<u32>>) -> Var {
+        let t = tape.param(store, self.table);
+        tape.gather_rows(t, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, &mut rng, "lin", 4, 7);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(3, 4));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (3, 7));
+    }
+
+    #[test]
+    fn mlp_learns_xor_ish_regression() {
+        // Fit y = x0 * x1 on 4 corner points: needs the hidden layer.
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mlp = Mlp::new(&mut store, &mut rng, "mlp", &[2, 16, 1], Activation::Tanh);
+        let xs = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let ys = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.input(xs.clone());
+            let pred = mlp.forward(&mut tape, &store, x);
+            let t = tape.input(ys.clone());
+            let d = tape.sub(pred, t);
+            let sq = tape.mul(d, d);
+            let loss = tape.mean(sq);
+            last = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+        assert!(last < 0.01, "XOR regression did not converge: {last}");
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad_flow() {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 5, 3);
+        let mut tape = Tape::new();
+        let h = emb.forward(&mut tape, &store, Rc::new(vec![0, 2, 2, 4]));
+        assert_eq!(tape.shape(h), (4, 3));
+        let loss = tape.sum(h);
+        let grads = tape.backward(loss);
+        let g = grads.get(emb.table).expect("embedding grad");
+        // rows 0 and 4 used once => grad 1; row 2 used twice => grad 2; rows 1,3 unused => 0.
+        assert_eq!(g.row(0), &[1., 1., 1.]);
+        assert_eq!(g.row(1), &[0., 0., 0.]);
+        assert_eq!(g.row(2), &[2., 2., 2.]);
+        assert_eq!(g.row(3), &[0., 0., 0.]);
+        assert_eq!(g.row(4), &[1., 1., 1.]);
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 2, vec![-1.0, 1.0]));
+        let y = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.value(y).as_slice(), &[0.0, 1.0]);
+        let z = Activation::Identity.apply(&mut tape, x);
+        assert_eq!(z, x);
+    }
+}

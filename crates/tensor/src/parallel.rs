@@ -1,0 +1,143 @@
+//! Chunked CPU parallelism helpers built on `crossbeam::scope`.
+//!
+//! The paper trains TGAE with GPU-batched kernels; this reproduction runs
+//! the same batched computation graphs on CPU threads. The helpers here are
+//! deliberately tiny: split a mutable buffer into row-aligned chunks and run
+//! a closure per chunk on a scoped thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work sizes below this many fused multiply-adds stay single-threaded;
+/// thread spawn/join overhead dominates under it.
+pub const PAR_THRESHOLD: usize = 1 << 18;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used by the parallel kernels.
+///
+/// Defaults to the machine's available parallelism; can be pinned (e.g. to 1
+/// for deterministic benchmarking of the paper's "one CPU core" setting) via
+/// [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pin the worker-thread count (0 restores the default).
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Split `data` into contiguous chunks whose lengths are multiples of
+/// `row_len` and invoke `f(start_row, chunk)` for each, in parallel.
+///
+/// `f` receives the index of the first *row* of its chunk so kernels can
+/// locate themselves in the full matrix.
+pub fn par_chunks_mut<F>(data: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_len > 0 && data.len().is_multiple_of(row_len), "par_chunks_mut: ragged rows");
+    let n_rows = data.len() / row_len;
+    let threads = num_threads().min(n_rows).max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let fr = &f;
+            let r0 = row0;
+            s.spawn(move |_| fr(r0, chunk));
+            row0 += take / row_len;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Run `f(i)` for each `i in 0..n` in parallel, collecting results in order.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let fr = &f;
+            s.spawn(move |_| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(fr(start + j));
+                }
+            });
+            start += take;
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter().map(|x| x.expect("par_map slot unfilled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_covers_all_rows_once() {
+        let rows = 37;
+        let cols = 5;
+        let mut buf = vec![0.0f32; rows * cols];
+        par_chunks_mut(&mut buf, cols, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + i) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(buf[r * cols + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(100, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let v: Vec<usize> = par_map(0, |i| i);
+        assert!(v.is_empty());
+    }
+}

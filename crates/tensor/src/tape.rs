@@ -1,0 +1,869 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Tape`] records every operation of a forward pass as a node
+//! holding its output [`Matrix`] and an op descriptor describing how to push
+//! gradients to its inputs. [`Tape::backward`] walks the tape in reverse and
+//! returns per-parameter gradients keyed by [`ParamId`].
+//!
+//! The op set is exactly what the TGAE encoder/decoder and the learned
+//! baselines need: dense linear algebra, pointwise activations, row
+//! gather/scatter, segment softmax (graph-attention edge softmax), and fused
+//! losses (multi-target softmax cross-entropy, BCE-with-logits, Gaussian
+//! KL). Fused losses keep the tape short and sidestep `log(0)`.
+
+use crate::matrix::{
+    concat_cols, gather_rows, matmul_nn, matmul_nt, matmul_tn, rowwise_dot, scale_rows,
+    scatter_add_rows, segment_softmax, softmax_rows, Matrix,
+};
+use crate::params::{ParamId, ParamStore};
+use std::rc::Rc;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the tape that
+/// created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Sparse supervision target for [`Tape::softmax_xent`]: `(row, col, weight)`.
+pub type SparseTarget = (u32, u32, f32);
+
+enum Op {
+    /// Constant input; gradients stop here.
+    Input,
+    /// Trainable leaf; gradients are collected into [`Gradients`].
+    Param(ParamId),
+    MatMul(Var, Var),
+    /// `a @ b^T` without materialising the transpose.
+    MatMulNT(Var, Var),
+    Transpose(Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// Broadcast-add a `1xC` bias row onto an `RxC` matrix.
+    AddRow(Var, Var),
+    Scale(Var, f32),
+    LeakyRelu(Var, f32),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    ConcatCols(Var, Var),
+    GatherRows(Var, Rc<Vec<u32>>),
+    ScatterAddRows(Var, Rc<Vec<u32>>),
+    SegmentSoftmax(Var, Rc<Vec<u32>>),
+    ScaleRows(Var, Var),
+    RowwiseDot(Var, Var),
+    Sum(Var),
+    Mean(Var),
+    SoftmaxXent { logits: Var, probs: Matrix, targets: Rc<Vec<SparseTarget>>, norm: f32 },
+    BceWithLogits { logits: Var, targets: Rc<Matrix> },
+    KlNormal { mu: Var, logvar: Var, scale: f32 },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// Gradients of a scalar loss with respect to every parameter that was
+/// touched on the tape. Indexed by [`ParamId`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient for a parameter, if it participated in the loss.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Iterate over `(ParamId, gradient)` pairs that are present.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|m| (ParamId::from_index(i), m)))
+    }
+
+    /// Global L2 norm over all gradients (for clipping diagnostics).
+    pub fn global_norm(&self) -> f64 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.frobenius_norm();
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale every gradient in place (used for clipping).
+    pub fn scale_all(&mut self, f: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|x| x * f);
+        }
+    }
+}
+
+/// Records a forward pass and differentiates it.
+pub struct Tape {
+    nodes: Vec<Node>,
+    n_params: usize,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Tape { nodes: Vec::with_capacity(64), n_params: 0 }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Value of a node (forward result).
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape convenience.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Insert a constant (non-differentiable) input.
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Input, false)
+    }
+
+    /// Insert a trainable parameter leaf, copying its current value from the
+    /// store. Gradients flow into the returned slot of [`Gradients`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.n_params = self.n_params.max(id.index() + 1);
+        self.push(store.value(id).clone(), Op::Param(id), true)
+    }
+
+    /// `a @ b`
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul_nn(self.value(a), self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatMul(a, b), ng)
+    }
+
+    /// `a @ b^T` — scores every row of `a` against every row of `b`
+    /// (candidate-set decoding uses this with `b` = gathered decoder rows).
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul_nt(self.value(a), self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatMulNT(a, b), ng)
+    }
+
+    /// Transposed copy of `x`.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.value(x).transpose();
+        let ng = self.needs(x);
+        self.push(v, Op::Transpose(x), ng)
+    }
+
+    /// Element-wise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    /// Element-wise `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Sub(a, b), ng)
+    }
+
+    /// Hadamard product `a * b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    /// `x + bias` where `bias` is `1xC` broadcast over the rows of `x`.
+    pub fn add_row(&mut self, x: Var, bias: Var) -> Var {
+        let (xr, xc) = self.shape(x);
+        assert_eq!(self.shape(bias), (1, xc), "add_row: bias must be 1x{xc}");
+        let mut v = self.value(x).clone();
+        let b = self.value(bias).as_slice().to_vec();
+        for r in 0..xr {
+            for (val, bb) in v.row_mut(r).iter_mut().zip(&b) {
+                *val += *bb;
+            }
+        }
+        let ng = self.needs(x) || self.needs(bias);
+        self.push(v, Op::AddRow(x, bias), ng)
+    }
+
+    /// `c * x` for a compile-time constant scalar.
+    pub fn scale(&mut self, x: Var, c: f32) -> Var {
+        let v = self.value(x).map(|t| c * t);
+        let ng = self.needs(x);
+        self.push(v, Op::Scale(x, c), ng)
+    }
+
+    /// LeakyReLU with negative slope `alpha` (paper uses 0.2 in Eq. 5).
+    pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
+        let v = self.value(x).map(|t| if t >= 0.0 { t } else { alpha * t });
+        let ng = self.needs(x);
+        self.push(v, Op::LeakyRelu(x, alpha), ng)
+    }
+
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| t.max(0.0));
+        let ng = self.needs(x);
+        self.push(v, Op::Relu(x), ng)
+    }
+
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
+        let ng = self.needs(x);
+        self.push(v, Op::Sigmoid(x), ng)
+    }
+
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::tanh);
+        let ng = self.needs(x);
+        self.push(v, Op::Tanh(x), ng)
+    }
+
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::exp);
+        let ng = self.needs(x);
+        self.push(v, Op::Exp(x), ng)
+    }
+
+    /// `[a | b]` column concatenation.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = concat_cols(self.value(a), self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::ConcatCols(a, b), ng)
+    }
+
+    /// `out[i,:] = x[idx[i],:]` (embedding lookup / neighbor gather).
+    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<u32>>) -> Var {
+        let v = gather_rows(self.value(x), &idx);
+        let ng = self.needs(x);
+        self.push(v, Op::GatherRows(x, idx), ng)
+    }
+
+    /// `out[idx[i],:] += x[i,:]` into `out_rows` rows (message aggregation).
+    pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<u32>>, out_rows: usize) -> Var {
+        let v = scatter_add_rows(self.value(x), &idx, out_rows);
+        let ng = self.needs(x);
+        self.push(v, Op::ScatterAddRows(x, idx), ng)
+    }
+
+    /// Edge softmax: normalise the column vector `scores` within segments
+    /// given by `seg` (destination node of each edge), `n_segments` total.
+    pub fn segment_softmax(&mut self, scores: Var, seg: Rc<Vec<u32>>, n_segments: usize) -> Var {
+        let v = segment_softmax(self.value(scores), &seg, n_segments);
+        let ng = self.needs(scores);
+        self.push(v, Op::SegmentSoftmax(scores, seg), ng)
+    }
+
+    /// Scale row `i` of `x` by scalar `s[i]` (`s` is `Ex1`).
+    pub fn scale_rows(&mut self, x: Var, s: Var) -> Var {
+        let v = scale_rows(self.value(x), self.value(s));
+        let ng = self.needs(x) || self.needs(s);
+        self.push(v, Op::ScaleRows(x, s), ng)
+    }
+
+    /// Row-wise dot product -> `Ex1` column.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let v = rowwise_dot(self.value(a), self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::RowwiseDot(a, b), ng)
+    }
+
+    /// Sum of all elements -> `1x1`.
+    pub fn sum(&mut self, x: Var) -> Var {
+        let v = Matrix::scalar(self.value(x).sum() as f32);
+        let ng = self.needs(x);
+        self.push(v, Op::Sum(x), ng)
+    }
+
+    /// Mean of all elements -> `1x1`.
+    pub fn mean(&mut self, x: Var) -> Var {
+        let v = Matrix::scalar(self.value(x).mean() as f32);
+        let ng = self.needs(x);
+        self.push(v, Op::Mean(x), ng)
+    }
+
+    /// Fused multi-target softmax cross-entropy (Eq. 6/7 reconstruction
+    /// term): rows of `logits` are softmax-normalised and the loss is
+    /// `-(1/norm) * sum_t w_t * log p[r_t, c_t]` over sparse targets.
+    pub fn softmax_xent(&mut self, logits: Var, targets: Rc<Vec<SparseTarget>>, norm: f32) -> Var {
+        assert!(norm > 0.0, "softmax_xent: norm must be positive");
+        let probs = softmax_rows(self.value(logits));
+        let mut loss = 0.0f64;
+        for &(r, c, w) in targets.iter() {
+            let p = probs.get(r as usize, c as usize).max(1e-12);
+            loss -= (w as f64) * (p as f64).ln();
+        }
+        let v = Matrix::scalar((loss / norm as f64) as f32);
+        let ng = self.needs(logits);
+        self.push(v, Op::SoftmaxXent { logits, probs, targets, norm }, ng)
+    }
+
+    /// Fused mean binary cross-entropy with logits (VGAE-family losses).
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Rc<Matrix>) -> Var {
+        assert_eq!(self.shape(logits), targets.shape(), "bce: shape mismatch");
+        let lv = self.value(logits);
+        let mut loss = 0.0f64;
+        for (&z, &y) in lv.as_slice().iter().zip(targets.as_slice()) {
+            // stable: max(z,0) - z*y + ln(1 + exp(-|z|))
+            let zl = z as f64;
+            loss += zl.max(0.0) - zl * y as f64 + (1.0 + (-zl.abs()).exp()).ln();
+        }
+        let n = lv.len().max(1) as f64;
+        let v = Matrix::scalar((loss / n) as f32);
+        let ng = self.needs(logits);
+        self.push(v, Op::BceWithLogits { logits, targets }, ng)
+    }
+
+    /// Fused KL( N(mu, exp(logvar)) || N(0, 1) ), scaled by `scale`:
+    /// `-scale/2 * sum(1 + logvar - mu^2 - exp(logvar))`.
+    pub fn kl_normal(&mut self, mu: Var, logvar: Var, scale: f32) -> Var {
+        assert_eq!(self.shape(mu), self.shape(logvar), "kl: shape mismatch");
+        let m = self.value(mu);
+        let lv = self.value(logvar);
+        let mut acc = 0.0f64;
+        for (&mv, &lvv) in m.as_slice().iter().zip(lv.as_slice()) {
+            acc += 1.0 + lvv as f64 - (mv as f64) * (mv as f64) - (lvv as f64).exp();
+        }
+        let v = Matrix::scalar((-0.5 * scale as f64 * acc) as f32);
+        let ng = self.needs(mu) || self.needs(logvar);
+        self.push(v, Op::KlNormal { mu, logvar, scale }, ng)
+    }
+
+    /// Reverse pass from a scalar `loss` node. Returns gradients for every
+    /// parameter leaf reachable from the loss.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+        let mut out = Gradients { grads: (0..self.n_params).map(|_| None).collect() };
+
+        for i in (0..=loss.0).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let accum = |grads: &mut Vec<Option<Matrix>>, v: Var, add: Matrix| {
+                match &mut grads[v.0] {
+                    Some(existing) => existing.add_assign(&add),
+                    slot @ None => *slot = Some(add),
+                }
+            };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(id) => match &mut out.grads[id.index()] {
+                    Some(existing) => existing.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                },
+                Op::MatMul(a, b) => {
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, matmul_nt(&g, self.value(*b)));
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, matmul_tn(self.value(*a), &g));
+                    }
+                }
+                Op::MatMulNT(a, b) => {
+                    // y = a b^T: da = g b ; db = g^T a
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, matmul_nn(&g, self.value(*b)));
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, matmul_tn(&g, self.value(*a)));
+                    }
+                }
+                Op::Transpose(x) => {
+                    accum(&mut grads, *x, g.transpose());
+                }
+                Op::Add(a, b) => {
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, g.clone());
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, g);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, g.clone());
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, g.map(|x| -x));
+                    }
+                }
+                Op::Mul(a, b) => {
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, g.zip(self.value(*b), |x, y| x * y));
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, g.zip(self.value(*a), |x, y| x * y));
+                    }
+                }
+                Op::AddRow(x, bias) => {
+                    if self.needs(*x) {
+                        accum(&mut grads, *x, g.clone());
+                    }
+                    if self.needs(*bias) {
+                        let cols = g.cols();
+                        let mut bg = Matrix::zeros(1, cols);
+                        for r in 0..g.rows() {
+                            for (o, &v) in bg.row_mut(0).iter_mut().zip(g.row(r)) {
+                                *o += v;
+                            }
+                        }
+                        accum(&mut grads, *bias, bg);
+                    }
+                }
+                Op::Scale(x, c) => {
+                    let c = *c;
+                    accum(&mut grads, *x, g.map(|v| c * v));
+                }
+                Op::LeakyRelu(x, alpha) => {
+                    let a = *alpha;
+                    let gx = g.zip(self.value(*x), |gv, xv| if xv >= 0.0 { gv } else { a * gv });
+                    accum(&mut grads, *x, gx);
+                }
+                Op::Relu(x) => {
+                    let gx = g.zip(self.value(*x), |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    accum(&mut grads, *x, gx);
+                }
+                Op::Sigmoid(x) => {
+                    let y = &self.nodes[i].value;
+                    let gx = g.zip(y, |gv, yv| gv * yv * (1.0 - yv));
+                    accum(&mut grads, *x, gx);
+                }
+                Op::Tanh(x) => {
+                    let y = &self.nodes[i].value;
+                    let gx = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
+                    accum(&mut grads, *x, gx);
+                }
+                Op::Exp(x) => {
+                    let y = &self.nodes[i].value;
+                    let gx = g.zip(y, |gv, yv| gv * yv);
+                    accum(&mut grads, *x, gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.value(*a).cols();
+                    let bc = self.value(*b).cols();
+                    if self.needs(*a) {
+                        let mut ga = Matrix::zeros(g.rows(), ac);
+                        for r in 0..g.rows() {
+                            ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        }
+                        accum(&mut grads, *a, ga);
+                    }
+                    if self.needs(*b) {
+                        let mut gb = Matrix::zeros(g.rows(), bc);
+                        for r in 0..g.rows() {
+                            gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                        }
+                        accum(&mut grads, *b, gb);
+                    }
+                }
+                Op::GatherRows(x, idx) => {
+                    let rows = self.value(*x).rows();
+                    accum(&mut grads, *x, scatter_add_rows(&g, idx, rows));
+                }
+                Op::ScatterAddRows(x, idx) => {
+                    accum(&mut grads, *x, gather_rows(&g, idx));
+                }
+                Op::SegmentSoftmax(scores, seg) => {
+                    // y_i = softmax within segment; dL/ds_i = y_i*(g_i - sum_j_in_seg g_j*y_j)
+                    let y = &self.nodes[i].value;
+                    let n_seg = seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+                    let mut dot = vec![0.0f64; n_seg];
+                    for (j, &s) in seg.iter().enumerate() {
+                        dot[s as usize] +=
+                            g.as_slice()[j] as f64 * y.as_slice()[j] as f64;
+                    }
+                    let mut gx = Matrix::zeros(y.rows(), 1);
+                    for (j, &s) in seg.iter().enumerate() {
+                        let yj = y.as_slice()[j] as f64;
+                        gx.as_mut_slice()[j] =
+                            (yj * (g.as_slice()[j] as f64 - dot[s as usize])) as f32;
+                    }
+                    accum(&mut grads, *scores, gx);
+                }
+                Op::ScaleRows(x, s) => {
+                    if self.needs(*x) {
+                        accum(&mut grads, *x, scale_rows(&g, self.value(*s)));
+                    }
+                    if self.needs(*s) {
+                        accum(&mut grads, *s, rowwise_dot(&g, self.value(*x)));
+                    }
+                }
+                Op::RowwiseDot(a, b) => {
+                    if self.needs(*a) {
+                        accum(&mut grads, *a, scale_rows(self.value(*b), &g));
+                    }
+                    if self.needs(*b) {
+                        accum(&mut grads, *b, scale_rows(self.value(*a), &g));
+                    }
+                }
+                Op::Sum(x) => {
+                    let (r, c) = self.shape(*x);
+                    accum(&mut grads, *x, Matrix::full(r, c, g.item()));
+                }
+                Op::Mean(x) => {
+                    let (r, c) = self.shape(*x);
+                    let n = (r * c).max(1) as f32;
+                    accum(&mut grads, *x, Matrix::full(r, c, g.item() / n));
+                }
+                Op::SoftmaxXent { logits, probs, targets, norm } => {
+                    let go = g.item() / norm;
+                    let (r, c) = probs.shape();
+                    let mut row_w = vec![0.0f32; r];
+                    for &(rr, _, w) in targets.iter() {
+                        row_w[rr as usize] += w;
+                    }
+                    let mut gx = Matrix::zeros(r, c);
+                    for (rr, &rw) in row_w.iter().enumerate() {
+                        if rw == 0.0 {
+                            continue;
+                        }
+                        let w = rw * go;
+                        for (o, &p) in gx.row_mut(rr).iter_mut().zip(probs.row(rr)) {
+                            *o = w * p;
+                        }
+                    }
+                    for &(rr, cc, w) in targets.iter() {
+                        let v = gx.get(rr as usize, cc as usize) - w * go;
+                        gx.set(rr as usize, cc as usize, v);
+                    }
+                    accum(&mut grads, *logits, gx);
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let lv = self.value(*logits);
+                    let n = lv.len().max(1) as f32;
+                    let go = g.item() / n;
+                    let gx = lv.zip(targets, |z, y| go * (1.0 / (1.0 + (-z).exp()) - y));
+                    accum(&mut grads, *logits, gx);
+                }
+                Op::KlNormal { mu, logvar, scale } => {
+                    let go = g.item() * *scale;
+                    if self.needs(*mu) {
+                        accum(&mut grads, *mu, self.value(*mu).map(|m| go * m));
+                    }
+                    if self.needs(*logvar) {
+                        accum(
+                            &mut grads,
+                            *logvar,
+                            self.value(*logvar).map(|l| 0.5 * go * (l.exp() - 1.0)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    /// Finite-difference check for a scalar-producing closure of one
+    /// parameter matrix.
+    fn grad_check(init: Matrix, f: impl Fn(&mut Tape, Var) -> Var) {
+        let mut store = ParamStore::new();
+        let id = store.create("w", init.clone());
+        // analytic
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let loss = f(&mut tape, w);
+        let grads = tape.backward(loss);
+        let g = grads.get(id).expect("param grad missing").clone();
+        // numeric
+        let eps = 1e-3f32;
+        for i in 0..init.len() {
+            let mut plus = init.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = init.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let mut sp = ParamStore::new();
+            let idp = sp.create("w", plus);
+            let mut tp = Tape::new();
+            let wp = tp.param(&sp, idp);
+            let lp = f(&mut tp, wp);
+            let mut sm = ParamStore::new();
+            let idm = sm.create("w", minus);
+            let mut tm = Tape::new();
+            let wm = tm.param(&sm, idm);
+            let lm = f(&mut tm, wm);
+            let num = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+            let ana = g.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs().max(ana.abs())),
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    fn test_matrix(rows: usize, cols: usize) -> Matrix {
+        // Offset keeps values away from activation kinks (x = 0 exactly),
+        // where one-sided numeric gradients disagree with the subgradient.
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.7 + 0.31).sin() * 0.5)
+    }
+
+    #[test]
+    fn grad_matmul_sum() {
+        grad_check(test_matrix(3, 4), |t, w| {
+            let x = t.input(test_matrix(2, 3));
+            let y = t.matmul(x, w);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_left_operand() {
+        grad_check(test_matrix(2, 3), |t, w| {
+            let x = t.input(test_matrix(3, 4));
+            let y = t.matmul(w, x);
+            let z = t.tanh(y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in 0..5 {
+            grad_check(test_matrix(3, 3), move |t, w| {
+                let y = match act {
+                    0 => t.leaky_relu(w, 0.2),
+                    1 => t.sigmoid(w),
+                    2 => t.tanh(w),
+                    3 => t.exp(w),
+                    _ => t.relu(w),
+                };
+                t.mean(y)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_matmul_nt_both_operands() {
+        grad_check(test_matrix(3, 4), |t, w| {
+            let x = t.input(test_matrix(5, 4));
+            let y = t.matmul_nt(w, x); // (3,5)
+            let z = t.tanh(y);
+            t.sum(z)
+        });
+        grad_check(test_matrix(5, 4), |t, w| {
+            let x = t.input(test_matrix(3, 4));
+            let y = t.matmul_nt(x, w);
+            let z = t.sigmoid(y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn matmul_nt_value_matches_manual_transpose() {
+        let mut tape = Tape::new();
+        let a = tape.input(test_matrix(2, 3));
+        let b = tape.input(test_matrix(4, 3));
+        let y = tape.matmul_nt(a, b);
+        let bt = tape.value(b).transpose();
+        let expect = tape.value(a).matmul(&bt);
+        assert_eq!(tape.value(y), &expect);
+    }
+
+    #[test]
+    fn grad_transpose() {
+        grad_check(test_matrix(2, 5), |t, w| {
+            let y = t.transpose(w);
+            let x = t.input(test_matrix(2, 5).transpose());
+            let z = t.mul(y, x);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        grad_check(test_matrix(1, 4), |t, w| {
+            let x = t.input(test_matrix(3, 4));
+            let y = t.add_row(x, w);
+            let z = t.sigmoid(y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_hadamard_and_sub() {
+        grad_check(test_matrix(2, 2), |t, w| {
+            let x = t.input(test_matrix(2, 2));
+            let p = t.mul(w, x);
+            let q = t.sub(p, w);
+            t.sum(q)
+        });
+    }
+
+    #[test]
+    fn grad_concat() {
+        grad_check(test_matrix(2, 3), |t, w| {
+            let x = t.input(test_matrix(2, 2));
+            let y = t.concat_cols(w, x);
+            let z = t.tanh(y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        grad_check(test_matrix(4, 3), |t, w| {
+            let idx = Rc::new(vec![1u32, 3, 1, 0]);
+            let g = t.gather_rows(w, idx.clone());
+            let s = t.scatter_add_rows(g, Rc::new(vec![0u32, 0, 1, 2]), 3);
+            let z = t.sigmoid(s);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_segment_softmax_pipeline() {
+        grad_check(test_matrix(5, 1), |t, w| {
+            let seg = Rc::new(vec![0u32, 0, 1, 1, 1]);
+            let a = t.segment_softmax(w, seg, 2);
+            let x = t.input(test_matrix(5, 2));
+            let weighted = t.scale_rows(x, a);
+            let z = t.tanh(weighted);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_rowwise_dot() {
+        grad_check(test_matrix(3, 4), |t, w| {
+            let x = t.input(test_matrix(3, 4));
+            let d = t.rowwise_dot(w, x);
+            let z = t.sigmoid(d);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_xent() {
+        grad_check(test_matrix(3, 5), |t, w| {
+            let targets = Rc::new(vec![(0u32, 1u32, 1.0f32), (1, 4, 2.0), (2, 0, 1.0), (0, 3, 0.5)]);
+            t.softmax_xent(w, targets, 3.0)
+        });
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        grad_check(test_matrix(3, 3), |t, w| {
+            let y = Rc::new(Matrix::from_fn(3, 3, |r, c| ((r + c) % 2) as f32));
+            t.bce_with_logits(w, y)
+        });
+    }
+
+    #[test]
+    fn grad_kl_normal_mu() {
+        grad_check(test_matrix(3, 2), |t, w| {
+            let lv = t.input(test_matrix(3, 2));
+            t.kl_normal(w, lv, 0.1)
+        });
+    }
+
+    #[test]
+    fn grad_kl_normal_logvar() {
+        grad_check(test_matrix(3, 2), |t, w| {
+            let mu = t.input(test_matrix(3, 2));
+            t.kl_normal(mu, w, 0.1)
+        });
+    }
+
+    #[test]
+    fn grad_through_two_params_accumulates() {
+        // loss = sum((w@x) * (w@x)) touches w twice; check vs numeric.
+        grad_check(test_matrix(2, 2), |t, w| {
+            let x = t.input(test_matrix(2, 2));
+            let y = t.matmul(w, x);
+            let z = t.mul(y, y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn constant_inputs_get_no_grad() {
+        let mut store = ParamStore::new();
+        let id = store.create("w", test_matrix(2, 2));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let x = tape.input(test_matrix(2, 2));
+        let y = tape.matmul(x, w);
+        let l = tape.sum(y);
+        let grads = tape.backward(l);
+        assert!(grads.get(id).is_some());
+        assert_eq!(grads.iter().count(), 1);
+    }
+
+    #[test]
+    fn kl_zero_at_standard_normal() {
+        let mut tape = Tape::new();
+        let mu = tape.input(Matrix::zeros(4, 4));
+        let lv = tape.input(Matrix::zeros(4, 4));
+        let kl = tape.kl_normal(mu, lv, 1.0);
+        assert!(tape.value(kl).item().abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_xent_matches_manual_single_target() {
+        let mut tape = Tape::new();
+        let logits = tape.input(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let loss = tape.softmax_xent(logits, Rc::new(vec![(0, 2, 1.0)]), 1.0);
+        let z: Vec<f64> = vec![1.0, 2.0, 3.0];
+        let denom: f64 = z.iter().map(|v| v.exp()).sum();
+        let expect = -(z[2].exp() / denom).ln();
+        assert!((tape.value(loss).item() as f64 - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_global_norm_and_scale() {
+        let mut store = ParamStore::new();
+        let id = store.create("w", Matrix::full(2, 2, 1.0));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let l = tape.sum(w);
+        let mut grads = tape.backward(l);
+        assert!((grads.global_norm() - 2.0).abs() < 1e-6); // sqrt(4 * 1^2)
+        grads.scale_all(0.5);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-6);
+    }
+}

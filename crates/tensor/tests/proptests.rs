@@ -1,0 +1,183 @@
+//! Property-based tests for the tensor substrate: algebraic identities of
+//! the raw kernels and gradient-correctness properties of the tape.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use tg_tensor::matrix::{
+    concat_cols, gather_rows, matmul_nn, matmul_nt, matmul_tn, scatter_add_rows,
+    segment_softmax, softmax_rows, Matrix,
+};
+use tg_tensor::prelude::*;
+
+/// Strategy: a matrix with bounded entries.
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A B) C == A (B C)
+    #[test]
+    fn matmul_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = matmul_nn(&matmul_nn(&a, &b), &c);
+        let right = matmul_nn(&a, &matmul_nn(&b, &c));
+        assert_close(&left, &right, 1e-4);
+    }
+
+    /// A(B + C) == AB + AC
+    #[test]
+    fn matmul_distributive(a in arb_matrix(3, 4), b in arb_matrix(4, 3), c in arb_matrix(4, 3)) {
+        let sum = b.zip(&c, |x, y| x + y);
+        let left = matmul_nn(&a, &sum);
+        let mut right = matmul_nn(&a, &b);
+        right.add_assign(&matmul_nn(&a, &c));
+        assert_close(&left, &right, 1e-4);
+    }
+
+    /// The fused transpose variants agree with explicit transposes.
+    #[test]
+    fn transpose_variants_agree(a in arb_matrix(3, 4), b in arb_matrix(5, 4)) {
+        assert_close(&matmul_nt(&a, &b), &matmul_nn(&a, &b.transpose()), 1e-4);
+        let c = a.transpose(); // 4x3
+        assert_close(&matmul_tn(&a, &a), &matmul_nn(&c, &a), 1e-4);
+    }
+
+    /// softmax rows are probability vectors, invariant to row shifts.
+    #[test]
+    fn softmax_rows_properties(x in arb_matrix(4, 6), shift in -3.0f32..3.0) {
+        let p = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+        let shifted = softmax_rows(&x.map(|v| v + shift));
+        assert_close(&p, &shifted, 1e-4);
+    }
+
+    /// gather then scatter with the same index is a projection: entries of
+    /// rows never indexed stay zero, indexed rows accumulate multiplicity.
+    #[test]
+    fn gather_scatter_projection(x in arb_matrix(5, 3), raw_idx in proptest::collection::vec(0u32..5, 1..8)) {
+        let idx = Rc::new(raw_idx.clone());
+        let g = gather_rows(&x, &idx);
+        let s = scatter_add_rows(&g, &idx, 5);
+        let mut mult = [0f32; 5];
+        for &i in raw_idx.iter() {
+            mult[i as usize] += 1.0;
+        }
+        for (r, &m) in mult.iter().enumerate() {
+            for c in 0..3 {
+                let expect = x.get(r, c) * m;
+                prop_assert!((s.get(r, c) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// segment softmax sums to one within every non-empty segment.
+    #[test]
+    fn segment_softmax_normalises(scores in proptest::collection::vec(-4.0f32..4.0, 1..24), n_seg in 1usize..5) {
+        let seg: Vec<u32> = (0..scores.len()).map(|i| (i % n_seg) as u32).collect();
+        let m = Matrix::from_vec(scores.len(), 1, scores);
+        let sm = segment_softmax(&m, &seg, n_seg);
+        let mut sums = vec![0f64; n_seg];
+        for (i, &s) in seg.iter().enumerate() {
+            sums[s as usize] += sm.as_slice()[i] as f64;
+        }
+        for (s, total) in sums.iter().enumerate() {
+            if seg.iter().any(|&x| x as usize == s) {
+                prop_assert!((total - 1.0).abs() < 1e-4, "segment {s} sums {total}");
+            }
+        }
+    }
+
+    /// Backward pass is linear: grad of (a*L) is a * grad of L.
+    #[test]
+    fn backward_is_linear_in_loss_scale(w0 in arb_matrix(3, 3), alpha in 0.5f32..4.0) {
+        let mut store = ParamStore::new();
+        let id = store.create("w", w0);
+        let grad_of = |scale: f32, store: &ParamStore| -> Matrix {
+            let mut tape = Tape::new();
+            let w = tape.param(store, id);
+            let y = tape.tanh(w);
+            let l0 = tape.sum(y);
+            let l = tape.scale(l0, scale);
+            tape.backward(l).get(id).expect("grad").clone()
+        };
+        let g1 = grad_of(1.0, &store);
+        let ga = grad_of(alpha, &store);
+        for (a, b) in g1.as_slice().iter().zip(ga.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-4);
+        }
+    }
+
+    /// Sum rule: grad of (f + g) equals grad f + grad g.
+    #[test]
+    fn backward_sum_rule(w0 in arb_matrix(2, 3)) {
+        let mut store = ParamStore::new();
+        let id = store.create("w", w0);
+        let grad_combined = {
+            let mut tape = Tape::new();
+            let w = tape.param(&store, id);
+            let f = tape.sigmoid(w);
+            let g = tape.tanh(w);
+            let fs = tape.sum(f);
+            let gs = tape.sum(g);
+            let l = tape.add(fs, gs);
+            tape.backward(l).get(id).expect("grad").clone()
+        };
+        let grad_f = {
+            let mut tape = Tape::new();
+            let w = tape.param(&store, id);
+            let f = tape.sigmoid(w);
+            let l = tape.sum(f);
+            tape.backward(l).get(id).expect("grad").clone()
+        };
+        let grad_g = {
+            let mut tape = Tape::new();
+            let w = tape.param(&store, id);
+            let g = tape.tanh(w);
+            let l = tape.sum(g);
+            tape.backward(l).get(id).expect("grad").clone()
+        };
+        for i in 0..grad_combined.len() {
+            let expect = grad_f.as_slice()[i] + grad_g.as_slice()[i];
+            prop_assert!((grad_combined.as_slice()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    /// concat_cols then column split recovers the operands (round trip).
+    #[test]
+    fn concat_roundtrip(a in arb_matrix(3, 2), b in arb_matrix(3, 4)) {
+        let cat = concat_cols(&a, &b);
+        prop_assert_eq!(cat.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&cat.row(r)[..2], a.row(r));
+            prop_assert_eq!(&cat.row(r)[2..], b.row(r));
+        }
+    }
+
+    /// Adam step with zero gradient leaves parameters unchanged.
+    #[test]
+    fn adam_ignores_untouched_params(w0 in arb_matrix(2, 2)) {
+        let mut store = ParamStore::new();
+        let id = store.create("w", w0.clone());
+        let other = store.create("o", Matrix::zeros(1, 1));
+        let mut tape = Tape::new();
+        let o = tape.param(&store, other);
+        let l = tape.sum(o);
+        let grads = tape.backward(l);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &grads);
+        prop_assert_eq!(store.value(id), &w0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Fraud-analytics scenario: simulating a who-trusts-whom transaction
+//! network (the paper's finance motivation, §I).
+//!
+//! Fraud teams can rarely share raw transaction graphs. This example
+//! trains TGAE on a Bitcoin-OTC-like trust network and produces a
+//! synthetic twin that preserves the *temporal motif* structure — the
+//! patterns (e.g. rapid reciprocal edges, burst triangles) that fraud
+//! detectors are trained on — which a naive anonymiser like edge
+//! shuffling (≈ E-R) destroys.
+//!
+//! Run with: `cargo run --release --example fraud_network`
+
+#![allow(clippy::field_reassign_with_default)] // config-building style
+#![allow(clippy::type_complexity)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tgx::baselines::{ErGenerator, TemporalGraphGenerator};
+use tgx::metrics::{census_per_chunk, mmd2_tv};
+use tgx::prelude::*;
+
+fn main() {
+    // Bitcoin-OTC-like preset at reduced scale (full Table II shape: 5881
+    // nodes / 35592 edges / 1904 timestamps).
+    let mut config = tgx::datasets::presets::bitcoin_otc().config.scaled(0.06);
+    config.timestamps = 60;
+    let mut data_rng = SmallRng::seed_from_u64(1);
+    let observed = tgx::datasets::generate(&config, &mut data_rng);
+    println!(
+        "trust network: {} accounts, {} timestamped trust edges, {} snapshots",
+        observed.n_nodes(),
+        observed.n_edges(),
+        observed.n_timestamps()
+    );
+
+    // The fraud-relevant signal: δ-temporal motif distribution.
+    let delta = 6;
+    let real_census = census_per_chunk(&observed, delta, 4);
+    let total: u64 = real_census.iter().map(|c| c.total()).sum();
+    println!("observed delta-temporal motifs (delta={delta}): {total}");
+
+    // Synthetic twin via TGAE.
+    let mut cfg = TgaeConfig::default();
+    cfg.epochs = 80;
+    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
+    let report = fit(&mut model, &observed);
+    println!("TGAE trained in {:.2?} (final loss {:.4})", report.wall, report.final_loss());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let twin = generate(&model, &observed, &mut rng);
+
+    // Strawman anonymiser: edge shuffling (Erdős–Rényi per snapshot).
+    let mut er_rng = SmallRng::seed_from_u64(2);
+    let shuffled = ErGenerator.fit_generate(&observed, &mut er_rng);
+
+    let real_dists: Vec<Vec<f64>> = real_census.iter().map(|c| c.distribution()).collect();
+    let motif_mmd = |g: &TemporalGraph| -> f64 {
+        let dists: Vec<Vec<f64>> =
+            census_per_chunk(g, delta, 4).iter().map(|c| c.distribution()).collect();
+        mmd2_tv(&real_dists, &dists, 1.0)
+    };
+
+    let twin_mmd = motif_mmd(&twin);
+    let er_mmd = motif_mmd(&shuffled);
+    println!("\nmotif-distribution MMD vs observed (smaller = signal preserved)");
+    println!("  TGAE twin        {twin_mmd:.6}");
+    println!("  edge shuffling   {er_mmd:.6}");
+
+    // Structural fidelity of the final snapshot, the view a fraud model sees.
+    println!("\n{:<16} {:>12} {:>12} {:>12}", "metric", "observed", "TGAE", "shuffled");
+    let t_last = observed.n_timestamps() as u32 - 1;
+    let rows: [(&str, fn(&GraphStats) -> f64); 4] = [
+        ("mean degree", |s| s.mean_degree),
+        ("triangles", |s| s.triangle_count),
+        ("wedges", |s| s.wedge_count),
+        ("PLE", |s| s.ple),
+    ];
+    let so = GraphStats::compute(&Snapshot::accumulated(&observed, t_last, true));
+    let st = GraphStats::compute(&Snapshot::accumulated(&twin, t_last, true));
+    let se = GraphStats::compute(&Snapshot::accumulated(&shuffled, t_last, true));
+    for (name, f) in rows {
+        println!("{:<16} {:>12.2} {:>12.2} {:>12.2}", name, f(&so), f(&st), f(&se));
+    }
+
+    if twin_mmd < er_mmd {
+        println!("\n=> the TGAE twin preserves the temporal fraud signal better than shuffling");
+    } else {
+        println!("\n=> unexpected: shuffling matched motifs better on this seed — try more epochs");
+    }
+}

@@ -1,0 +1,61 @@
+//! `tgx` — facade for the TGAE temporal-graph-simulation workspace, a
+//! from-scratch Rust reproduction of *"Efficient Learning-based Graph
+//! Simulation for Temporal Graphs"* (Xiang, Xu, Cheng, Wang, Zhang —
+//! ICDE 2025).
+//!
+//! This crate re-exports the whole stack so downstream users need a single
+//! dependency:
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`graph`] | `tg-graph` | temporal graph storage, snapshots, I/O |
+//! | [`tensor`] | `tg-tensor` | CPU autodiff tensor library |
+//! | [`sampling`] | `tg-sampling` | ego-graph sampling, bipartite batching |
+//! | [`model`] | `tgae` | the TGAE model, trainer, generator |
+//! | [`metrics`] | `tg-metrics` | Table III stats, motif census, MMD |
+//! | [`baselines`] | `tg-baselines` | the ten comparison generators |
+//! | [`datasets`] | `tg-datasets` | synthetic Table II presets, grids |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tgx::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // 1. an observed temporal graph (here: a synthetic preset, scaled down)
+//! let observed = tgx::datasets::presets::dblp().generate_scaled(0.05, 7);
+//!
+//! // 2. train TGAE on it
+//! let mut cfg = TgaeConfig::tiny();
+//! cfg.epochs = 5; // keep the doctest fast; use the default for real runs
+//! let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
+//! let report = fit(&mut model, &observed);
+//! assert!(report.final_loss().is_finite());
+//!
+//! // 3. simulate a synthetic graph with the same shape
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let synthetic = generate(&model, &observed, &mut rng);
+//! assert_eq!(synthetic.n_edges(), observed.n_edges());
+//!
+//! // 4. score the simulation (Eq. 10)
+//! let scores = evaluate(&observed, &synthetic);
+//! assert_eq!(scores.len(), 7);
+//! ```
+
+pub use tg_baselines as baselines;
+pub use tg_datasets as datasets;
+pub use tg_graph as graph;
+pub use tg_metrics as metrics;
+pub use tg_sampling as sampling;
+pub use tg_tensor as tensor;
+pub use tgae as model;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use tg_baselines::TemporalGraphGenerator;
+    pub use tg_datasets::{Preset, SyntheticConfig};
+    pub use tg_graph::{Snapshot, TemporalEdge, TemporalGraph};
+    pub use tg_metrics::{evaluate, GraphStats, MetricKind};
+    pub use tg_sampling::SamplerConfig;
+    pub use tgae::{fit, generate, Tgae, TgaeConfig, TgaeVariant, TrainReport};
+}

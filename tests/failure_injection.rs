@@ -1,0 +1,148 @@
+//! Failure-injection and pathological-input tests: the library must stay
+//! finite, panic-free (or panic *usefully*), and protocol-compliant on
+//! degenerate graphs and hostile hyper-parameters.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tgx::prelude::*;
+
+fn cfg(epochs: usize) -> TgaeConfig {
+    let mut c = TgaeConfig::tiny();
+    c.epochs = epochs;
+    c
+}
+
+/// One repeated pair, one timestamp: the smallest possible corpus.
+#[test]
+fn trains_on_single_pair_graph() {
+    let edges = vec![
+        TemporalEdge::new(0, 1, 0),
+        TemporalEdge::new(0, 1, 0),
+        TemporalEdge::new(0, 1, 0),
+    ];
+    let g = TemporalGraph::from_edges(2, 1, edges);
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(10));
+    let report = fit(&mut model, &g);
+    assert!(report.final_loss().is_finite());
+    let mut rng = SmallRng::seed_from_u64(1);
+    let out = generate(&model, &g, &mut rng);
+    assert_eq!(out.n_edges(), 3);
+    // only possible non-self target is node 1
+    assert!(out.edges().iter().all(|e| e.u == 0 && e.v == 1));
+}
+
+/// A graph with long stretches of empty timestamps.
+#[test]
+fn handles_sparse_time_axis() {
+    let edges = vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 9)];
+    let g = TemporalGraph::from_edges(3, 10, edges);
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(6));
+    fit(&mut model, &g);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let out = generate(&model, &g, &mut rng);
+    assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+}
+
+/// Hostile learning rate: clipping must keep parameters finite.
+#[test]
+fn survives_huge_learning_rate() {
+    let edges: Vec<TemporalEdge> =
+        (0..30).map(|i| TemporalEdge::new(i % 6, (i + 1) % 6, i % 3)).collect();
+    let g = TemporalGraph::from_edges(6, 3, edges);
+    let mut c = cfg(15);
+    c.lr = 1.0; // absurd
+    c.grad_clip = 1.0;
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), c);
+    let report = fit(&mut model, &g);
+    assert!(report.losses.iter().all(|l| l.is_finite()), "loss diverged");
+    assert!(!model.store.any_non_finite(), "parameters went NaN/Inf");
+}
+
+/// Budget larger than the candidate pool: generation must clamp, not hang.
+#[test]
+fn generation_clamps_when_budget_exceeds_targets() {
+    // node 0 fires 10 edges at t=0 but only 2 possible distinct targets
+    let mut edges = Vec::new();
+    for _ in 0..5 {
+        edges.push(TemporalEdge::new(0, 1, 0));
+        edges.push(TemporalEdge::new(0, 2, 0));
+    }
+    let g = TemporalGraph::from_edges(3, 1, edges);
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(5));
+    fit(&mut model, &g);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let out = generate(&model, &g, &mut rng);
+    assert_eq!(out.n_edges(), 10, "multiplicity fill must hit the budget");
+    assert!(out.edges().iter().all(|e| e.u == 0 && (e.v == 1 || e.v == 2)));
+}
+
+/// Metrics on a graph with zero edges must not divide by zero.
+#[test]
+fn metrics_on_empty_snapshot() {
+    let g = TemporalGraph::from_edges(5, 2, vec![TemporalEdge::new(0, 1, 1)]);
+    // t=0 accumulated snapshot has no edges at all
+    let s = Snapshot::accumulated(&g, 0, true);
+    let stats = GraphStats::compute(&s);
+    assert_eq!(stats.mean_degree, 0.0);
+    assert_eq!(stats.triangle_count, 0.0);
+    assert_eq!(stats.n_components, 5.0);
+    assert!(stats.ple.is_finite() || stats.ple == 1.0);
+}
+
+/// Evaluating two identical degenerate graphs scores zero, not NaN.
+#[test]
+fn evaluation_of_degenerate_graphs_is_zero() {
+    let g = TemporalGraph::from_edges(4, 3, vec![TemporalEdge::new(0, 1, 2)]);
+    for s in evaluate(&g, &g) {
+        assert_eq!(s.avg, 0.0, "{}", s.kind.name());
+    }
+}
+
+/// The motif census of a motif-free graph is empty, and MMD against it is
+/// still well-defined.
+#[test]
+fn motif_free_graphs_are_handled() {
+    use tgx::metrics::{count_motifs, mmd2_single};
+    let g = TemporalGraph::from_edges(4, 2, vec![TemporalEdge::new(0, 1, 0)]);
+    let census = count_motifs(&g, 10);
+    assert_eq!(census.total(), 0);
+    let d = census.distribution();
+    let m = mmd2_single(&d, &d, 1.0);
+    assert!(m.abs() < 1e-12);
+}
+
+/// Baselines must not hang on a graph whose proposals can starve (an
+/// isolated pair with budgets at every timestamp).
+#[test]
+fn baselines_terminate_on_starved_proposals() {
+    use tgx::baselines::{TagGenConfig, TagGenGenerator, TemporalGraphGenerator};
+    let mut edges = Vec::new();
+    for t in 0..5u32 {
+        edges.push(TemporalEdge::new(0, 1, t));
+    }
+    let g = TemporalGraph::from_edges(10, 5, edges);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let out = TagGenGenerator::new(TagGenConfig { walks_per_round: 16, ..Default::default() })
+        .fit_generate(&g, &mut rng);
+    assert_eq!(out.n_edges(), g.n_edges());
+}
+
+/// Transform utilities compose without losing edges.
+#[test]
+fn transforms_compose() {
+    use tgx::graph::transform::{compact_nodes, induced_subgraph, reverse, time_slice};
+    let mut edges = Vec::new();
+    for t in 0..6u32 {
+        for u in 0..8u32 {
+            edges.push(TemporalEdge::new(u, (u + 1) % 8, t));
+        }
+    }
+    let g = TemporalGraph::from_edges(10, 6, edges);
+    let sliced = time_slice(&g, 2, 5);
+    assert_eq!(sliced.n_edges(), 24);
+    let sub = induced_subgraph(&sliced, &[0, 1, 2, 3]);
+    assert!(sub.n_edges() > 0);
+    let (compacted, keep) = compact_nodes(&reverse(&sub));
+    assert_eq!(compacted.n_nodes(), keep.len());
+    assert_eq!(compacted.n_edges(), sub.n_edges());
+}

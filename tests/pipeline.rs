@@ -1,0 +1,151 @@
+//! End-to-end integration: dataset generation -> TGAE training ->
+//! simulation -> evaluation, across crates.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tgx::prelude::*;
+
+fn small_observed(seed: u64) -> TemporalGraph {
+    let cfg = SyntheticConfig {
+        nodes: 120,
+        edges: 900,
+        timestamps: 8,
+        ..Default::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    tgx::datasets::generate(&cfg, &mut rng)
+}
+
+fn quick_cfg(epochs: usize) -> TgaeConfig {
+    let mut cfg = TgaeConfig::tiny();
+    cfg.epochs = epochs;
+    cfg
+}
+
+#[test]
+fn full_pipeline_produces_scored_simulation() {
+    let observed = small_observed(1);
+    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(20));
+    let report = fit(&mut model, &observed);
+    assert!(report.final_loss().is_finite());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let synthetic = generate(&model, &observed, &mut rng);
+    assert_eq!(synthetic.n_nodes(), observed.n_nodes());
+    assert_eq!(synthetic.n_timestamps(), observed.n_timestamps());
+    assert_eq!(
+        synthetic.edge_counts_per_timestamp(),
+        observed.edge_counts_per_timestamp(),
+        "per-timestamp budgets must be preserved"
+    );
+    let scores = evaluate(&observed, &synthetic);
+    assert_eq!(scores.len(), 7);
+    for s in &scores {
+        assert!(s.avg.is_finite() && s.med.is_finite(), "{}", s.kind.name());
+        assert!(s.avg >= 0.0 && s.med >= 0.0);
+    }
+}
+
+#[test]
+fn generation_is_deterministic_for_fixed_seeds() {
+    let observed = small_observed(3);
+    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(10));
+    fit(&mut model, &observed);
+    let gen = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate(&model, &observed, &mut rng)
+    };
+    let a = gen(42);
+    let b = gen(42);
+    assert_eq!(a.edges(), b.edges(), "same RNG seed must reproduce the graph");
+    let c = gen(43);
+    assert_ne!(a.edges(), c.edges(), "different seeds should differ");
+}
+
+#[test]
+fn training_is_deterministic_for_fixed_config_seed() {
+    let observed = small_observed(4);
+    let run = || {
+        let mut model =
+            Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(8));
+        let report = fit(&mut model, &observed);
+        report.losses
+    };
+    assert_eq!(run(), run(), "fit must be reproducible from cfg.seed");
+}
+
+#[test]
+fn all_variants_train_and_generate() {
+    let observed = small_observed(5);
+    for variant in TgaeVariant::ALL {
+        let mut cfg = quick_cfg(6).with_variant(variant);
+        // keep the unbounded variant cheap
+        if variant == TgaeVariant::NoTruncation {
+            cfg.batch_centers = 8;
+        }
+        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
+        let report = fit(&mut model, &observed);
+        assert!(report.final_loss().is_finite(), "{} loss", variant.name());
+        let mut rng = SmallRng::seed_from_u64(6);
+        let synthetic = generate(&model, &observed, &mut rng);
+        assert_eq!(
+            synthetic.n_edges(),
+            observed.n_edges(),
+            "{} budget",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn sparse_candidate_mode_trains_and_generates() {
+    let observed = small_observed(7);
+    let mut cfg = quick_cfg(10);
+    cfg.dense_cutoff = 0; // force sampled-softmax path even on a small graph
+    cfg.n_negatives = 32;
+    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
+    let report = fit(&mut model, &observed);
+    assert!(report.final_loss().is_finite());
+    let mut rng = SmallRng::seed_from_u64(8);
+    let synthetic = generate(&model, &observed, &mut rng);
+    assert_eq!(synthetic.n_nodes(), observed.n_nodes());
+    assert!(synthetic.n_edges() > 0);
+}
+
+#[test]
+fn model_serializes_and_roundtrips() {
+    let observed = small_observed(9);
+    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(5));
+    fit(&mut model, &observed);
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let restored: Tgae = serde_json::from_str(&json).expect("deserialize model");
+    // restored model generates identically under the same RNG
+    let mut r1 = SmallRng::seed_from_u64(10);
+    let mut r2 = SmallRng::seed_from_u64(10);
+    let a = generate(&model, &observed, &mut r1);
+    let b = generate(&restored, &observed, &mut r2);
+    assert_eq!(a.edges(), b.edges());
+}
+
+#[test]
+fn trained_beats_untrained_on_reconstruction() {
+    // integration-level quality check: training must make generated edges
+    // overlap the observed pair set more than an untrained model does.
+    let observed = small_observed(11);
+    let truth: std::collections::HashSet<(u32, u32)> =
+        observed.edges().iter().map(|e| (e.u, e.v)).collect();
+    let hit_rate = |model: &Tgae| {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = generate(model, &observed, &mut rng);
+        g.edges().iter().filter(|e| truth.contains(&(e.u, e.v))).count() as f64
+            / g.n_edges().max(1) as f64
+    };
+    let untrained = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(40));
+    let untrained_rate = hit_rate(&untrained);
+    let mut trained = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(40));
+    fit(&mut trained, &observed);
+    let trained_rate = hit_rate(&trained);
+    assert!(
+        trained_rate > untrained_rate,
+        "trained {trained_rate:.3} <= untrained {untrained_rate:.3}"
+    );
+}

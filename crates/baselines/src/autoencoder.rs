@@ -19,8 +19,8 @@
 //!   `θ_u B θ_vᵀ + c`.
 
 use crate::traits::TemporalGraphGenerator;
-use rand::{Rng, RngCore, SeedableRng};
 use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 use std::rc::Rc;
 use tg_graph::{TemporalEdge, TemporalGraph};
 use tg_tensor::matrix::{matmul_nt, Matrix};
@@ -35,8 +35,7 @@ pub(crate) struct Buckets {
 pub(crate) fn bucketize(g: &TemporalGraph, max_buckets: usize) -> Buckets {
     let t_count = g.n_timestamps();
     let n_buckets = max_buckets.max(1).min(t_count);
-    let bucket_of_t: Vec<usize> =
-        (0..t_count).map(|t| t * n_buckets / t_count).collect();
+    let bucket_of_t: Vec<usize> = (0..t_count).map(|t| t * n_buckets / t_count).collect();
     let mut pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_buckets];
     for e in g.edges() {
         if e.u != e.v {
@@ -119,7 +118,15 @@ pub struct AeConfig {
 
 impl Default for AeConfig {
     fn default() -> Self {
-        AeConfig { dim: 16, blocks: 8, epochs: 60, lr: 2e-2, max_buckets: 8, batch_pairs: 1024, seed: 1 }
+        AeConfig {
+            dim: 16,
+            blocks: 8,
+            epochs: 60,
+            lr: 2e-2,
+            max_buckets: 8,
+            batch_pairs: 1024,
+            seed: 1,
+        }
     }
 }
 
@@ -128,7 +135,11 @@ enum BucketModel {
     /// Inner-product models (VGAE/Graphite): `score = sigmoid(Z Zᵀ)` rows.
     InnerProduct { z: Matrix },
     /// SBM: `score = sigmoid(θB θᵀ + c)` rows.
-    Sbm { theta: Matrix, theta_b: Matrix, bias: f32 },
+    Sbm {
+        theta: Matrix,
+        theta_b: Matrix,
+        bias: f32,
+    },
 }
 
 impl BucketModel {
@@ -139,7 +150,11 @@ impl BucketModel {
                 let s = matmul_nt(&zu, z);
                 s.as_slice().iter().map(|&x| sigmoid64(x)).collect()
             }
-            BucketModel::Sbm { theta, theta_b, bias } => {
+            BucketModel::Sbm {
+                theta,
+                theta_b,
+                bias,
+            } => {
                 let r = Matrix::from_vec(1, theta_b.cols(), theta_b.row(u as usize).to_vec());
                 let s = matmul_nt(&r, theta);
                 s.as_slice().iter().map(|&x| sigmoid64(x + bias)).collect()
@@ -154,12 +169,7 @@ fn sigmoid64(x: f32) -> f64 {
 
 /// GCN mean aggregation over undirected pairs: `agg[v] = mean_{u~v} x[u]`,
 /// including a self contribution.
-fn mean_aggregate(
-    tape: &mut Tape,
-    x: Var,
-    n: usize,
-    pairs: &[(u32, u32)],
-) -> Var {
+fn mean_aggregate(tape: &mut Tape, x: Var, n: usize, pairs: &[(u32, u32)]) -> Var {
     let mut src: Vec<u32> = Vec::with_capacity(pairs.len() * 2 + n);
     let mut dst: Vec<u32> = Vec::with_capacity(pairs.len() * 2 + n);
     for &(u, v) in pairs {
@@ -271,7 +281,9 @@ fn train_bucket(
                 let refd = tape.relu(refd);
                 z = tape.add(z, refd);
             }
-            BucketModel::InnerProduct { z: tape.value(z).clone() }
+            BucketModel::InnerProduct {
+                z: tape.value(z).clone(),
+            }
         }
         Flavor::Sbmgnn => {
             let k = cfg.blocks;
@@ -341,15 +353,24 @@ pub struct AeGenerator {
 
 impl AeGenerator {
     pub fn vgae(cfg: AeConfig) -> Self {
-        AeGenerator { flavor: Flavor::Vgae, cfg }
+        AeGenerator {
+            flavor: Flavor::Vgae,
+            cfg,
+        }
     }
 
     pub fn graphite(cfg: AeConfig) -> Self {
-        AeGenerator { flavor: Flavor::Graphite, cfg }
+        AeGenerator {
+            flavor: Flavor::Graphite,
+            cfg,
+        }
     }
 
     pub fn sbmgnn(cfg: AeConfig) -> Self {
-        AeGenerator { flavor: Flavor::Sbmgnn, cfg }
+        AeGenerator {
+            flavor: Flavor::Sbmgnn,
+            cfg,
+        }
     }
 }
 
@@ -362,11 +383,7 @@ impl TemporalGraphGenerator for AeGenerator {
         }
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let buckets = bucketize(observed, self.cfg.max_buckets);
         let mut train_rng = SmallRng::seed_from_u64(self.cfg.seed ^ rng.next_u64());
@@ -402,7 +419,13 @@ mod tests {
     }
 
     fn quick_cfg() -> AeConfig {
-        AeConfig { epochs: 25, dim: 8, blocks: 4, max_buckets: 2, ..Default::default() }
+        AeConfig {
+            epochs: 25,
+            dim: 8,
+            blocks: 4,
+            max_buckets: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -424,7 +447,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let out = AeGenerator::vgae(quick_cfg()).fit_generate(&g, &mut rng);
         validate_output(&g, &out);
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct MotifMix {
 impl MotifMix {
     fn normalised(t: f64, w: f64, s: f64) -> Self {
         let total = (t + w + s).max(1e-12);
-        MotifMix { triangle: t / total, wedge: w / total, single: s / total }
+        MotifMix {
+            triangle: t / total,
+            wedge: w / total,
+            single: s / total,
+        }
     }
 }
 
@@ -95,18 +99,15 @@ pub struct DymondGenerator {
 
 impl Default for DymondGenerator {
     fn default() -> Self {
-        DymondGenerator { role_smoothing: 1.0 }
+        DymondGenerator {
+            role_smoothing: 1.0,
+        }
     }
 }
 
 impl DymondGenerator {
     /// Sample `k` distinct nodes by degree weight.
-    fn sample_roles(
-        &self,
-        weights: &[f64],
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Option<Vec<u32>> {
+    fn sample_roles(&self, weights: &[f64], k: usize, rng: &mut dyn RngCore) -> Option<Vec<u32>> {
         if weights.len() < k {
             return None;
         }
@@ -129,11 +130,7 @@ impl TemporalGraphGenerator for DymondGenerator {
         "DYMOND"
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let mix = estimate_motif_mix(observed);
         let weights: Vec<f64> = observed
@@ -222,7 +219,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let out = DymondGenerator::default().fit_generate(&g, &mut rng);
         validate_output(&g, &out);
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
         assert!(out.edges().iter().all(|e| e.u != e.v));
     }
 

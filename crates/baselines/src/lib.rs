@@ -32,8 +32,8 @@ pub use dymond::DymondGenerator;
 pub use simple::{BaGenerator, ErGenerator};
 pub use traits::TemporalGraphGenerator;
 pub use walks::{
-    NetGanConfig, NetGanGenerator, TagGenConfig, TagGenGenerator, TgganGenerator,
-    TiggerConfig, TiggerGenerator,
+    NetGanConfig, NetGanGenerator, TagGenConfig, TagGenGenerator, TgganGenerator, TiggerConfig,
+    TiggerGenerator,
 };
 
 /// All ten baselines with default configurations, in the paper's column
@@ -64,16 +64,18 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R", "B-A", "VGAE",
-                "Graphite", "SBMGNN"
+                "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R", "B-A", "VGAE", "Graphite",
+                "SBMGNN"
             ]
         );
     }
 
     #[test]
     fn learning_flags_match_paper_grouping() {
-        let learned: Vec<bool> =
-            all_baselines().iter().map(|b| b.is_learning_based()).collect();
+        let learned: Vec<bool> = all_baselines()
+            .iter()
+            .map(|b| b.is_learning_based())
+            .collect();
         // E-R and B-A (positions 5, 6) are the only non-learning methods
         assert_eq!(
             learned,

@@ -21,11 +21,7 @@ impl TemporalGraphGenerator for ErGenerator {
         false
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let mut edges = Vec::with_capacity(observed.n_edges());
         for (t, &m_t) in observed.edge_counts_per_timestamp().iter().enumerate() {
@@ -57,11 +53,7 @@ impl TemporalGraphGenerator for BaGenerator {
         false
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let mut degree = vec![1.0f64; n]; // +1 smoothing
         let mut max_w = 1.0f64;
@@ -109,7 +101,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let out = ErGenerator.fit_generate(&g, &mut rng);
         validate_output(&g, &out);
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
         assert!(out.edges().iter().all(|e| e.u != e.v));
     }
 

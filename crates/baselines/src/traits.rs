@@ -11,8 +11,7 @@ pub trait TemporalGraphGenerator {
     fn name(&self) -> &'static str;
 
     /// Fit and generate in one call (most baselines are fit-once models).
-    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore)
-        -> TemporalGraph;
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph;
 
     /// Whether the method is learning-based (deep) — used by the harness
     /// to group rows the way the paper's tables do.
@@ -23,7 +22,11 @@ pub trait TemporalGraphGenerator {
 
 /// Check the generated graph honours the comparison protocol.
 pub fn validate_output(observed: &TemporalGraph, generated: &TemporalGraph) {
-    assert_eq!(generated.n_nodes(), observed.n_nodes(), "node count changed");
+    assert_eq!(
+        generated.n_nodes(),
+        observed.n_nodes(),
+        "node count changed"
+    );
     assert_eq!(
         generated.n_timestamps(),
         observed.n_timestamps(),

@@ -179,7 +179,9 @@ fn sample_static_walks(
 ) -> Vec<Vec<NodeId>> {
     let mut walks = Vec::with_capacity(n_walks);
     for _ in 0..n_walks {
-        let Some(mut cur) = tm.sample_start(rng) else { break };
+        let Some(mut cur) = tm.sample_start(rng) else {
+            break;
+        };
         let mut walk = vec![cur];
         for _ in 1..len {
             match tm.sample_next(cur, rng) {
@@ -202,11 +204,7 @@ impl TemporalGraphGenerator for NetGanGenerator {
         "NetGAN"
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let buckets = bucketize(observed, self.cfg.max_buckets);
         let mut train_rng = SmallRng::seed_from_u64(self.cfg.seed ^ rng.next_u64());
@@ -238,8 +236,11 @@ impl TemporalGraphGenerator for NetGanGenerator {
                     }
                     cands.sort_unstable();
                     cands.dedup();
-                    let col_of: HashMap<u32, u32> =
-                        cands.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+                    let col_of: HashMap<u32, u32> = cands
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, i as u32))
+                        .collect();
                     let mut tape = Tape::new();
                     let s = tape.param(&store, src_emb);
                     let d = tape.param(&store, dst_emb);
@@ -266,8 +267,15 @@ impl TemporalGraphGenerator for NetGanGenerator {
             let su = Matrix::from_vec(1, s.cols(), s.row(u as usize).to_vec());
             let row = tg_tensor::matrix::matmul_nt(&su, d);
             // softmax-ish positive weights
-            let max = row.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            row.as_slice().iter().map(|&x| ((x - max) as f64).exp()).collect()
+            let max = row
+                .as_slice()
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            row.as_slice()
+                .iter()
+                .map(|&x| ((x - max) as f64).exp())
+                .collect()
         };
         generate_from_scores(observed, &buckets.bucket_of_t, &score, rng)
     }
@@ -291,7 +299,12 @@ pub struct TagGenConfig {
 
 impl Default for TagGenConfig {
     fn default() -> Self {
-        TagGenConfig { walk_len: 8, walks_per_round: 2000, time_window: 2, seed: 3 }
+        TagGenConfig {
+            walk_len: 8,
+            walks_per_round: 2000,
+            time_window: 2,
+            seed: 3,
+        }
     }
 }
 
@@ -329,7 +342,12 @@ impl TemporalWalkModel {
                 corpus.push(w);
             }
         }
-        TemporalWalkModel { tm, time_affinity, t_count, corpus }
+        TemporalWalkModel {
+            tm,
+            time_affinity,
+            t_count,
+            corpus,
+        }
     }
 
     fn propose(&self, cfg: &TagGenConfig, rng: &mut dyn RngCore) -> Vec<TemporalEdge> {
@@ -365,7 +383,9 @@ fn sample_temporal_walk(
     let mut cur = e0.v;
     let mut cur_t = e0.t;
     for _ in 2..cfg.walk_len {
-        let Some(nxt) = tm.sample_next(cur, rng) else { break };
+        let Some(nxt) = tm.sample_next(cur, rng) else {
+            break;
+        };
         let row = &affinity[cur_t as usize * t_count..(cur_t as usize + 1) * t_count];
         let t_nxt = sample_categorical(rng, row) as Time;
         walk.push((nxt, t_nxt));
@@ -388,7 +408,9 @@ fn sample_temporal_walk_from_model(
     let mut walk = vec![(start, cur_t)];
     let mut cur = start;
     for _ in 1..cfg.walk_len {
-        let Some(nxt) = tm.sample_next(cur, rng) else { break };
+        let Some(nxt) = tm.sample_next(cur, rng) else {
+            break;
+        };
         let row = &affinity[cur_t as usize * t_count..(cur_t as usize + 1) * t_count];
         let t_nxt = sample_categorical(rng, row) as Time;
         walk.push((nxt, t_nxt));
@@ -414,11 +436,7 @@ impl TemporalGraphGenerator for TagGenGenerator {
         "TagGen"
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let model = TemporalWalkModel::fit(observed, &self.cfg, rng);
         let cfg = self.cfg;
         assemble_with_budgets(observed, |r| model.propose(&cfg, r), rng)
@@ -433,14 +451,25 @@ pub struct TgganGenerator {
 
 impl TgganGenerator {
     pub fn new(cfg: TagGenConfig) -> Self {
-        TgganGenerator { cfg, disc_epochs: 40 }
+        TgganGenerator {
+            cfg,
+            disc_epochs: 40,
+        }
     }
 }
 
 /// Hand-crafted walk features for the discriminator: [mean node degree,
 /// repeat fraction, time span / T, length / walk_len].
-fn walk_features(w: &[(NodeId, Time)], degrees: &[usize], t_count: usize, max_len: usize) -> Vec<f32> {
-    let mean_deg = w.iter().map(|&(v, _)| degrees[v as usize] as f32).sum::<f32>()
+fn walk_features(
+    w: &[(NodeId, Time)],
+    degrees: &[usize],
+    t_count: usize,
+    max_len: usize,
+) -> Vec<f32> {
+    let mean_deg = w
+        .iter()
+        .map(|&(v, _)| degrees[v as usize] as f32)
+        .sum::<f32>()
         / w.len() as f32;
     let mut seen: Vec<NodeId> = w.iter().map(|&(v, _)| v).collect();
     let total = seen.len() as f32;
@@ -462,11 +491,7 @@ impl TemporalGraphGenerator for TgganGenerator {
         "TGGAN"
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let mut model = TemporalWalkModel::fit(observed, &self.cfg, rng);
         let degrees = observed.static_degrees();
         let t_count = observed.n_timestamps();
@@ -486,22 +511,28 @@ impl TemporalGraphGenerator for TgganGenerator {
             // discriminator: 2-layer MLP on walk features
             let mut train_rng = SmallRng::seed_from_u64(self.cfg.seed ^ 0xd15c);
             let mut store = ParamStore::new();
-            let mlp = Mlp::new(&mut store, &mut train_rng, "disc", &[4, 8, 1], Activation::Tanh);
+            let mlp = Mlp::new(
+                &mut store,
+                &mut train_rng,
+                "disc",
+                &[4, 8, 1],
+                Activation::Tanh,
+            );
             let mut opt = Adam::new(2e-2);
             let feats: Vec<Vec<f32>> = model
                 .corpus
                 .iter()
                 .map(|w| walk_features(w, &degrees, t_count, self.cfg.walk_len))
-                .chain(fakes.iter().map(|w| walk_features(w, &degrees, t_count, self.cfg.walk_len)))
+                .chain(
+                    fakes
+                        .iter()
+                        .map(|w| walk_features(w, &degrees, t_count, self.cfg.walk_len)),
+                )
                 .collect();
             let labels: Vec<f32> = std::iter::repeat_n(1.0f32, model.corpus.len())
                 .chain(std::iter::repeat_n(0.0f32, fakes.len()))
                 .collect();
-            let x_mat = Matrix::from_vec(
-                feats.len(),
-                4,
-                feats.iter().flatten().copied().collect(),
-            );
+            let x_mat = Matrix::from_vec(feats.len(), 4, feats.iter().flatten().copied().collect());
             let y_mat = Rc::new(Matrix::from_vec(labels.len(), 1, labels));
             for _ in 0..self.disc_epochs {
                 let mut tape = Tape::new();
@@ -553,7 +584,11 @@ pub struct TiggerConfig {
 
 impl Default for TiggerConfig {
     fn default() -> Self {
-        TiggerConfig { walk_len: 10, walks_per_round: 2000, seed: 4 }
+        TiggerConfig {
+            walk_len: 10,
+            walks_per_round: 2000,
+            seed: 4,
+        }
     }
 }
 
@@ -574,11 +609,7 @@ impl TemporalGraphGenerator for TiggerGenerator {
         "TIGGER"
     }
 
-    fn fit_generate(
-        &mut self,
-        observed: &TemporalGraph,
-        rng: &mut dyn RngCore,
-    ) -> TemporalGraph {
+    fn fit_generate(&mut self, observed: &TemporalGraph, rng: &mut dyn RngCore) -> TemporalGraph {
         let n = observed.n_nodes();
         let t_count = observed.n_timestamps();
         let tm = TransitionModel::from_edges(n, observed.edges().iter().map(|e| (e.u, e.v)));
@@ -601,10 +632,14 @@ impl TemporalGraphGenerator for TiggerGenerator {
         let propose = |r: &mut dyn RngCore| -> Vec<TemporalEdge> {
             let mut out = Vec::new();
             for _ in 0..cfg.walks_per_round / 4 {
-                let Some(mut cur) = tm.sample_start(r) else { break };
+                let Some(mut cur) = tm.sample_start(r) else {
+                    break;
+                };
                 let mut t = sample_categorical(r, &start_t_weights) as u32;
                 for _ in 0..cfg.walk_len {
-                    let Some(nxt) = tm.sample_next(cur, r) else { break };
+                    let Some(nxt) = tm.sample_next(cur, r) else {
+                        break;
+                    };
                     out.push(TemporalEdge::new(cur, nxt, t));
                     let gap = sample_categorical(r, &gap_hist) as u32;
                     t = (t + gap).min(t_count as u32 - 1);
@@ -660,14 +695,22 @@ mod tests {
             |r| vec![TemporalEdge::new(r.gen_range(0..8), 0, 0)],
             &mut rng,
         );
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
     }
 
     #[test]
     fn netgan_generates_valid_graph() {
         let g = observed();
         let mut rng = SmallRng::seed_from_u64(2);
-        let cfg = NetGanConfig { epochs: 20, n_walks: 100, max_buckets: 2, ..Default::default() };
+        let cfg = NetGanConfig {
+            epochs: 20,
+            n_walks: 100,
+            max_buckets: 2,
+            ..Default::default()
+        };
         let out = NetGanGenerator::new(cfg).fit_generate(&g, &mut rng);
         validate_output(&g, &out);
         assert_eq!(out.n_edges(), g.n_edges());
@@ -677,17 +720,26 @@ mod tests {
     fn taggen_generates_valid_graph() {
         let g = observed();
         let mut rng = SmallRng::seed_from_u64(3);
-        let cfg = TagGenConfig { walks_per_round: 300, ..Default::default() };
+        let cfg = TagGenConfig {
+            walks_per_round: 300,
+            ..Default::default()
+        };
         let out = TagGenGenerator::new(cfg).fit_generate(&g, &mut rng);
         validate_output(&g, &out);
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
     }
 
     #[test]
     fn taggen_keeps_time_affinity_table() {
         let g = observed();
         let mut rng = SmallRng::seed_from_u64(4);
-        let cfg = TagGenConfig { walks_per_round: 50, ..Default::default() };
+        let cfg = TagGenConfig {
+            walks_per_round: 50,
+            ..Default::default()
+        };
         let model = TemporalWalkModel::fit(&g, &cfg, &mut rng);
         assert_eq!(model.time_affinity.len(), 25); // T^2 — the O(T²) table
         assert!(!model.corpus.is_empty());
@@ -697,7 +749,10 @@ mod tests {
     fn tggan_generates_valid_graph() {
         let g = observed();
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg = TagGenConfig { walks_per_round: 200, ..Default::default() };
+        let cfg = TagGenConfig {
+            walks_per_round: 200,
+            ..Default::default()
+        };
         let out = TgganGenerator::new(cfg).fit_generate(&g, &mut rng);
         validate_output(&g, &out);
         assert_eq!(out.n_edges(), g.n_edges());
@@ -709,7 +764,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let out = TiggerGenerator::new(TiggerConfig::default()).fit_generate(&g, &mut rng);
         validate_output(&g, &out);
-        assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            out.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
     }
 
     #[test]
@@ -718,11 +776,18 @@ mod tests {
         // generated (u,v) pairs should exist in the observed pair set
         let g = observed();
         let mut rng = SmallRng::seed_from_u64(7);
-        let out = TagGenGenerator::new(TagGenConfig { walks_per_round: 500, ..Default::default() })
-            .fit_generate(&g, &mut rng);
+        let out = TagGenGenerator::new(TagGenConfig {
+            walks_per_round: 500,
+            ..Default::default()
+        })
+        .fit_generate(&g, &mut rng);
         let truth: std::collections::HashSet<(u32, u32)> =
             g.edges().iter().map(|e| (e.u, e.v)).collect();
-        let hits = out.edges().iter().filter(|e| truth.contains(&(e.u, e.v))).count();
+        let hits = out
+            .edges()
+            .iter()
+            .filter(|e| truth.contains(&(e.u, e.v)))
+            .count();
         let frac = hits as f64 / out.n_edges() as f64;
         assert!(frac > 0.5, "observed-pair fraction {frac}");
     }

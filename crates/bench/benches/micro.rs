@@ -11,11 +11,16 @@ use tg_datasets::{GridPoint, SyntheticConfig};
 use tg_graph::Snapshot;
 use tg_metrics::{count_motifs, GraphStats};
 use tg_sampling::{sample_ego_graph, ComputationGraph, InitialNodeSampler, SamplerConfig};
-use tg_tensor::matrix::{matmul_nn, segment_softmax, Matrix};
+use tg_tensor::matrix::{matmul_nn, matmul_nn_naive, segment_softmax, Matrix};
 use tgae::{Tgae, TgaeConfig};
 
 fn bench_graph() -> tg_graph::TemporalGraph {
-    let cfg = SyntheticConfig { nodes: 500, edges: 4000, timestamps: 10, ..Default::default() };
+    let cfg = SyntheticConfig {
+        nodes: 500,
+        edges: 4000,
+        timestamps: 10,
+        ..Default::default()
+    };
     tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(1))
 }
 
@@ -62,13 +67,37 @@ fn model_benches(c: &mut Criterion) {
             tape.backward(loss)
         })
     });
+    // backward in isolation, on a recorded tape (scratch pool warm)
+    c.bench_function("tgae_backward_only_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let centers = sampler.sample_batch(64, &mut rng);
+        let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
+        b.iter(|| {
+            let grads = tape.backward(loss);
+            tape.recycle(grads);
+        })
+    });
+    // the tape-reuse training step (forward_batch_into + recycle) vs the
+    // allocate-per-step path above
+    c.bench_function("tgae_step_reused_tape_64", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let centers = sampler.sample_batch(64, &mut rng);
+        let mut tape = tg_tensor::tape::Tape::new();
+        b.iter(|| {
+            let (loss, _) = model.forward_batch_into(&mut tape, &g, &centers, &mut rng);
+            let grads = tape.backward(loss);
+            tape.recycle(grads);
+        })
+    });
 }
 
 fn metric_benches(c: &mut Criterion) {
     let g = bench_graph();
     c.bench_function("motif_census_exact", |b| b.iter(|| count_motifs(&g, 2)));
     let snap = Snapshot::accumulated(&g, g.n_timestamps() as u32 - 1, true);
-    c.bench_function("graph_stats_full", |b| b.iter(|| GraphStats::compute(&snap)));
+    c.bench_function("graph_stats_full", |b| {
+        b.iter(|| GraphStats::compute(&snap))
+    });
     c.bench_function("snapshot_accumulate", |b| {
         b.iter(|| Snapshot::accumulated(&g, 9, true))
     });
@@ -78,6 +107,21 @@ fn tensor_benches(c: &mut Criterion) {
     let a = Matrix::from_fn(128, 128, |r, cc| ((r * 31 + cc) % 17) as f32 * 0.1);
     let bm = Matrix::from_fn(128, 128, |r, cc| ((r * 7 + cc) % 13) as f32 * 0.1);
     c.bench_function("matmul_128", |b| b.iter(|| matmul_nn(&a, &bm)));
+    // tiled vs naive across the sizes the acceptance criteria track
+    for size in [256usize, 512, 1024] {
+        let a = Matrix::from_fn(size, size, |r, cc| {
+            ((r * 31 + cc * 7) % 13) as f32 * 0.1 - 0.5
+        });
+        let bm = Matrix::from_fn(size, size, |r, cc| {
+            ((r * 17 + cc * 3) % 11) as f32 * 0.1 - 0.4
+        });
+        c.bench_with_input(BenchmarkId::new("matmul_tiled", size), &size, |b, _| {
+            b.iter(|| matmul_nn(&a, &bm))
+        });
+        c.bench_with_input(BenchmarkId::new("matmul_naive", size), &size, |b, _| {
+            b.iter(|| matmul_nn_naive(&a, &bm))
+        });
+    }
     let scores = Matrix::from_fn(4096, 1, |r, _| (r % 37) as f32 * 0.05);
     let seg: Vec<u32> = (0..4096u32).map(|i| i / 16).collect();
     c.bench_function("segment_softmax_4096x256", |b| {
@@ -86,7 +130,11 @@ fn tensor_benches(c: &mut Criterion) {
 }
 
 fn generation_benches(c: &mut Criterion) {
-    let p = GridPoint { nodes: 500, timestamps: 5, density: 0.01 };
+    let p = GridPoint {
+        nodes: 500,
+        timestamps: 5,
+        density: 0.01,
+    };
     let g = p.generate(7);
     let mut cfg = TgaeConfig::tiny();
     cfg.epochs = 5;

@@ -82,8 +82,14 @@ fn main() {
         // tracking error per metric: mean |log(gen) - log(origin)|
         let mut errs = Vec::new();
         for kind in FIG5_METRICS {
-            let o = origin_series.iter().find(|s| s.kind == kind).expect("origin metric");
-            let g = series.iter().find(|s| s.kind == kind).expect("generated metric");
+            let o = origin_series
+                .iter()
+                .find(|s| s.kind == kind)
+                .expect("origin metric");
+            let g = series
+                .iter()
+                .find(|s| s.kind == kind)
+                .expect("generated metric");
             let e: f64 = o
                 .values
                 .iter()

@@ -51,7 +51,13 @@ fn main() {
         let mut mem_table = TablePrinter::new(headers);
         for p in pts {
             let g = p.generate(seed);
-            eprintln!("[{}] n={} m={} T={}", p.label(), g.n_nodes(), g.n_edges(), g.n_timestamps());
+            eprintln!(
+                "[{}] n={} m={} T={}",
+                p.label(),
+                g.n_nodes(),
+                g.n_edges(),
+                g.n_timestamps()
+            );
             let mut time_row = vec![p.label()];
             let mut mem_row = vec![p.label()];
             for mut m in filter_methods(all_methods(epochs, seed), Some(&filter)) {

@@ -26,7 +26,10 @@ fn main() {
     let epochs = args.get_usize("epochs", 60);
     let scale = args.get("scale").and_then(|s| s.parse::<f64>().ok());
     let budget = args.get_usize("budget-mb", 1024) * (1 << 20);
-    let dataset_list = args.get("datasets").unwrap_or("DBLP,MATH,UBUNTU").to_string();
+    let dataset_list = args
+        .get("datasets")
+        .unwrap_or("DBLP,MATH,UBUNTU")
+        .to_string();
 
     let mut med_table = TablePrinter::new(header(&args, seed, epochs));
     let mut avg_table = TablePrinter::new(header(&args, seed, epochs));

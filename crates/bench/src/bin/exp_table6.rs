@@ -10,10 +10,10 @@
 //!    [--scale f] [--epochs n] [--seed s] [--budget-mb m] [--sigma v]
 //!    [--delta d] [--chunks c] [--methods ...] [--datasets ...]`
 
+use rand::{rngs::SmallRng, SeedableRng};
 use tg_bench::datasets;
 use tg_bench::methods::{all_methods, filter_methods};
 use tg_bench::runner::{run_method, sci, write_results, Args, TablePrinter};
-use rand::{rngs::SmallRng, SeedableRng};
 use tg_metrics::{census_per_chunk_sampled, mmd2_tv};
 
 #[global_allocator]
@@ -42,9 +42,14 @@ fn main() {
         let (_, observed) = datasets::load(ds, scale, seed);
         // δ scales with the time axis so every dataset has motif mass
         let delta = args.get_u64("delta", (observed.n_timestamps() as u64 / 10).max(2));
-        let real_census = census_per_chunk_sampled(&observed, delta, chunks, 20_000, &mut SmallRng::seed_from_u64(seed));
-        let real_dists: Vec<Vec<f64>> =
-            real_census.iter().map(|c| c.distribution()).collect();
+        let real_census = census_per_chunk_sampled(
+            &observed,
+            delta,
+            chunks,
+            20_000,
+            &mut SmallRng::seed_from_u64(seed),
+        );
+        let real_dists: Vec<Vec<f64>> = real_census.iter().map(|c| c.distribution()).collect();
         eprintln!(
             "[{}] n={} m={} T={} delta={} (real motifs: {})",
             ds,
@@ -61,7 +66,13 @@ fn main() {
             let outcome = run_method(m.as_mut(), &observed, seed, budget);
             let cell = match &outcome.generated {
                 Some(generated) => {
-                    let gen_census = census_per_chunk_sampled(generated, delta, chunks, 20_000, &mut SmallRng::seed_from_u64(seed));
+                    let gen_census = census_per_chunk_sampled(
+                        generated,
+                        delta,
+                        chunks,
+                        20_000,
+                        &mut SmallRng::seed_from_u64(seed),
+                    );
                     let gen_dists: Vec<Vec<f64>> =
                         gen_census.iter().map(|c| c.distribution()).collect();
                     sci(mmd2_tv(&real_dists, &gen_dists, sigma))

@@ -7,10 +7,10 @@
 //! `cargo run -p tg-bench --release --bin exp_table7 \
 //!    [--scale f] [--epochs n] [--seed s] [--sigma v] [--chunks c]`
 
+use rand::{rngs::SmallRng, SeedableRng};
 use tg_bench::datasets;
 use tg_bench::methods::ablation_methods;
 use tg_bench::runner::{run_method, sci, write_results, Args, TablePrinter};
-use rand::{rngs::SmallRng, SeedableRng};
 use tg_metrics::{census_per_chunk_sampled, evaluate, mmd2_tv, MetricKind};
 
 #[global_allocator]
@@ -23,20 +23,33 @@ fn main() {
     let scale = args.get("scale").and_then(|s| s.parse::<f64>().ok());
     let sigma = args.get_f64("sigma", 1.0);
     let chunks = args.get_usize("chunks", 4);
-    let dataset_list = args.get("datasets").unwrap_or("MSG,BITCOIN-A,BITCOIN-O").to_string();
+    let dataset_list = args
+        .get("datasets")
+        .unwrap_or("MSG,BITCOIN-A,BITCOIN-O")
+        .to_string();
 
     let mut headers = vec!["Dataset".to_string(), "Metric".to_string()];
-    headers.extend(ablation_methods(1, seed).iter().map(|m| m.name().to_string()));
+    headers.extend(
+        ablation_methods(1, seed)
+            .iter()
+            .map(|m| m.name().to_string()),
+    );
     let mut table = TablePrinter::new(headers);
 
     for ds in dataset_list.split(',') {
         let ds = ds.trim();
         let (_, observed) = datasets::load(ds, scale, seed);
         let delta = (observed.n_timestamps() as u64 / 10).max(2);
-        let real_dists: Vec<Vec<f64>> = census_per_chunk_sampled(&observed, delta, chunks, 20_000, &mut SmallRng::seed_from_u64(seed))
-            .iter()
-            .map(|c| c.distribution())
-            .collect();
+        let real_dists: Vec<Vec<f64>> = census_per_chunk_sampled(
+            &observed,
+            delta,
+            chunks,
+            20_000,
+            &mut SmallRng::seed_from_u64(seed),
+        )
+        .iter()
+        .map(|c| c.distribution())
+        .collect();
         eprintln!(
             "[{}] n={} m={} T={}",
             ds,
@@ -56,10 +69,16 @@ fn main() {
                 .find(|s| s.kind == MetricKind::MeanDegree)
                 .expect("mean degree present")
                 .avg;
-            let gen_dists: Vec<Vec<f64>> = census_per_chunk_sampled(&generated, delta, chunks, 20_000, &mut SmallRng::seed_from_u64(seed))
-                .iter()
-                .map(|c| c.distribution())
-                .collect();
+            let gen_dists: Vec<Vec<f64>> = census_per_chunk_sampled(
+                &generated,
+                delta,
+                chunks,
+                20_000,
+                &mut SmallRng::seed_from_u64(seed),
+            )
+            .iter()
+            .map(|c| c.distribution())
+            .collect();
             let motif = mmd2_tv(&real_dists, &gen_dists, sigma);
             eprintln!(
                 "  {:<8} {:>8.2?} degree={} motif={}",

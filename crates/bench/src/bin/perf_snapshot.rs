@@ -1,0 +1,213 @@
+//! Perf snapshot: measures the PR-1 hot paths and writes `BENCH_PR1.json`
+//! so future PRs have a numeric trajectory to compare against.
+//!
+//! Three kinds of entries:
+//!
+//! - **Kernel before/after** — naive (seed) vs tiled matmul for every
+//!   transpose variant, the pairing behind the ≥2x acceptance criterion.
+//! - **Training-step before/after** — the seed's allocate-a-tape-per-step
+//!   path (`forward_batch`) vs the reused-tape path (`forward_batch_into`
+//!   + gradient recycling) on the same model and batch.
+//! - **Absolute baselines** — end-to-end `fit` and `generate` wall times,
+//!   recorded for trend tracking rather than comparison.
+//!
+//! Usage: `cargo run --release -p tg-bench --bin perf_snapshot [out.json]`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+use tg_datasets::SyntheticConfig;
+use tg_sampling::InitialNodeSampler;
+use tg_tensor::matrix::{
+    matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive,
+    softmax_rows, softmax_rows_naive, Matrix,
+};
+use tg_tensor::tape::Tape;
+use tgae::{fit, generate, Tgae, TgaeConfig};
+
+#[derive(Serialize)]
+struct Entry {
+    name: String,
+    /// Median seconds per call, seed implementation (absent for absolute
+    /// baselines).
+    before_s: Option<f64>,
+    /// Median seconds per call, this PR.
+    after_s: f64,
+    /// `before_s / after_s` when both sides exist.
+    speedup: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    pr: u32,
+    threads: usize,
+    entries: Vec<Entry>,
+}
+
+/// Median-of-samples wall time of `f`, auto-scaled to non-trivial runs.
+fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let mut entries = Vec::new();
+
+    // --- kernels: naive (seed) vs tiled ---
+    for &n in &[256usize, 512, 1024] {
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.5);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.1 - 0.4);
+        let reps = if n >= 1024 { 3 } else { 7 };
+        for (variant, naive, tiled) in [
+            (
+                "nn",
+                median_time(reps, || matmul_nn_naive(&a, &b)),
+                median_time(reps, || matmul_nn(&a, &b)),
+            ),
+            (
+                "nt",
+                median_time(reps, || matmul_nt_naive(&a, &b)),
+                median_time(reps, || matmul_nt(&a, &b)),
+            ),
+            (
+                "tn",
+                median_time(reps, || matmul_tn_naive(&a, &b)),
+                median_time(reps, || matmul_tn(&a, &b)),
+            ),
+        ] {
+            println!(
+                "matmul_{variant}_{n}: naive {:.2} ms -> tiled {:.2} ms ({:.2}x)",
+                naive * 1e3,
+                tiled * 1e3,
+                naive / tiled
+            );
+            entries.push(Entry {
+                name: format!("matmul_{variant}_{n}"),
+                before_s: Some(naive),
+                after_s: tiled,
+                speedup: Some(naive / tiled),
+            });
+        }
+    }
+
+    // --- softmax: scalar libm reference vs vectorised fast_exp ---
+    {
+        let logits = Matrix::from_fn(2496, 500, |r, c| ((r * 13 + c * 7) % 29) as f32 * 0.3 - 4.0);
+        let naive = median_time(7, || softmax_rows_naive(&logits));
+        let fast = median_time(7, || softmax_rows(&logits));
+        println!(
+            "softmax_rows_2496x500: naive {:.2} ms -> fast {:.2} ms ({:.2}x)",
+            naive * 1e3,
+            fast * 1e3,
+            naive / fast
+        );
+        entries.push(Entry {
+            name: "softmax_rows_2496x500".into(),
+            before_s: Some(naive),
+            after_s: fast,
+            speedup: Some(naive / fast),
+        });
+    }
+
+    // --- training step: per-step tape allocation vs reused tape ---
+    let g = {
+        let cfg = SyntheticConfig {
+            nodes: 500,
+            edges: 4000,
+            timestamps: 10,
+            ..Default::default()
+        };
+        tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(1))
+    };
+    let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::default());
+    let sampler = InitialNodeSampler::new(&g, true);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let centers = sampler.sample_batch(64, &mut rng);
+    // Interleaved A/B with identical per-rep seeds: sequential blocks
+    // confound the comparison with machine-load drift, and a shared RNG
+    // would give the two paths different sampled subgraphs.
+    let mut fresh_s = Vec::new();
+    let mut reused_s = Vec::new();
+    let mut tape = Tape::new();
+    for rep in 0..12u64 {
+        let mut r = SmallRng::seed_from_u64(1000 + rep);
+        let t = Instant::now();
+        let (ftape, loss, _) = model.forward_batch(&g, &centers, &mut r);
+        std::hint::black_box(ftape.backward(loss));
+        fresh_s.push(t.elapsed().as_secs_f64());
+        let mut r = SmallRng::seed_from_u64(1000 + rep);
+        let t = Instant::now();
+        let (loss, _) = model.forward_batch_into(&mut tape, &g, &centers, &mut r);
+        let grads = tape.backward(loss);
+        tape.recycle(grads);
+        reused_s.push(t.elapsed().as_secs_f64());
+    }
+    // drop the first (warmup) pair, take medians
+    fresh_s.remove(0);
+    reused_s.remove(0);
+    fresh_s.sort_by(f64::total_cmp);
+    reused_s.sort_by(f64::total_cmp);
+    let fresh = fresh_s[fresh_s.len() / 2];
+    let reused = reused_s[reused_s.len() / 2];
+    println!(
+        "train_step_64: fresh-tape {:.2} ms -> reused-tape {:.2} ms ({:.2}x)",
+        fresh * 1e3,
+        reused * 1e3,
+        fresh / reused
+    );
+    entries.push(Entry {
+        name: "train_step_64".into(),
+        before_s: Some(fresh),
+        after_s: reused,
+        speedup: Some(fresh / reused),
+    });
+
+    // --- absolute baselines for the trajectory ---
+    let mut small_cfg = TgaeConfig::tiny();
+    small_cfg.epochs = 30;
+    let fit_time = median_time(3, || {
+        let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg.clone());
+        fit(&mut m, &g)
+    });
+    println!("fit_500n_30ep: {:.1} ms", fit_time * 1e3);
+    entries.push(Entry {
+        name: "fit_500n_30ep".into(),
+        before_s: None,
+        after_s: fit_time,
+        speedup: None,
+    });
+
+    let mut gen_model = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg.clone());
+    fit(&mut gen_model, &g);
+    let gen_time = median_time(3, || {
+        let mut rng = SmallRng::seed_from_u64(8);
+        generate(&gen_model, &g, &mut rng)
+    });
+    println!("generate_500n_10t: {:.1} ms", gen_time * 1e3);
+    entries.push(Entry {
+        name: "generate_500n_10t".into(),
+        before_s: None,
+        after_s: gen_time,
+        speedup: None,
+    });
+
+    let snapshot = Snapshot {
+        pr: 1,
+        threads: tg_tensor::parallel::num_threads(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out_path, json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

@@ -36,9 +36,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
             if new_size >= layout.size() {
-                let cur =
-                    CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed)
-                        + (new_size - layout.size());
+                let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                    + (new_size - layout.size());
                 PEAK.fetch_max(cur, Ordering::Relaxed);
             } else {
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);

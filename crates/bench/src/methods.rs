@@ -11,7 +11,11 @@ use tgae::{TgaeConfig, TgaeVariant};
 
 /// TGAE configuration used across the experiments (CLI can scale epochs).
 pub fn tgae_config(epochs: usize, seed: u64) -> TgaeConfig {
-    TgaeConfig { epochs, seed, ..Default::default() }
+    TgaeConfig {
+        epochs,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// All eleven methods in the paper's column order:
@@ -27,10 +31,19 @@ pub fn all_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGenerat
 /// The ten baselines with harness configurations.
 pub fn baseline_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGenerator>> {
     vec![
-        Box::new(TiggerGenerator::new(TiggerConfig { seed, ..Default::default() })),
+        Box::new(TiggerGenerator::new(TiggerConfig {
+            seed,
+            ..Default::default()
+        })),
         Box::new(DymondGenerator::default()),
-        Box::new(TgganGenerator::new(TagGenConfig { seed, ..Default::default() })),
-        Box::new(TagGenGenerator::new(TagGenConfig { seed, ..Default::default() })),
+        Box::new(TgganGenerator::new(TagGenConfig {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(TagGenGenerator::new(TagGenConfig {
+            seed,
+            ..Default::default()
+        })),
         Box::new(NetGanGenerator::new(NetGanConfig {
             epochs: epochs.min(80),
             seed,
@@ -38,7 +51,11 @@ pub fn baseline_methods(epochs: usize, seed: u64) -> Vec<Box<dyn TemporalGraphGe
         })),
         Box::new(ErGenerator),
         Box::new(BaGenerator),
-        Box::new(AeGenerator::vgae(AeConfig { epochs: epochs.min(80), seed, ..Default::default() })),
+        Box::new(AeGenerator::vgae(AeConfig {
+            epochs: epochs.min(80),
+            seed,
+            ..Default::default()
+        })),
         Box::new(AeGenerator::graphite(AeConfig {
             epochs: epochs.min(80),
             seed,
@@ -72,8 +89,10 @@ pub fn filter_methods(
     match filter {
         None | Some("") => methods,
         Some(list) => {
-            let wanted: Vec<String> =
-                list.split(',').map(|s| s.trim().to_ascii_lowercase()).collect();
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .collect();
             methods
                 .into_iter()
                 .filter(|m| wanted.iter().any(|w| w == &m.name().to_ascii_lowercase()))
@@ -92,8 +111,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "TGAE", "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R", "B-A",
-                "VGAE", "Graphite", "SBMGNN"
+                "TGAE", "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R", "B-A", "VGAE",
+                "Graphite", "SBMGNN"
             ]
         );
     }

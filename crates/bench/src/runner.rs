@@ -19,7 +19,10 @@ pub struct TgaeMethod {
 
 impl TgaeMethod {
     pub fn new(cfg: TgaeConfig) -> Self {
-        TgaeMethod { name: cfg.variant.name(), cfg }
+        TgaeMethod {
+            name: cfg.variant.name(),
+            cfg,
+        }
     }
 }
 
@@ -33,7 +36,11 @@ impl TemporalGraphGenerator for TgaeMethod {
         observed: &TemporalGraph,
         rng: &mut dyn rand::RngCore,
     ) -> TemporalGraph {
-        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), self.cfg.clone());
+        let mut model = Tgae::new(
+            observed.n_nodes(),
+            observed.n_timestamps(),
+            self.cfg.clone(),
+        );
         fit(&mut model, observed);
         generate(&model, observed, rng)
     }
@@ -99,7 +106,10 @@ pub struct TablePrinter {
 
 impl TablePrinter {
     pub fn new(headers: Vec<String>) -> Self {
-        TablePrinter { headers, rows: Vec::new() }
+        TablePrinter {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -182,19 +192,29 @@ impl Args {
     }
 
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -205,8 +225,9 @@ mod tests {
     use tg_graph::TemporalEdge;
 
     fn toy() -> TemporalGraph {
-        let edges: Vec<TemporalEdge> =
-            (0..20).map(|i| TemporalEdge::new(i % 5, (i + 1) % 5, i % 4)).collect();
+        let edges: Vec<TemporalEdge> = (0..20)
+            .map(|i| TemporalEdge::new(i % 5, (i + 1) % 5, i % 4))
+            .collect();
         TemporalGraph::from_edges(5, 4, edges)
     }
 

@@ -111,9 +111,7 @@ impl TgaeConfig {
             TgaeVariant::Full | TgaeVariant::NonProbabilistic => {}
             TgaeVariant::RandomWalk => self.sampler = self.sampler.random_walk_variant(),
             TgaeVariant::NoTruncation => self.sampler = self.sampler.no_truncation_variant(),
-            TgaeVariant::UniformSampling => {
-                self.sampler = self.sampler.uniform_sampling_variant()
-            }
+            TgaeVariant::UniformSampling => self.sampler = self.sampler.uniform_sampling_variant(),
         }
         self
     }

@@ -64,11 +64,23 @@ impl EgoDecoder {
         n_nodes: usize,
     ) -> Self {
         let mlp_mu = Mlp::new(store, rng, "dec.mu", &[d_in, d_model], Activation::Identity);
-        let mlp_logvar =
-            Mlp::new(store, rng, "dec.logvar", &[d_in, d_model], Activation::Identity);
+        let mlp_logvar = Mlp::new(
+            store,
+            rng,
+            "dec.logvar",
+            &[d_in, d_model],
+            Activation::Identity,
+        );
         let w_dec = store.create("dec.w", xavier_uniform(rng, n_nodes, d_model));
         let b_dec = store.create("dec.b", Matrix::zeros(n_nodes, 1));
-        EgoDecoder { mlp_mu, mlp_logvar, w_dec, b_dec, d_model, n_nodes }
+        EgoDecoder {
+            mlp_mu,
+            mlp_logvar,
+            w_dec,
+            b_dec,
+            d_model,
+            n_nodes,
+        }
     }
 
     /// Latent `Z` for all slots. Probabilistic mode draws
@@ -124,7 +136,11 @@ impl EgoDecoder {
             for &s in &layer.src {
                 counts[s as usize] += 1.0;
             }
-            let w: Vec<f32> = layer.src.iter().map(|&s| 1.0 / counts[s as usize]).collect();
+            let w: Vec<f32> = layer
+                .src
+                .iter()
+                .map(|&s| 1.0 / counts[s as usize])
+                .collect();
             let w_in = tape.input(Matrix::from_vec(w.len(), 1, w));
             let dst_idx: Rc<Vec<u32>> = Rc::new(layer.dst.clone());
             let src_idx: Rc<Vec<u32>> = Rc::new(layer.src.clone());
@@ -211,7 +227,12 @@ mod tests {
                 TemporalEdge::new(2, 3, 1),
             ],
         );
-        let cfg = SamplerConfig { k: 2, threshold: 8, time_window: 1, degree_weighted: true };
+        let cfg = SamplerConfig {
+            k: 2,
+            threshold: 8,
+            time_window: 1,
+            degree_weighted: true,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         let cg = ComputationGraph::build(&g, &[(1, 0), (2, 1)], &cfg, &mut rng);
         (g, cg)

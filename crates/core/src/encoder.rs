@@ -52,15 +52,28 @@ impl TgatLayer {
     ) -> Self {
         let heads = (0..n_heads)
             .map(|h| TgaHead {
-                w: store.create(format!("{name}.h{h}.w"), xavier_uniform(rng, in_dim, d_head)),
-                a_src: store
-                    .create(format!("{name}.h{h}.a_src"), xavier_uniform(rng, d_head, 1)),
-                a_dst: store
-                    .create(format!("{name}.h{h}.a_dst"), xavier_uniform(rng, d_head, 1)),
+                w: store.create(
+                    format!("{name}.h{h}.w"),
+                    xavier_uniform(rng, in_dim, d_head),
+                ),
+                a_src: store.create(format!("{name}.h{h}.a_src"), xavier_uniform(rng, d_head, 1)),
+                a_dst: store.create(format!("{name}.h{h}.a_dst"), xavier_uniform(rng, d_head, 1)),
             })
             .collect();
-        let w_o = Linear::new(store, rng, &format!("{name}.w_o"), n_heads * d_head, out_dim);
-        TgatLayer { heads, w_o, in_dim, d_head, out_dim }
+        let w_o = Linear::new(
+            store,
+            rng,
+            &format!("{name}.w_o"),
+            n_heads * d_head,
+            out_dim,
+        );
+        TgatLayer {
+            heads,
+            w_o,
+            in_dim,
+            d_head,
+            out_dim,
+        }
     }
 
     /// Run one bipartite attention step: `h_src` are source-level hidden
@@ -77,8 +90,13 @@ impl TgatLayer {
         let src_idx: Rc<Vec<u32>> = Rc::new(layer.src.clone());
         let seg: Rc<Vec<u32>> = Rc::new(layer.dst.clone());
         // per-edge index of the target's own (self-loop) source slot
-        let query_idx: Rc<Vec<u32>> =
-            Rc::new(layer.dst.iter().map(|&d| layer.self_idx[d as usize]).collect());
+        let query_idx: Rc<Vec<u32>> = Rc::new(
+            layer
+                .dst
+                .iter()
+                .map(|&d| layer.self_idx[d as usize])
+                .collect(),
+        );
 
         let mut head_outs = Vec::with_capacity(self.heads.len());
         for head in &self.heads {
@@ -129,7 +147,15 @@ impl TgatEncoder {
         let layers = (0..k)
             .map(|i| {
                 let in_dim = if i == k - 1 { d_in } else { d_model };
-                TgatLayer::new(store, rng, &format!("enc.l{i}"), in_dim, d_head, heads, d_model)
+                TgatLayer::new(
+                    store,
+                    rng,
+                    &format!("enc.l{i}"),
+                    in_dim,
+                    d_head,
+                    heads,
+                    d_model,
+                )
             })
             .collect();
         TgatEncoder { layers }
@@ -182,7 +208,12 @@ mod tests {
 
     fn build_cg(k: usize) -> ComputationGraph {
         let g = toy_graph();
-        let cfg = SamplerConfig { k, threshold: 10, time_window: 1, degree_weighted: true };
+        let cfg = SamplerConfig {
+            k,
+            threshold: 10,
+            time_window: 1,
+            degree_weighted: true,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         ComputationGraph::build(&g, &[(0, 0), (2, 1)], &cfg, &mut rng)
     }

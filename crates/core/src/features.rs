@@ -38,12 +38,7 @@ impl TemporalFeatures {
     }
 
     /// Features for a list of temporal-node slots: `node_emb[v] + time_emb[t]`.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        slots: &[(NodeId, Time)],
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, slots: &[(NodeId, Time)]) -> Var {
         let v_idx: Rc<Vec<u32>> = Rc::new(slots.iter().map(|&(v, _)| v).collect());
         let t_idx: Rc<Vec<u32>> = Rc::new(slots.iter().map(|&(_, t)| t).collect());
         let nv = self.node_emb.forward(tape, store, v_idx);

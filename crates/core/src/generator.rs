@@ -12,11 +12,40 @@
 //! distribution is restricted to a candidate set (the observed temporal
 //! neighborhood plus uniform negatives), which is what keeps assembly
 //! memory far below the `O(T n^2)` dense score matrix.
+//!
+//! # Parallelism & determinism
+//!
+//! Center chunks are independent given the trained model, so assembly
+//! fans out across the worker pool (`tg_tensor::parallel::par_map`). Each
+//! `(timestamp, chunk)` pair decodes and samples with its **own RNG
+//! stream**, seeded by mixing a master seed (one draw from the caller's
+//! RNG) with the pair's indices. Chunk outputs are concatenated in chunk
+//! order afterwards. Consequences:
+//!
+//! - the generated graph is **bit-identical for a fixed seed regardless
+//!   of thread count** (including `set_num_threads(1)`), and
+//! - `generate` scales with cores while consuming exactly one `u64` from
+//!   the caller's RNG.
 
 use crate::model::Tgae;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use tg_graph::{NodeId, TemporalEdge, TemporalGraph, Time};
 use tg_tensor::init::{sample_categorical, sample_categorical_without_replacement};
+use tg_tensor::parallel::par_map;
+
+/// One unit of parallel assembly work: a timestamp, the chunk's derived
+/// RNG seed, and the `(source, total, distinct)` budgets of its centers.
+type ChunkWork = (Time, u64, Vec<(NodeId, usize, usize)>);
+
+/// SplitMix64 finalizer: decorrelates the per-chunk seeds derived from
+/// (master, t, chunk) so neighboring chunks get unrelated streams.
+fn mix_seed(master: u64, t: u64, chunk: u64) -> u64 {
+    let mut z = master ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Generate a synthetic temporal graph mirroring the observed graph's
 /// per-timestamp out-degree sequence.
@@ -26,7 +55,11 @@ pub fn generate<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> TemporalGraph {
     let batch = model.cfg.batch_centers.max(32);
-    let mut edges: Vec<TemporalEdge> = Vec::with_capacity(observed.n_edges());
+    let master: u64 = rng.gen();
+
+    // Collect per-source budget chunks for every timestamp up front; each
+    // becomes one independent unit of parallel work.
+    let mut work: Vec<ChunkWork> = Vec::new();
     for t in 0..observed.n_timestamps() as Time {
         // centers: distinct sources at t with their out-degree budgets
         let slice = observed.edges_at(t);
@@ -50,35 +83,48 @@ pub fn generate<R: Rng + ?Sized>(
             }
             last_target = Some(e.v);
         }
-        for chunk in budgets.chunks(batch) {
-            let centers: Vec<(NodeId, Time)> = chunk.iter().map(|&(u, _, _)| (u, t)).collect();
-            let (probs, cands) = model.decode_rows_for_generation(observed, &centers, rng);
-            for (row, &(u, total, distinct)) in chunk.iter().enumerate() {
-                // categorical weights over candidates, excluding self-loops
-                let mut w: Vec<f64> = probs.row(row).iter().map(|&p| p as f64).collect();
-                for (col, &cand) in cands.iter().enumerate() {
-                    if cand == u {
-                        w[col] = 0.0;
-                    }
+        for (ci, chunk) in budgets.chunks(batch).enumerate() {
+            work.push((t, mix_seed(master, t as u64, ci as u64), chunk.to_vec()));
+        }
+    }
+
+    // Decode and sample every chunk on the pool; chunk RNGs make the
+    // result independent of scheduling order.
+    let per_chunk: Vec<Vec<TemporalEdge>> = par_map(work.len(), |wi| {
+        let (t, seed, chunk) = &work[wi];
+        let t = *t;
+        let mut rng = SmallRng::seed_from_u64(*seed);
+        let mut edges: Vec<TemporalEdge> = Vec::new();
+        let centers: Vec<(NodeId, Time)> = chunk.iter().map(|&(u, _, _)| (u, t)).collect();
+        let (probs, cands) = model.decode_rows_for_generation(observed, &centers, &mut rng);
+        for (row, &(u, total, distinct)) in chunk.iter().enumerate() {
+            // categorical weights over candidates, excluding self-loops
+            let mut w: Vec<f64> = probs.row(row).iter().map(|&p| p as f64).collect();
+            for (col, &cand) in cands.iter().enumerate() {
+                if cand == u {
+                    w[col] = 0.0;
                 }
-                // support: `distinct` targets without replacement (§IV-G)
-                let take = distinct.min(w.iter().filter(|&&x| x > 0.0).count());
-                let support = sample_categorical_without_replacement(rng, &w, take);
-                for &col in &support {
-                    edges.push(TemporalEdge::new(u, cands[col], t));
-                }
-                // multiplicity: the remaining (total - distinct) edges
-                // re-fire within the sampled support, weighted by p
-                if total > take && !support.is_empty() {
-                    let sup_w: Vec<f64> = support.iter().map(|&col| w[col]).collect();
-                    for _ in 0..(total - take) {
-                        let pick = support[sample_categorical(rng, &sup_w)];
-                        edges.push(TemporalEdge::new(u, cands[pick], t));
-                    }
+            }
+            // support: `distinct` targets without replacement (§IV-G)
+            let take = distinct.min(w.iter().filter(|&&x| x > 0.0).count());
+            let support = sample_categorical_without_replacement(&mut rng, &w, take);
+            for &col in &support {
+                edges.push(TemporalEdge::new(u, cands[col], t));
+            }
+            // multiplicity: the remaining (total - distinct) edges
+            // re-fire within the sampled support, weighted by p
+            if total > take && !support.is_empty() {
+                let sup_w: Vec<f64> = support.iter().map(|&col| w[col]).collect();
+                for _ in 0..(total - take) {
+                    let pick = support[sample_categorical(&mut rng, &sup_w)];
+                    edges.push(TemporalEdge::new(u, cands[pick], t));
                 }
             }
         }
-    }
+        edges
+    });
+
+    let edges: Vec<TemporalEdge> = per_chunk.into_iter().flatten().collect();
     TemporalGraph::from_edges(observed.n_nodes(), observed.n_timestamps(), edges)
 }
 
@@ -113,7 +159,10 @@ mod tests {
         assert_eq!(gen.n_timestamps(), g.n_timestamps());
         // per-timestamp budgets preserved exactly (ring: every node has
         // out-degree 1 <= candidates)
-        assert_eq!(gen.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            gen.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
     }
 
     #[test]
@@ -140,8 +189,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let gen = generate(&model, &g, &mut rng);
         for t in 0..2u32 {
-            let mut observed_sources: Vec<u32> =
-                g.edges_at(t).iter().map(|e| e.u).collect();
+            let mut observed_sources: Vec<u32> = g.edges_at(t).iter().map(|e| e.u).collect();
             observed_sources.dedup();
             for e in gen.edges_at(t) {
                 assert!(observed_sources.contains(&e.u), "unexpected source {}", e.u);
@@ -170,9 +218,36 @@ mod tests {
         fit(&mut model, &g);
         let mut rng = SmallRng::seed_from_u64(5);
         let gen = generate(&model, &g, &mut rng);
-        assert_eq!(gen.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+        assert_eq!(
+            gen.edge_counts_per_timestamp(),
+            g.edge_counts_per_timestamp()
+        );
         let from0: Vec<_> = gen.edges_at(0).iter().filter(|e| e.u == 0).collect();
         assert_eq!(from0.len(), 3, "source budget with multiplicity");
+    }
+
+    #[test]
+    fn generation_is_bit_identical_across_thread_counts() {
+        let g = ring_graph(10, 3);
+        let mut cfg = TgaeConfig::tiny();
+        cfg.epochs = 5;
+        cfg.batch_centers = 4; // force several chunks per timestamp
+        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+        fit(&mut model, &g);
+        let run = |threads: usize| -> Vec<(u32, u32, u32)> {
+            let _pin = tg_tensor::parallel::ThreadPin::new(threads);
+            let mut rng = SmallRng::seed_from_u64(77);
+            let gen = generate(&model, &g, &mut rng);
+            gen.edges().iter().map(|e| (e.u, e.v, e.t)).collect()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                run(threads),
+                serial,
+                "thread count {threads} changed the output"
+            );
+        }
     }
 
     #[test]
@@ -191,8 +266,11 @@ mod tests {
             let gen = generate(model, &g, &mut rng);
             let truth: std::collections::HashSet<(u32, u32)> =
                 g.edges().iter().map(|e| (e.u, e.v)).collect();
-            let hits =
-                gen.edges().iter().filter(|e| truth.contains(&(e.u, e.v))).count();
+            let hits = gen
+                .edges()
+                .iter()
+                .filter(|e| truth.contains(&(e.u, e.v)))
+                .count();
             hits as f64 / gen.n_edges().max(1) as f64
         };
         let trained_rate = hit_rate(&trained, 3);

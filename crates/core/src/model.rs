@@ -45,8 +45,7 @@ impl Tgae {
         assert!(n_nodes >= 2 && n_timestamps >= 1);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let features =
-            TemporalFeatures::new(&mut store, &mut rng, n_nodes, n_timestamps, cfg.d_in);
+        let features = TemporalFeatures::new(&mut store, &mut rng, n_nodes, n_timestamps, cfg.d_in);
         let encoder = TgatEncoder::new(
             &mut store,
             &mut rng,
@@ -57,7 +56,15 @@ impl Tgae {
             cfg.d_model,
         );
         let decoder = EgoDecoder::new(&mut store, &mut rng, cfg.d_in, cfg.d_model, n_nodes);
-        Tgae { cfg, store, features, encoder, decoder, n_nodes, n_timestamps }
+        Tgae {
+            cfg,
+            store,
+            features,
+            encoder,
+            decoder,
+            n_nodes,
+            n_timestamps,
+        }
     }
 
     /// Whether the decoder is variational (everything but TGAE-p).
@@ -79,23 +86,40 @@ impl Tgae {
         centers: &[(NodeId, Time)],
         rng: &mut R,
     ) -> (Tape, Var, BatchStats) {
+        let mut tape = Tape::new();
+        let (loss, stats) = self.forward_batch_into(&mut tape, g, centers, rng);
+        (tape, loss, stats)
+    }
+
+    /// Forward pass recording onto a caller-owned tape. The training loop
+    /// reuses one tape (plus its scratch pool) across every epoch via
+    /// [`Tape::clear`], which removes per-step buffer allocation; see
+    /// `trainer::fit`. The tape is cleared before recording.
+    pub fn forward_batch_into<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape,
+        g: &TemporalGraph,
+        centers: &[(NodeId, Time)],
+        rng: &mut R,
+    ) -> (Var, BatchStats) {
+        tape.clear();
         let cg = ComputationGraph::build(g, centers, &self.cfg.sampler, rng);
         let (slots, offsets) = cg.all_slots();
-        let mut tape = Tape::new();
 
         // Features for every slot; the deepest level feeds the encoder.
-        let x_all = self.features.forward(&mut tape, &self.store, &slots);
+        let x_all = self.features.forward(tape, &self.store, &slots);
         let k = cg.k();
-        let outer_idx: Rc<Vec<u32>> =
-            Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
+        let outer_idx: Rc<Vec<u32>> = Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
         let x_outer = tape.gather_rows(x_all, outer_idx);
-        let enc_levels = self.encoder.forward(&mut tape, &self.store, &cg, x_outer);
+        let enc_levels = self.encoder.forward(tape, &self.store, &cg, x_outer);
 
         // Variational latent over all slots, then outward decode.
         let (z, mu, logvar) =
-            self.decoder.latent(&mut tape, &self.store, x_all, self.probabilistic(), rng);
-        let dec_levels =
-            self.decoder.decode_levels(&mut tape, &cg, enc_levels[0], z, &offsets);
+            self.decoder
+                .latent(tape, &self.store, x_all, self.probabilistic(), rng);
+        let dec_levels = self
+            .decoder
+            .decode_levels(tape, &cg, enc_levels[0], z, &offsets);
 
         // Supervision: observed out-neighbor rows per slot, per level.
         let mut per_level_targets: Vec<Vec<(u32, NodeId, f32)>> = Vec::with_capacity(k + 1);
@@ -138,7 +162,9 @@ impl Tgae {
                 .iter()
                 .map(|&(r, v, w)| (r, lookup[v as usize], w))
                 .collect();
-            let logits = self.decoder.score(&mut tape, &self.store, *level_var, candidates.clone());
+            let logits = self
+                .decoder
+                .score(tape, &self.store, *level_var, candidates.clone());
             let xent = tape.softmax_xent(logits, Rc::new(remapped), norm);
             loss = Some(match loss {
                 Some(l) => tape.add(l, xent),
@@ -166,7 +192,7 @@ impl Tgae {
             n_targets,
             n_candidates: candidates.len(),
         };
-        (tape, loss, stats)
+        (loss, stats)
     }
 
     /// Deterministic decode rows for a set of centers (generation path):
@@ -180,18 +206,25 @@ impl Tgae {
         rng: &mut R,
     ) -> (Matrix, Rc<Vec<u32>>) {
         let cg = ComputationGraph::build(g, centers, &self.cfg.sampler, rng);
-        assert_eq!(cg.centers(), centers, "generation centers must be distinct and sorted");
+        assert_eq!(
+            cg.centers(),
+            centers,
+            "generation centers must be distinct and sorted"
+        );
         let (slots, offsets) = cg.all_slots();
         let mut tape = Tape::new();
         let x_all = self.features.forward(&mut tape, &self.store, &slots);
         let k = cg.k();
-        let outer_idx: Rc<Vec<u32>> =
-            Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
+        let outer_idx: Rc<Vec<u32>> = Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
         let x_outer = tape.gather_rows(x_all, outer_idx);
         let enc_levels = self.encoder.forward(&mut tape, &self.store, &cg, x_outer);
         // deterministic latent: Z = mu
-        let (_, mu, _) = self.decoder.latent(&mut tape, &self.store, x_all, false, rng);
-        let dec_levels = self.decoder.decode_levels(&mut tape, &cg, enc_levels[0], mu, &offsets);
+        let (_, mu, _) = self
+            .decoder
+            .latent(&mut tape, &self.store, x_all, false, rng);
+        let dec_levels = self
+            .decoder
+            .decode_levels(&mut tape, &cg, enc_levels[0], mu, &offsets);
 
         // Candidates: dense for small n; otherwise the observed temporal
         // neighborhoods of the centers plus uniform negatives (the
@@ -199,9 +232,12 @@ impl Tgae {
         let mut positives: Vec<NodeId> = Vec::new();
         if self.n_nodes > self.cfg.dense_cutoff {
             for &(v, t) in centers {
-                for (u, _) in
-                    tg_sampling::temporal_neighbor_occurrences(g, v, t, self.cfg.sampler.time_window)
-                {
+                for (u, _) in tg_sampling::temporal_neighbor_occurrences(
+                    g,
+                    v,
+                    t,
+                    self.cfg.sampler.time_window,
+                ) {
                     positives.push(u);
                 }
             }
@@ -213,7 +249,9 @@ impl Tgae {
             self.cfg.n_negatives * 4,
             rng,
         );
-        let logits = self.decoder.score(&mut tape, &self.store, dec_levels[0], candidates.clone());
+        let logits = self
+            .decoder
+            .score(&mut tape, &self.store, dec_levels[0], candidates.clone());
         let tau = self.cfg.gen_temperature.max(1e-3);
         let sharpened = tape.value(logits).map(|x| x / tau);
         let probs = tg_tensor::matrix::softmax_rows(&sharpened);
@@ -263,10 +301,19 @@ mod tests {
         let centers = vec![(0u32, 0u32), (2, 1)];
         let (tape, loss, _) = model.forward_batch(&g, &centers, &mut rng);
         let grads = tape.backward(loss);
-        assert!(grads.get(model.features.node_emb.table).is_some(), "node emb");
-        assert!(grads.get(model.features.time_emb.table).is_some(), "time emb");
+        assert!(
+            grads.get(model.features.node_emb.table).is_some(),
+            "node emb"
+        );
+        assert!(
+            grads.get(model.features.time_emb.table).is_some(),
+            "time emb"
+        );
         assert!(grads.get(model.decoder.w_dec).is_some(), "w_dec");
-        assert!(grads.get(model.decoder.mlp_mu.layers[0].w).is_some(), "mlp_mu");
+        assert!(
+            grads.get(model.decoder.mlp_mu.layers[0].w).is_some(),
+            "mlp_mu"
+        );
     }
 
     #[test]

@@ -63,8 +63,9 @@ mod tests {
     use tg_graph::{TemporalEdge, TemporalGraph};
 
     fn toy() -> TemporalGraph {
-        let edges: Vec<TemporalEdge> =
-            (0..12).map(|i| TemporalEdge::new(i % 4, (i + 1) % 4, i % 3)).collect();
+        let edges: Vec<TemporalEdge> = (0..12)
+            .map(|i| TemporalEdge::new(i % 4, (i + 1) % 4, i % 3))
+            .collect();
         TemporalGraph::from_edges(4, 3, edges)
     }
 
@@ -105,7 +106,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.json");
         std::fs::write(&path, b"{not json").unwrap();
-        let Err(err) = load(&path) else { panic!("expected error") };
+        let Err(err) = load(&path) else {
+            panic!("expected error")
+        };
         assert!(matches!(err, PersistError::Codec(_)));
         std::fs::remove_file(&path).ok();
     }

@@ -44,23 +44,38 @@ impl TrainReport {
 /// Train a TGAE model in place on an observed temporal graph.
 pub fn fit(model: &mut Tgae, g: &TemporalGraph) -> TrainReport {
     let cfg: TgaeConfig = model.cfg.clone();
-    assert_eq!(g.n_nodes(), model.n_nodes, "graph/model node-count mismatch");
-    assert!(g.n_timestamps() <= model.n_timestamps, "graph has more timestamps than model");
+    assert_eq!(
+        g.n_nodes(),
+        model.n_nodes,
+        "graph/model node-count mismatch"
+    );
+    assert!(
+        g.n_timestamps() <= model.n_timestamps,
+        "graph has more timestamps than model"
+    );
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed_1234);
     let sampler = InitialNodeSampler::new(g, cfg.sampler.degree_weighted);
-    assert!(sampler.population_size() > 0, "graph has no temporal nodes to learn from");
+    assert!(
+        sampler.population_size() > 0,
+        "graph has no temporal nodes to learn from"
+    );
 
     let mut opt = Adam::new(cfg.lr);
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut slot_acc = 0usize;
+    // One tape for the whole run: `forward_batch_into` clears it each step
+    // and node/gradient buffers recycle through its scratch pool, so the
+    // steady-state loop performs (almost) no heap allocation.
+    let mut tape = Tape::new();
     for _step in 0..cfg.epochs {
         let centers = sampler.sample_batch(cfg.batch_centers, &mut rng);
-        let (tape, loss, stats) = model.forward_batch(g, &centers, &mut rng);
+        let (loss, stats) = model.forward_batch_into(&mut tape, g, &centers, &mut rng);
         let loss_val = tape.value(loss).item();
         let mut grads = tape.backward(loss);
         clip_global_norm(&mut grads, cfg.grad_clip);
         opt.step(&mut model.store, &grads);
+        tape.recycle(grads);
         losses.push(loss_val);
         slot_acc += stats.n_slots;
         debug_assert!(!model.store.any_non_finite(), "parameters went non-finite");

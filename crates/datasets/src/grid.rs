@@ -54,17 +54,35 @@ impl GridPoint {
 
 /// Node sweep: `{1k..5k} * 10 * 0.01` (Fig. 6 col. 1).
 pub fn node_sweep() -> Vec<GridPoint> {
-    (1..=5).map(|k| GridPoint { nodes: k * 1000, timestamps: 10, density: 0.01 }).collect()
+    (1..=5)
+        .map(|k| GridPoint {
+            nodes: k * 1000,
+            timestamps: 10,
+            density: 0.01,
+        })
+        .collect()
 }
 
 /// Timestamp sweep: `1k * {10..50} * 0.01` (Fig. 6 col. 2).
 pub fn timestamp_sweep() -> Vec<GridPoint> {
-    (1..=5).map(|k| GridPoint { nodes: 1000, timestamps: k * 10, density: 0.01 }).collect()
+    (1..=5)
+        .map(|k| GridPoint {
+            nodes: 1000,
+            timestamps: k * 10,
+            density: 0.01,
+        })
+        .collect()
 }
 
 /// Density sweep: `1k * 10 * {0.01..0.05}` (Fig. 6 col. 3).
 pub fn density_sweep() -> Vec<GridPoint> {
-    (1..=5).map(|k| GridPoint { nodes: 1000, timestamps: 10, density: 0.01 * k as f64 }).collect()
+    (1..=5)
+        .map(|k| GridPoint {
+            nodes: 1000,
+            timestamps: 10,
+            density: 0.01 * k as f64,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -83,17 +101,30 @@ mod tests {
 
     #[test]
     fn edge_budget_matches_density() {
-        let p = GridPoint { nodes: 1000, timestamps: 10, density: 0.01 };
+        let p = GridPoint {
+            nodes: 1000,
+            timestamps: 10,
+            density: 0.01,
+        };
         assert_eq!(p.edge_budget(), 9990);
     }
 
     #[test]
     fn generation_hits_budget_roughly() {
-        let p = GridPoint { nodes: 500, timestamps: 10, density: 0.01 };
+        let p = GridPoint {
+            nodes: 500,
+            timestamps: 10,
+            density: 0.01,
+        };
         let g = p.generate(3);
         assert_eq!(g.n_nodes(), 500);
         assert_eq!(g.n_timestamps(), 10);
         let budget = p.edge_budget();
-        assert!(g.n_edges() >= budget * 95 / 100, "{} vs {}", g.n_edges(), budget);
+        assert!(
+            g.n_edges() >= budget * 95 / 100,
+            "{} vs {}",
+            g.n_edges(),
+            budget
+        );
     }
 }

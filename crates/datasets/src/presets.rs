@@ -172,12 +172,22 @@ pub fn ubuntu() -> Preset {
 
 /// All seven Table II presets in paper order.
 pub fn all_presets() -> Vec<Preset> {
-    vec![dblp(), email(), msg(), bitcoin_alpha(), bitcoin_otc(), math(), ubuntu()]
+    vec![
+        dblp(),
+        email(),
+        msg(),
+        bitcoin_alpha(),
+        bitcoin_otc(),
+        math(),
+        ubuntu(),
+    ]
 }
 
 /// Look up a preset by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Preset> {
-    all_presets().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    all_presets()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

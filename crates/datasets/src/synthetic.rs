@@ -83,11 +83,14 @@ pub fn generate<R: Rng + ?Sized>(cfg: &SyntheticConfig, rng: &mut R) -> Temporal
     }
 
     // Per-timestamp edge budget: m_t ∝ (t+1)^growth, exactly m in total.
-    let weights: Vec<f64> =
-        (0..cfg.timestamps).map(|t| ((t + 1) as f64).powf(cfg.growth)).collect();
+    let weights: Vec<f64> = (0..cfg.timestamps)
+        .map(|t| ((t + 1) as f64).powf(cfg.growth))
+        .collect();
     let wsum: f64 = weights.iter().sum();
-    let mut budget: Vec<usize> =
-        weights.iter().map(|w| (w / wsum * cfg.edges as f64).floor() as usize).collect();
+    let mut budget: Vec<usize> = weights
+        .iter()
+        .map(|w| (w / wsum * cfg.edges as f64).floor() as usize)
+        .collect();
     let mut assigned: usize = budget.iter().sum();
     let mut t_fix = 0usize;
     while assigned < cfg.edges {
@@ -187,7 +190,12 @@ mod tests {
 
     #[test]
     fn respects_sizes() {
-        let cfg = SyntheticConfig { nodes: 200, edges: 1000, timestamps: 7, ..Default::default() };
+        let cfg = SyntheticConfig {
+            nodes: 200,
+            edges: 1000,
+            timestamps: 7,
+            ..Default::default()
+        };
         let mut rng = SmallRng::seed_from_u64(1);
         let g = generate(&cfg, &mut rng);
         assert_eq!(g.n_nodes(), 200);
@@ -217,7 +225,12 @@ mod tests {
         };
         let g = generate(&cfg, &mut SmallRng::seed_from_u64(2));
         let counts = g.edge_counts_per_timestamp();
-        assert!(counts[9] > counts[0] * 3, "late {} early {}", counts[9], counts[0]);
+        assert!(
+            counts[9] > counts[0] * 3,
+            "late {} early {}",
+            counts[9],
+            counts[0]
+        );
     }
 
     #[test]
@@ -235,7 +248,12 @@ mod tests {
         let top1pct: usize = deg[..20].iter().sum();
         let total: usize = deg.iter().sum();
         // top 1% of nodes should hold far more than 1% of degree mass
-        assert!(top1pct as f64 > 0.05 * total as f64, "top1% {} total {}", top1pct, total);
+        assert!(
+            top1pct as f64 > 0.05 * total as f64,
+            "top1% {} total {}",
+            top1pct,
+            total
+        );
     }
 
     #[test]
@@ -252,7 +270,12 @@ mod tests {
         let m = pairs.len();
         pairs.sort_unstable();
         pairs.dedup();
-        assert!(pairs.len() < m * 9 / 10, "expected >=10% repeats: {} of {}", pairs.len(), m);
+        assert!(
+            pairs.len() < m * 9 / 10,
+            "expected >=10% repeats: {} of {}",
+            pairs.len(),
+            m
+        );
     }
 
     #[test]

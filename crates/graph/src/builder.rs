@@ -55,8 +55,11 @@ impl TemporalGraphBuilder {
         let mut times: Vec<u64> = self.raw.iter().map(|&(_, _, t)| t).collect();
         times.sort_unstable();
         times.dedup();
-        let time_map: HashMap<u64, Time> =
-            times.iter().enumerate().map(|(i, &t)| (t, i as Time)).collect();
+        let time_map: HashMap<u64, Time> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as Time))
+            .collect();
         let n = self.node_map.len();
         let t_count = times.len().max(1);
         let edges = self

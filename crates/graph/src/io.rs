@@ -43,7 +43,10 @@ impl From<std::io::Error> for IoError {
 /// `n_buckets`, when given, quantises raw timestamps into that many
 /// equal-width buckets (the paper aggregates fine-grained Unix timestamps
 /// into `T` snapshots this way).
-pub fn read_edge_list<R: Read>(reader: R, n_buckets: Option<usize>) -> Result<TemporalGraph, IoError> {
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    n_buckets: Option<usize>,
+) -> Result<TemporalGraph, IoError> {
     let buf = BufReader::new(reader);
     let mut builder = TemporalGraphBuilder::new();
     for (idx, line) in buf.lines().enumerate() {
@@ -55,10 +58,16 @@ pub fn read_edge_list<R: Read>(reader: R, n_buckets: Option<usize>) -> Result<Te
         }
         let mut it = s.split_whitespace();
         let parse = |tok: Option<&str>, what: &str| -> Result<u64, IoError> {
-            tok.ok_or_else(|| IoError::Parse { line: line_no, msg: format!("missing {what}") })?
-                .parse::<f64>()
-                .map(|x| x as u64)
-                .map_err(|e| IoError::Parse { line: line_no, msg: format!("bad {what}: {e}") })
+            tok.ok_or_else(|| IoError::Parse {
+                line: line_no,
+                msg: format!("missing {what}"),
+            })?
+            .parse::<f64>()
+            .map(|x| x as u64)
+            .map_err(|e| IoError::Parse {
+                line: line_no,
+                msg: format!("bad {what}: {e}"),
+            })
         };
         let u = parse(it.next(), "src")?;
         let v = parse(it.next(), "dst")?;
@@ -75,7 +84,10 @@ pub fn read_edge_list<R: Read>(reader: R, n_buckets: Option<usize>) -> Result<Te
 }
 
 /// Load a temporal graph from a `src dst timestamp` file.
-pub fn load_edge_list(path: impl AsRef<Path>, n_buckets: Option<usize>) -> Result<TemporalGraph, IoError> {
+pub fn load_edge_list(
+    path: impl AsRef<Path>,
+    n_buckets: Option<usize>,
+) -> Result<TemporalGraph, IoError> {
     let f = std::fs::File::open(path)?;
     read_edge_list(f, n_buckets)
 }
@@ -164,6 +176,9 @@ mod tests {
 
     #[test]
     fn error_on_empty() {
-        assert!(matches!(read_edge_list("#nope\n".as_bytes(), None), Err(IoError::Empty)));
+        assert!(matches!(
+            read_edge_list("#nope\n".as_bytes(), None),
+            Err(IoError::Empty)
+        ));
     }
 }

@@ -53,15 +53,21 @@ impl Snapshot {
         }
         let in_targets: Vec<NodeId> = rev.iter().map(|&(_, u)| u).collect();
 
-        Snapshot { n, out_offsets, out_targets, in_offsets, in_targets, m }
+        Snapshot {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            m,
+        }
     }
 
     /// The snapshot of a temporal graph accumulated through timestamp `t`
     /// (edges with timestamp `<= t`), deduplicated to a simple digraph —
     /// this is the object the paper's metrics are evaluated on.
     pub fn accumulated(g: &TemporalGraph, t: Time, dedup: bool) -> Self {
-        let pairs: Vec<(NodeId, NodeId)> =
-            g.edges_until(t).iter().map(|e| (e.u, e.v)).collect();
+        let pairs: Vec<(NodeId, NodeId)> = g.edges_until(t).iter().map(|e| (e.u, e.v)).collect();
         Snapshot::from_pairs(g.n_nodes(), &pairs, dedup)
     }
 
@@ -100,7 +106,9 @@ impl Snapshot {
 
     /// Total (in+out) degree per node.
     pub fn total_degrees(&self) -> Vec<usize> {
-        (0..self.n as NodeId).map(|v| self.out_degree(v) + self.in_degree(v)).collect()
+        (0..self.n as NodeId)
+            .map(|v| self.out_degree(v) + self.in_degree(v))
+            .collect()
     }
 
     /// Undirected simple adjacency: for each node, the sorted deduplicated

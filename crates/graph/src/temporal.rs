@@ -49,7 +49,10 @@ impl TemporalGraph {
     pub fn from_edges(n: usize, t: usize, mut edges: Vec<TemporalEdge>) -> Self {
         assert!(t > 0, "temporal graph needs at least one timestamp");
         for e in &edges {
-            assert!((e.u as usize) < n && (e.v as usize) < n, "edge endpoint out of range: {e:?}");
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge endpoint out of range: {e:?}"
+            );
             assert!((e.t as usize) < t, "edge timestamp out of range: {e:?}");
         }
         edges.sort_unstable();
@@ -65,7 +68,13 @@ impl TemporalGraph {
         for i in 0..t {
             time_offsets[i + 1] += time_offsets[i];
         }
-        TemporalGraph { n, t, edges, in_order, time_offsets }
+        TemporalGraph {
+            n,
+            t,
+            edges,
+            in_order,
+            time_offsets,
+        }
     }
 
     /// Number of nodes.
@@ -103,7 +112,9 @@ impl TemporalGraph {
 
     /// Number of edges at each timestamp (the generation budget per `t`).
     pub fn edge_counts_per_timestamp(&self) -> Vec<usize> {
-        (0..self.t).map(|t| self.time_offsets[t + 1] - self.time_offsets[t]).collect()
+        (0..self.t)
+            .map(|t| self.time_offsets[t + 1] - self.time_offsets[t])
+            .collect()
     }
 
     /// Out-neighbors of `u` at exactly timestamp `t` (with multiplicity).

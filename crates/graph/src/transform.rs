@@ -44,8 +44,11 @@ pub fn time_slice(g: &TemporalGraph, lo: Time, hi: Time) -> TemporalGraph {
 
 /// Reverse every edge direction (in-degree <-> out-degree views).
 pub fn reverse(g: &TemporalGraph) -> TemporalGraph {
-    let edges: Vec<TemporalEdge> =
-        g.edges().iter().map(|e| TemporalEdge::new(e.v, e.u, e.t)).collect();
+    let edges: Vec<TemporalEdge> = g
+        .edges()
+        .iter()
+        .map(|e| TemporalEdge::new(e.v, e.u, e.t))
+        .collect();
     TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), edges)
 }
 
@@ -54,8 +57,9 @@ pub fn reverse(g: &TemporalGraph) -> TemporalGraph {
 /// old-id list (new id -> old id).
 pub fn compact_nodes(g: &TemporalGraph) -> (TemporalGraph, Vec<NodeId>) {
     let deg = g.static_degrees();
-    let keep: Vec<NodeId> =
-        (0..g.n_nodes() as NodeId).filter(|&v| deg[v as usize] > 0).collect();
+    let keep: Vec<NodeId> = (0..g.n_nodes() as NodeId)
+        .filter(|&v| deg[v as usize] > 0)
+        .collect();
     let sub = induced_subgraph(g, &keep);
     (sub, keep)
 }

@@ -67,7 +67,9 @@ pub fn evaluate(real: &TemporalGraph, generated: &TemporalGraph) -> Vec<MetricSc
         t_count
     );
     let mut per_metric_diffs: Vec<Vec<f64>> =
-        std::iter::repeat_with(|| Vec::with_capacity(t_count)).take(7).collect();
+        std::iter::repeat_with(|| Vec::with_capacity(t_count))
+            .take(7)
+            .collect();
     for t in 0..t_count {
         let sr = GraphStats::compute(&Snapshot::accumulated(real, t as u32, true));
         let sg = GraphStats::compute(&Snapshot::accumulated(generated, t as u32, true));
@@ -138,8 +140,9 @@ mod tests {
     fn different_graphs_score_positive() {
         let g = line_graph(6, 5);
         // generated: same node count, all edges from node 0 (star-ish)
-        let edges: Vec<TemporalEdge> =
-            (0..5).map(|t| TemporalEdge::new(0, (t % 5) as u32 + 1, t as u32)).collect();
+        let edges: Vec<TemporalEdge> = (0..5)
+            .map(|t| TemporalEdge::new(0, (t % 5) as u32 + 1, t as u32))
+            .collect();
         let h = TemporalGraph::from_edges(6, 5, edges);
         let scores = evaluate(&g, &h);
         let total: f64 = scores.iter().map(|s| s.avg).sum();
@@ -150,11 +153,20 @@ mod tests {
     fn timeseries_is_monotone_for_accumulating_metrics() {
         let g = line_graph(8, 7);
         let series = metric_timeseries(&g);
-        let mean_deg = series.iter().find(|s| s.kind == MetricKind::MeanDegree).unwrap();
+        let mean_deg = series
+            .iter()
+            .find(|s| s.kind == MetricKind::MeanDegree)
+            .unwrap();
         for w in mean_deg.values.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "accumulated mean degree must not shrink");
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "accumulated mean degree must not shrink"
+            );
         }
-        let ncomp = series.iter().find(|s| s.kind == MetricKind::NComponents).unwrap();
+        let ncomp = series
+            .iter()
+            .find(|s| s.kind == MetricKind::NComponents)
+            .unwrap();
         for w in ncomp.values.windows(2) {
             assert!(w[1] <= w[0] + 1e-12, "components must not increase");
         }

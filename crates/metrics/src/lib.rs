@@ -21,8 +21,8 @@ pub use degree::{degree_histogram, degree_mmd};
 pub use harness::{evaluate, metric_timeseries, relative_error, MetricScore, MetricSeries};
 pub use mmd::{gaussian_kernel, mmd2_single, mmd2_tv, tv_distance};
 pub use motifs::{
-    census_per_chunk, census_per_chunk_sampled, count_motifs, count_motifs_sampled,
-    MotifCensus, N_MOTIFS,
+    census_per_chunk, census_per_chunk_sampled, count_motifs, count_motifs_sampled, MotifCensus,
+    N_MOTIFS,
 };
 pub use stats::{GraphStats, MetricKind};
 pub use union_find::UnionFind;

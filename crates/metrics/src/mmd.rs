@@ -20,7 +20,10 @@ pub fn gaussian_kernel(x: f64, sigma: f64) -> f64 {
 ///
 /// `MMD² = E_{x,y~P}[k] + E_{x,y~Q}[k] - 2 E_{x~P, y~Q}[k]`.
 pub fn mmd2_tv(samples_p: &[Vec<f64>], samples_q: &[Vec<f64>], sigma: f64) -> f64 {
-    assert!(!samples_p.is_empty() && !samples_q.is_empty(), "mmd2_tv: empty sample set");
+    assert!(
+        !samples_p.is_empty() && !samples_q.is_empty(),
+        "mmd2_tv: empty sample set"
+    );
     let kernel_mean = |xs: &[Vec<f64>], ys: &[Vec<f64>]| -> f64 {
         let mut acc = 0.0;
         for x in xs {

@@ -51,7 +51,9 @@ pub struct MotifCensus {
 
 impl Default for MotifCensus {
     fn default() -> Self {
-        MotifCensus { counts: vec![0; N_MOTIFS] }
+        MotifCensus {
+            counts: vec![0; N_MOTIFS],
+        }
     }
 }
 
@@ -122,13 +124,18 @@ fn count_anchored(
         let t_hi = e1.t.saturating_add(delta);
         // window candidates for the 2nd edge: incident to a or b, j > i
         cand2.clear();
-        merge_window(edges, &incident[a as usize], &incident[b as usize], i, t_hi, &mut cand2);
+        merge_window(
+            edges,
+            &incident[a as usize],
+            &incident[b as usize],
+            i,
+            t_hi,
+            &mut cand2,
+        );
         for &j in cand2.iter() {
             let e2 = &edges[j as usize];
             // identify third node (if any) introduced by e2
-            let c: Option<u32> = [e2.u, e2.v]
-                .into_iter()
-                .find(|&x| x != a && x != b);
+            let c: Option<u32> = [e2.u, e2.v].into_iter().find(|&x| x != a && x != b);
             let l2u = label(e2.u, a, b, c).expect("e2 incident by construction");
             let l2v = label(e2.v, a, b, c).expect("e2 endpoint must be labelled");
             let c2 = edge_code_index(l2u, l2v);
@@ -148,8 +155,7 @@ fn count_anchored(
                     );
                     for &k in cand3.iter() {
                         let e3 = &edges[k as usize];
-                        let (Some(l3u), Some(l3v)) =
-                            (label(e3.u, a, b, c), label(e3.v, a, b, c))
+                        let (Some(l3u), Some(l3v)) = (label(e3.u, a, b, c), label(e3.v, a, b, c))
                         else {
                             continue;
                         };
@@ -168,8 +174,7 @@ fn count_anchored(
                     );
                     for &k in cand3.iter() {
                         let e3 = &edges[k as usize];
-                        let c3n: Option<u32> =
-                            [e3.u, e3.v].into_iter().find(|&x| x != a && x != b);
+                        let c3n: Option<u32> = [e3.u, e3.v].into_iter().find(|&x| x != a && x != b);
                         let (Some(l3u), Some(l3v)) =
                             (label(e3.u, a, b, c3n), label(e3.v, a, b, c3n))
                         else {
@@ -287,7 +292,11 @@ fn prepare(g: &TemporalGraph) -> (Vec<EdgeRec>, Vec<Vec<u32>>) {
         .edges()
         .iter()
         .filter(|e| e.u != e.v)
-        .map(|e| EdgeRec { t: e.t as u64, u: e.u, v: e.v })
+        .map(|e| EdgeRec {
+            t: e.t as u64,
+            u: e.u,
+            v: e.v,
+        })
         .collect();
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.n_nodes()];
     for (i, e) in edges.iter().enumerate() {

@@ -79,7 +79,11 @@ impl GraphStats {
         let degrees: Vec<usize> = adj.iter().map(|a| a.len()).collect();
 
         let deg_sum: usize = degrees.iter().sum();
-        let mean_degree = if n == 0 { 0.0 } else { deg_sum as f64 / n as f64 };
+        let mean_degree = if n == 0 {
+            0.0
+        } else {
+            deg_sum as f64 / n as f64
+        };
 
         let mut wedge = 0.0f64;
         let mut claw = 0.0f64;
@@ -104,7 +108,15 @@ impl GraphStats {
 
         let ple = power_law_exponent(&degrees);
 
-        GraphStats { mean_degree, lcc, wedge_count: wedge, claw_count: claw, triangle_count, ple, n_components }
+        GraphStats {
+            mean_degree,
+            lcc,
+            wedge_count: wedge,
+            claw_count: claw,
+            triangle_count,
+            ple,
+            n_components,
+        }
     }
 
     /// Select one statistic by kind.
@@ -173,7 +185,11 @@ fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
 /// Maximum-likelihood power-law exponent over positive-degree nodes
 /// (Table III): `1 + n' / Σ ln(d / d_min)`.
 pub fn power_law_exponent(degrees: &[usize]) -> f64 {
-    let positive: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    let positive: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d > 0)
+        .map(|&d| d as f64)
+        .collect();
     if positive.is_empty() {
         return 1.0;
     }
@@ -238,8 +254,7 @@ mod tests {
 
     #[test]
     fn triangle_count_ignores_direction_and_multiplicity() {
-        let s =
-            Snapshot::from_pairs(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (0, 2)], false);
+        let s = Snapshot::from_pairs(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (0, 2)], false);
         assert_eq!(GraphStats::compute(&s).triangle_count, 1.0);
     }
 

@@ -10,7 +10,11 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], n_components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            n_components: n,
+        }
     }
 
     /// Representative of `x`'s set.

@@ -63,7 +63,10 @@ impl ComputationGraph {
         cfg: &SamplerConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(!centers.is_empty(), "computation graph needs at least one center");
+        assert!(
+            !centers.is_empty(),
+            "computation graph needs at least one center"
+        );
         let mut centers_dedup = centers.to_vec();
         centers_dedup.sort_unstable();
         centers_dedup.dedup();
@@ -166,7 +169,12 @@ mod tests {
     }
 
     fn cfg(k: usize, th: usize) -> SamplerConfig {
-        SamplerConfig { k, threshold: th, time_window: 1, degree_weighted: true }
+        SamplerConfig {
+            k,
+            threshold: th,
+            time_window: 1,
+            degree_weighted: true,
+        }
     }
 
     #[test]
@@ -200,8 +208,7 @@ mod tests {
     fn duplicate_centers_are_merged() {
         let g = triangle_graph();
         let mut rng = SmallRng::seed_from_u64(1);
-        let cg =
-            ComputationGraph::build(&g, &[(0, 0), (0, 0), (1, 0)], &cfg(1, 10), &mut rng);
+        let cg = ComputationGraph::build(&g, &[(0, 0), (0, 0), (1, 0)], &cfg(1, 10), &mut rng);
         assert_eq!(cg.centers().len(), 2);
     }
 
@@ -210,12 +217,7 @@ mod tests {
         // all centers share the same neighbors; level 1 must not contain dups
         let g = triangle_graph();
         let mut rng = SmallRng::seed_from_u64(2);
-        let cg = ComputationGraph::build(
-            &g,
-            &[(0, 0), (1, 0), (2, 0)],
-            &cfg(1, 10),
-            &mut rng,
-        );
+        let cg = ComputationGraph::build(&g, &[(0, 0), (1, 0), (2, 0)], &cfg(1, 10), &mut rng);
         let mut l1 = cg.levels[1].clone();
         let before = l1.len();
         l1.sort_unstable();
@@ -226,8 +228,7 @@ mod tests {
     #[test]
     fn truncation_bounds_edges_per_target() {
         // star with 50 leaves; threshold 4 -> <= 5 incoming edges per target
-        let edges: Vec<TemporalEdge> =
-            (1..=50).map(|v| TemporalEdge::new(0, v, 0)).collect();
+        let edges: Vec<TemporalEdge> = (1..=50).map(|v| TemporalEdge::new(0, v, 0)).collect();
         let g = TemporalGraph::from_edges(51, 1, edges);
         let mut rng = SmallRng::seed_from_u64(3);
         let cg = ComputationGraph::build(&g, &[(0, 0)], &cfg(1, 4), &mut rng);

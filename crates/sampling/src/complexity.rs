@@ -60,7 +60,12 @@ mod tests {
 
     #[test]
     fn slot_bound_formula() {
-        let cfg = SamplerConfig { k: 2, threshold: 3, time_window: 1, degree_weighted: true };
+        let cfg = SamplerConfig {
+            k: 2,
+            threshold: 3,
+            time_window: 1,
+            degree_weighted: true,
+        };
         // per center: 1 + 4 + 16 = 21
         assert_eq!(slot_upper_bound(&cfg, 2), 42);
     }
@@ -78,7 +83,12 @@ mod tests {
             }
         }
         let g = TemporalGraph::from_edges(30, 4, edges);
-        let cfg = SamplerConfig { k: 2, threshold: 4, time_window: 1, degree_weighted: true };
+        let cfg = SamplerConfig {
+            k: 2,
+            threshold: 4,
+            time_window: 1,
+            degree_weighted: true,
+        };
         for seed in 0..5 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let centers: Vec<(u32, u32)> = (0..8).map(|i| (i * 3 % 30, i % 4)).collect();
@@ -101,7 +111,12 @@ mod tests {
 
     #[test]
     fn saturating_bounds_do_not_overflow() {
-        let cfg = SamplerConfig { k: 8, threshold: usize::MAX, time_window: 1, degree_weighted: true };
+        let cfg = SamplerConfig {
+            k: 8,
+            threshold: usize::MAX,
+            time_window: 1,
+            degree_weighted: true,
+        };
         assert_eq!(slot_upper_bound(&cfg, 1000), usize::MAX);
     }
 }

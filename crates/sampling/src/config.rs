@@ -22,7 +22,12 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { k: 2, threshold: 20, time_window: 1, degree_weighted: true }
+        SamplerConfig {
+            k: 2,
+            threshold: 20,
+            time_window: 1,
+            degree_weighted: true,
+        }
     }
 }
 

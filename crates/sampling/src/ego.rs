@@ -124,7 +124,11 @@ pub fn sample_ego_graph<R: Rng + ?Sized>(
             break;
         }
     }
-    EgoGraph { nodes, depth, tree_edges }
+    EgoGraph {
+        nodes,
+        depth,
+        tree_edges,
+    }
 }
 
 #[cfg(test)]
@@ -135,8 +139,9 @@ mod tests {
     use tg_graph::TemporalEdge;
 
     fn star_graph(leaves: usize) -> TemporalGraph {
-        let edges: Vec<TemporalEdge> =
-            (1..=leaves).map(|v| TemporalEdge::new(0, v as u32, 0)).collect();
+        let edges: Vec<TemporalEdge> = (1..=leaves)
+            .map(|v| TemporalEdge::new(0, v as u32, 0))
+            .collect();
         TemporalGraph::from_edges(leaves + 1, 1, edges)
     }
 
@@ -152,7 +157,10 @@ mod tests {
             ],
         );
         assert_eq!(temporal_neighbor_occurrences(&g, 0, 0, 0), vec![(1, 0)]);
-        assert_eq!(temporal_neighbor_occurrences(&g, 0, 1, 1), vec![(1, 0), (2, 2)]);
+        assert_eq!(
+            temporal_neighbor_occurrences(&g, 0, 1, 1),
+            vec![(1, 0), (2, 2)]
+        );
         assert_eq!(
             temporal_neighbor_occurrences(&g, 0, 2, 1),
             vec![(1, 3), (2, 2)]
@@ -182,7 +190,12 @@ mod tests {
     #[test]
     fn ego_graph_of_star_center() {
         let g = star_graph(5);
-        let cfg = SamplerConfig { k: 1, threshold: 100, time_window: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            k: 1,
+            threshold: 100,
+            time_window: 0,
+            ..Default::default()
+        };
         let mut rng = SmallRng::seed_from_u64(2);
         let ego = sample_ego_graph(&g, (0, 0), &cfg, &mut rng);
         assert_eq!(ego.center(), (0, 0));
@@ -194,7 +207,12 @@ mod tests {
     #[test]
     fn ego_graph_radius_two_reaches_leaves_from_leaf() {
         let g = star_graph(5);
-        let cfg = SamplerConfig { k: 2, threshold: 100, time_window: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            k: 2,
+            threshold: 100,
+            time_window: 0,
+            ..Default::default()
+        };
         let mut rng = SmallRng::seed_from_u64(3);
         // center = leaf 1: depth 1 = hub, depth 2 = other leaves
         let ego = sample_ego_graph(&g, (1, 0), &cfg, &mut rng);
@@ -207,7 +225,12 @@ mod tests {
     #[test]
     fn truncation_bounds_ego_size() {
         let g = star_graph(50);
-        let cfg = SamplerConfig { k: 1, threshold: 5, time_window: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            k: 1,
+            threshold: 5,
+            time_window: 0,
+            ..Default::default()
+        };
         let mut rng = SmallRng::seed_from_u64(4);
         let ego = sample_ego_graph(&g, (0, 0), &cfg, &mut rng);
         assert!(ego.len() <= 6, "{}", ego.len());
@@ -216,8 +239,7 @@ mod tests {
     #[test]
     fn random_walk_variant_is_a_chain() {
         // path graph: 0-1-2-3-4 all at t=0
-        let edges: Vec<TemporalEdge> =
-            (0..4).map(|i| TemporalEdge::new(i, i + 1, 0)).collect();
+        let edges: Vec<TemporalEdge> = (0..4).map(|i| TemporalEdge::new(i, i + 1, 0)).collect();
         let g = TemporalGraph::from_edges(5, 1, edges);
         let cfg = SamplerConfig {
             k: 3,
@@ -229,7 +251,10 @@ mod tests {
         let ego = sample_ego_graph(&g, (0, 0), &cfg, &mut rng);
         // chain: every depth level has at most 1 new node
         for d in 1..=3u8 {
-            assert!(ego.depth.iter().filter(|&&x| x == d).count() <= 1, "depth {d}");
+            assert!(
+                ego.depth.iter().filter(|&&x| x == d).count() <= 1,
+                "depth {d}"
+            );
         }
     }
 

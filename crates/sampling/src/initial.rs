@@ -30,7 +30,11 @@ impl InitialNodeSampler {
             acc += d as f64;
             cum_weights.push(acc);
         }
-        InitialNodeSampler { population, cum_weights, degree_weighted }
+        InitialNodeSampler {
+            population,
+            cum_weights,
+            degree_weighted,
+        }
     }
 
     /// Number of occurring temporal nodes.
@@ -49,7 +53,10 @@ impl InitialNodeSampler {
         if self.degree_weighted {
             let total = *self.cum_weights.last().expect("non-empty");
             let u = rng.gen::<f64>() * total;
-            let idx = self.cum_weights.partition_point(|&c| c < u).min(self.population.len() - 1);
+            let idx = self
+                .cum_weights
+                .partition_point(|&c| c < u)
+                .min(self.population.len() - 1);
             self.population[idx]
         } else {
             self.population[rng.gen_range(0..self.population.len())]
@@ -142,7 +149,10 @@ mod tests {
         let s = InitialNodeSampler::new(&g, true);
         let mut rng = SmallRng::seed_from_u64(3);
         for (v, t) in s.sample_batch(50, &mut rng) {
-            assert!(g.temporal_degree(v, t) > 0, "({v},{t}) has no incident edges");
+            assert!(
+                g.temporal_degree(v, t) > 0,
+                "({v},{t}) has no incident edges"
+            );
         }
     }
 }

@@ -18,8 +18,7 @@ pub mod initial;
 
 pub use bipartite::{BipartiteLayer, ComputationGraph};
 pub use complexity::{
-    predicted_space_scalars, predicted_steps_per_pass, predicted_steps_unmerged,
-    slot_upper_bound,
+    predicted_space_scalars, predicted_steps_per_pass, predicted_steps_unmerged, slot_upper_bound,
 };
 pub use config::SamplerConfig;
 pub use ego::{node_sampling, sample_ego_graph, temporal_neighbor_occurrences, EgoGraph};

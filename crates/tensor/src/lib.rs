@@ -51,8 +51,8 @@ pub mod tape;
 /// One-stop imports for model code.
 pub mod prelude {
     pub use crate::init::{
-        normal_matrix, sample_categorical, sample_categorical_without_replacement,
-        standard_normal, xavier_normal, xavier_uniform,
+        normal_matrix, sample_categorical, sample_categorical_without_replacement, standard_normal,
+        xavier_normal, xavier_uniform,
     };
     pub use crate::matrix::Matrix;
     pub use crate::nn::{Activation, Embedding, Linear, Mlp};

@@ -2,12 +2,37 @@
 //! tape: matmul (all transpose variants), broadcasting adds, element-wise
 //! maps, and segment (scatter/gather) operations for graph attention.
 //!
-//! All shapes are `(rows, cols)`. Kernels are written with contiguous inner
-//! loops (ikj ordering for matmul) so the compiler can vectorise them; large
-//! matmuls are split across threads by `crate::parallel::par_chunks_mut`.
+//! All shapes are `(rows, cols)`.
+//!
+//! # Matmul design
+//!
+//! The three matmul variants (`nn`, `nt`, `tn`) share one cache-blocked
+//! GEBP-style implementation ([`gemm`]):
+//!
+//! 1. **Pack B.** The right operand is repacked once per call into column
+//!    panels of width [`NR`]: `bpack[panel][kk][nr]`. Each of the three
+//!    variants only differs in its packing loop, which absorbs the
+//!    transpose — the hot loop never sees a stride.
+//! 2. **Row-split in parallel.** The output rows are split across the
+//!    persistent worker pool ([`crate::parallel::par_chunks_mut`]); the
+//!    packed B is shared read-only by all workers.
+//! 3. **Microkernel.** Each worker walks its rows in blocks of [`MR`],
+//!    packs the corresponding A block (`apack[kk][mr]`, again absorbing
+//!    the `tn` transpose), and computes an `MR`×`NR` register tile per
+//!    B panel: `MR*NR` scalar accumulators that the compiler keeps in
+//!    vector registers, with one A broadcast + one contiguous B row load
+//!    per `kk` step. Fringes are handled by zero-padding the packs and
+//!    masking the write-back.
+//!
+//! Packing scratch lives in thread-locals, so steady-state training does
+//! not allocate per matmul call. Small products (`m*k*n < `[`TILE_THRESHOLD`])
+//! skip packing entirely and use the naive ikj loops (`matmul_*_naive`),
+//! which are also kept public as the reference implementation for the
+//! parity property tests and as the benchmark baseline.
 
 use crate::parallel::{par_chunks_mut, PAR_THRESHOLD};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Dense row-major matrix of `f32`.
@@ -33,12 +58,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer. Panics if the length mismatches.
@@ -161,7 +194,29 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise map written into a pre-shaped output (scratch reuse).
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+    }
+
+    /// Element-wise combine written into a pre-shaped output (scratch reuse).
+    pub fn zip_into(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32, out: &mut Matrix) {
+        assert_eq!(self.shape(), other.shape(), "zip_into: shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_into: bad output shape");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
         }
     }
 
@@ -208,7 +263,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// True if any element is NaN or infinite.
@@ -222,70 +281,288 @@ impl Matrix {
     }
 }
 
-/// `C = A @ B`. Shapes: `(m,k) @ (k,n) -> (m,n)`.
-pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols, b.rows, "matmul_nn: inner dim mismatch {:?} @ {:?}", a.shape(), b.shape());
+/// Register-tile height: rows of A per microkernel invocation.
+pub const MR: usize = 4;
+/// Register-tile width: columns of B per packed panel.
+pub const NR: usize = 16;
+/// K-dimension block: the `KC`×`NR` B panel slice (16 KiB) and the
+/// `KC`×`MR` A block (4 KiB) stay L1-resident inside the microkernel.
+pub const KC: usize = 256;
+/// Products with fewer than this many fused multiply-adds use the naive
+/// loops; below it, packing costs more than it saves.
+pub const TILE_THRESHOLD: usize = 16 * 16 * 16;
+
+thread_local! {
+    /// Per-thread scratch for the packed B panels (caller side).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread scratch for the packed A block (worker side).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a thread-local scratch buffer. Take/put (instead of holding a
+/// borrow across the computation) keeps this safe under the pool's
+/// caller-helps policy, where a thread waiting in one gemm can execute an
+/// unrelated task that itself enters gemm: the nested call simply finds an
+/// empty buffer and allocates its own.
+fn take_scratch(cell: &'static std::thread::LocalKey<RefCell<Vec<f32>>>) -> Vec<f32> {
+    cell.with(|c| c.take())
+}
+
+fn put_scratch(cell: &'static std::thread::LocalKey<RefCell<Vec<f32>>>, buf: Vec<f32>) {
+    cell.with(|c| {
+        let mut slot = c.borrow_mut();
+        if slot.capacity() < buf.capacity() {
+            *slot = buf;
+        }
+    });
+}
+
+/// Which operand layout [`gemm`] reads its inputs in. `B` is always packed
+/// by panel before the parallel region; `A` is packed per row-block inside
+/// the microkernel driver, so the transpose variants differ only in their
+/// packing loops.
+#[derive(Clone, Copy)]
+enum Layout {
+    /// Operand is stored row-major in its mathematical orientation.
+    RowMajor,
+    /// Operand is stored transposed (`nt` for B, `tn` for A).
+    Transposed,
+}
+
+/// Pack the B operand into `NR`-wide column panels, zero-padding the last
+/// panel: `bpack[p * k * NR + kk * NR + nr] = B[kk, p*NR + nr]`.
+fn pack_b(b: &[f32], k: usize, n: usize, layout: Layout, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * k * NR, 0.0);
+    match layout {
+        Layout::RowMajor => {
+            // b is (k, n) row-major
+            for kk in 0..k {
+                let src = &b[kk * n..(kk + 1) * n];
+                for p in 0..panels {
+                    let j0 = p * NR;
+                    let width = NR.min(n - j0);
+                    let dst = &mut out[p * k * NR + kk * NR..p * k * NR + kk * NR + width];
+                    dst.copy_from_slice(&src[j0..j0 + width]);
+                }
+            }
+        }
+        Layout::Transposed => {
+            // b is (n, k) row-major; output column j is b row j
+            for p in 0..panels {
+                let j0 = p * NR;
+                let width = NR.min(n - j0);
+                let panel = &mut out[p * k * NR..(p + 1) * k * NR];
+                for nr in 0..width {
+                    let src = &b[(j0 + nr) * k..(j0 + nr + 1) * k];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * NR + nr] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack an `MR`-row block of A (rows `r0..r0+rows`, inner indices
+/// `k0..k0+klen`), zero-padding to `MR`:
+/// `apack[kk * MR + mr] = A[r0 + mr, k0 + kk]`.
+///
+/// `lead` is the leading dimension of the stored buffer: for `RowMajor`
+/// (A is `(m, k)`) it is `k`; for `Transposed` (A stored `(k, m)`) it is
+/// `m`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    a: &[f32],
+    r0: usize,
+    rows: usize,
+    k0: usize,
+    klen: usize,
+    lead: usize,
+    layout: Layout,
+    out: &mut [f32],
+) {
+    debug_assert!(rows <= MR && out.len() >= klen * MR);
+    match layout {
+        Layout::RowMajor => {
+            for mr in 0..MR {
+                if mr < rows {
+                    let src = &a[(r0 + mr) * lead + k0..(r0 + mr) * lead + k0 + klen];
+                    for (kk, &v) in src.iter().enumerate() {
+                        out[kk * MR + mr] = v;
+                    }
+                } else {
+                    for kk in 0..klen {
+                        out[kk * MR + mr] = 0.0;
+                    }
+                }
+            }
+        }
+        Layout::Transposed => {
+            // a stored (k, m): row kk holds A[kk, :]; the MR block is a
+            // contiguous slice of each stored row.
+            for kk in 0..klen {
+                let src = &a[(k0 + kk) * lead + r0..(k0 + kk) * lead + r0 + rows];
+                let dst = &mut out[kk * MR..kk * MR + MR];
+                dst[..rows].copy_from_slice(src);
+                dst[rows..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// The `MR`×`NR` register-tile microkernel: `acc += Ablock @ Bpanel` over
+/// the full `k` extent. With `MR`/`NR` constant the compiler unrolls the
+/// inner pair of loops into vector FMAs with `acc` held in registers.
+#[inline(always)]
+fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(apack.len() >= k * MR && bpanel.len() >= k * NR);
+    for kk in 0..k {
+        let a = &apack[kk * MR..kk * MR + MR];
+        let b = &bpanel[kk * NR..kk * NR + NR];
+        for mr in 0..MR {
+            let av = a[mr];
+            for nr in 0..NR {
+                acc[mr][nr] += av * b[nr];
+            }
+        }
+    }
+}
+
+/// Shared tiled GEMM driver: `out = opA(A) @ opB(B)` with `out` of shape
+/// `(m, n)` and inner dimension `k`. Packs B once, then splits output rows
+/// across the worker pool.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_lead = match a_layout {
+        Layout::RowMajor => k,
+        Layout::Transposed => m,
+    };
+    let mut pb = take_scratch(&PACK_B);
+    pack_b(b, k, n, b_layout, &mut pb);
+    let bpack: &[f32] = &pb;
+    let body = |r0: usize, chunk: &mut [f32]| {
+        let rows_here = chunk.len() / n;
+        let mut pa = take_scratch(&PACK_A);
+        pa.clear();
+        pa.resize(KC.min(k) * MR, 0.0);
+        let mut i0 = 0usize;
+        while i0 < rows_here {
+            let rows = MR.min(rows_here - i0);
+            // K-blocked accumulation: each KC slice of the A block and B
+            // panel stays cache-resident; the output tile is re-loaded and
+            // re-stored per slice (registers within the microkernel).
+            let mut k0 = 0usize;
+            while k0 < k {
+                let klen = KC.min(k - k0);
+                pack_a_block(a, r0 + i0, rows, k0, klen, a_lead, a_layout, &mut pa);
+                let mut p = 0usize;
+                let mut j0 = 0usize;
+                while j0 < n {
+                    let width = NR.min(n - j0);
+                    let bpanel = &bpack[p * k * NR + k0 * NR..p * k * NR + (k0 + klen) * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if k0 > 0 {
+                        for mr in 0..rows {
+                            let src = &chunk[(i0 + mr) * n + j0..(i0 + mr) * n + j0 + width];
+                            acc[mr][..width].copy_from_slice(src);
+                        }
+                    }
+                    microkernel(klen, &pa, bpanel, &mut acc);
+                    for mr in 0..rows {
+                        let dst = &mut chunk[(i0 + mr) * n + j0..(i0 + mr) * n + j0 + width];
+                        dst.copy_from_slice(&acc[mr][..width]);
+                    }
+                    p += 1;
+                    j0 += NR;
+                }
+                k0 += klen;
+            }
+            i0 += rows;
+        }
+        put_scratch(&PACK_A, pa);
+    };
+    if m * k * n >= PAR_THRESHOLD {
+        par_chunks_mut(out, n, body);
+    } else {
+        body(0, out);
+    }
+    put_scratch(&PACK_B, pb);
+}
+
+/// Naive ikj-ordered `C = A @ B` — reference kernel for the parity tests
+/// and the baseline the tiled path is benchmarked against.
+pub fn matmul_nn_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    matmul_nn_naive_into(a, b, &mut out.data);
+    out
+}
+
+fn matmul_nn_naive_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
-    let mut out = Matrix::zeros(m, n);
-    let body = |r0: usize, chunk: &mut [f32]| {
-        let rows_here = chunk.len() / n;
-        for ri in 0..rows_here {
-            let r = r0 + ri;
-            let out_row = &mut chunk[ri * n..(ri + 1) * n];
-            let a_row = &a.data[r * k..(r + 1) * k];
-            for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b.data[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
+    out.fill(0.0);
+    for r in 0..m {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        let a_row = &a.data[r * k..(r + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
             }
         }
-    };
-    if m * k * n >= PAR_THRESHOLD {
-        par_chunks_mut(&mut out.data, n, body);
-    } else {
-        body(0, &mut out.data);
     }
+}
+
+/// Naive dot-product `C = A @ B^T` — reference kernel for the parity tests.
+pub fn matmul_nt_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.rows);
+    matmul_nt_naive_into(a, b, &mut out.data);
     out
 }
 
-/// `C = A @ B^T`. Shapes: `(m,k) @ (n,k)^T -> (m,n)`.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols, b.cols, "matmul_nt: inner dim mismatch {:?} @ {:?}^T", a.shape(), b.shape());
+fn matmul_nt_naive_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     let (m, k, n) = (a.rows, a.cols, b.rows);
-    let mut out = Matrix::zeros(m, n);
-    let body = |r0: usize, chunk: &mut [f32]| {
-        let rows_here = chunk.len() / n;
-        for ri in 0..rows_here {
-            let r = r0 + ri;
-            let a_row = &a.data[r * k..(r + 1) * k];
-            let out_row = &mut chunk[ri * n..(ri + 1) * n];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b.data[c * k..(c + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
+    for r in 0..m {
+        let a_row = &a.data[r * k..(r + 1) * k];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b.data[c * k..(c + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
             }
+            *o = acc;
         }
-    };
-    if m * k * n >= PAR_THRESHOLD {
-        par_chunks_mut(&mut out.data, n, body);
-    } else {
-        body(0, &mut out.data);
     }
+}
+
+/// Naive k-outer `C = A^T @ B` — reference kernel for the parity tests.
+pub fn matmul_tn_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols, b.cols);
+    matmul_tn_naive_into(a, b, &mut out.data);
     out
 }
 
-/// `C = A^T @ B`. Shapes: `(k,m)^T @ (k,n) -> (m,n)`.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows, b.rows, "matmul_tn: inner dim mismatch {:?}^T @ {:?}", a.shape(), b.shape());
+fn matmul_tn_naive_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     let (k, m, n) = (a.rows, a.cols, b.cols);
-    let mut out = Matrix::zeros(m, n);
+    out.fill(0.0);
     // out[r, c] = sum_k a[k, r] * b[k, c]; iterate k outer for contiguity.
     for kk in 0..k {
         let a_row = &a.data[kk * m..(kk + 1) * m];
@@ -294,33 +571,172 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
             if av == 0.0 {
                 continue;
             }
-            let out_row = &mut out.data[r * n..(r + 1) * n];
+            let out_row = &mut out[r * n..(r + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
     }
+}
+
+/// `C = A @ B`. Shapes: `(m,k) @ (k,n) -> (m,n)`.
+pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    matmul_nn_into(a, b, &mut out);
     out
+}
+
+/// `C = A @ B` into a pre-shaped output (scratch-reuse path).
+pub fn matmul_nn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols,
+        b.rows,
+        "matmul_nn: inner dim mismatch {:?} @ {:?}",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows, b.cols),
+        "matmul_nn_into: bad output shape"
+    );
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    if m * k * n < TILE_THRESHOLD {
+        matmul_nn_naive_into(a, b, &mut out.data);
+    } else {
+        gemm(
+            &mut out.data,
+            m,
+            k,
+            n,
+            &a.data,
+            Layout::RowMajor,
+            &b.data,
+            Layout::RowMajor,
+        );
+    }
+}
+
+/// `C = A @ B^T`. Shapes: `(m,k) @ (n,k)^T -> (m,n)`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.rows);
+    matmul_nt_into(a, b, &mut out);
+    out
+}
+
+/// `C = A @ B^T` into a pre-shaped output (scratch-reuse path).
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols,
+        b.cols,
+        "matmul_nt: inner dim mismatch {:?} @ {:?}^T",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows, b.rows),
+        "matmul_nt_into: bad output shape"
+    );
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    if m * k * n < TILE_THRESHOLD {
+        matmul_nt_naive_into(a, b, &mut out.data);
+    } else {
+        gemm(
+            &mut out.data,
+            m,
+            k,
+            n,
+            &a.data,
+            Layout::RowMajor,
+            &b.data,
+            Layout::Transposed,
+        );
+    }
+}
+
+/// `C = A^T @ B`. Shapes: `(k,m)^T @ (k,n) -> (m,n)`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols, b.cols);
+    matmul_tn_into(a, b, &mut out);
+    out
+}
+
+/// `C = A^T @ B` into a pre-shaped output (scratch-reuse path).
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.rows,
+        b.rows,
+        "matmul_tn: inner dim mismatch {:?}^T @ {:?}",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.cols, b.cols),
+        "matmul_tn_into: bad output shape"
+    );
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    if m * k * n < TILE_THRESHOLD {
+        matmul_tn_naive_into(a, b, &mut out.data);
+    } else {
+        gemm(
+            &mut out.data,
+            m,
+            k,
+            n,
+            &a.data,
+            Layout::Transposed,
+            &b.data,
+            Layout::RowMajor,
+        );
+    }
 }
 
 /// Row-gather: `out[i, :] = x[idx[i], :]`.
 pub fn gather_rows(x: &Matrix, idx: &[u32]) -> Matrix {
+    let mut out = Matrix::zeros(idx.len(), x.cols);
+    gather_rows_into(x, idx, &mut out);
+    out
+}
+
+/// [`gather_rows`] into a pre-shaped output (scratch-reuse path). Every
+/// output element is overwritten.
+pub fn gather_rows_into(x: &Matrix, idx: &[u32], out: &mut Matrix) {
     let cols = x.cols;
-    let mut out = Matrix::zeros(idx.len(), cols);
+    assert_eq!(
+        out.shape(),
+        (idx.len(), cols),
+        "gather_rows_into: bad output shape"
+    );
     for (i, &r) in idx.iter().enumerate() {
         let r = r as usize;
-        debug_assert!(r < x.rows, "gather_rows: index {} out of {} rows", r, x.rows);
+        debug_assert!(
+            r < x.rows,
+            "gather_rows: index {} out of {} rows",
+            r,
+            x.rows
+        );
         out.data[i * cols..(i + 1) * cols].copy_from_slice(&x.data[r * cols..(r + 1) * cols]);
     }
-    out
 }
 
 /// Row-scatter-add: `out[idx[i], :] += x[i, :]` into a zero matrix with
 /// `out_rows` rows. Inverse (adjoint) of [`gather_rows`].
 pub fn scatter_add_rows(x: &Matrix, idx: &[u32], out_rows: usize) -> Matrix {
+    let mut out = Matrix::zeros(out_rows, x.cols);
+    scatter_add_rows_into(x, idx, &mut out);
+    out
+}
+
+/// [`scatter_add_rows`] into a pre-shaped output (scratch-reuse path).
+/// Zeroes `out` before accumulating.
+pub fn scatter_add_rows_into(x: &Matrix, idx: &[u32], out: &mut Matrix) {
     assert_eq!(x.rows, idx.len(), "scatter_add_rows: row/index mismatch");
     let cols = x.cols;
-    let mut out = Matrix::zeros(out_rows, cols);
+    assert_eq!(out.cols, cols, "scatter_add_rows_into: col mismatch");
+    out.data.fill(0.0);
+    let out_rows = out.rows;
     for (i, &r) in idx.iter().enumerate() {
         let r = r as usize;
         debug_assert!(r < out_rows);
@@ -330,7 +746,38 @@ pub fn scatter_add_rows(x: &Matrix, idx: &[u32], out_rows: usize) -> Matrix {
             *d += *s;
         }
     }
-    out
+}
+
+/// Fast `e^x` for `f32`: range-reduced `2^z` with a degree-7 polynomial
+/// for the fraction, evaluated in FMAs that the compiler auto-vectorises
+/// (unlike libm's `expf`, which is an opaque scalar call in every softmax
+/// inner loop). Relative error is ≤ ~2e-6 over the clamped domain
+/// `[-87.3, 88.7]`; inputs outside saturate to 0 / f32::MAX-ish rather
+/// than overflowing the bit trick. NaN inputs produce unspecified finite
+/// garbage (softmax on NaN logits is already meaningless; callers guard
+/// with `has_non_finite`).
+#[inline(always)]
+pub fn fast_exp(x: f32) -> f32 {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    // ln(2)^k / k! for the Taylor expansion of 2^f = e^(f ln 2)
+    const C1: f32 = std::f32::consts::LN_2;
+    #[allow(clippy::excessive_precision)]
+    const C2: f32 = 0.240_226_506_9;
+    const C3: f32 = 0.055_504_11;
+    const C4: f32 = 0.009_618_13;
+    #[allow(clippy::excessive_precision)]
+    const C5: f32 = 0.001_333_355_8;
+    #[allow(clippy::excessive_precision)]
+    const C6: f32 = 0.000_154_035_3;
+    #[allow(clippy::excessive_precision)]
+    const C7: f32 = 0.000_015_252_73;
+    let x = x.clamp(-87.3, 88.7);
+    let z = x * LOG2_E;
+    let zf = z.floor();
+    let f = z - zf;
+    let p = 1.0 + f * (C1 + f * (C2 + f * (C3 + f * (C4 + f * (C5 + f * (C6 + f * C7))))));
+    let scale = f32::from_bits((((zf as i32) + 127) << 23) as u32);
+    scale * p
 }
 
 /// Softmax within segments. `scores` is a column vector (Ex1); `seg[i]`
@@ -353,13 +800,17 @@ pub fn segment_softmax(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matri
     let mut out = Matrix::zeros(scores.rows, 1);
     let mut denom = vec![0.0f64; n_segments];
     for (i, &s) in seg.iter().enumerate() {
-        let e = (scores.data[i] - max[s as usize]).exp();
+        let e = fast_exp(scores.data[i] - max[s as usize]);
         out.data[i] = e;
         denom[s as usize] += e as f64;
     }
     for (i, &s) in seg.iter().enumerate() {
         let d = denom[s as usize];
-        out.data[i] = if d > 0.0 { (out.data[i] as f64 / d) as f32 } else { 0.0 };
+        out.data[i] = if d > 0.0 {
+            (out.data[i] as f64 / d) as f32
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -394,14 +845,25 @@ pub fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Horizontally concatenate two matrices with equal row counts.
 pub fn concat_cols(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows, b.rows, "concat_cols: row mismatch");
     let mut out = Matrix::zeros(a.rows, a.cols + b.cols);
+    concat_cols_into(a, b, &mut out);
+    out
+}
+
+/// [`concat_cols`] into a pre-shaped output (scratch-reuse path). Every
+/// output element is overwritten.
+pub fn concat_cols_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.rows, b.rows, "concat_cols: row mismatch");
+    assert_eq!(
+        out.shape(),
+        (a.rows, a.cols + b.cols),
+        "concat_cols_into: bad output shape"
+    );
     for r in 0..a.rows {
         out.data[r * (a.cols + b.cols)..r * (a.cols + b.cols) + a.cols].copy_from_slice(a.row(r));
         out.data[r * (a.cols + b.cols) + a.cols..(r + 1) * (a.cols + b.cols)]
             .copy_from_slice(b.row(r));
     }
-    out
 }
 
 /// Vertically stack matrices with equal column counts.
@@ -417,8 +879,10 @@ pub fn concat_rows(mats: &[&Matrix]) -> Matrix {
     Matrix { rows, cols, data }
 }
 
-/// Row-wise softmax (used by decoders over candidate sets).
-pub fn softmax_rows(x: &Matrix) -> Matrix {
+/// Scalar reference row-softmax (libm `exp`, f64 normalisation) — kept as
+/// the parity baseline for [`softmax_rows`], which replaces it on the hot
+/// path with vectorised [`fast_exp`] passes.
+pub fn softmax_rows_naive(x: &Matrix) -> Matrix {
     let mut out = x.clone();
     for r in 0..x.rows {
         let row = out.row_mut(r);
@@ -435,6 +899,51 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// Row-wise softmax (used by decoders over candidate sets).
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// [`softmax_rows`] into a pre-shaped output (scratch-reuse path).
+pub fn softmax_rows_into(x: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        x.shape(),
+        out.shape(),
+        "softmax_rows_into: bad output shape"
+    );
+    out.data.copy_from_slice(&x.data);
+    softmax_rows_inplace(out);
+}
+
+fn softmax_rows_inplace(out: &mut Matrix) {
+    for r in 0..out.rows {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // three separate passes so the exp and scale loops auto-vectorise
+        // (a fused f64 accumulator in the exp loop forces scalar code)
+        for v in row.iter_mut() {
+            *v = fast_exp(*v - max);
+        }
+        let mut lanes = [0.0f32; 8];
+        let mut chunks = row.chunks_exact(8);
+        for ch in &mut chunks {
+            for (l, &v) in lanes.iter_mut().zip(ch) {
+                *l += v;
+            }
+        }
+        let denom = lanes.iter().map(|&l| l as f64).sum::<f64>()
+            + chunks.remainder().iter().map(|&v| v as f64).sum::<f64>();
+        if denom > 0.0 {
+            let inv = (1.0 / denom) as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -498,8 +1007,18 @@ mod tests {
         let y = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.5);
         let g = gather_rows(&x, &idx);
         let s = scatter_add_rows(&y, &idx, 5);
-        let lhs: f64 = g.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
-        let rhs: f64 = x.as_slice().iter().zip(s.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
+        let lhs: f64 = g
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(s.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-6);
     }
 

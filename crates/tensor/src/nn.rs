@@ -3,7 +3,7 @@
 //! [`ParamStore`] at construction and replays them onto a [`Tape`] per
 //! forward pass.
 
-use crate::init::{xavier_uniform, normal_matrix};
+use crate::init::{normal_matrix, xavier_uniform};
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
@@ -54,7 +54,12 @@ impl Linear {
     ) -> Self {
         let w = store.create(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
         let b = Some(store.create(format!("{name}.b"), Matrix::zeros(1, out_dim)));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Create without a bias term.
@@ -66,7 +71,12 @@ impl Linear {
         out_dim: usize,
     ) -> Self {
         let w = store.create(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
-        Linear { w, b: None, in_dim, out_dim }
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward: `x (Rxin) -> (Rxout)`.

@@ -23,7 +23,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with the conventional defaults (`beta1=0.9, beta2=0.999`).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken.
@@ -55,22 +64,31 @@ impl Adam {
         let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for (id, g) in grads.iter() {
             let shape = store.value(id).shape();
-            assert_eq!(g.shape(), shape, "gradient/param shape mismatch for {}", store.name(id));
+            assert_eq!(
+                g.shape(),
+                shape,
+                "gradient/param shape mismatch for {}",
+                store.name(id)
+            );
             let (m, v) = self.slot(id, shape);
             let p = store.value_mut(id);
             let pd = p.as_mut_slice();
             let md = m.as_mut_slice();
             let vd = v.as_mut_slice();
             let gd = g.as_slice();
+            // weight decay hoisted out of the update loop so the fused
+            // moment/update loop below stays branch-free and vectorises
+            if wd > 0.0 {
+                for p in pd.iter_mut() {
+                    *p -= lr * wd * *p;
+                }
+            }
             for i in 0..pd.len() {
                 let gi = gd[i];
                 md[i] = b1 * md[i] + (1.0 - b1) * gi;
                 vd[i] = b2 * vd[i] + (1.0 - b2) * gi * gi;
                 let mhat = md[i] / bc1;
                 let vhat = vd[i] / bc2;
-                if wd > 0.0 {
-                    pd[i] -= lr * wd * pd[i];
-                }
                 pd[i] -= lr * mhat / (vhat.sqrt() + eps);
             }
         }
@@ -87,11 +105,19 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
@@ -102,8 +128,7 @@ impl Sgd {
             }
             let p = store.value_mut(id);
             if self.momentum > 0.0 {
-                let vel = self.velocity[i]
-                    .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+                let vel = self.velocity[i].get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
                 for (vv, &gg) in vel.as_mut_slice().iter_mut().zip(g.as_slice()) {
                     *vv = self.momentum * *vv + gg;
                 }

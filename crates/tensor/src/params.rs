@@ -42,7 +42,10 @@ impl ParamStore {
 
     /// Register a parameter with a diagnostic name; returns its handle.
     pub fn create(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
-        self.entries.push(Entry { name: name.into(), value });
+        self.entries.push(Entry {
+            name: name.into(),
+            value,
+        });
         ParamId(self.entries.len() - 1)
     }
 

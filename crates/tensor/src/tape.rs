@@ -12,10 +12,11 @@
 //! KL). Fused losses keep the tape short and sidestep `log(0)`.
 
 use crate::matrix::{
-    concat_cols, gather_rows, matmul_nn, matmul_nt, matmul_tn, rowwise_dot, scale_rows,
-    scatter_add_rows, segment_softmax, softmax_rows, Matrix,
+    concat_cols_into, fast_exp, gather_rows_into, matmul_nn_into, matmul_nt_into, matmul_tn_into,
+    rowwise_dot, scale_rows, scatter_add_rows_into, segment_softmax, softmax_rows_into, Matrix,
 };
 use crate::params::{ParamId, ParamStore};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the tape that
@@ -54,9 +55,21 @@ enum Op {
     RowwiseDot(Var, Var),
     Sum(Var),
     Mean(Var),
-    SoftmaxXent { logits: Var, probs: Matrix, targets: Rc<Vec<SparseTarget>>, norm: f32 },
-    BceWithLogits { logits: Var, targets: Rc<Matrix> },
-    KlNormal { mu: Var, logvar: Var, scale: f32 },
+    SoftmaxXent {
+        logits: Var,
+        probs: Matrix,
+        targets: Rc<Vec<SparseTarget>>,
+        norm: f32,
+    },
+    BceWithLogits {
+        logits: Var,
+        targets: Rc<Matrix>,
+    },
+    KlNormal {
+        mu: Var,
+        logvar: Var,
+        scale: f32,
+    },
 }
 
 struct Node {
@@ -106,10 +119,88 @@ impl Gradients {
     }
 }
 
+/// Scratch buffers bucketed by **power-of-two size class**, with a hard
+/// retention cap.
+///
+/// Sampled batches produce slightly different matrix shapes every step,
+/// so exact-size bucketing almost never hits and the pool degenerates
+/// into an unbounded graveyard (measured: step time tripled within four
+/// steps from the growing RSS). Size classes make near-miss shapes share
+/// buffers; the cap bounds worst-case retention.
+struct ScratchPool {
+    /// `buckets[c]` holds buffers whose capacity is in `[2^c, 2^(c+1))` —
+    /// i.e. they can serve any request of up to `2^c` elements.
+    buckets: std::collections::HashMap<u32, Vec<Vec<f32>>>,
+    /// Total f32 elements currently retained across all buckets.
+    retained: usize,
+}
+
+/// Retention cap: 16 Mi f32 = 64 MiB of scratch. Beyond this, released
+/// buffers are simply freed.
+const POOL_CAP_ELEMS: usize = 16 << 20;
+
+impl ScratchPool {
+    fn new() -> Self {
+        ScratchPool {
+            buckets: std::collections::HashMap::new(),
+            retained: 0,
+        }
+    }
+
+    /// Pop a buffer able to hold `need` elements, sized to exactly `need`,
+    /// zero-filled.
+    fn take_zeroed(&mut self, need: usize) -> Vec<f32> {
+        let mut buf = self.take_full(need);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Pop a buffer able to hold `need` elements, sized to exactly `need`,
+    /// with **arbitrary (stale but initialised) contents** — for callers
+    /// that overwrite every element. Skipping the zero-fill here removes
+    /// one full memset per intermediate matrix per step.
+    fn take_full(&mut self, need: usize) -> Vec<f32> {
+        let class = usize::BITS - need.next_power_of_two().leading_zeros() - 1;
+        match self.buckets.get_mut(&class).and_then(Vec::pop) {
+            Some(mut buf) => {
+                self.retained -= buf.capacity();
+                if buf.len() >= need {
+                    buf.truncate(need);
+                } else {
+                    // extend only the (typically small) tail delta
+                    buf.resize(need, 0.0);
+                }
+                buf
+            }
+            None => vec![0.0; need],
+        }
+    }
+
+    /// Return a buffer to its size class, or free it when over the cap.
+    fn put(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 || self.retained + cap > POOL_CAP_ELEMS {
+            return;
+        }
+        let class = usize::BITS - cap.leading_zeros() - 1;
+        self.retained += cap;
+        self.buckets.entry(class).or_default().push(buf);
+    }
+}
+
 /// Records a forward pass and differentiates it.
+///
+/// The tape owns a **scratch pool** ([`ScratchPool`]) that node values and
+/// backward intermediates are allocated from. Calling [`Tape::clear`]
+/// between steps returns every node's buffer to the pool, so a training
+/// loop that reuses one tape recycles its buffers step over step instead
+/// of hammering the allocator (the seed implementation built a fresh
+/// `Tape` — and reallocated every intermediate — per epoch).
 pub struct Tape {
     nodes: Vec<Node>,
     n_params: usize,
+    /// RefCell so `backward(&self)` can draw from the pool too.
+    pool: RefCell<ScratchPool>,
 }
 
 impl Default for Tape {
@@ -120,11 +211,56 @@ impl Default for Tape {
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(64), n_params: 0 }
+        Tape {
+            nodes: Vec::with_capacity(64),
+            n_params: 0,
+            pool: RefCell::new(ScratchPool::new()),
+        }
+    }
+
+    /// Allocate a zero-filled matrix from the scratch pool.
+    fn alloc(&self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.pool.borrow_mut().take_zeroed(rows * cols);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Allocate a matrix whose every element the caller will overwrite;
+    /// pooled buffers keep their stale contents (no memset).
+    fn alloc_full(&self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.pool.borrow_mut().take_full(rows * cols);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Drop all recorded nodes, returning their buffers to the scratch
+    /// pool. The tape is ready to record a fresh forward pass.
+    pub fn clear(&mut self) {
+        let pool = self.pool.get_mut();
+        for node in self.nodes.drain(..) {
+            pool.put(node.value.into_vec());
+            // the xent op privately holds the probs matrix — usually the
+            // largest per-step intermediate; recycle it as well
+            if let Op::SoftmaxXent { probs, .. } = node.op {
+                pool.put(probs.into_vec());
+            }
+        }
+        self.n_params = 0;
+    }
+
+    /// Return consumed gradient buffers to the scratch pool (call after
+    /// the optimizer step; the next backward reuses them).
+    pub fn recycle(&self, grads: Gradients) {
+        let mut pool = self.pool.borrow_mut();
+        for g in grads.grads.into_iter().flatten() {
+            pool.put(g.into_vec());
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -160,12 +296,36 @@ impl Tape {
     /// store. Gradients flow into the returned slot of [`Gradients`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
         self.n_params = self.n_params.max(id.index() + 1);
-        self.push(store.value(id).clone(), Op::Param(id), true)
+        let src = store.value(id);
+        // copy via the scratch pool rather than `clone` — embedding tables
+        // are the largest per-step allocations of the seed implementation
+        let mut v = self.alloc_full(src.rows(), src.cols());
+        v.as_mut_slice().copy_from_slice(src.as_slice());
+        self.push(v, Op::Param(id), true)
+    }
+
+    /// Allocate-and-fill helper for element-wise unary ops.
+    fn map_op(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let (r, c) = self.shape(x);
+        let mut v = self.alloc_full(r, c);
+        self.value(x).map_into(f, &mut v);
+        let ng = self.needs(x);
+        self.push(v, op, ng)
+    }
+
+    /// Allocate-and-fill helper for element-wise binary ops.
+    fn zip_op(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        let (r, c) = self.shape(a);
+        let mut v = self.alloc_full(r, c);
+        self.value(a).zip_into(self.value(b), f, &mut v);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, op, ng)
     }
 
     /// `a @ b`
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul_nn(self.value(a), self.value(b));
+        let mut v = self.alloc_full(self.value(a).rows(), self.value(b).cols());
+        matmul_nn_into(self.value(a), self.value(b), &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::MatMul(a, b), ng)
     }
@@ -173,48 +333,54 @@ impl Tape {
     /// `a @ b^T` — scores every row of `a` against every row of `b`
     /// (candidate-set decoding uses this with `b` = gathered decoder rows).
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul_nt(self.value(a), self.value(b));
+        let mut v = self.alloc_full(self.value(a).rows(), self.value(b).rows());
+        matmul_nt_into(self.value(a), self.value(b), &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::MatMulNT(a, b), ng)
     }
 
     /// Transposed copy of `x`.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let v = self.value(x).transpose();
+        let (r, c) = self.shape(x);
+        let mut v = self.alloc_full(c, r);
+        let src = self.value(x);
+        for i in 0..r {
+            for (j, &s) in src.row(i).iter().enumerate() {
+                v.set(j, i, s);
+            }
+        }
         let ng = self.needs(x);
         self.push(v, Op::Transpose(x), ng)
     }
 
     /// Element-wise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
-        let ng = self.needs(a) || self.needs(b);
-        self.push(v, Op::Add(a, b), ng)
+        assert_eq!(self.shape(a), self.shape(b), "add: shape mismatch");
+        self.zip_op(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Element-wise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
-        let ng = self.needs(a) || self.needs(b);
-        self.push(v, Op::Sub(a, b), ng)
+        assert_eq!(self.shape(a), self.shape(b), "sub: shape mismatch");
+        self.zip_op(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Hadamard product `a * b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
-        let ng = self.needs(a) || self.needs(b);
-        self.push(v, Op::Mul(a, b), ng)
+        assert_eq!(self.shape(a), self.shape(b), "mul: shape mismatch");
+        self.zip_op(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// `x + bias` where `bias` is `1xC` broadcast over the rows of `x`.
     pub fn add_row(&mut self, x: Var, bias: Var) -> Var {
         let (xr, xc) = self.shape(x);
         assert_eq!(self.shape(bias), (1, xc), "add_row: bias must be 1x{xc}");
-        let mut v = self.value(x).clone();
-        let b = self.value(bias).as_slice().to_vec();
+        let mut v = self.alloc_full(xr, xc);
+        let x_val = self.value(x);
+        let b_val = self.value(bias);
         for r in 0..xr {
-            for (val, bb) in v.row_mut(r).iter_mut().zip(&b) {
-                *val += *bb;
+            for ((o, &xv), &bv) in v.row_mut(r).iter_mut().zip(x_val.row(r)).zip(b_val.row(0)) {
+                *o = xv + bv;
             }
         }
         let ng = self.needs(x) || self.needs(bias);
@@ -223,59 +389,62 @@ impl Tape {
 
     /// `c * x` for a compile-time constant scalar.
     pub fn scale(&mut self, x: Var, c: f32) -> Var {
-        let v = self.value(x).map(|t| c * t);
-        let ng = self.needs(x);
-        self.push(v, Op::Scale(x, c), ng)
+        self.map_op(x, Op::Scale(x, c), |t| c * t)
     }
 
     /// LeakyReLU with negative slope `alpha` (paper uses 0.2 in Eq. 5).
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let v = self.value(x).map(|t| if t >= 0.0 { t } else { alpha * t });
-        let ng = self.needs(x);
-        self.push(v, Op::LeakyRelu(x, alpha), ng)
+        self.map_op(x, Op::LeakyRelu(x, alpha), |t| {
+            if t >= 0.0 {
+                t
+            } else {
+                alpha * t
+            }
+        })
     }
 
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|t| t.max(0.0));
-        let ng = self.needs(x);
-        self.push(v, Op::Relu(x), ng)
+        self.map_op(x, Op::Relu(x), |t| t.max(0.0))
     }
 
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
-        let ng = self.needs(x);
-        self.push(v, Op::Sigmoid(x), ng)
+        self.map_op(x, Op::Sigmoid(x), |t| 1.0 / (1.0 + fast_exp(-t)))
     }
 
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::tanh);
-        let ng = self.needs(x);
-        self.push(v, Op::Tanh(x), ng)
+        self.map_op(x, Op::Tanh(x), f32::tanh)
     }
 
     pub fn exp(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::exp);
-        let ng = self.needs(x);
-        self.push(v, Op::Exp(x), ng)
+        self.map_op(x, Op::Exp(x), fast_exp)
     }
 
     /// `[a | b]` column concatenation.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = concat_cols(self.value(a), self.value(b));
+        let (r, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(r, br, "concat_cols: row mismatch");
+        let mut v = self.alloc_full(r, ac + bc);
+        concat_cols_into(self.value(a), self.value(b), &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::ConcatCols(a, b), ng)
     }
 
     /// `out[i,:] = x[idx[i],:]` (embedding lookup / neighbor gather).
     pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<u32>>) -> Var {
-        let v = gather_rows(self.value(x), &idx);
+        let cols = self.value(x).cols();
+        let mut v = self.alloc_full(idx.len(), cols);
+        gather_rows_into(self.value(x), &idx, &mut v);
         let ng = self.needs(x);
         self.push(v, Op::GatherRows(x, idx), ng)
     }
 
     /// `out[idx[i],:] += x[i,:]` into `out_rows` rows (message aggregation).
     pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<u32>>, out_rows: usize) -> Var {
-        let v = scatter_add_rows(self.value(x), &idx, out_rows);
+        let cols = self.value(x).cols();
+        // scatter_add_rows_into zeroes the buffer before accumulating
+        let mut v = self.alloc_full(out_rows, cols);
+        scatter_add_rows_into(self.value(x), &idx, &mut v);
         let ng = self.needs(x);
         self.push(v, Op::ScatterAddRows(x, idx), ng)
     }
@@ -321,7 +490,9 @@ impl Tape {
     /// `-(1/norm) * sum_t w_t * log p[r_t, c_t]` over sparse targets.
     pub fn softmax_xent(&mut self, logits: Var, targets: Rc<Vec<SparseTarget>>, norm: f32) -> Var {
         assert!(norm > 0.0, "softmax_xent: norm must be positive");
-        let probs = softmax_rows(self.value(logits));
+        let lv = self.value(logits);
+        let mut probs = self.alloc_full(lv.rows(), lv.cols());
+        softmax_rows_into(self.value(logits), &mut probs);
         let mut loss = 0.0f64;
         for &(r, c, w) in targets.iter() {
             let p = probs.get(r as usize, c as usize).max(1e-12);
@@ -329,7 +500,16 @@ impl Tape {
         }
         let v = Matrix::scalar((loss / norm as f64) as f32);
         let ng = self.needs(logits);
-        self.push(v, Op::SoftmaxXent { logits, probs, targets, norm }, ng)
+        self.push(
+            v,
+            Op::SoftmaxXent {
+                logits,
+                probs,
+                targets,
+                norm,
+            },
+            ng,
+        )
     }
 
     /// Fused mean binary cross-entropy with logits (VGAE-family losses).
@@ -365,11 +545,33 @@ impl Tape {
 
     /// Reverse pass from a scalar `loss` node. Returns gradients for every
     /// parameter leaf reachable from the loss.
+    ///
+    /// Intermediate gradients are reference-counted: pass-through ops
+    /// (`Add`, `AddRow`, the lhs of `Sub`) forward the *same* buffer with
+    /// an `Rc` bump instead of a deep copy, and accumulation into a shared
+    /// buffer copies-on-write via [`Rc::make_mut`]. Gradients that an op
+    /// fully consumes are recycled into the tape's scratch pool.
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!(self.shape(loss), (1, 1), "backward: loss must be scalar");
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::scalar(1.0));
-        let mut out = Gradients { grads: (0..self.n_params).map(|_| None).collect() };
+        let mut grads: Vec<Option<Rc<Matrix>>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Rc::new(Matrix::scalar(1.0)));
+        let mut out = Gradients {
+            grads: (0..self.n_params).map(|_| None).collect(),
+        };
+
+        // Accumulate an owned gradient into a node slot (in place when the
+        // slot's buffer is unshared).
+        let accum = |grads: &mut Vec<Option<Rc<Matrix>>>, v: Var, add: Matrix| match &mut grads[v.0]
+        {
+            Some(existing) => Rc::make_mut(existing).add_assign(&add),
+            slot @ None => *slot = Some(Rc::new(add)),
+        };
+        // Forward a shared gradient unchanged (O(1) unless accumulating).
+        let accum_shared =
+            |grads: &mut Vec<Option<Rc<Matrix>>>, v: Var, add: Rc<Matrix>| match &mut grads[v.0] {
+                Some(existing) => Rc::make_mut(existing).add_assign(&add),
+                slot @ None => *slot = Some(add),
+            };
 
         for i in (0..=loss.0).rev() {
             let g = match grads[i].take() {
@@ -379,33 +581,42 @@ impl Tape {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let accum = |grads: &mut Vec<Option<Matrix>>, v: Var, add: Matrix| {
-                match &mut grads[v.0] {
-                    Some(existing) => existing.add_assign(&add),
-                    slot @ None => *slot = Some(add),
-                }
-            };
             match &self.nodes[i].op {
                 Op::Input => {}
-                Op::Param(id) => match &mut out.grads[id.index()] {
-                    Some(existing) => existing.add_assign(&g),
-                    slot @ None => *slot = Some(g),
-                },
+                Op::Param(id) => {
+                    let m = Rc::try_unwrap(g).unwrap_or_else(|rc| (*rc).clone());
+                    match &mut out.grads[id.index()] {
+                        Some(existing) => {
+                            existing.add_assign(&m);
+                            self.pool.borrow_mut().put(m.into_vec());
+                        }
+                        slot @ None => *slot = Some(m),
+                    }
+                    continue;
+                }
                 Op::MatMul(a, b) => {
                     if self.needs(*a) {
-                        accum(&mut grads, *a, matmul_nt(&g, self.value(*b)));
+                        let mut ga = self.alloc_full(g.rows(), self.value(*b).rows());
+                        matmul_nt_into(&g, self.value(*b), &mut ga);
+                        accum(&mut grads, *a, ga);
                     }
                     if self.needs(*b) {
-                        accum(&mut grads, *b, matmul_tn(self.value(*a), &g));
+                        let mut gb = self.alloc_full(self.value(*a).cols(), g.cols());
+                        matmul_tn_into(self.value(*a), &g, &mut gb);
+                        accum(&mut grads, *b, gb);
                     }
                 }
                 Op::MatMulNT(a, b) => {
                     // y = a b^T: da = g b ; db = g^T a
                     if self.needs(*a) {
-                        accum(&mut grads, *a, matmul_nn(&g, self.value(*b)));
+                        let mut ga = self.alloc_full(g.rows(), self.value(*b).cols());
+                        matmul_nn_into(&g, self.value(*b), &mut ga);
+                        accum(&mut grads, *a, ga);
                     }
                     if self.needs(*b) {
-                        accum(&mut grads, *b, matmul_tn(&g, self.value(*a)));
+                        let mut gb = self.alloc_full(g.cols(), self.value(*a).cols());
+                        matmul_tn_into(&g, self.value(*a), &mut gb);
+                        accum(&mut grads, *b, gb);
                     }
                 }
                 Op::Transpose(x) => {
@@ -413,35 +624,38 @@ impl Tape {
                 }
                 Op::Add(a, b) => {
                     if self.needs(*a) {
-                        accum(&mut grads, *a, g.clone());
+                        accum_shared(&mut grads, *a, Rc::clone(&g));
                     }
                     if self.needs(*b) {
-                        accum(&mut grads, *b, g);
+                        accum_shared(&mut grads, *b, Rc::clone(&g));
                     }
                 }
                 Op::Sub(a, b) => {
-                    if self.needs(*a) {
-                        accum(&mut grads, *a, g.clone());
-                    }
                     if self.needs(*b) {
-                        accum(&mut grads, *b, g.map(|x| -x));
+                        let mut gb = self.alloc_full(g.rows(), g.cols());
+                        g.map_into(|x| -x, &mut gb);
+                        accum(&mut grads, *b, gb);
+                    }
+                    if self.needs(*a) {
+                        accum_shared(&mut grads, *a, Rc::clone(&g));
                     }
                 }
                 Op::Mul(a, b) => {
                     if self.needs(*a) {
-                        accum(&mut grads, *a, g.zip(self.value(*b), |x, y| x * y));
+                        let mut ga = self.alloc_full(g.rows(), g.cols());
+                        g.zip_into(self.value(*b), |x, y| x * y, &mut ga);
+                        accum(&mut grads, *a, ga);
                     }
                     if self.needs(*b) {
-                        accum(&mut grads, *b, g.zip(self.value(*a), |x, y| x * y));
+                        let mut gb = self.alloc_full(g.rows(), g.cols());
+                        g.zip_into(self.value(*a), |x, y| x * y, &mut gb);
+                        accum(&mut grads, *b, gb);
                     }
                 }
                 Op::AddRow(x, bias) => {
-                    if self.needs(*x) {
-                        accum(&mut grads, *x, g.clone());
-                    }
                     if self.needs(*bias) {
                         let cols = g.cols();
-                        let mut bg = Matrix::zeros(1, cols);
+                        let mut bg = self.alloc(1, cols);
                         for r in 0..g.rows() {
                             for (o, &v) in bg.row_mut(0).iter_mut().zip(g.row(r)) {
                                 *o += v;
@@ -449,47 +663,62 @@ impl Tape {
                         }
                         accum(&mut grads, *bias, bg);
                     }
+                    if self.needs(*x) {
+                        accum_shared(&mut grads, *x, Rc::clone(&g));
+                    }
                 }
                 Op::Scale(x, c) => {
                     let c = *c;
-                    accum(&mut grads, *x, g.map(|v| c * v));
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.map_into(|v| c * v, &mut gx);
+                    accum(&mut grads, *x, gx);
                 }
                 Op::LeakyRelu(x, alpha) => {
                     let a = *alpha;
-                    let gx = g.zip(self.value(*x), |gv, xv| if xv >= 0.0 { gv } else { a * gv });
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.zip_into(
+                        self.value(*x),
+                        |gv, xv| if xv >= 0.0 { gv } else { a * gv },
+                        &mut gx,
+                    );
                     accum(&mut grads, *x, gx);
                 }
                 Op::Relu(x) => {
-                    let gx = g.zip(self.value(*x), |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.zip_into(
+                        self.value(*x),
+                        |gv, xv| if xv > 0.0 { gv } else { 0.0 },
+                        &mut gx,
+                    );
                     accum(&mut grads, *x, gx);
                 }
                 Op::Sigmoid(x) => {
-                    let y = &self.nodes[i].value;
-                    let gx = g.zip(y, |gv, yv| gv * yv * (1.0 - yv));
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.zip_into(&self.nodes[i].value, |gv, yv| gv * yv * (1.0 - yv), &mut gx);
                     accum(&mut grads, *x, gx);
                 }
                 Op::Tanh(x) => {
-                    let y = &self.nodes[i].value;
-                    let gx = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.zip_into(&self.nodes[i].value, |gv, yv| gv * (1.0 - yv * yv), &mut gx);
                     accum(&mut grads, *x, gx);
                 }
                 Op::Exp(x) => {
-                    let y = &self.nodes[i].value;
-                    let gx = g.zip(y, |gv, yv| gv * yv);
+                    let mut gx = self.alloc_full(g.rows(), g.cols());
+                    g.zip_into(&self.nodes[i].value, |gv, yv| gv * yv, &mut gx);
                     accum(&mut grads, *x, gx);
                 }
                 Op::ConcatCols(a, b) => {
                     let ac = self.value(*a).cols();
                     let bc = self.value(*b).cols();
                     if self.needs(*a) {
-                        let mut ga = Matrix::zeros(g.rows(), ac);
+                        let mut ga = self.alloc_full(g.rows(), ac);
                         for r in 0..g.rows() {
                             ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
                         }
                         accum(&mut grads, *a, ga);
                     }
                     if self.needs(*b) {
-                        let mut gb = Matrix::zeros(g.rows(), bc);
+                        let mut gb = self.alloc_full(g.rows(), bc);
                         for r in 0..g.rows() {
                             gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
                         }
@@ -498,10 +727,14 @@ impl Tape {
                 }
                 Op::GatherRows(x, idx) => {
                     let rows = self.value(*x).rows();
-                    accum(&mut grads, *x, scatter_add_rows(&g, idx, rows));
+                    let mut gx = self.alloc_full(rows, g.cols());
+                    scatter_add_rows_into(&g, idx, &mut gx);
+                    accum(&mut grads, *x, gx);
                 }
                 Op::ScatterAddRows(x, idx) => {
-                    accum(&mut grads, *x, gather_rows(&g, idx));
+                    let mut gx = self.alloc_full(idx.len(), g.cols());
+                    gather_rows_into(&g, idx, &mut gx);
+                    accum(&mut grads, *x, gx);
                 }
                 Op::SegmentSoftmax(scores, seg) => {
                     // y_i = softmax within segment; dL/ds_i = y_i*(g_i - sum_j_in_seg g_j*y_j)
@@ -509,10 +742,9 @@ impl Tape {
                     let n_seg = seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
                     let mut dot = vec![0.0f64; n_seg];
                     for (j, &s) in seg.iter().enumerate() {
-                        dot[s as usize] +=
-                            g.as_slice()[j] as f64 * y.as_slice()[j] as f64;
+                        dot[s as usize] += g.as_slice()[j] as f64 * y.as_slice()[j] as f64;
                     }
-                    let mut gx = Matrix::zeros(y.rows(), 1);
+                    let mut gx = self.alloc_full(y.rows(), 1);
                     for (j, &s) in seg.iter().enumerate() {
                         let yj = y.as_slice()[j] as f64;
                         gx.as_mut_slice()[j] =
@@ -538,21 +770,30 @@ impl Tape {
                 }
                 Op::Sum(x) => {
                     let (r, c) = self.shape(*x);
-                    accum(&mut grads, *x, Matrix::full(r, c, g.item()));
+                    let mut gx = self.alloc_full(r, c);
+                    gx.as_mut_slice().fill(g.item());
+                    accum(&mut grads, *x, gx);
                 }
                 Op::Mean(x) => {
                     let (r, c) = self.shape(*x);
                     let n = (r * c).max(1) as f32;
-                    accum(&mut grads, *x, Matrix::full(r, c, g.item() / n));
+                    let mut gx = self.alloc_full(r, c);
+                    gx.as_mut_slice().fill(g.item() / n);
+                    accum(&mut grads, *x, gx);
                 }
-                Op::SoftmaxXent { logits, probs, targets, norm } => {
+                Op::SoftmaxXent {
+                    logits,
+                    probs,
+                    targets,
+                    norm,
+                } => {
                     let go = g.item() / norm;
                     let (r, c) = probs.shape();
                     let mut row_w = vec![0.0f32; r];
                     for &(rr, _, w) in targets.iter() {
                         row_w[rr as usize] += w;
                     }
-                    let mut gx = Matrix::zeros(r, c);
+                    let mut gx = self.alloc(r, c);
                     for (rr, &rw) in row_w.iter().enumerate() {
                         if rw == 0.0 {
                             continue;
@@ -572,22 +813,30 @@ impl Tape {
                     let lv = self.value(*logits);
                     let n = lv.len().max(1) as f32;
                     let go = g.item() / n;
-                    let gx = lv.zip(targets, |z, y| go * (1.0 / (1.0 + (-z).exp()) - y));
+                    let mut gx = self.alloc_full(lv.rows(), lv.cols());
+                    lv.zip_into(targets, |z, y| go * (1.0 / (1.0 + (-z).exp()) - y), &mut gx);
                     accum(&mut grads, *logits, gx);
                 }
                 Op::KlNormal { mu, logvar, scale } => {
                     let go = g.item() * *scale;
                     if self.needs(*mu) {
-                        accum(&mut grads, *mu, self.value(*mu).map(|m| go * m));
+                        let mv = self.value(*mu);
+                        let mut gx = self.alloc_full(mv.rows(), mv.cols());
+                        mv.map_into(|m| go * m, &mut gx);
+                        accum(&mut grads, *mu, gx);
                     }
                     if self.needs(*logvar) {
-                        accum(
-                            &mut grads,
-                            *logvar,
-                            self.value(*logvar).map(|l| 0.5 * go * (l.exp() - 1.0)),
-                        );
+                        let lvv = self.value(*logvar);
+                        let mut gx = self.alloc_full(lvv.rows(), lvv.cols());
+                        lvv.map_into(|l| 0.5 * go * (l.exp() - 1.0), &mut gx);
+                        accum(&mut grads, *logvar, gx);
                     }
                 }
+            }
+            // The gradient for node i has been fully consumed; if nothing
+            // else holds the buffer, return it to the scratch pool.
+            if let Ok(m) = Rc::try_unwrap(g) {
+                self.pool.borrow_mut().put(m.into_vec());
             }
         }
         out
@@ -639,7 +888,9 @@ mod tests {
     fn test_matrix(rows: usize, cols: usize) -> Matrix {
         // Offset keeps values away from activation kinks (x = 0 exactly),
         // where one-sided numeric gradients disagree with the subgradient.
-        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.7 + 0.31).sin() * 0.5)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.7 + 0.31).sin() * 0.5
+        })
     }
 
     #[test]
@@ -780,7 +1031,12 @@ mod tests {
     #[test]
     fn grad_softmax_xent() {
         grad_check(test_matrix(3, 5), |t, w| {
-            let targets = Rc::new(vec![(0u32, 1u32, 1.0f32), (1, 4, 2.0), (2, 0, 1.0), (0, 3, 0.5)]);
+            let targets = Rc::new(vec![
+                (0u32, 1u32, 1.0f32),
+                (1, 4, 2.0),
+                (2, 0, 1.0),
+                (0, 3, 0.5),
+            ]);
             t.softmax_xent(w, targets, 3.0)
         });
     }

@@ -1,12 +1,15 @@
 //! Property-based tests for the tensor substrate: algebraic identities of
-//! the raw kernels and gradient-correctness properties of the tape.
+//! the raw kernels, gradient-correctness properties of the tape, and
+//! parity of the optimised paths (tiled matmul, pooled parallelism)
+//! against their scalar reference implementations.
 
 use proptest::prelude::*;
 use std::rc::Rc;
 use tg_tensor::matrix::{
-    concat_cols, gather_rows, matmul_nn, matmul_nt, matmul_tn, scatter_add_rows,
-    segment_softmax, softmax_rows, Matrix,
+    concat_cols, gather_rows, matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn,
+    matmul_tn_naive, scatter_add_rows, segment_softmax, softmax_rows, softmax_rows_naive, Matrix,
 };
+use tg_tensor::parallel::{par_chunks_mut, par_map, ThreadPin};
 use tg_tensor::prelude::*;
 
 /// Strategy: a matrix with bounded entries.
@@ -18,7 +21,10 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
     assert_eq!(a.shape(), b.shape());
     for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
     }
 }
 
@@ -179,5 +185,114 @@ proptest! {
         let mut opt = Adam::new(0.1);
         opt.step(&mut store, &grads);
         prop_assert_eq!(store.value(id), &w0);
+    }
+
+    /// Tiled/dispatched matmul variants match the scalar reference on
+    /// randomized shapes large enough to take the packed path.
+    #[test]
+    fn tiled_matmul_matches_naive(
+        dims in (1usize..40, 1usize..40, 1usize..40),
+        scale in 0.5f32..2.0,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.1 * scale - 1.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.1 * scale - 0.9);
+        assert_close(&matmul_nn(&a, &b), &matmul_nn_naive(&a, &b), 1e-4);
+        let bt = Matrix::from_fn(n, k, |r, c| ((r * 11 + c * 3) % 17) as f32 * 0.1 * scale - 0.8);
+        assert_close(&matmul_nt(&a, &bt), &matmul_nt_naive(&a, &bt), 1e-4);
+        let at = Matrix::from_fn(k, m, |r, c| ((r * 7 + c * 29) % 21) as f32 * 0.1 * scale - 0.7);
+        assert_close(&matmul_tn(&at, &b), &matmul_tn_naive(&at, &b), 1e-4);
+    }
+
+    /// Vectorised softmax (fast_exp + lane sums) matches the scalar libm
+    /// reference within float tolerance.
+    #[test]
+    fn fast_softmax_matches_naive(x in arb_matrix(5, 37), shift in -10.0f32..10.0) {
+        let shifted = x.map(|v| v * 8.0 + shift);
+        let fast = softmax_rows(&shifted);
+        let naive = softmax_rows_naive(&shifted);
+        assert_close(&fast, &naive, 1e-4);
+    }
+
+    /// Pooled `par_chunks_mut` computes the same rows as a serial run,
+    /// for any row count and thread split.
+    #[test]
+    fn par_chunks_matches_serial(rows in 1usize..200, cols in 1usize..8, threads in 1usize..9) {
+        let body = |r0: usize, chunk: &mut [f32]| {
+            for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = ((r0 + i) * 31 + j) as f32;
+                }
+            }
+        };
+        let mut serial = vec![0.0f32; rows * cols];
+        body(0, &mut serial);
+        let mut parallel = vec![0.0f32; rows * cols];
+        {
+            let _pin = ThreadPin::new(threads);
+            par_chunks_mut(&mut parallel, cols, body);
+        }
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Pooled `par_map` returns results in input order for any split.
+    #[test]
+    fn par_map_matches_serial(n in 0usize..300, threads in 1usize..9) {
+        let expect: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        let got = {
+            let _pin = ThreadPin::new(threads);
+            par_map(n, |i| i.wrapping_mul(2654435761))
+        };
+        prop_assert_eq!(expect, got);
+    }
+}
+
+/// Fixed-shape parity cases the random generator is unlikely to hit:
+/// degenerate row/column vectors, empty matrices, and exact tile-boundary
+/// shapes (multiples of MR/NR/KC).
+#[test]
+fn tiled_matmul_edge_shapes() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 64, 64), // single row
+        (64, 64, 1), // single column
+        (1, 1, 1),
+        (0, 8, 8),    // empty output rows
+        (8, 0, 8),    // empty inner dimension
+        (8, 8, 0),    // empty output cols
+        (4, 256, 16), // exact MR/KC/NR boundaries
+        (5, 257, 17), // one past each boundary
+        (3, 255, 15), // one short of each boundary
+        (17, 31, 129),
+    ];
+    for &(m, k, n) in shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 3 + c * 11) % 7) as f32 - 3.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 2) % 9) as f32 - 4.0);
+        let tiled = matmul_nn(&a, &b);
+        let naive = matmul_nn_naive(&a, &b);
+        assert_eq!(tiled.shape(), (m, n));
+        for (x, y) in tiled.as_slice().iter().zip(naive.as_slice()) {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "({m},{k},{n}): {x} vs {y}"
+            );
+        }
+        let bt = Matrix::from_fn(n, k, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let tiled = matmul_nt(&a, &bt);
+        let naive = matmul_nt_naive(&a, &bt);
+        for (x, y) in tiled.as_slice().iter().zip(naive.as_slice()) {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "nt ({m},{k},{n})"
+            );
+        }
+        let at = Matrix::from_fn(k, m, |r, c| ((r * 2 + c * 13) % 11) as f32 - 5.0);
+        let tiled = matmul_tn(&at, &b);
+        let naive = matmul_tn_naive(&at, &b);
+        for (x, y) in tiled.as_slice().iter().zip(naive.as_slice()) {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "tn ({m},{k},{n})"
+            );
+        }
     }
 }

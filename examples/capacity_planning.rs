@@ -13,7 +13,9 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use tgx::baselines::{BaGenerator, ErGenerator, TagGenConfig, TagGenGenerator, TemporalGraphGenerator};
+use tgx::baselines::{
+    BaGenerator, ErGenerator, TagGenConfig, TagGenGenerator, TemporalGraphGenerator,
+};
 use tgx::datasets::GridPoint;
 use tgx::prelude::*;
 
@@ -38,11 +40,17 @@ impl TemporalGraphGenerator for TgaeMethod {
 
 fn main() {
     let points: Vec<GridPoint> = (1..=3)
-        .map(|k| GridPoint { nodes: k * 300, timestamps: 8, density: 0.01 })
+        .map(|k| GridPoint {
+            nodes: k * 300,
+            timestamps: 8,
+            density: 0.01,
+        })
         .collect();
 
-    println!("{:<14} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>9}",
-        "point", "nodes", "edges", "TGAE", "TagGen", "E-R", "B-A");
+    println!(
+        "{:<14} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>9}",
+        "point", "nodes", "edges", "TGAE", "TagGen", "E-R", "B-A"
+    );
     for p in &points {
         let g = p.generate(3);
         let mut cells = Vec::new();
@@ -76,5 +84,7 @@ fn main() {
         );
     }
     println!("\nsimple models are near-instant; learned models pay training time —");
-    println!("the full sweep (Fig. 6 reproduction) is `cargo run -p tg-bench --release --bin exp_fig6`");
+    println!(
+        "the full sweep (Fig. 6 reproduction) is `cargo run -p tg-bench --release --bin exp_fig6`"
+    );
 }

@@ -69,10 +69,14 @@ fn main() {
         "variant", "loss", "cascade L1", "tri. rel.err"
     );
     let t_last = observed.n_timestamps() as u32 - 1;
-    let real_tri = GraphStats::compute(&Snapshot::accumulated(&observed, t_last, true))
-        .triangle_count;
+    let real_tri =
+        GraphStats::compute(&Snapshot::accumulated(&observed, t_last, true)).triangle_count;
 
-    for variant in [TgaeVariant::Full, TgaeVariant::RandomWalk, TgaeVariant::NonProbabilistic] {
+    for variant in [
+        TgaeVariant::Full,
+        TgaeVariant::RandomWalk,
+        TgaeVariant::NonProbabilistic,
+    ] {
         let mut cfg = TgaeConfig::default().with_variant(variant);
         cfg.epochs = 60;
         let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
@@ -90,8 +94,8 @@ fn main() {
             .sum::<f64>()
             / real_curve.len() as f64;
 
-        let syn_tri = GraphStats::compute(&Snapshot::accumulated(&synthetic, t_last, true))
-            .triangle_count;
+        let syn_tri =
+            GraphStats::compute(&Snapshot::accumulated(&synthetic, t_last, true)).triangle_count;
         let tri_err = (real_tri - syn_tri).abs() / real_tri.max(1.0);
         println!(
             "{:<8} {:>10.4} {:>14.2} {:>14.3}",

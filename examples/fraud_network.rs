@@ -44,7 +44,11 @@ fn main() {
     cfg.epochs = 80;
     let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
     let report = fit(&mut model, &observed);
-    println!("TGAE trained in {:.2?} (final loss {:.4})", report.wall, report.final_loss());
+    println!(
+        "TGAE trained in {:.2?} (final loss {:.4})",
+        report.wall,
+        report.final_loss()
+    );
     let mut rng = SmallRng::seed_from_u64(2);
     let twin = generate(&model, &observed, &mut rng);
 
@@ -54,8 +58,10 @@ fn main() {
 
     let real_dists: Vec<Vec<f64>> = real_census.iter().map(|c| c.distribution()).collect();
     let motif_mmd = |g: &TemporalGraph| -> f64 {
-        let dists: Vec<Vec<f64>> =
-            census_per_chunk(g, delta, 4).iter().map(|c| c.distribution()).collect();
+        let dists: Vec<Vec<f64>> = census_per_chunk(g, delta, 4)
+            .iter()
+            .map(|c| c.distribution())
+            .collect();
         mmd2_tv(&real_dists, &dists, 1.0)
     };
 
@@ -66,7 +72,10 @@ fn main() {
     println!("  edge shuffling   {er_mmd:.6}");
 
     // Structural fidelity of the final snapshot, the view a fraud model sees.
-    println!("\n{:<16} {:>12} {:>12} {:>12}", "metric", "observed", "TGAE", "shuffled");
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12}",
+        "metric", "observed", "TGAE", "shuffled"
+    );
     let t_last = observed.n_timestamps() as u32 - 1;
     let rows: [(&str, fn(&GraphStats) -> f64); 4] = [
         ("mean degree", |s| s.mean_degree),
@@ -78,7 +87,13 @@ fn main() {
     let st = GraphStats::compute(&Snapshot::accumulated(&twin, t_last, true));
     let se = GraphStats::compute(&Snapshot::accumulated(&shuffled, t_last, true));
     for (name, f) in rows {
-        println!("{:<16} {:>12.2} {:>12.2} {:>12.2}", name, f(&so), f(&st), f(&se));
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            f(&so),
+            f(&st),
+            f(&se)
+        );
     }
 
     if twin_mmd < er_mmd {

@@ -46,7 +46,12 @@ fn main() {
     //    seven graph statistics across accumulated snapshots.
     println!("\n{:<16} {:>10} {:>10}", "metric", "f_avg", "f_med");
     for score in evaluate(&observed, &synthetic) {
-        println!("{:<16} {:>10.4} {:>10.4}", score.kind.name(), score.avg, score.med);
+        println!(
+            "{:<16} {:>10.4} {:>10.4}",
+            score.kind.name(),
+            score.avg,
+            score.med
+        );
     }
 
     // 5. Inspect the final accumulated snapshots side by side.
@@ -54,8 +59,17 @@ fn main() {
     let real = GraphStats::compute(&Snapshot::accumulated(&observed, t_last, true));
     let fake = GraphStats::compute(&Snapshot::accumulated(&synthetic, t_last, true));
     println!("\nfinal snapshot        observed   generated");
-    println!("mean degree        {:>11.3} {:>11.3}", real.mean_degree, fake.mean_degree);
+    println!(
+        "mean degree        {:>11.3} {:>11.3}",
+        real.mean_degree, fake.mean_degree
+    );
     println!("LCC                {:>11.0} {:>11.0}", real.lcc, fake.lcc);
-    println!("triangles          {:>11.0} {:>11.0}", real.triangle_count, fake.triangle_count);
-    println!("components         {:>11.0} {:>11.0}", real.n_components, fake.n_components);
+    println!(
+        "triangles          {:>11.0} {:>11.0}",
+        real.triangle_count, fake.triangle_count
+    );
+    println!(
+        "components         {:>11.0} {:>11.0}",
+        real.n_components, fake.n_components
+    );
 }

@@ -62,11 +62,15 @@ fn walk_based_methods_beat_er_on_motif_mmd() {
     // distribution better than uniform rewiring.
     let g = observed();
     let delta = 2;
-    let real: Vec<Vec<f64>> =
-        census_per_chunk(&g, delta, 3).iter().map(|c| c.distribution()).collect();
+    let real: Vec<Vec<f64>> = census_per_chunk(&g, delta, 3)
+        .iter()
+        .map(|c| c.distribution())
+        .collect();
     let mmd_of = |gen: &TemporalGraph| {
-        let d: Vec<Vec<f64>> =
-            census_per_chunk(gen, delta, 3).iter().map(|c| c.distribution()).collect();
+        let d: Vec<Vec<f64>> = census_per_chunk(gen, delta, 3)
+            .iter()
+            .map(|c| c.distribution())
+            .collect();
         mmd2_tv(&real, &d, 1.0)
     };
     let mut er_rng = SmallRng::seed_from_u64(9);
@@ -93,7 +97,10 @@ fn ba_preserves_degree_tail_better_than_er() {
     let g = observed();
     let ple_err = |name: &str| {
         let mut gens = all_baselines();
-        let b = gens.iter_mut().find(|b| b.name() == name).expect("method exists");
+        let b = gens
+            .iter_mut()
+            .find(|b| b.name() == name)
+            .expect("method exists");
         let mut rng = SmallRng::seed_from_u64(10);
         let out = b.fit_generate(&g, &mut rng);
         evaluate(&g, &out)

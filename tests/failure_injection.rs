@@ -40,14 +40,18 @@ fn handles_sparse_time_axis() {
     fit(&mut model, &g);
     let mut rng = SmallRng::seed_from_u64(2);
     let out = generate(&model, &g, &mut rng);
-    assert_eq!(out.edge_counts_per_timestamp(), g.edge_counts_per_timestamp());
+    assert_eq!(
+        out.edge_counts_per_timestamp(),
+        g.edge_counts_per_timestamp()
+    );
 }
 
 /// Hostile learning rate: clipping must keep parameters finite.
 #[test]
 fn survives_huge_learning_rate() {
-    let edges: Vec<TemporalEdge> =
-        (0..30).map(|i| TemporalEdge::new(i % 6, (i + 1) % 6, i % 3)).collect();
+    let edges: Vec<TemporalEdge> = (0..30)
+        .map(|i| TemporalEdge::new(i % 6, (i + 1) % 6, i % 3))
+        .collect();
     let g = TemporalGraph::from_edges(6, 3, edges);
     let mut c = cfg(15);
     c.lr = 1.0; // absurd
@@ -73,7 +77,10 @@ fn generation_clamps_when_budget_exceeds_targets() {
     let mut rng = SmallRng::seed_from_u64(3);
     let out = generate(&model, &g, &mut rng);
     assert_eq!(out.n_edges(), 10, "multiplicity fill must hit the budget");
-    assert!(out.edges().iter().all(|e| e.u == 0 && (e.v == 1 || e.v == 2)));
+    assert!(out
+        .edges()
+        .iter()
+        .all(|e| e.u == 0 && (e.v == 1 || e.v == 2)));
 }
 
 /// Metrics on a graph with zero edges must not divide by zero.
@@ -122,8 +129,11 @@ fn baselines_terminate_on_starved_proposals() {
     }
     let g = TemporalGraph::from_edges(10, 5, edges);
     let mut rng = SmallRng::seed_from_u64(4);
-    let out = TagGenGenerator::new(TagGenConfig { walks_per_round: 16, ..Default::default() })
-        .fit_generate(&g, &mut rng);
+    let out = TagGenGenerator::new(TagGenConfig {
+        walks_per_round: 16,
+        ..Default::default()
+    })
+    .fit_generate(&g, &mut rng);
     assert_eq!(out.n_edges(), g.n_edges());
 }
 

@@ -56,7 +56,11 @@ fn generation_is_deterministic_for_fixed_seeds() {
     };
     let a = gen(42);
     let b = gen(42);
-    assert_eq!(a.edges(), b.edges(), "same RNG seed must reproduce the graph");
+    assert_eq!(
+        a.edges(),
+        b.edges(),
+        "same RNG seed must reproduce the graph"
+    );
     let c = gen(43);
     assert_ne!(a.edges(), c.edges(), "different seeds should differ");
 }
@@ -65,8 +69,7 @@ fn generation_is_deterministic_for_fixed_seeds() {
 fn training_is_deterministic_for_fixed_config_seed() {
     let observed = small_observed(4);
     let run = || {
-        let mut model =
-            Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(8));
+        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(8));
         let report = fit(&mut model, &observed);
         report.losses
     };
@@ -136,7 +139,10 @@ fn trained_beats_untrained_on_reconstruction() {
     let hit_rate = |model: &Tgae| {
         let mut rng = SmallRng::seed_from_u64(12);
         let g = generate(model, &observed, &mut rng);
-        g.edges().iter().filter(|e| truth.contains(&(e.u, e.v))).count() as f64
+        g.edges()
+            .iter()
+            .filter(|e| truth.contains(&(e.u, e.v)))
+            .count() as f64
             / g.n_edges().max(1) as f64
     };
     let untrained = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(40));

@@ -11,15 +11,17 @@ use tgx::sampling::{sample_ego_graph, ComputationGraph, SamplerConfig};
 /// Strategy: a random temporal graph with up to 12 nodes, 4 timestamps,
 /// and 40 edges.
 fn arb_graph() -> impl Strategy<Value = TemporalGraph> {
-    (2usize..12, 1usize..4, proptest::collection::vec((0u32..12, 0u32..12, 0u32..4), 1..40))
+    (
+        2usize..12,
+        1usize..4,
+        proptest::collection::vec((0u32..12, 0u32..12, 0u32..4), 1..40),
+    )
         .prop_map(|(n, t, raw)| {
             let n = n.max(2);
             let t = t.max(1);
             let edges: Vec<TemporalEdge> = raw
                 .into_iter()
-                .map(|(u, v, tt)| {
-                    TemporalEdge::new(u % n as u32, v % n as u32, tt % t as u32)
-                })
+                .map(|(u, v, tt)| TemporalEdge::new(u % n as u32, v % n as u32, tt % t as u32))
                 .collect();
             TemporalGraph::from_edges(n, t, edges)
         })

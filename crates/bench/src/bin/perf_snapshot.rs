@@ -1,13 +1,22 @@
-//! Perf snapshot: measures the PR-1 hot paths and writes `BENCH_PR1.json`
-//! so future PRs have a numeric trajectory to compare against.
+//! Perf snapshot: measures the current hot paths and writes
+//! `BENCH_PR2.json` so future PRs have a numeric trajectory to compare
+//! against (PR 1 wrote `BENCH_PR1.json` with the naive-vs-tiled pairs).
 //!
-//! Three kinds of entries:
+//! Entry kinds in this snapshot:
 //!
-//! - **Kernel before/after** — naive (seed) vs tiled matmul for every
-//!   transpose variant, the pairing behind the ≥2x acceptance criterion.
-//! - **Training-step before/after** — the seed's allocate-a-tape-per-step
-//!   path (`forward_batch`) vs the reused-tape path (`forward_batch_into`
-//!   + gradient recycling) on the same model and batch.
+//! - **Kernel before/after** — portable (auto-vectorised) vs runtime-
+//!   dispatched SIMD microkernel for every matmul transpose variant, with
+//!   GFLOP/s for the after side; this is the pairing behind PR 2's
+//!   "improve on ~47 GFLOP/s at ≥512²" acceptance criterion. On hosts
+//!   without AVX2+FMA both sides run the portable tile and the speedup
+//!   hovers at 1.0.
+//! - **Softmax** — scalar libm reference vs vectorised `fast_exp` rows
+//!   (kept from PR 1 for trend tracking).
+//! - **Training-step before/after** — materialised softmax-xent (the
+//!   pre-fusion reference, `O(slots × candidates)` probs per decoder
+//!   level) vs the fused recompute path, in both wall time and **peak
+//!   heap bytes** (this binary installs the counting allocator from
+//!   `tg_bench::memtrack`).
 //! - **Absolute baselines** — end-to-end `fit` and `generate` wall times,
 //!   recorded for trend tracking rather than comparison.
 //!
@@ -17,31 +26,57 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
+use tg_bench::memtrack::{self, TrackingAllocator};
 use tg_datasets::SyntheticConfig;
 use tg_sampling::InitialNodeSampler;
 use tg_tensor::matrix::{
-    matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive,
-    softmax_rows, softmax_rows_naive, Matrix,
+    active_microkernel, force_portable_microkernel, matmul_nn, matmul_nt, matmul_tn, softmax_rows,
+    softmax_rows_naive, Matrix,
 };
 use tg_tensor::tape::Tape;
 use tgae::{fit, generate, Tgae, TgaeConfig};
 
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
 #[derive(Serialize)]
 struct Entry {
     name: String,
-    /// Median seconds per call, seed implementation (absent for absolute
-    /// baselines).
+    /// Median seconds per call on the "before" side (absent for absolute
+    /// baselines and memory-only entries).
     before_s: Option<f64>,
-    /// Median seconds per call, this PR.
-    after_s: f64,
+    /// Median seconds per call, this PR (absent for memory-only entries).
+    after_s: Option<f64>,
     /// `before_s / after_s` when both sides exist.
     speedup: Option<f64>,
+    /// Throughput of the after side, for kernel entries.
+    gflops: Option<f64>,
+    /// Peak heap bytes, before side (memory A/B entries only).
+    before_peak_bytes: Option<usize>,
+    /// Peak heap bytes, after side (memory A/B entries only).
+    after_peak_bytes: Option<usize>,
+}
+
+impl Entry {
+    fn timing(name: impl Into<String>, before_s: Option<f64>, after_s: f64) -> Self {
+        Entry {
+            name: name.into(),
+            before_s,
+            after_s: Some(after_s),
+            speedup: before_s.map(|b| b / after_s),
+            gflops: None,
+            before_peak_bytes: None,
+            after_peak_bytes: None,
+        }
+    }
 }
 
 #[derive(Serialize)]
 struct Snapshot {
     pr: u32,
     threads: usize,
+    /// Microkernel the dispatcher selected on this host.
+    microkernel: &'static str,
     entries: Vec<Entry>,
 }
 
@@ -61,43 +96,36 @@ fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let microkernel = active_microkernel();
+    println!("dispatched microkernel: {}", microkernel.name());
     let mut entries = Vec::new();
 
-    // --- kernels: naive (seed) vs tiled ---
+    // --- kernels: portable tile vs dispatched SIMD microkernel ---
     for &n in &[256usize, 512, 1024] {
         let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.5);
         let b = Matrix::from_fn(n, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.1 - 0.4);
-        let reps = if n >= 1024 { 3 } else { 7 };
-        for (variant, naive, tiled) in [
-            (
-                "nn",
-                median_time(reps, || matmul_nn_naive(&a, &b)),
-                median_time(reps, || matmul_nn(&a, &b)),
-            ),
-            (
-                "nt",
-                median_time(reps, || matmul_nt_naive(&a, &b)),
-                median_time(reps, || matmul_nt(&a, &b)),
-            ),
-            (
-                "tn",
-                median_time(reps, || matmul_tn_naive(&a, &b)),
-                median_time(reps, || matmul_tn(&a, &b)),
-            ),
-        ] {
+        let reps = if n >= 1024 { 5 } else { 9 };
+        let flops = 2.0 * (n as f64).powi(3);
+        type MatmulFn = fn(&Matrix, &Matrix) -> Matrix;
+        let variants: [(&str, MatmulFn); 3] =
+            [("nn", matmul_nn), ("nt", matmul_nt), ("tn", matmul_tn)];
+        for (variant, mm) in variants {
+            force_portable_microkernel(true);
+            let portable = median_time(reps, || mm(&a, &b));
+            force_portable_microkernel(false);
+            let simd = median_time(reps, || mm(&a, &b));
             println!(
-                "matmul_{variant}_{n}: naive {:.2} ms -> tiled {:.2} ms ({:.2}x)",
-                naive * 1e3,
-                tiled * 1e3,
-                naive / tiled
+                "matmul_{variant}_{n}: portable {:.2} ms -> {} {:.2} ms ({:.2}x, {:.1} GFLOP/s)",
+                portable * 1e3,
+                microkernel.name(),
+                simd * 1e3,
+                portable / simd,
+                flops / simd / 1e9,
             );
-            entries.push(Entry {
-                name: format!("matmul_{variant}_{n}"),
-                before_s: Some(naive),
-                after_s: tiled,
-                speedup: Some(naive / tiled),
-            });
+            let mut e = Entry::timing(format!("matmul_{variant}_{n}"), Some(portable), simd);
+            e.gflops = Some(flops / simd / 1e9);
+            entries.push(e);
         }
     }
 
@@ -112,15 +140,68 @@ fn main() {
             fast * 1e3,
             naive / fast
         );
+        entries.push(Entry::timing("softmax_rows_2496x500", Some(naive), fast));
+    }
+
+    // --- peak training heap: materialised xent (pre-fusion) vs fused
+    //     recompute. Uses a 2000-node graph so the dense decoder softmax
+    //     has 2000 candidate columns per slot row — the regime where the
+    //     per-level probs matrices are the largest single allocation.
+    //     Measured first so no other tape's scratch pool is alive. ---
+    {
+        let g = {
+            let cfg = SyntheticConfig {
+                nodes: 2000,
+                edges: 16_000,
+                timestamps: 10,
+                ..Default::default()
+            };
+            tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(3))
+        };
+        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::default());
+        let sampler = InitialNodeSampler::new(&g, true);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let centers = sampler.sample_batch(64, &mut rng);
+        let peak_of = |materialise: bool| -> usize {
+            let mut tape = Tape::new();
+            tape.set_materialise_xent(materialise);
+            // warm step fills the scratch pool, then measure steady state
+            for warm in [true, false] {
+                if !warm {
+                    memtrack::reset_peak();
+                }
+                for rep in 0..3u64 {
+                    let mut r = SmallRng::seed_from_u64(2000 + rep);
+                    let (loss, _) = model.forward_batch_into(&mut tape, &g, &centers, &mut r);
+                    let grads = tape.backward(loss);
+                    tape.recycle(grads);
+                }
+            }
+            memtrack::peak_bytes()
+        };
+        let mat_peak = peak_of(true);
+        let fused_peak = peak_of(false);
+        println!(
+            "train_step_peak_heap_2000n: materialised {} -> fused {} ({:.2}x)",
+            memtrack::fmt_bytes(mat_peak),
+            memtrack::fmt_bytes(fused_peak),
+            mat_peak as f64 / fused_peak as f64
+        );
         entries.push(Entry {
-            name: "softmax_rows_2496x500".into(),
-            before_s: Some(naive),
-            after_s: fast,
-            speedup: Some(naive / fast),
+            name: "train_step_peak_heap_2000n".into(),
+            before_s: None,
+            after_s: None,
+            speedup: None,
+            gflops: None,
+            before_peak_bytes: Some(mat_peak),
+            after_peak_bytes: Some(fused_peak),
         });
     }
 
-    // --- training step: per-step tape allocation vs reused tape ---
+    // --- training step wall time: materialised xent vs fused recompute
+    //     (the fused path trades one extra fast_exp pass over target rows
+    //     in backward for the probs memory; expect ~1.0x or slightly
+    //     below, with the win in the peak-heap entry above) ---
     let g = {
         let cfg = SyntheticConfig {
             nodes: 500,
@@ -137,41 +218,37 @@ fn main() {
     // Interleaved A/B with identical per-rep seeds: sequential blocks
     // confound the comparison with machine-load drift, and a shared RNG
     // would give the two paths different sampled subgraphs.
-    let mut fresh_s = Vec::new();
-    let mut reused_s = Vec::new();
-    let mut tape = Tape::new();
-    for rep in 0..12u64 {
+    let mut mat_s = Vec::new();
+    let mut fused_s = Vec::new();
+    let mut mat_tape = Tape::new();
+    mat_tape.set_materialise_xent(true);
+    let mut fused_tape = Tape::new();
+    let step = |tape: &mut Tape, rep: u64| -> f64 {
         let mut r = SmallRng::seed_from_u64(1000 + rep);
         let t = Instant::now();
-        let (ftape, loss, _) = model.forward_batch(&g, &centers, &mut r);
-        std::hint::black_box(ftape.backward(loss));
-        fresh_s.push(t.elapsed().as_secs_f64());
-        let mut r = SmallRng::seed_from_u64(1000 + rep);
-        let t = Instant::now();
-        let (loss, _) = model.forward_batch_into(&mut tape, &g, &centers, &mut r);
+        let (loss, _) = model.forward_batch_into(tape, &g, &centers, &mut r);
         let grads = tape.backward(loss);
         tape.recycle(grads);
-        reused_s.push(t.elapsed().as_secs_f64());
+        t.elapsed().as_secs_f64()
+    };
+    for rep in 0..12u64 {
+        mat_s.push(step(&mut mat_tape, rep));
+        fused_s.push(step(&mut fused_tape, rep));
     }
     // drop the first (warmup) pair, take medians
-    fresh_s.remove(0);
-    reused_s.remove(0);
-    fresh_s.sort_by(f64::total_cmp);
-    reused_s.sort_by(f64::total_cmp);
-    let fresh = fresh_s[fresh_s.len() / 2];
-    let reused = reused_s[reused_s.len() / 2];
+    mat_s.remove(0);
+    fused_s.remove(0);
+    mat_s.sort_by(f64::total_cmp);
+    fused_s.sort_by(f64::total_cmp);
+    let mat = mat_s[mat_s.len() / 2];
+    let fused = fused_s[fused_s.len() / 2];
     println!(
-        "train_step_64: fresh-tape {:.2} ms -> reused-tape {:.2} ms ({:.2}x)",
-        fresh * 1e3,
-        reused * 1e3,
-        fresh / reused
+        "train_step_64: materialised-xent {:.2} ms -> fused-xent {:.2} ms ({:.2}x)",
+        mat * 1e3,
+        fused * 1e3,
+        mat / fused
     );
-    entries.push(Entry {
-        name: "train_step_64".into(),
-        before_s: Some(fresh),
-        after_s: reused,
-        speedup: Some(fresh / reused),
-    });
+    entries.push(Entry::timing("train_step_64", Some(mat), fused));
 
     // --- absolute baselines for the trajectory ---
     let mut small_cfg = TgaeConfig::tiny();
@@ -181,12 +258,7 @@ fn main() {
         fit(&mut m, &g)
     });
     println!("fit_500n_30ep: {:.1} ms", fit_time * 1e3);
-    entries.push(Entry {
-        name: "fit_500n_30ep".into(),
-        before_s: None,
-        after_s: fit_time,
-        speedup: None,
-    });
+    entries.push(Entry::timing("fit_500n_30ep", None, fit_time));
 
     let mut gen_model = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg.clone());
     fit(&mut gen_model, &g);
@@ -195,16 +267,12 @@ fn main() {
         generate(&gen_model, &g, &mut rng)
     });
     println!("generate_500n_10t: {:.1} ms", gen_time * 1e3);
-    entries.push(Entry {
-        name: "generate_500n_10t".into(),
-        before_s: None,
-        after_s: gen_time,
-        speedup: None,
-    });
+    entries.push(Entry::timing("generate_500n_10t", None, gen_time));
 
     let snapshot = Snapshot {
-        pr: 1,
+        pr: 2,
         threads: tg_tensor::parallel::num_threads(),
+        microkernel: microkernel.name(),
         entries,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");

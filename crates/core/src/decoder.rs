@@ -20,6 +20,13 @@
 //! candidate set (all positive targets plus uniform negatives) — a sampled
 //! softmax, which is what keeps decoding memory `O(n(T + n_s))` rather
 //! than `O(T n²)`.
+//!
+//! During training the per-level logits produced by [`EgoDecoder::score`]
+//! feed the **fused** softmax-cross-entropy
+//! ([`tg_tensor::tape::Tape::softmax_xent`]): no `slots × candidates`
+//! probability matrix is materialised on the tape — backward recomputes
+//! probabilities from the logits — so each level's training-memory cost
+//! is the logits matrix itself plus `O(slots)` softmax statistics.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

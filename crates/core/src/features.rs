@@ -17,12 +17,16 @@ use tg_tensor::prelude::*;
 /// Learned node-id + timestamp embedding tables.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TemporalFeatures {
+    /// Per-node-id embedding table (`n_nodes x dim`).
     pub node_emb: Embedding,
+    /// Per-timestamp embedding table (`n_timestamps x dim`).
     pub time_emb: Embedding,
+    /// Feature dimension `d_in`.
     pub dim: usize,
 }
 
 impl TemporalFeatures {
+    /// Create both tables in `store` with `N(0, 1/dim)` rows.
     pub fn new<R: Rng + ?Sized>(
         store: &mut ParamStore,
         rng: &mut R,

@@ -13,7 +13,9 @@ use std::path::Path;
 /// Errors produced by checkpoint I/O.
 #[derive(Debug)]
 pub enum PersistError {
+    /// Filesystem error (missing path, permissions, short write, …).
     Io(std::io::Error),
+    /// JSON (de)serialisation error (corrupt or incompatible checkpoint).
     Codec(serde_json::Error),
 }
 

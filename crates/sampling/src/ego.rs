@@ -72,6 +72,8 @@ impl EgoGraph {
         self.nodes.len()
     }
 
+    /// True if the ego-graph has no nodes (never the case for sampled
+    /// ego-graphs, which always contain their center).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }

@@ -40,6 +40,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod init;
 pub mod matrix;
 pub mod nn;

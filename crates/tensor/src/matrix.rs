@@ -7,7 +7,7 @@
 //! # Matmul design
 //!
 //! The three matmul variants (`nn`, `nt`, `tn`) share one cache-blocked
-//! GEBP-style implementation ([`gemm`]):
+//! GEBP-style implementation (the private `gemm` driver):
 //!
 //! 1. **Pack B.** The right operand is repacked once per call into column
 //!    panels of width [`NR`]: `bpack[panel][kk][nr]`. Each of the three
@@ -19,10 +19,28 @@
 //! 3. **Microkernel.** Each worker walks its rows in blocks of [`MR`],
 //!    packs the corresponding A block (`apack[kk][mr]`, again absorbing
 //!    the `tn` transpose), and computes an `MR`×`NR` register tile per
-//!    B panel: `MR*NR` scalar accumulators that the compiler keeps in
-//!    vector registers, with one A broadcast + one contiguous B row load
-//!    per `kk` step. Fringes are handled by zero-padding the packs and
-//!    masking the write-back.
+//!    B panel. Fringes are handled by zero-padding the packs and masking
+//!    the write-back.
+//!
+//! # Microkernel dispatch
+//!
+//! The inner tile has two implementations behind one contract
+//! (`acc += Ablock @ Bpanel` over packed operands):
+//!
+//! - **AVX2+FMA** (`x86_64`, detected at runtime with
+//!   `is_x86_feature_detected!`): explicit `std::arch` intrinsics — the
+//!   4×16 tile held in 8 YMM accumulators, one broadcast + two FMAs per
+//!   row per `kk` step, and software prefetch of the B panel. This is the
+//!   default wherever the CPU supports it.
+//! - **Portable** ([`microkernel`]): `MR*NR` scalar accumulators that the
+//!   auto-vectoriser keeps in vector registers. Always available; also
+//!   reachable on SIMD hardware via [`force_portable_microkernel`] for
+//!   parity tests and A/B benchmarks.
+//!
+//! The two differ by at most the FMA contraction (one rounding instead of
+//! two per multiply-add), so results agree to ~`sqrt(k)` ULP; see the
+//! `simd_matmul_matches_portable*` parity tests. [`active_microkernel`]
+//! reports which path the current process dispatches to.
 //!
 //! Packing scratch lives in thread-locals, so steady-state training does
 //! not allocate per matmul call. Small products (`m*k*n < `[`TILE_THRESHOLD`])
@@ -105,10 +123,12 @@ impl Matrix {
         m
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -123,6 +143,7 @@ impl Matrix {
         self.data.len()
     }
 
+    /// True if the matrix holds no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -142,12 +163,15 @@ impl Matrix {
         self.data
     }
 
+    /// Element at `(r, c)` (bounds-checked in debug builds only).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
     }
 
+    /// Overwrite the element at `(r, c)` (bounds-checked in debug builds
+    /// only).
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
@@ -413,11 +437,13 @@ fn pack_a_block(
     }
 }
 
-/// The `MR`×`NR` register-tile microkernel: `acc += Ablock @ Bpanel` over
-/// the full `k` extent. With `MR`/`NR` constant the compiler unrolls the
-/// inner pair of loops into vector FMAs with `acc` held in registers.
+/// The portable `MR`×`NR` register-tile microkernel: `acc += Ablock @
+/// Bpanel` over the full `k` extent. With `MR`/`NR` constant the compiler
+/// unrolls the inner pair of loops into vector code with `acc` held in
+/// registers. This is the reference tile the SIMD path is parity-tested
+/// against, and the fallback wherever AVX2+FMA is unavailable.
 #[inline(always)]
-fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+pub fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
     debug_assert!(apack.len() >= k * MR && bpanel.len() >= k * NR);
     for kk in 0..k {
         let a = &apack[kk * MR..kk * MR + MR];
@@ -429,6 +455,164 @@ fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR
             }
         }
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Explicit AVX2+FMA implementation of the GEBP inner tile.
+    //!
+    //! The register layout is fixed to the crate's `MR = 4` × `NR = 16`
+    //! packing (compile-time asserted below): 8 YMM accumulators (4 rows ×
+    //! 2 halves of 8 `f32` lanes), 2 B-row loads and 4 A broadcasts per
+    //! `kk` step. That is 11 live YMM registers, comfortably inside the 16
+    //! architectural ones, and the 8 FMAs per step keep both FMA ports
+    //! busy once the loop is warm.
+
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    // The unrolled body below is written for exactly this tile shape.
+    const _: () = assert!(MR == 4 && NR == 16, "avx2 microkernel is 4x16");
+
+    /// Software-prefetch distance in `kk` steps: 8 steps × 64 B per packed
+    /// B row = 8 cache lines ahead of the load stream.
+    const PREFETCH_K: usize = 8;
+
+    /// AVX2+FMA microkernel; same contract as the portable
+    /// [`super::microkernel`]. FMA contracts each multiply-add to a single
+    /// rounding, so outputs may differ from the portable tile by a few ULP
+    /// (bounded by the accumulation length; see the parity proptests).
+    ///
+    /// # Safety
+    /// The caller must have verified `avx2` and `fma` CPU support, and
+    /// guarantee `apack.len() >= k * MR` and `bpanel.len() >= k * NR`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(apack.len() >= k * MR && bpanel.len() >= k * NR);
+        let a = apack.as_ptr();
+        let b = bpanel.as_ptr();
+        let mut c00 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut c01 = _mm256_loadu_ps(acc[0].as_ptr().add(8));
+        let mut c10 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut c11 = _mm256_loadu_ps(acc[1].as_ptr().add(8));
+        let mut c20 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut c21 = _mm256_loadu_ps(acc[2].as_ptr().add(8));
+        let mut c30 = _mm256_loadu_ps(acc[3].as_ptr());
+        let mut c31 = _mm256_loadu_ps(acc[3].as_ptr().add(8));
+        let mut kk = 0usize;
+        while kk + 2 <= k {
+            // Prefetching past the end of the panel is harmless at the
+            // hardware level; wrapping_add keeps the address computation
+            // itself free of out-of-bounds-pointer UB.
+            _mm_prefetch(
+                b.wrapping_add((kk + PREFETCH_K) * NR) as *const i8,
+                _MM_HINT_T0,
+            );
+            let b0 = _mm256_loadu_ps(b.add(kk * NR));
+            let b1 = _mm256_loadu_ps(b.add(kk * NR + 8));
+            let a0 = _mm256_broadcast_ss(&*a.add(kk * MR));
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*a.add(kk * MR + 1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*a.add(kk * MR + 2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*a.add(kk * MR + 3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let b0 = _mm256_loadu_ps(b.add((kk + 1) * NR));
+            let b1 = _mm256_loadu_ps(b.add((kk + 1) * NR + 8));
+            let a0 = _mm256_broadcast_ss(&*a.add((kk + 1) * MR));
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*a.add((kk + 1) * MR + 1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*a.add((kk + 1) * MR + 2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*a.add((kk + 1) * MR + 3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            kk += 2;
+        }
+        if kk < k {
+            let b0 = _mm256_loadu_ps(b.add(kk * NR));
+            let b1 = _mm256_loadu_ps(b.add(kk * NR + 8));
+            let a0 = _mm256_broadcast_ss(&*a.add(kk * MR));
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*a.add(kk * MR + 1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*a.add(kk * MR + 2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*a.add(kk * MR + 3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), c00);
+        _mm256_storeu_ps(acc[0].as_mut_ptr().add(8), c01);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), c10);
+        _mm256_storeu_ps(acc[1].as_mut_ptr().add(8), c11);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), c20);
+        _mm256_storeu_ps(acc[2].as_mut_ptr().add(8), c21);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), c30);
+        _mm256_storeu_ps(acc[3].as_mut_ptr().add(8), c31);
+    }
+}
+
+/// Microkernel implementations the GEBP driver can dispatch to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicrokernelKind {
+    /// The auto-vectorised scalar tile ([`microkernel`]). Always available
+    /// and the only option off `x86_64`.
+    Portable,
+    /// Explicit AVX2+FMA intrinsics with software prefetch; selected at
+    /// runtime when the CPU reports both features.
+    Avx2Fma,
+}
+
+impl MicrokernelKind {
+    /// Short stable name for logs and bench snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicrokernelKind::Portable => "portable",
+            MicrokernelKind::Avx2Fma => "avx2_fma",
+        }
+    }
+}
+
+static FORCE_PORTABLE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Which microkernel [`matmul_nn`]/[`matmul_nt`]/[`matmul_tn`] dispatch to
+/// in this process right now. Feature detection is cached by the standard
+/// library, so this is cheap enough to consult per `gemm` call.
+pub fn active_microkernel() -> MicrokernelKind {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !FORCE_PORTABLE.load(std::sync::atomic::Ordering::Relaxed)
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+        {
+            return MicrokernelKind::Avx2Fma;
+        }
+    }
+    MicrokernelKind::Portable
+}
+
+/// Test/bench hook: force the portable microkernel even where AVX2+FMA is
+/// available (`true` forces, `false` restores runtime detection).
+///
+/// Process-global; intended for A/B benchmarking (`perf_snapshot`) and the
+/// SIMD parity tests. Both kernels are parity-correct, so a concurrent
+/// matmul observing a mid-flight toggle still computes a valid product —
+/// only timing comparisons need the flag held stable.
+pub fn force_portable_microkernel(on: bool) {
+    FORCE_PORTABLE.store(on, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// Shared tiled GEMM driver: `out = opA(A) @ opB(B)` with `out` of shape
@@ -455,6 +639,8 @@ fn gemm(
     let mut pb = take_scratch(&PACK_B);
     pack_b(b, k, n, b_layout, &mut pb);
     let bpack: &[f32] = &pb;
+    // Resolve the microkernel once per call; the workers inherit the copy.
+    let kernel = active_microkernel();
     let body = |r0: usize, chunk: &mut [f32]| {
         let rows_here = chunk.len() / n;
         let mut pa = take_scratch(&PACK_A);
@@ -482,7 +668,16 @@ fn gemm(
                             acc[mr][..width].copy_from_slice(src);
                         }
                     }
-                    microkernel(klen, &pa, bpanel, &mut acc);
+                    match kernel {
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: Avx2Fma is only returned by
+                        // active_microkernel() after runtime detection of
+                        // avx2+fma; pack lengths are maintained above.
+                        MicrokernelKind::Avx2Fma => unsafe {
+                            avx2::microkernel(klen, &pa, bpanel, &mut acc)
+                        },
+                        _ => microkernel(klen, &pa, bpanel, &mut acc),
+                    }
                     for mr in 0..rows {
                         let dst = &mut chunk[(i0 + mr) * n + j0..(i0 + mr) * n + j0 + width];
                         dst.copy_from_slice(&acc[mr][..width]);
@@ -928,21 +1123,70 @@ fn softmax_rows_inplace(out: &mut Matrix) {
         for v in row.iter_mut() {
             *v = fast_exp(*v - max);
         }
-        let mut lanes = [0.0f32; 8];
-        let mut chunks = row.chunks_exact(8);
-        for ch in &mut chunks {
-            for (l, &v) in lanes.iter_mut().zip(ch) {
-                *l += v;
-            }
-        }
-        let denom = lanes.iter().map(|&l| l as f64).sum::<f64>()
-            + chunks.remainder().iter().map(|&v| v as f64).sum::<f64>();
+        let denom = lane_sum(row);
         if denom > 0.0 {
             let inv = (1.0 / denom) as f32;
             for v in row.iter_mut() {
                 *v *= inv;
             }
         }
+    }
+}
+
+/// 8-lane partial-sum reduction (f32 lanes, f64 total) — the exact
+/// summation order [`softmax_rows`] normalises with; mirrored by
+/// [`row_softmax_stats`] so its denominators match bit-for-bit.
+#[inline]
+fn lane_sum(vals: &[f32]) -> f64 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = vals.chunks_exact(8);
+    for ch in &mut chunks {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l += v;
+        }
+    }
+    lanes.iter().map(|&l| l as f64).sum::<f64>()
+        + chunks.remainder().iter().map(|&v| v as f64).sum::<f64>()
+}
+
+/// Softmax statistics of one logit row: `(max, inv_denom)` such that
+/// `p[j] = fast_exp(row[j] - max) * inv_denom` reproduces the
+/// corresponding [`softmax_rows`] output bit-for-bit (same `fast_exp`,
+/// same 8-lane summation order, same single `f32` rounding of the
+/// inverse). `inv_denom` falls back to `1.0` when the denominator is not
+/// positive (empty row), mirroring `softmax_rows` leaving such rows
+/// unscaled.
+///
+/// This is the recompute primitive of the fused softmax-cross-entropy
+/// backward ([`crate::tape::Tape::softmax_xent`]): storing `(max, inv)`
+/// per row is `O(rows)`, versus `O(rows × cols)` for a materialised
+/// probability matrix.
+pub fn row_softmax_stats(row: &[f32]) -> (f32, f32) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    // Stream 8-wide blocks through a stack buffer: the exp block stays
+    // vectorisable and the lane accumulation order is exactly
+    // [`lane_sum`]'s, without materialising the exponentials.
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = row.chunks_exact(8);
+    for ch in &mut chunks {
+        let mut e = [0.0f32; 8];
+        for (o, &v) in e.iter_mut().zip(ch) {
+            *o = fast_exp(v - max);
+        }
+        for (l, &v) in lanes.iter_mut().zip(&e) {
+            *l += v;
+        }
+    }
+    let denom = lanes.iter().map(|&l| l as f64).sum::<f64>()
+        + chunks
+            .remainder()
+            .iter()
+            .map(|&v| fast_exp(v - max) as f64)
+            .sum::<f64>();
+    if denom > 0.0 {
+        (max, (1.0 / denom) as f32)
+    } else {
+        (max, 1.0)
     }
 }
 

@@ -14,10 +14,15 @@ use std::rc::Rc;
 /// Activation functions selectable on MLP hidden layers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Activation {
+    /// `max(x, 0)`.
     Relu,
+    /// Leaky ReLU with negative slope 0.2 (the paper's Eq. 5 choice).
     LeakyRelu,
+    /// Logistic sigmoid.
     Sigmoid,
+    /// Hyperbolic tangent.
     Tanh,
+    /// Pass-through (no activation).
     Identity,
 }
 
@@ -37,9 +42,14 @@ impl Activation {
 /// Dense affine layer `y = x W + b`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Linear {
+    /// Weight matrix handle (`in_dim x out_dim`).
     pub w: ParamId,
+    /// Bias row handle (`1 x out_dim`), absent for
+    /// [`Linear::new_no_bias`].
     pub b: Option<ParamId>,
+    /// Input feature dimension.
     pub in_dim: usize,
+    /// Output feature dimension.
     pub out_dim: usize,
 }
 
@@ -97,7 +107,9 @@ impl Linear {
 /// output (callers fuse their own loss/softmax).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Mlp {
+    /// The stacked affine layers, input to output.
     pub layers: Vec<Linear>,
+    /// Activation applied between (not after) layers.
     pub hidden_act: Activation,
 }
 
@@ -119,6 +131,7 @@ impl Mlp {
         Mlp { layers, hidden_act }
     }
 
+    /// Forward through every layer: `x (Rxin) -> (Rxout)`.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
@@ -144,12 +157,16 @@ impl Mlp {
 /// times a weight matrix.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Embedding {
+    /// Table handle (`n x dim`).
     pub table: ParamId,
+    /// Number of rows (vocabulary size).
     pub n: usize,
+    /// Embedding dimension.
     pub dim: usize,
 }
 
 impl Embedding {
+    /// Create with `N(0, 1/dim)` rows (keeps lookup norms ~1).
     pub fn new<R: Rng + ?Sized>(
         store: &mut ParamStore,
         rng: &mut R,

@@ -9,9 +9,13 @@ use serde::{Deserialize, Serialize};
 /// Adam optimizer state and hyper-parameters.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct Adam {
+    /// Learning rate.
     pub lr: f32,
+    /// First-moment decay (conventional 0.9).
     pub beta1: f32,
+    /// Second-moment decay (conventional 0.999).
     pub beta2: f32,
+    /// Denominator fuzz to avoid division by zero.
     pub eps: f32,
     /// Optional L2 weight decay (decoupled, AdamW-style).
     pub weight_decay: f32,
@@ -98,12 +102,15 @@ impl Adam {
 /// Plain SGD with optional momentum (used by a couple of baselines).
 #[derive(Clone, Serialize, Deserialize)]
 pub struct Sgd {
+    /// Learning rate.
     pub lr: f32,
+    /// Momentum coefficient (0 = plain gradient descent).
     pub momentum: f32,
     velocity: Vec<Option<Matrix>>,
 }
 
 impl Sgd {
+    /// Momentum-free SGD.
     pub fn new(lr: f32) -> Self {
         Sgd {
             lr,
@@ -112,6 +119,7 @@ impl Sgd {
         }
     }
 
+    /// SGD with classical momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         Sgd {
             lr,
@@ -120,6 +128,7 @@ impl Sgd {
         }
     }
 
+    /// Apply one update from `grads` into `store`.
     pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         for (id, g) in grads.iter() {
             let i = id_index(id);

@@ -75,6 +75,7 @@ pub struct ThreadPin {
 }
 
 impl ThreadPin {
+    /// Pin the split factor to `n` until the guard drops (0 = default).
     pub fn new(n: usize) -> Self {
         let lock = PIN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
         let prev = THREAD_OVERRIDE.swap(n, Ordering::Relaxed);

@@ -36,6 +36,7 @@ pub struct ParamStore {
 }
 
 impl ParamStore {
+    /// Empty store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -69,6 +70,7 @@ impl ParamStore {
         self.entries.len()
     }
 
+    /// True if no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -13,7 +13,8 @@
 
 use crate::matrix::{
     concat_cols_into, fast_exp, gather_rows_into, matmul_nn_into, matmul_nt_into, matmul_tn_into,
-    rowwise_dot, scale_rows, scatter_add_rows_into, segment_softmax, softmax_rows_into, Matrix,
+    row_softmax_stats, rowwise_dot, scale_rows, scatter_add_rows_into, segment_softmax,
+    softmax_rows_into, Matrix,
 };
 use crate::params::{ParamId, ParamStore};
 use std::cell::RefCell;
@@ -55,7 +56,24 @@ enum Op {
     RowwiseDot(Var, Var),
     Sum(Var),
     Mean(Var),
+    /// Fused softmax cross-entropy with flash-style recompute: only the
+    /// per-row `(max, inv_denom)` statistics are retained; backward
+    /// rebuilds probabilities from the logits node value row by row
+    /// instead of reading an `O(rows × cols)` probs matrix.
     SoftmaxXent {
+        logits: Var,
+        targets: Rc<Vec<SparseTarget>>,
+        norm: f32,
+        /// `(max, inv_denom)` per logits row; only rows that carry at
+        /// least one target are filled (others stay `(0, 0)` and are
+        /// never read).
+        stats: Vec<(f32, f32)>,
+    },
+    /// Reference softmax cross-entropy that materialises the full probs
+    /// matrix (the pre-fusion implementation). Kept for the
+    /// fused-vs-materialised parity tests and memory A/B benchmarks;
+    /// selected via [`Tape::set_materialise_xent`].
+    SoftmaxXentMaterialised {
         logits: Var,
         probs: Matrix,
         targets: Rc<Vec<SparseTarget>>,
@@ -190,7 +208,7 @@ impl ScratchPool {
 
 /// Records a forward pass and differentiates it.
 ///
-/// The tape owns a **scratch pool** ([`ScratchPool`]) that node values and
+/// The tape owns a **scratch pool** (`ScratchPool`) that node values and
 /// backward intermediates are allocated from. Calling [`Tape::clear`]
 /// between steps returns every node's buffer to the pool, so a training
 /// loop that reuses one tape recycles its buffers step over step instead
@@ -201,6 +219,9 @@ pub struct Tape {
     n_params: usize,
     /// RefCell so `backward(&self)` can draw from the pool too.
     pool: RefCell<ScratchPool>,
+    /// When set, [`Tape::softmax_xent`] records the materialised
+    /// reference op instead of the fused one (parity tests / memory A/B).
+    materialise_xent: bool,
 }
 
 impl Default for Tape {
@@ -210,12 +231,24 @@ impl Default for Tape {
 }
 
 impl Tape {
+    /// Empty tape with a fresh scratch pool.
     pub fn new() -> Self {
         Tape {
             nodes: Vec::with_capacity(64),
             n_params: 0,
             pool: RefCell::new(ScratchPool::new()),
+            materialise_xent: false,
         }
+    }
+
+    /// Select the softmax-cross-entropy implementation recorded by
+    /// [`Tape::softmax_xent`]: `true` materialises the full probability
+    /// matrix per call (the pre-fusion reference, `O(rows × cols)` extra
+    /// memory), `false` (default) keeps only per-row statistics and
+    /// recomputes probabilities during backward. The two are
+    /// parity-equivalent; the flag exists for tests and benchmarks.
+    pub fn set_materialise_xent(&mut self, on: bool) {
+        self.materialise_xent = on;
     }
 
     /// Allocate a zero-filled matrix from the scratch pool.
@@ -237,9 +270,9 @@ impl Tape {
         let pool = self.pool.get_mut();
         for node in self.nodes.drain(..) {
             pool.put(node.value.into_vec());
-            // the xent op privately holds the probs matrix — usually the
-            // largest per-step intermediate; recycle it as well
-            if let Op::SoftmaxXent { probs, .. } = node.op {
+            // the materialised-xent reference op privately holds the probs
+            // matrix (the fused default does not); recycle it as well
+            if let Op::SoftmaxXentMaterialised { probs, .. } = node.op {
                 pool.put(probs.into_vec());
             }
         }
@@ -283,6 +316,7 @@ impl Tape {
         self.nodes.len()
     }
 
+    /// True if no operations have been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
@@ -403,18 +437,23 @@ impl Tape {
         })
     }
 
+    /// Element-wise `max(x, 0)`.
     pub fn relu(&mut self, x: Var) -> Var {
         self.map_op(x, Op::Relu(x), |t| t.max(0.0))
     }
 
+    /// Element-wise logistic sigmoid (via [`fast_exp`]).
     pub fn sigmoid(&mut self, x: Var) -> Var {
         self.map_op(x, Op::Sigmoid(x), |t| 1.0 / (1.0 + fast_exp(-t)))
     }
 
+    /// Element-wise hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
         self.map_op(x, Op::Tanh(x), f32::tanh)
     }
 
+    /// Element-wise `e^x` (via [`fast_exp`]; used by the VAE
+    /// reparameterisation `σ = exp(logvar / 2)`).
     pub fn exp(&mut self, x: Var) -> Var {
         self.map_op(x, Op::Exp(x), fast_exp)
     }
@@ -488,7 +527,63 @@ impl Tape {
     /// Fused multi-target softmax cross-entropy (Eq. 6/7 reconstruction
     /// term): rows of `logits` are softmax-normalised and the loss is
     /// `-(1/norm) * sum_t w_t * log p[r_t, c_t]` over sparse targets.
+    ///
+    /// The probability matrix is **not** materialised: forward keeps only
+    /// the per-row softmax statistics `(max, inv_denom)` for rows that
+    /// carry targets, and backward recomputes probabilities from the
+    /// logits node value (flash-attention-style recompute). This removes
+    /// the `O(slots × candidates)` probs buffer per decoder level — the
+    /// largest single term of peak training memory — at the cost of one
+    /// extra `fast_exp` pass over target rows in backward. Gradients are
+    /// bit-identical to the materialised reference (see
+    /// [`Tape::set_materialise_xent`] and the parity proptests).
     pub fn softmax_xent(&mut self, logits: Var, targets: Rc<Vec<SparseTarget>>, norm: f32) -> Var {
+        assert!(norm > 0.0, "softmax_xent: norm must be positive");
+        if self.materialise_xent {
+            return self.softmax_xent_materialised(logits, targets, norm);
+        }
+        let lv = self.value(logits);
+        let rows = lv.rows();
+        let mut has_target = vec![false; rows];
+        for &(r, _, _) in targets.iter() {
+            has_target[r as usize] = true;
+        }
+        let mut stats = vec![(0.0f32, 0.0f32); rows];
+        for (r, s) in stats.iter_mut().enumerate() {
+            if has_target[r] {
+                *s = row_softmax_stats(lv.row(r));
+            }
+        }
+        let mut loss = 0.0f64;
+        for &(r, c, w) in targets.iter() {
+            let (max, inv) = stats[r as usize];
+            let p = (fast_exp(lv.get(r as usize, c as usize) - max) * inv).max(1e-12);
+            loss -= (w as f64) * (p as f64).ln();
+        }
+        let v = Matrix::scalar((loss / norm as f64) as f32);
+        let ng = self.needs(logits);
+        self.push(
+            v,
+            Op::SoftmaxXent {
+                logits,
+                targets,
+                norm,
+                stats,
+            },
+            ng,
+        )
+    }
+
+    /// The pre-fusion softmax cross-entropy: identical loss and gradients
+    /// to [`Tape::softmax_xent`], but stores the full softmax of `logits`
+    /// on the tape. Reference implementation for the parity tests and the
+    /// peak-memory A/B in `perf_snapshot`.
+    pub fn softmax_xent_materialised(
+        &mut self,
+        logits: Var,
+        targets: Rc<Vec<SparseTarget>>,
+        norm: f32,
+    ) -> Var {
         assert!(norm > 0.0, "softmax_xent: norm must be positive");
         let lv = self.value(logits);
         let mut probs = self.alloc_full(lv.rows(), lv.cols());
@@ -502,7 +597,7 @@ impl Tape {
         let ng = self.needs(logits);
         self.push(
             v,
-            Op::SoftmaxXent {
+            Op::SoftmaxXentMaterialised {
                 logits,
                 probs,
                 targets,
@@ -782,6 +877,40 @@ impl Tape {
                     accum(&mut grads, *x, gx);
                 }
                 Op::SoftmaxXent {
+                    logits,
+                    targets,
+                    norm,
+                    stats,
+                } => {
+                    // dL/dz[r, :] = go * (rw_r * softmax(z[r, :]) - onehot
+                    // targets); probabilities are recomputed from the
+                    // logits value and the stored (max, inv) row stats
+                    // instead of a materialised probs matrix.
+                    let go = g.item() / norm;
+                    let lv = self.value(*logits);
+                    let (r, c) = lv.shape();
+                    let mut row_w = vec![0.0f32; r];
+                    for &(rr, _, w) in targets.iter() {
+                        row_w[rr as usize] += w;
+                    }
+                    let mut gx = self.alloc(r, c);
+                    for (rr, &rw) in row_w.iter().enumerate() {
+                        if rw == 0.0 {
+                            continue;
+                        }
+                        let w = rw * go;
+                        let (max, inv) = stats[rr];
+                        for (o, &z) in gx.row_mut(rr).iter_mut().zip(lv.row(rr)) {
+                            *o = w * (fast_exp(z - max) * inv);
+                        }
+                    }
+                    for &(rr, cc, w) in targets.iter() {
+                        let v = gx.get(rr as usize, cc as usize) - w * go;
+                        gx.set(rr as usize, cc as usize, v);
+                    }
+                    accum(&mut grads, *logits, gx);
+                }
+                Op::SoftmaxXentMaterialised {
                     logits,
                     probs,
                     targets,

@@ -6,8 +6,9 @@
 use proptest::prelude::*;
 use std::rc::Rc;
 use tg_tensor::matrix::{
-    concat_cols, gather_rows, matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn,
-    matmul_tn_naive, scatter_add_rows, segment_softmax, softmax_rows, softmax_rows_naive, Matrix,
+    active_microkernel, concat_cols, force_portable_microkernel, gather_rows, matmul_nn,
+    matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive, scatter_add_rows,
+    segment_softmax, softmax_rows, softmax_rows_naive, Matrix, MicrokernelKind,
 };
 use tg_tensor::parallel::{par_chunks_mut, par_map, ThreadPin};
 use tg_tensor::prelude::*;
@@ -235,6 +236,34 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 
+    /// The fused softmax-cross-entropy (per-row stats + backward
+    /// recompute) reproduces the materialised reference **bit-for-bit**:
+    /// same loss, same gradient, on random logits and sparse multi-target
+    /// sets (including rows with no targets and repeated targets).
+    #[test]
+    fn fused_xent_matches_materialised(
+        w0 in arb_matrix(6, 9),
+        picks in proptest::collection::vec((0u32..6, 0u32..9, 0.25f32..2.0), 1..14),
+        norm in 0.5f32..8.0,
+    ) {
+        let mut store = ParamStore::new();
+        let id = store.create("w", w0);
+        let targets = Rc::new(picks);
+        let run = |materialise: bool| -> (f32, Matrix) {
+            let mut tape = Tape::new();
+            tape.set_materialise_xent(materialise);
+            let w = tape.param(&store, id);
+            let loss = tape.softmax_xent(w, targets.clone(), norm);
+            let l = tape.value(loss).item();
+            let g = tape.backward(loss).get(id).expect("grad").clone();
+            (l, g)
+        };
+        let (loss_fused, grad_fused) = run(false);
+        let (loss_mat, grad_mat) = run(true);
+        prop_assert_eq!(loss_fused, loss_mat, "loss mismatch");
+        prop_assert_eq!(grad_fused, grad_mat, "gradient mismatch");
+    }
+
     /// Pooled `par_map` returns results in input order for any split.
     #[test]
     fn par_map_matches_serial(n in 0usize..300, threads in 1usize..9) {
@@ -244,6 +273,134 @@ proptest! {
             par_map(n, |i| i.wrapping_mul(2654435761))
         };
         prop_assert_eq!(expect, got);
+    }
+}
+
+/// Order-preserving integer key for f32 so ULP distances are plain
+/// integer differences (`-0.0` and `+0.0` map to the same key).
+fn ulp_key(x: f32) -> i64 {
+    let i = x.to_bits() as i32;
+    if i < 0 {
+        (i32::MIN as i64) - (i as i64)
+    } else {
+        i as i64
+    }
+}
+
+/// Assert element-wise closeness in ULPs, with an absolute-tolerance
+/// escape hatch for results near zero (where cancellation makes ULP
+/// distance meaningless).
+fn assert_ulp_close(a: &Matrix, b: &Matrix, max_ulp: i64, abs_tol: f32, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if (x - y).abs() <= abs_tol {
+            continue;
+        }
+        let d = (ulp_key(*x) - ulp_key(*y)).abs();
+        assert!(d <= max_ulp, "{ctx}: elem {i}: {x} vs {y} ({d} ULP)");
+    }
+}
+
+/// Serialises the tests that toggle the process-global
+/// [`force_portable_microkernel`] flag (the toggle is benign for every
+/// *other* concurrent test — both kernels are parity-correct — but the
+/// toggling tests themselves need the flag held stable).
+static SIMD_TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Restores runtime microkernel detection when dropped (panic-safe).
+struct ForceGuard;
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        force_portable_microkernel(false);
+    }
+}
+
+/// SIMD-vs-portable microkernel parity on **integer-valued** operands:
+/// every product and partial sum is exactly representable in f32, so FMA
+/// contraction cannot change any rounding and the two kernels must agree
+/// **bitwise** — on every transpose variant and across fringe shapes
+/// (K=0, MR/NR remainder tiles, KC block boundaries).
+#[test]
+fn simd_matmul_bitwise_on_integer_data() {
+    let _lock = SIMD_TOGGLE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _restore = ForceGuard;
+    let shapes: &[(usize, usize, usize)] = &[
+        (4, 256, 16),  // exact MR/KC/NR tile boundaries
+        (5, 257, 17),  // one past each boundary
+        (3, 255, 15),  // one short of each boundary
+        (1, 4096, 16), // single output row, many KC blocks
+        (2, 2048, 3),  // sub-NR panel width
+        (64, 0, 64),   // K = 0: output must be exactly zero
+        (33, 100, 47),
+    ];
+    for &(m, k, n) in shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 3 + c * 11) % 7) as f32 - 3.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 2) % 9) as f32 - 4.0);
+        let bt = b.transpose();
+        let at = a.transpose();
+        force_portable_microkernel(true);
+        assert_eq!(active_microkernel(), MicrokernelKind::Portable);
+        let p_nn = matmul_nn(&a, &b);
+        let p_nt = matmul_nt(&a, &bt);
+        let p_tn = matmul_tn(&at, &b);
+        force_portable_microkernel(false);
+        let s_nn = matmul_nn(&a, &b);
+        let s_nt = matmul_nt(&a, &bt);
+        let s_tn = matmul_tn(&at, &b);
+        assert_eq!(p_nn, s_nn, "nn ({m},{k},{n})");
+        assert_eq!(p_nt, s_nt, "nt ({m},{k},{n})");
+        assert_eq!(p_tn, s_tn, "tn ({m},{k},{n})");
+        if k == 0 {
+            assert!(s_nn.as_slice().iter().all(|&v| v == 0.0), "K=0 non-zero");
+        }
+    }
+}
+
+/// SIMD-vs-portable microkernel parity on fractional operands: FMA keeps
+/// one rounding per multiply-add where the portable tile keeps two, so
+/// results drift by a few ULP — bounded here by an accumulation-length-
+/// scaled budget. Exercised across the same fringe shapes as above.
+#[test]
+fn simd_matmul_matches_portable_within_ulp() {
+    let _lock = SIMD_TOGGLE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _restore = ForceGuard;
+    if active_microkernel() == MicrokernelKind::Portable {
+        // no SIMD on this host: dispatched == portable, nothing to compare
+        return;
+    }
+    let shapes: &[(usize, usize, usize)] = &[
+        (4, 256, 16),
+        (5, 257, 17),
+        (3, 255, 15),
+        (1, 4096, 16),
+        (2, 2048, 3),
+        (17, 513, 31), // KC remainder + row/panel fringes together
+        (64, 64, 64),
+    ];
+    for &(m, k, n) in shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.093 - 1.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.081 - 0.7);
+        let bt = b.transpose();
+        let at = a.transpose();
+        force_portable_microkernel(true);
+        let p_nn = matmul_nn(&a, &b);
+        let p_nt = matmul_nt(&a, &bt);
+        let p_tn = matmul_tn(&at, &b);
+        force_portable_microkernel(false);
+        let s_nn = matmul_nn(&a, &b);
+        let s_nt = matmul_nt(&a, &bt);
+        let s_tn = matmul_tn(&at, &b);
+        // error random-walks with accumulation length; 2*sqrt(k)+16 ULP is
+        // a generous envelope (observed maxima are far below it)
+        let budget = 2 * (k as f64).sqrt() as i64 + 16;
+        let abs_tol = 1e-6 * (k as f32).sqrt();
+        assert_ulp_close(&p_nn, &s_nn, budget, abs_tol, &format!("nn ({m},{k},{n})"));
+        assert_ulp_close(&p_nt, &s_nt, budget, abs_tol, &format!("nt ({m},{k},{n})"));
+        assert_ulp_close(&p_tn, &s_tn, budget, abs_tol, &format!("tn ({m},{k},{n})"));
     }
 }
 

@@ -63,7 +63,7 @@ impl Bencher {
     }
 
     /// Time the closure: auto-scale iterations per sample so each sample
-    /// runs at least [`MIN_SAMPLE_TIME`], collect `sample_size` samples of
+    /// runs at least `MIN_SAMPLE_TIME`, collect `sample_size` samples of
     /// per-iteration time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         for _ in 0..WARMUP_ITERS {

@@ -132,7 +132,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: exact or ranged.
+    /// Length specification for [`vec()`]: exact or ranged.
     pub trait SizeRange {
         fn pick(&self, rng: &mut SmallRng) -> usize;
     }

@@ -1,5 +1,5 @@
 //! Offline stand-in for `serde_json`: renders the vendored serde
-//! [`Value`](serde::Value) tree to JSON text and parses it back.
+//! [`Value`] tree to JSON text and parses it back.
 //!
 //! Numbers round-trip losslessly: floats are printed with Rust's shortest
 //! round-trip formatting (`{:?}` on `f64`), and `f32` values pass through

@@ -1,24 +1,26 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR2.json` so future PRs have a numeric trajectory to compare
-//! against (PR 1 wrote `BENCH_PR1.json` with the naive-vs-tiled pairs).
+//! `BENCH_PR3.json` so future PRs have a numeric trajectory to compare
+//! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
+//! portable-vs-SIMD pairs and the xent fusion A/B).
 //!
-//! Entry kinds in this snapshot:
+//! Entry kinds in this snapshot (PR 3 = the sharded streaming engine):
 //!
-//! - **Kernel before/after** — portable (auto-vectorised) vs runtime-
-//!   dispatched SIMD microkernel for every matmul transpose variant, with
-//!   GFLOP/s for the after side; this is the pairing behind PR 2's
-//!   "improve on ~47 GFLOP/s at ≥512²" acceptance criterion. On hosts
-//!   without AVX2+FMA both sides run the portable tile and the speedup
-//!   hovers at 1.0.
-//! - **Softmax** — scalar libm reference vs vectorised `fast_exp` rows
-//!   (kept from PR 1 for trend tracking).
-//! - **Training-step before/after** — materialised softmax-xent (the
-//!   pre-fusion reference, `O(slots × candidates)` probs per decoder
-//!   level) vs the fused recompute path, in both wall time and **peak
-//!   heap bytes** (this binary installs the counting allocator from
-//!   `tg_bench::memtrack`).
-//! - **Absolute baselines** — end-to-end `fit` and `generate` wall times,
-//!   recorded for trend tracking rather than comparison.
+//! - **Generation throughput per sink** — end-to-end `edges/s` through
+//!   the plan → execute → emit pipeline at 500 and 2000 nodes, for each
+//!   `EdgeSink`: `GraphSink` (in-memory graph), `StreamingWriterSink`
+//!   (edge-list text to a temp file), and `StatsSink` (online statistics,
+//!   no edge storage). The three should be within a few percent of each
+//!   other — decode dominates — which is exactly the point: streaming
+//!   costs ~nothing over materialising.
+//! - **Peak-heap A/B: GraphSink vs StreamingWriterSink** at 2000 nodes —
+//!   the streaming sink must sit measurably below the in-memory sink,
+//!   because it never holds the edge set or the final graph.
+//! - **Fresh-tape vs thread-local-tape decode** — `decode_rows_for_
+//!   generation_into(&mut Tape::new(), ..)` per chunk vs the per-worker
+//!   persistent tape path (`decode_rows_for_generation`), the generation
+//!   analogue of the trainer's reused-tape story.
+//! - **Absolute baselines** — end-to-end `fit` and `generate` wall
+//!   times, carried forward every PR for trend tracking.
 //!
 //! Usage: `cargo run --release -p tg-bench --bin perf_snapshot [out.json]`
 
@@ -28,12 +30,11 @@ use serde::Serialize;
 use std::time::Instant;
 use tg_bench::memtrack::{self, TrackingAllocator};
 use tg_datasets::SyntheticConfig;
-use tg_sampling::InitialNodeSampler;
-use tg_tensor::matrix::{
-    active_microkernel, force_portable_microkernel, matmul_nn, matmul_nt, matmul_tn, softmax_rows,
-    softmax_rows_naive, Matrix,
-};
+use tg_graph::io::StreamingWriterSink;
+use tg_graph::sink::{GraphSink, StatsSink};
+use tg_graph::TemporalGraph;
 use tg_tensor::tape::Tape;
+use tgae::engine::{generate_with_sink, SimulationEngine};
 use tgae::{fit, generate, Tgae, TgaeConfig};
 
 #[global_allocator]
@@ -43,14 +44,14 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 struct Entry {
     name: String,
     /// Median seconds per call on the "before" side (absent for absolute
-    /// baselines and memory-only entries).
+    /// baselines and memory/throughput-only entries).
     before_s: Option<f64>,
     /// Median seconds per call, this PR (absent for memory-only entries).
     after_s: Option<f64>,
     /// `before_s / after_s` when both sides exist.
     speedup: Option<f64>,
-    /// Throughput of the after side, for kernel entries.
-    gflops: Option<f64>,
+    /// Generated edges per second (generation-throughput entries).
+    edges_per_s: Option<f64>,
     /// Peak heap bytes, before side (memory A/B entries only).
     before_peak_bytes: Option<usize>,
     /// Peak heap bytes, after side (memory A/B entries only).
@@ -64,7 +65,19 @@ impl Entry {
             before_s,
             after_s: Some(after_s),
             speedup: before_s.map(|b| b / after_s),
-            gflops: None,
+            edges_per_s: None,
+            before_peak_bytes: None,
+            after_peak_bytes: None,
+        }
+    }
+
+    fn throughput(name: impl Into<String>, seconds: f64, edges: usize) -> Self {
+        Entry {
+            name: name.into(),
+            before_s: None,
+            after_s: Some(seconds),
+            speedup: None,
+            edges_per_s: Some(edges as f64 / seconds),
             before_peak_bytes: None,
             after_peak_bytes: None,
         }
@@ -75,12 +88,10 @@ impl Entry {
 struct Snapshot {
     pr: u32,
     threads: usize,
-    /// Microkernel the dispatcher selected on this host.
-    microkernel: &'static str,
     entries: Vec<Entry>,
 }
 
-/// Median-of-samples wall time of `f`, auto-scaled to non-trivial runs.
+/// Median-of-samples wall time of `f`.
 fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
     let mut samples: Vec<f64> = (0..reps.max(3))
         .map(|_| {
@@ -93,164 +104,171 @@ fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn synthetic(nodes: usize, edges: usize, seed: u64) -> TemporalGraph {
+    let cfg = SyntheticConfig {
+        nodes,
+        edges,
+        timestamps: 10,
+        ..Default::default()
+    };
+    tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(seed))
+}
+
+fn trained(g: &TemporalGraph, epochs: usize) -> Tgae {
+    let mut cfg = TgaeConfig::tiny();
+    cfg.epochs = epochs;
+    let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+    fit(&mut m, g);
+    m
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
-    let microkernel = active_microkernel();
-    println!("dispatched microkernel: {}", microkernel.name());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let mut entries = Vec::new();
+    let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
 
-    // --- kernels: portable tile vs dispatched SIMD microkernel ---
-    for &n in &[256usize, 512, 1024] {
-        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.5);
-        let b = Matrix::from_fn(n, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.1 - 0.4);
-        let reps = if n >= 1024 { 5 } else { 9 };
-        let flops = 2.0 * (n as f64).powi(3);
-        type MatmulFn = fn(&Matrix, &Matrix) -> Matrix;
-        let variants: [(&str, MatmulFn); 3] =
-            [("nn", matmul_nn), ("nt", matmul_nt), ("tn", matmul_tn)];
-        for (variant, mm) in variants {
-            force_portable_microkernel(true);
-            let portable = median_time(reps, || mm(&a, &b));
-            force_portable_microkernel(false);
-            let simd = median_time(reps, || mm(&a, &b));
+    // --- generation throughput per sink, 500 and 2000 nodes ---
+    for &(nodes, edges) in &[(500usize, 8_000usize), (2000, 60_000)] {
+        let g = synthetic(nodes, edges, 3);
+        let model = trained(&g, 8);
+        let master = 42u64;
+        let reps = if nodes >= 2000 { 3 } else { 5 };
+
+        let graph_s = median_time(reps, || {
+            generate_with_sink(
+                &model,
+                &g,
+                master,
+                GraphSink::new(g.n_nodes(), g.n_timestamps()),
+            )
+        });
+        let stream_path = tmp.join(format!("gen_{nodes}.edges"));
+        let stream_s = median_time(reps, || {
+            generate_with_sink(
+                &model,
+                &g,
+                master,
+                StreamingWriterSink::create(&stream_path).expect("create stream file"),
+            )
+            .expect("stream generation")
+        });
+        let stats_s = median_time(reps, || {
+            generate_with_sink(&model, &g, master, StatsSink::new(g.n_timestamps()))
+        });
+        for (sink, s) in [
+            ("graph_sink", graph_s),
+            ("streaming_sink", stream_s),
+            ("stats_sink", stats_s),
+        ] {
             println!(
-                "matmul_{variant}_{n}: portable {:.2} ms -> {} {:.2} ms ({:.2}x, {:.1} GFLOP/s)",
-                portable * 1e3,
-                microkernel.name(),
-                simd * 1e3,
-                portable / simd,
-                flops / simd / 1e9,
+                "generate_{nodes}n_{sink}: {:.1} ms ({:.0} kedges/s)",
+                s * 1e3,
+                g.n_edges() as f64 / s / 1e3
             );
-            let mut e = Entry::timing(format!("matmul_{variant}_{n}"), Some(portable), simd);
-            e.gflops = Some(flops / simd / 1e9);
-            entries.push(e);
+            entries.push(Entry::throughput(
+                format!("generate_{nodes}n_{sink}"),
+                s,
+                g.n_edges(),
+            ));
         }
     }
 
-    // --- softmax: scalar libm reference vs vectorised fast_exp ---
+    // --- peak-heap A/B at 2000 nodes: in-memory graph assembly vs
+    //     streaming writer, on a dense 400k-edge budget where the edge
+    //     set is the dominant sink-side allocation. One warm run first so
+    //     worker thread-local tapes and scratch pools reach steady state;
+    //     then each side reports its peak *delta above the pre-run live
+    //     baseline* — the baseline (model, observed graph, retained
+    //     scratch) is identical for both sinks, so the delta isolates
+    //     what the sink itself holds: the full edge set + final graph
+    //     build for `GraphSink`, only the bounded unit window + write
+    //     buffer for `StreamingWriterSink`. ---
     {
-        let logits = Matrix::from_fn(2496, 500, |r, c| ((r * 13 + c * 7) % 29) as f32 * 0.3 - 4.0);
-        let naive = median_time(7, || softmax_rows_naive(&logits));
-        let fast = median_time(7, || softmax_rows(&logits));
-        println!(
-            "softmax_rows_2496x500: naive {:.2} ms -> fast {:.2} ms ({:.2}x)",
-            naive * 1e3,
-            fast * 1e3,
-            naive / fast
+        let g = synthetic(2000, 400_000, 3);
+        let model = trained(&g, 6);
+        let master = 42u64;
+        let stream_path = tmp.join("peak_ab.edges");
+        generate_with_sink(
+            &model,
+            &g,
+            master,
+            StatsSink::new(g.n_timestamps()), // warm the scratch pools
         );
-        entries.push(Entry::timing("softmax_rows_2496x500", Some(naive), fast));
-    }
-
-    // --- peak training heap: materialised xent (pre-fusion) vs fused
-    //     recompute. Uses a 2000-node graph so the dense decoder softmax
-    //     has 2000 candidate columns per slot row — the regime where the
-    //     per-level probs matrices are the largest single allocation.
-    //     Measured first so no other tape's scratch pool is alive. ---
-    {
-        let g = {
-            let cfg = SyntheticConfig {
-                nodes: 2000,
-                edges: 16_000,
-                timestamps: 10,
-                ..Default::default()
-            };
-            tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(3))
+        let peak_delta_of = |run: &dyn Fn()| -> usize {
+            let live = memtrack::current_bytes();
+            memtrack::reset_peak();
+            run();
+            memtrack::peak_bytes().saturating_sub(live)
         };
-        let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::default());
-        let sampler = InitialNodeSampler::new(&g, true);
-        let mut rng = SmallRng::seed_from_u64(5);
-        let centers = sampler.sample_batch(64, &mut rng);
-        let peak_of = |materialise: bool| -> usize {
-            let mut tape = Tape::new();
-            tape.set_materialise_xent(materialise);
-            // warm step fills the scratch pool, then measure steady state
-            for warm in [true, false] {
-                if !warm {
-                    memtrack::reset_peak();
-                }
-                for rep in 0..3u64 {
-                    let mut r = SmallRng::seed_from_u64(2000 + rep);
-                    let (loss, _) = model.forward_batch_into(&mut tape, &g, &centers, &mut r);
-                    let grads = tape.backward(loss);
-                    tape.recycle(grads);
-                }
-            }
-            memtrack::peak_bytes()
-        };
-        let mat_peak = peak_of(true);
-        let fused_peak = peak_of(false);
+        let graph_peak = peak_delta_of(&|| {
+            generate_with_sink(
+                &model,
+                &g,
+                master,
+                GraphSink::new(g.n_nodes(), g.n_timestamps()),
+            );
+        });
+        let stream_peak = peak_delta_of(&|| {
+            generate_with_sink(
+                &model,
+                &g,
+                master,
+                StreamingWriterSink::create(&stream_path).expect("create stream file"),
+            )
+            .expect("stream generation");
+        });
         println!(
-            "train_step_peak_heap_2000n: materialised {} -> fused {} ({:.2}x)",
-            memtrack::fmt_bytes(mat_peak),
-            memtrack::fmt_bytes(fused_peak),
-            mat_peak as f64 / fused_peak as f64
+            "generate_2000n_400k_peak_heap_delta: graph {} -> streaming {} ({:.2}x)",
+            memtrack::fmt_bytes(graph_peak),
+            memtrack::fmt_bytes(stream_peak),
+            graph_peak as f64 / stream_peak as f64
         );
         entries.push(Entry {
-            name: "train_step_peak_heap_2000n".into(),
+            name: "generate_2000n_400k_peak_heap_delta".into(),
             before_s: None,
             after_s: None,
             speedup: None,
-            gflops: None,
-            before_peak_bytes: Some(mat_peak),
-            after_peak_bytes: Some(fused_peak),
+            edges_per_s: None,
+            before_peak_bytes: Some(graph_peak),
+            after_peak_bytes: Some(stream_peak),
         });
     }
 
-    // --- training step wall time: materialised xent vs fused recompute
-    //     (the fused path trades one extra fast_exp pass over target rows
-    //     in backward for the probs memory; expect ~1.0x or slightly
-    //     below, with the win in the peak-heap entry above) ---
-    let g = {
-        let cfg = SyntheticConfig {
-            nodes: 500,
-            edges: 4000,
-            timestamps: 10,
-            ..Default::default()
-        };
-        tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(1))
-    };
-    let model = Tgae::new(g.n_nodes(), g.n_timestamps(), TgaeConfig::default());
-    let sampler = InitialNodeSampler::new(&g, true);
-    let mut rng = SmallRng::seed_from_u64(5);
-    let centers = sampler.sample_batch(64, &mut rng);
-    // Interleaved A/B with identical per-rep seeds: sequential blocks
-    // confound the comparison with machine-load drift, and a shared RNG
-    // would give the two paths different sampled subgraphs.
-    let mut mat_s = Vec::new();
-    let mut fused_s = Vec::new();
-    let mut mat_tape = Tape::new();
-    mat_tape.set_materialise_xent(true);
-    let mut fused_tape = Tape::new();
-    let step = |tape: &mut Tape, rep: u64| -> f64 {
-        let mut r = SmallRng::seed_from_u64(1000 + rep);
-        let t = Instant::now();
-        let (loss, _) = model.forward_batch_into(tape, &g, &centers, &mut r);
-        let grads = tape.backward(loss);
-        tape.recycle(grads);
-        t.elapsed().as_secs_f64()
-    };
-    for rep in 0..12u64 {
-        mat_s.push(step(&mut mat_tape, rep));
-        fused_s.push(step(&mut fused_tape, rep));
+    // --- fresh-tape vs thread-local-tape decode (the pool-aware tape
+    //     story): same chunk of centers, identical per-rep RNG seeds ---
+    {
+        let g = synthetic(500, 8_000, 3);
+        let model = trained(&g, 8);
+        let plan = SimulationEngine::new(&model, &g).plan(7);
+        let unit = plan
+            .units()
+            .iter()
+            .max_by_key(|u| u.budgets.len())
+            .expect("non-empty plan");
+        let centers: Vec<(u32, u32)> = unit.budgets.iter().map(|&(u, _, _)| (u, unit.t)).collect();
+        let fresh = median_time(40, || {
+            let mut tape = Tape::new();
+            let mut rng = SmallRng::seed_from_u64(unit.seed);
+            model.decode_rows_for_generation_into(&mut tape, &g, &centers, &mut rng)
+        });
+        let local = median_time(40, || {
+            let mut rng = SmallRng::seed_from_u64(unit.seed);
+            model.decode_rows_for_generation(&g, &centers, &mut rng)
+        });
+        println!(
+            "decode_chunk_500n: fresh-tape {:.2} ms -> thread-local {:.2} ms ({:.2}x)",
+            fresh * 1e3,
+            local * 1e3,
+            fresh / local
+        );
+        entries.push(Entry::timing("decode_chunk_500n", Some(fresh), local));
     }
-    // drop the first (warmup) pair, take medians
-    mat_s.remove(0);
-    fused_s.remove(0);
-    mat_s.sort_by(f64::total_cmp);
-    fused_s.sort_by(f64::total_cmp);
-    let mat = mat_s[mat_s.len() / 2];
-    let fused = fused_s[fused_s.len() / 2];
-    println!(
-        "train_step_64: materialised-xent {:.2} ms -> fused-xent {:.2} ms ({:.2}x)",
-        mat * 1e3,
-        fused * 1e3,
-        mat / fused
-    );
-    entries.push(Entry::timing("train_step_64", Some(mat), fused));
 
     // --- absolute baselines for the trajectory ---
+    let g = synthetic(500, 4_000, 1);
     let mut small_cfg = TgaeConfig::tiny();
     small_cfg.epochs = 30;
     let fit_time = median_time(3, || {
@@ -269,10 +287,10 @@ fn main() {
     println!("generate_500n_10t: {:.1} ms", gen_time * 1e3);
     entries.push(Entry::timing("generate_500n_10t", None, gen_time));
 
+    std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 2,
+        pr: 3,
         threads: tg_tensor::parallel::num_threads(),
-        microkernel: microkernel.name(),
         entries,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");

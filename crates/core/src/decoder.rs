@@ -47,7 +47,9 @@ pub struct EgoDecoder {
     pub w_dec: ParamId,
     /// Per-node output bias `b_dec` (`n x 1`).
     pub b_dec: ParamId,
+    /// Latent / decode-state dimension `d_att`.
     pub d_model: usize,
+    /// Number of nodes (rows of `W_dec`).
     pub n_nodes: usize,
 }
 
@@ -63,6 +65,7 @@ pub struct DecodeStates {
 }
 
 impl EgoDecoder {
+    /// Initialise the decoder parameters (Xavier) into `store`.
     pub fn new<R: Rng + ?Sized>(
         store: &mut ParamStore,
         rng: &mut R,

@@ -35,12 +35,16 @@ pub struct TgatLayer {
     heads: Vec<TgaHead>,
     /// Output projection `W_o` (`heads*d_head x out_dim`), Eq. 3.
     w_o: Linear,
+    /// Input row width this layer consumes.
     pub in_dim: usize,
+    /// Per-head hidden dimension `d_enc`.
     pub d_head: usize,
+    /// Output row width after the `W_o` projection.
     pub out_dim: usize,
 }
 
 impl TgatLayer {
+    /// Initialise one multi-head layer's parameters (Xavier) into `store`.
     pub fn new<R: Rng + ?Sized>(
         store: &mut ParamStore,
         rng: &mut R,
@@ -130,10 +134,13 @@ impl TgatLayer {
 /// `d_in` features, every other layer reads `d_model` hidden rows.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TgatEncoder {
+    /// `layers[i]` maps level `i+1` rows to level `i` rows; index `k-1`
+    /// is the outermost (reads raw `d_in` features).
     pub layers: Vec<TgatLayer>,
 }
 
 impl TgatEncoder {
+    /// Initialise the `k` stacked layers' parameters into `store`.
     pub fn new<R: Rng + ?Sized>(
         store: &mut ParamStore,
         rng: &mut R,

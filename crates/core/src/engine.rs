@@ -1,0 +1,450 @@
+//! The sharded streaming simulation engine — the serving-side assembly of
+//! paper §IV-G, refactored into an explicit **plan → execute → emit**
+//! pipeline.
+//!
+//! [`generator::generate`](crate::generator::generate) used to be a
+//! monolith: enumerate per-timestamp budgets, fan chunks out over the
+//! worker pool, and concatenate one giant `Vec<TemporalEdge>` into an
+//! in-memory graph. This module splits those stages apart so each can
+//! scale independently:
+//!
+//! 1. **Plan** ([`SimulationPlan`]): a deterministic *shard manifest* of
+//!    work units, each `(timestamp, chunk, SplitMix64-derived seed,
+//!    per-source budgets)`. The plan is a pure function of the observed
+//!    graph, the chunk size, and a master seed — two processes that plan
+//!    with the same inputs produce the same manifest, which is what makes
+//!    cross-process sharding sound.
+//! 2. **Execute** ([`SimulationEngine::execute`]): run any subset of
+//!    units on the worker pool. Each unit decodes its centers with a
+//!    **per-worker thread-local tape** ([`tg_tensor::tape::Tape::with_thread_local`]) and
+//!    samples edges with its own RNG stream, so results are bit-identical
+//!    at any thread count and any unit partition. Units are processed in
+//!    bounded windows (a few per worker), so the number of in-flight edge
+//!    buffers — and therefore peak memory with a streaming sink — is
+//!    independent of the total edge count.
+//! 3. **Emit** ([`EdgeSink`]): finished units are handed to the sink *in
+//!    plan order* regardless of execution interleaving. `GraphSink`
+//!    rebuilds the classic in-memory graph; `StreamingWriterSink` writes
+//!    edge-list text with bounded memory; `StatsSink` keeps only online
+//!    per-timestamp statistics.
+//!
+//! # Sharding
+//!
+//! [`SimulationPlan::shards`] partitions the timestamp axis into
+//! contiguous ranges balanced by observed edge count; each
+//! [`ShardSpec`] is a small serialisable description (`master seed +
+//! timestamp range`) that a separate process can execute with
+//! [`generate_shard`] having nothing but the model, the observed graph,
+//! and the spec. Because per-unit RNG streams depend only on
+//! `(master, t, chunk)`, and shards partition the plan in order,
+//! concatenating the shard outputs (e.g. with
+//! [`tg_graph::io::merge_edge_lists`]) reproduces the single-process
+//! output **bit-identically**.
+
+use crate::model::Tgae;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tg_graph::sink::{EdgeSink, GraphSink};
+use tg_graph::{NodeId, TemporalEdge, TemporalGraph, Time};
+use tg_tensor::init::{sample_categorical, sample_categorical_without_replacement};
+use tg_tensor::parallel::{num_threads, par_map};
+
+/// SplitMix64 finalizer: decorrelates the per-chunk seeds derived from
+/// `(master, t, chunk)` so neighboring chunks get unrelated streams.
+pub fn mix_seed(master: u64, t: u64, chunk: u64) -> u64 {
+    let mut z = master ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One unit of the shard manifest: a center chunk at one timestamp, with
+/// its derived RNG seed and the `(source, total, distinct)` out-degree
+/// budgets the sampler must honor.
+#[derive(Clone, Debug)]
+pub struct PlannedUnit {
+    /// Timestamp every edge of this unit will carry.
+    pub t: Time,
+    /// Chunk index within the timestamp (plan order key).
+    pub chunk: u32,
+    /// SplitMix64-derived seed of this unit's private RNG stream.
+    pub seed: u64,
+    /// Per-source budgets: `(source, total out-edges, distinct targets)`.
+    pub budgets: Vec<(NodeId, usize, usize)>,
+}
+
+/// One shard of the manifest: a contiguous timestamp range plus the
+/// master seed the plan was derived from. Small and serialisable — this
+/// is the only thing a remote executor needs besides the model and the
+/// observed graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Master seed the manifest derives every unit seed from.
+    pub master_seed: u64,
+    /// First timestamp of the shard (inclusive).
+    pub t_begin: Time,
+    /// One past the last timestamp of the shard (exclusive).
+    pub t_end: Time,
+    /// This shard's index in `0..n_shards` (file naming / bookkeeping).
+    pub shard: u32,
+    /// Total number of shards in the partition.
+    pub n_shards: u32,
+}
+
+/// The deterministic shard manifest: every work unit of one generation
+/// run, in emission order (timestamps ascending, chunks ascending).
+#[derive(Clone, Debug)]
+pub struct SimulationPlan {
+    master_seed: u64,
+    units: Vec<PlannedUnit>,
+    /// Observed edges per timestamp (shard balancing weights).
+    edges_per_t: Vec<usize>,
+}
+
+impl SimulationPlan {
+    /// Plan the generation of a graph mirroring `observed`, chunking
+    /// centers into groups of `batch_centers` (floored at 32, like the
+    /// training batch), with all unit seeds derived from `master_seed`.
+    ///
+    /// Planning is cheap (one pass over the edge list) and **pure**:
+    /// identical inputs give an identical manifest in any process.
+    pub fn new(observed: &TemporalGraph, batch_centers: usize, master_seed: u64) -> Self {
+        let batch = batch_centers.max(32);
+        let mut units: Vec<PlannedUnit> = Vec::new();
+        for t in 0..observed.n_timestamps() as Time {
+            let slice = observed.edges_at(t);
+            if slice.is_empty() {
+                continue;
+            }
+            // per-source budgets at t: total out-edges and distinct targets
+            // (temporal graphs are multigraphs — EMAIL-like data re-fires
+            // the same pair within one snapshot, and the simulation must
+            // too)
+            let mut budgets: Vec<(NodeId, usize, usize)> = Vec::new();
+            let mut last_target: Option<NodeId> = None;
+            for e in slice {
+                match budgets.last_mut() {
+                    Some((u, total, distinct)) if *u == e.u => {
+                        *total += 1;
+                        if last_target != Some(e.v) {
+                            *distinct += 1;
+                        }
+                    }
+                    _ => budgets.push((e.u, 1, 1)),
+                }
+                last_target = Some(e.v);
+            }
+            for (ci, chunk) in budgets.chunks(batch).enumerate() {
+                units.push(PlannedUnit {
+                    t,
+                    chunk: ci as u32,
+                    seed: mix_seed(master_seed, t as u64, ci as u64),
+                    budgets: chunk.to_vec(),
+                });
+            }
+        }
+        SimulationPlan {
+            master_seed,
+            units,
+            edges_per_t: observed.edge_counts_per_timestamp(),
+        }
+    }
+
+    /// The master seed every unit seed derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// All work units, in emission order.
+    pub fn units(&self) -> &[PlannedUnit] {
+        &self.units
+    }
+
+    /// Total edges the executed plan will emit (the observed budget).
+    pub fn n_edges(&self) -> usize {
+        self.edges_per_t.iter().sum()
+    }
+
+    /// Partition the timestamp axis into `n_shards` contiguous ranges,
+    /// greedily balanced by observed edge count. Every timestamp lands in
+    /// exactly one shard; a shard may be **empty** (zero timestamps) when
+    /// `n_shards` exceeds the number of non-empty timestamps or when one
+    /// timestamp holds more than its proportional edge share (a skewed
+    /// snapshot can exhaust several shards' targets at once — the empty
+    /// shard is not necessarily trailing). Deterministic, so any process
+    /// can recompute the same partition.
+    pub fn shards(&self, n_shards: usize) -> Vec<ShardSpec> {
+        assert!(n_shards > 0, "need at least one shard");
+        let t_count = self.edges_per_t.len() as Time;
+        let total: usize = self.n_edges();
+        let mut specs = Vec::with_capacity(n_shards);
+        let mut t_begin: Time = 0;
+        let mut seen = 0usize;
+        for s in 0..n_shards as u32 {
+            // advance until this shard holds its proportional edge share
+            let target = (total as f64 * (s + 1) as f64 / n_shards as f64).round() as usize;
+            let mut t_end = t_begin;
+            while t_end < t_count && (seen < target || s as usize + 1 == n_shards) {
+                seen += self.edges_per_t[t_end as usize];
+                t_end += 1;
+            }
+            specs.push(ShardSpec {
+                master_seed: self.master_seed,
+                t_begin,
+                t_end,
+                shard: s,
+                n_shards: n_shards as u32,
+            });
+            t_begin = t_end;
+        }
+        specs
+    }
+
+    /// The contiguous slice of units covered by `spec` (units are sorted
+    /// by timestamp, so a timestamp range is a plan subslice).
+    pub fn shard_units(&self, spec: &ShardSpec) -> &[PlannedUnit] {
+        assert_eq!(
+            spec.master_seed, self.master_seed,
+            "shard spec belongs to a different plan"
+        );
+        let lo = self.units.partition_point(|u| u.t < spec.t_begin);
+        let hi = self.units.partition_point(|u| u.t < spec.t_end);
+        &self.units[lo..hi]
+    }
+}
+
+/// Drives a [`SimulationPlan`] through a trained model into an
+/// [`EdgeSink`]. Stateless besides the two borrows, so engines are free
+/// to construct per call.
+pub struct SimulationEngine<'a> {
+    model: &'a Tgae,
+    observed: &'a TemporalGraph,
+}
+
+impl<'a> SimulationEngine<'a> {
+    /// Engine over a trained model and the observed graph it mirrors.
+    /// Panics if the model was shaped for a different graph.
+    pub fn new(model: &'a Tgae, observed: &'a TemporalGraph) -> Self {
+        assert_eq!(model.n_nodes, observed.n_nodes(), "node-count mismatch");
+        assert_eq!(
+            model.n_timestamps,
+            observed.n_timestamps(),
+            "timestamp-count mismatch"
+        );
+        SimulationEngine { model, observed }
+    }
+
+    /// Plan the full run under `master_seed` (chunk size comes from the
+    /// model's `batch_centers`).
+    pub fn plan(&self, master_seed: u64) -> SimulationPlan {
+        SimulationPlan::new(self.observed, self.model.cfg.batch_centers, master_seed)
+    }
+
+    /// Execute a set of units on the worker pool, emitting each finished
+    /// unit into `sink` in plan order.
+    ///
+    /// Units run in **bounded windows** of a few per worker: within a
+    /// window everything executes in parallel, then the window's outputs
+    /// are emitted in order and their buffers dropped before the next
+    /// window starts. With a non-accumulating sink this caps peak memory
+    /// at `O(window × chunk edges)` no matter how many edges the plan
+    /// emits in total.
+    pub fn execute<S: EdgeSink>(&self, units: &[PlannedUnit], sink: &mut S) {
+        let window = num_threads().max(1) * 4;
+        for group in units.chunks(window) {
+            let outs: Vec<Vec<TemporalEdge>> =
+                par_map(group.len(), |i| self.execute_unit(&group[i]));
+            for (unit, edges) in group.iter().zip(&outs) {
+                sink.accept(unit.t, unit.chunk, edges);
+            }
+        }
+    }
+
+    /// Decode and sample one unit with its private RNG stream. Pure given
+    /// the trained model: the same unit always yields the same edges.
+    fn execute_unit(&self, unit: &PlannedUnit) -> Vec<TemporalEdge> {
+        let t = unit.t;
+        let mut rng = SmallRng::seed_from_u64(unit.seed);
+        let mut edges: Vec<TemporalEdge> = Vec::new();
+        let centers: Vec<(NodeId, Time)> = unit.budgets.iter().map(|&(u, _, _)| (u, t)).collect();
+        let (probs, cands) =
+            self.model
+                .decode_rows_for_generation(self.observed, &centers, &mut rng);
+        // Weight/support scratch reused across every row of the chunk
+        // (the seed implementation allocated two fresh Vec<f64> per row).
+        let mut w: Vec<f64> = Vec::with_capacity(cands.len());
+        let mut sup_w: Vec<f64> = Vec::new();
+        for (row, &(u, total, distinct)) in unit.budgets.iter().enumerate() {
+            // categorical weights over candidates, excluding self-loops
+            w.clear();
+            w.extend(probs.row(row).iter().map(|&p| p as f64));
+            for (col, &cand) in cands.iter().enumerate() {
+                if cand == u {
+                    w[col] = 0.0;
+                }
+            }
+            // support: `distinct` targets without replacement (§IV-G)
+            let take = distinct.min(w.iter().filter(|&&x| x > 0.0).count());
+            let support = sample_categorical_without_replacement(&mut rng, &w, take);
+            for &col in &support {
+                edges.push(TemporalEdge::new(u, cands[col], t));
+            }
+            // multiplicity: the remaining (total - distinct) edges
+            // re-fire within the sampled support, weighted by p
+            if total > take && !support.is_empty() {
+                sup_w.clear();
+                sup_w.extend(support.iter().map(|&col| w[col]));
+                for _ in 0..(total - take) {
+                    let pick = support[sample_categorical(&mut rng, &sup_w)];
+                    edges.push(TemporalEdge::new(u, cands[pick], t));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Execute the full manifest for `master_seed` into `sink` and finish it.
+/// This is the streaming-generation entry point: pair it with any
+/// [`EdgeSink`] — `GraphSink` reproduces [`crate::generate`]'s output,
+/// `StreamingWriterSink` bounds memory, `StatsSink` stores nothing.
+pub fn generate_with_sink<S: EdgeSink>(
+    model: &Tgae,
+    observed: &TemporalGraph,
+    master_seed: u64,
+    mut sink: S,
+) -> S::Output {
+    let engine = SimulationEngine::new(model, observed);
+    let plan = engine.plan(master_seed);
+    engine.execute(plan.units(), &mut sink);
+    sink.finish()
+}
+
+/// Execute one shard of the manifest into `sink` and finish it. The plan
+/// is recomputed deterministically from `spec.master_seed`, so separate
+/// processes can each run their own shard and the concatenation of their
+/// outputs (in shard order) is bit-identical to a single-process run.
+pub fn generate_shard_with_sink<S: EdgeSink>(
+    model: &Tgae,
+    observed: &TemporalGraph,
+    spec: &ShardSpec,
+    mut sink: S,
+) -> S::Output {
+    let engine = SimulationEngine::new(model, observed);
+    let plan = engine.plan(spec.master_seed);
+    engine.execute(plan.shard_units(spec), &mut sink);
+    sink.finish()
+}
+
+/// Execute one shard into an in-memory [`TemporalGraph`] containing only
+/// that shard's timestamps' edges (other timestamps are present but
+/// empty, so shard graphs share the observed shape).
+pub fn generate_shard(model: &Tgae, observed: &TemporalGraph, spec: &ShardSpec) -> TemporalGraph {
+    generate_shard_with_sink(
+        model,
+        observed,
+        spec,
+        GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TgaeConfig;
+    use crate::trainer::fit;
+
+    fn ring_graph(n: u32, t_count: u32) -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..t_count {
+            for u in 0..n {
+                edges.push(TemporalEdge::new(u, (u + 1) % n, t));
+            }
+        }
+        TemporalGraph::from_edges(n as usize, t_count as usize, edges)
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_ordered() {
+        let g = ring_graph(12, 4);
+        let a = SimulationPlan::new(&g, 4, 99);
+        let b = SimulationPlan::new(&g, 4, 99);
+        assert_eq!(a.units().len(), b.units().len());
+        assert!(!a.units().is_empty());
+        for (ua, ub) in a.units().iter().zip(b.units()) {
+            assert_eq!((ua.t, ua.chunk, ua.seed), (ub.t, ub.chunk, ub.seed));
+            assert_eq!(ua.budgets, ub.budgets);
+        }
+        // emission order: (t, chunk) strictly increasing lexicographically
+        for w in a.units().windows(2) {
+            assert!((w[0].t, w[0].chunk) < (w[1].t, w[1].chunk));
+        }
+        // different master seed -> different unit seeds
+        let c = SimulationPlan::new(&g, 4, 100);
+        assert_ne!(a.units()[0].seed, c.units()[0].seed);
+    }
+
+    #[test]
+    fn shards_partition_the_plan() {
+        let g = ring_graph(10, 5);
+        let plan = SimulationPlan::new(&g, 4, 7);
+        for n_shards in [1usize, 2, 3, 4, 7] {
+            let specs = plan.shards(n_shards);
+            assert_eq!(specs.len(), n_shards);
+            assert_eq!(specs[0].t_begin, 0);
+            assert_eq!(specs.last().unwrap().t_end as usize, g.n_timestamps());
+            let mut covered = 0usize;
+            for (i, s) in specs.iter().enumerate() {
+                assert!(s.t_begin <= s.t_end);
+                if i > 0 {
+                    assert_eq!(s.t_begin, specs[i - 1].t_end, "contiguous ranges");
+                }
+                covered += plan.shard_units(s).len();
+            }
+            assert_eq!(covered, plan.units().len(), "{n_shards} shards");
+        }
+    }
+
+    #[test]
+    fn shards_beyond_timestamps_leave_trailing_empties() {
+        let g = ring_graph(6, 2);
+        let plan = SimulationPlan::new(&g, 4, 1);
+        let specs = plan.shards(5);
+        assert_eq!(specs.len(), 5);
+        let non_empty = specs
+            .iter()
+            .filter(|s| !plan.shard_units(s).is_empty())
+            .count();
+        assert!(non_empty <= 2);
+        let covered: usize = specs.iter().map(|s| plan.shard_units(s).len()).sum();
+        assert_eq!(covered, plan.units().len());
+    }
+
+    #[test]
+    fn sharded_union_equals_full_run() {
+        let g = ring_graph(9, 3);
+        let mut cfg = TgaeConfig::tiny();
+        cfg.epochs = 5;
+        cfg.batch_centers = 4;
+        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+        fit(&mut model, &g);
+
+        let full = generate_with_sink(
+            &model,
+            &g,
+            123,
+            GraphSink::new(g.n_nodes(), g.n_timestamps()),
+        );
+        for n_shards in [1usize, 2, 4] {
+            let plan = SimulationEngine::new(&model, &g).plan(123);
+            let mut merged: Vec<TemporalEdge> = Vec::new();
+            for spec in plan.shards(n_shards) {
+                let shard = generate_shard(&model, &g, &spec);
+                merged.extend_from_slice(shard.edges());
+            }
+            let merged = TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), merged);
+            assert_eq!(merged.edges(), full.edges(), "{n_shards} shards");
+        }
+    }
+}

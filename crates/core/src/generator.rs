@@ -15,117 +15,46 @@
 //!
 //! # Parallelism & determinism
 //!
-//! Center chunks are independent given the trained model, so assembly
-//! fans out across the worker pool (`tg_tensor::parallel::par_map`). Each
-//! `(timestamp, chunk)` pair decodes and samples with its **own RNG
-//! stream**, seeded by mixing a master seed (one draw from the caller's
-//! RNG) with the pair's indices. Chunk outputs are concatenated in chunk
-//! order afterwards. Consequences:
+//! Assembly is driven by the plan → execute → emit pipeline of
+//! [`crate::engine`]: center chunks are independent given the trained
+//! model, so they fan out across the worker pool, each `(timestamp,
+//! chunk)` unit decoding and sampling with its **own RNG stream** seeded
+//! by mixing a master seed (one draw from the caller's RNG) with the
+//! unit's indices. Unit outputs are emitted in plan order afterwards.
+//! Consequences:
 //!
 //! - the generated graph is **bit-identical for a fixed seed regardless
-//!   of thread count** (including `set_num_threads(1)`), and
+//!   of thread count** (including `set_num_threads(1)`), and across any
+//!   shard partition of the manifest, and
 //! - `generate` scales with cores while consuming exactly one `u64` from
 //!   the caller's RNG.
 
+use crate::engine::generate_with_sink;
 use crate::model::Tgae;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use tg_graph::{NodeId, TemporalEdge, TemporalGraph, Time};
-use tg_tensor::init::{sample_categorical, sample_categorical_without_replacement};
-use tg_tensor::parallel::par_map;
-
-/// One unit of parallel assembly work: a timestamp, the chunk's derived
-/// RNG seed, and the `(source, total, distinct)` budgets of its centers.
-type ChunkWork = (Time, u64, Vec<(NodeId, usize, usize)>);
-
-/// SplitMix64 finalizer: decorrelates the per-chunk seeds derived from
-/// (master, t, chunk) so neighboring chunks get unrelated streams.
-fn mix_seed(master: u64, t: u64, chunk: u64) -> u64 {
-    let mut z = master ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.rotate_left(32);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use rand::Rng;
+use tg_graph::sink::GraphSink;
+use tg_graph::TemporalGraph;
 
 /// Generate a synthetic temporal graph mirroring the observed graph's
 /// per-timestamp out-degree sequence.
+///
+/// This is the in-memory convenience entry point: it draws one master
+/// seed from `rng`, plans the full shard manifest, executes it on the
+/// worker pool, and assembles a [`TemporalGraph`] through a
+/// [`GraphSink`]. For streaming output, sharded execution, or
+/// statistics-only runs, use [`crate::engine`] directly.
 pub fn generate<R: Rng + ?Sized>(
     model: &Tgae,
     observed: &TemporalGraph,
     rng: &mut R,
 ) -> TemporalGraph {
-    let batch = model.cfg.batch_centers.max(32);
     let master: u64 = rng.gen();
-
-    // Collect per-source budget chunks for every timestamp up front; each
-    // becomes one independent unit of parallel work.
-    let mut work: Vec<ChunkWork> = Vec::new();
-    for t in 0..observed.n_timestamps() as Time {
-        // centers: distinct sources at t with their out-degree budgets
-        let slice = observed.edges_at(t);
-        if slice.is_empty() {
-            continue;
-        }
-        // per-source budgets at t: total out-edges and distinct targets
-        // (temporal graphs are multigraphs — EMAIL-like data re-fires the
-        // same pair within one snapshot, and the simulation must too)
-        let mut budgets: Vec<(NodeId, usize, usize)> = Vec::new();
-        let mut last_target: Option<NodeId> = None;
-        for e in slice {
-            match budgets.last_mut() {
-                Some((u, total, distinct)) if *u == e.u => {
-                    *total += 1;
-                    if last_target != Some(e.v) {
-                        *distinct += 1;
-                    }
-                }
-                _ => budgets.push((e.u, 1, 1)),
-            }
-            last_target = Some(e.v);
-        }
-        for (ci, chunk) in budgets.chunks(batch).enumerate() {
-            work.push((t, mix_seed(master, t as u64, ci as u64), chunk.to_vec()));
-        }
-    }
-
-    // Decode and sample every chunk on the pool; chunk RNGs make the
-    // result independent of scheduling order.
-    let per_chunk: Vec<Vec<TemporalEdge>> = par_map(work.len(), |wi| {
-        let (t, seed, chunk) = &work[wi];
-        let t = *t;
-        let mut rng = SmallRng::seed_from_u64(*seed);
-        let mut edges: Vec<TemporalEdge> = Vec::new();
-        let centers: Vec<(NodeId, Time)> = chunk.iter().map(|&(u, _, _)| (u, t)).collect();
-        let (probs, cands) = model.decode_rows_for_generation(observed, &centers, &mut rng);
-        for (row, &(u, total, distinct)) in chunk.iter().enumerate() {
-            // categorical weights over candidates, excluding self-loops
-            let mut w: Vec<f64> = probs.row(row).iter().map(|&p| p as f64).collect();
-            for (col, &cand) in cands.iter().enumerate() {
-                if cand == u {
-                    w[col] = 0.0;
-                }
-            }
-            // support: `distinct` targets without replacement (§IV-G)
-            let take = distinct.min(w.iter().filter(|&&x| x > 0.0).count());
-            let support = sample_categorical_without_replacement(&mut rng, &w, take);
-            for &col in &support {
-                edges.push(TemporalEdge::new(u, cands[col], t));
-            }
-            // multiplicity: the remaining (total - distinct) edges
-            // re-fire within the sampled support, weighted by p
-            if total > take && !support.is_empty() {
-                let sup_w: Vec<f64> = support.iter().map(|&col| w[col]).collect();
-                for _ in 0..(total - take) {
-                    let pick = support[sample_categorical(&mut rng, &sup_w)];
-                    edges.push(TemporalEdge::new(u, cands[pick], t));
-                }
-            }
-        }
-        edges
-    });
-
-    let edges: Vec<TemporalEdge> = per_chunk.into_iter().flatten().collect();
-    TemporalGraph::from_edges(observed.n_nodes(), observed.n_timestamps(), edges)
+    generate_with_sink(
+        model,
+        observed,
+        master,
+        GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+    )
 }
 
 #[cfg(test)]
@@ -135,6 +64,7 @@ mod tests {
     use crate::trainer::fit;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use tg_graph::TemporalEdge;
 
     fn ring_graph(n: u32, t_count: u32) -> TemporalGraph {
         let mut edges = Vec::new();

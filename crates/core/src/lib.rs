@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `tgae`: the Temporal Graph Autoencoder of *"Efficient Learning-based
 //! Graph Simulation for Temporal Graphs"* (ICDE 2025), reimplemented from
 //! scratch in Rust.
@@ -16,7 +17,8 @@
 //!    categorical edge rows.
 //! 5. **Assembly & generation** ([`generator`], §IV-G): per-timestamp
 //!    categorical edge sampling without replacement under the observed
-//!    edge budget.
+//!    edge budget, driven by the sharded streaming [`engine`] (plan →
+//!    execute → emit into an `EdgeSink`).
 //!
 //! Training minimises the approximate loss of Eq. 7 ([`trainer`]); the
 //! ablation variants of §IV-F are selected via
@@ -51,6 +53,7 @@
 pub mod config;
 pub mod decoder;
 pub mod encoder;
+pub mod engine;
 pub mod features;
 pub mod generator;
 pub mod model;
@@ -58,6 +61,10 @@ pub mod persist;
 pub mod trainer;
 
 pub use config::{TgaeConfig, TgaeVariant};
+pub use engine::{
+    generate_shard, generate_shard_with_sink, generate_with_sink, ShardSpec, SimulationEngine,
+    SimulationPlan,
+};
 pub use generator::generate;
 pub use model::{BatchStats, Tgae};
 pub use persist::{load, save, PersistError};

@@ -29,12 +29,19 @@ pub struct BatchStats {
 /// The Temporal Graph Autoencoder.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct Tgae {
+    /// Architecture, sampling, and optimisation settings.
     pub cfg: TgaeConfig,
+    /// All trainable parameters, keyed by `ParamId`.
     pub store: ParamStore,
+    /// Node-id + timestamp embedding tables (model input features).
     pub features: TemporalFeatures,
+    /// The stacked TGAT attention encoder (Eqs. 3–5).
     pub encoder: TgatEncoder,
+    /// The variational ego-graph decoder (Algorithm 2).
     pub decoder: EgoDecoder,
+    /// Number of nodes the model was shaped for.
     pub n_nodes: usize,
+    /// Number of timestamps the model was shaped for.
     pub n_timestamps: usize,
 }
 
@@ -199,12 +206,33 @@ impl Tgae {
     /// returns, per center, the probability row over `candidates`
     /// (softmax already applied) as an owned matrix, along with the
     /// candidate list used.
+    ///
+    /// Records onto this thread's **persistent thread-local tape**
+    /// ([`Tape::with_thread_local`]): on the worker pool every worker
+    /// keeps its own tape whose scratch pool survives across chunks, so
+    /// steady-state generation allocates almost nothing — the same
+    /// scratch story the training loop gets from its single reused tape.
     pub fn decode_rows_for_generation<R: Rng + ?Sized>(
         &self,
         g: &TemporalGraph,
         centers: &[(NodeId, Time)],
         rng: &mut R,
     ) -> (Matrix, Rc<Vec<u32>>) {
+        Tape::with_thread_local(|tape| self.decode_rows_for_generation_into(tape, g, centers, rng))
+    }
+
+    /// [`Tgae::decode_rows_for_generation`] recording onto a caller-owned
+    /// tape (cleared first). Exposed so benchmarks can A/B fresh-tape vs
+    /// reused-tape decoding; the probability matrix is value-identical
+    /// either way.
+    pub fn decode_rows_for_generation_into<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape,
+        g: &TemporalGraph,
+        centers: &[(NodeId, Time)],
+        rng: &mut R,
+    ) -> (Matrix, Rc<Vec<u32>>) {
+        tape.clear();
         let cg = ComputationGraph::build(g, centers, &self.cfg.sampler, rng);
         assert_eq!(
             cg.centers(),
@@ -212,19 +240,16 @@ impl Tgae {
             "generation centers must be distinct and sorted"
         );
         let (slots, offsets) = cg.all_slots();
-        let mut tape = Tape::new();
-        let x_all = self.features.forward(&mut tape, &self.store, &slots);
+        let x_all = self.features.forward(tape, &self.store, &slots);
         let k = cg.k();
         let outer_idx: Rc<Vec<u32>> = Rc::new((offsets[k] as u32..offsets[k + 1] as u32).collect());
         let x_outer = tape.gather_rows(x_all, outer_idx);
-        let enc_levels = self.encoder.forward(&mut tape, &self.store, &cg, x_outer);
+        let enc_levels = self.encoder.forward(tape, &self.store, &cg, x_outer);
         // deterministic latent: Z = mu
-        let (_, mu, _) = self
-            .decoder
-            .latent(&mut tape, &self.store, x_all, false, rng);
+        let (_, mu, _) = self.decoder.latent(tape, &self.store, x_all, false, rng);
         let dec_levels = self
             .decoder
-            .decode_levels(&mut tape, &cg, enc_levels[0], mu, &offsets);
+            .decode_levels(tape, &cg, enc_levels[0], mu, &offsets);
 
         // Candidates: dense for small n; otherwise the observed temporal
         // neighborhoods of the centers plus uniform negatives (the
@@ -251,7 +276,7 @@ impl Tgae {
         );
         let logits = self
             .decoder
-            .score(&mut tape, &self.store, dec_levels[0], candidates.clone());
+            .score(tape, &self.store, dec_levels[0], candidates.clone());
         let tau = self.cfg.gen_temperature.max(1e-3);
         let sharpened = tape.value(logits).map(|x| x / tau);
         let probs = tg_tensor::matrix::softmax_rows(&sharpened);

@@ -1,0 +1,207 @@
+//! Determinism invariance of the sharded streaming simulation engine:
+//! for a fixed master seed the generated edge stream must be
+//! bit-identical across **thread counts × shard counts × sink
+//! implementations**, and the statistics-only sink must agree exactly
+//! with statistics recomputed from the in-memory graph.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tg_graph::io::read_edge_list_exact;
+use tg_graph::io::StreamingWriterSink;
+use tg_graph::sink::{GenerationStats, GraphSink, StatsSink};
+use tg_graph::{TemporalEdge, TemporalGraph};
+use tg_tensor::parallel::ThreadPin;
+use tgae::engine::{
+    generate_shard, generate_shard_with_sink, generate_with_sink, SimulationEngine,
+};
+use tgae::{fit, Tgae, TgaeConfig};
+
+/// A small multigraph with ring structure plus seeded random extra edges
+/// (including re-fired pairs, so the multiplicity path is exercised).
+fn mixed_graph(n: u32, t_count: u32, extra: usize, seed: u64) -> TemporalGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for t in 0..t_count {
+        for u in 0..n {
+            edges.push(TemporalEdge::new(u, (u + 1) % n, t));
+        }
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        if v == u {
+            v = (v + 1) % n;
+        }
+        let t = rng.gen_range(0..t_count);
+        edges.push(TemporalEdge::new(u, v, t));
+        if rng.gen_bool(0.3) {
+            edges.push(TemporalEdge::new(u, v, t)); // multigraph re-fire
+        }
+    }
+    TemporalGraph::from_edges(n as usize, t_count as usize, edges)
+}
+
+fn tiny_trained(g: &TemporalGraph, batch_centers: usize) -> Tgae {
+    let mut cfg = TgaeConfig::tiny();
+    cfg.epochs = 4;
+    cfg.batch_centers = batch_centers;
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
+    fit(&mut model, g);
+    model
+}
+
+/// Full-run reference edges through a `GraphSink`.
+fn reference_edges(model: &Tgae, g: &TemporalGraph, master: u64) -> Vec<TemporalEdge> {
+    generate_with_sink(
+        model,
+        g,
+        master,
+        GraphSink::new(g.n_nodes(), g.n_timestamps()),
+    )
+    .edges()
+    .to_vec()
+}
+
+#[test]
+fn edges_bit_identical_across_threads_shards_and_sinks() {
+    let g = mixed_graph(10, 3, 12, 5);
+    let model = tiny_trained(&g, 4); // several chunks per timestamp
+    let master = 20240731u64;
+    let reference = reference_edges(&model, &g, master);
+    assert_eq!(reference.len(), g.n_edges());
+
+    for threads in [1usize, 2, 4] {
+        let _pin = ThreadPin::new(threads);
+        for n_shards in [1usize, 2, 4] {
+            let plan = SimulationEngine::new(&model, &g).plan(master);
+            let shards = plan.shards(n_shards);
+
+            // GraphSink per shard, merged
+            let mut merged: Vec<TemporalEdge> = Vec::new();
+            for spec in &shards {
+                merged.extend_from_slice(generate_shard(&model, &g, spec).edges());
+            }
+            let merged = TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), merged);
+            assert_eq!(
+                merged.edges(),
+                &reference[..],
+                "GraphSink: threads={threads} shards={n_shards}"
+            );
+
+            // StreamingWriterSink per shard; shard buffers concatenate in
+            // shard order and parse back to the reference edges
+            let mut bytes: Vec<u8> = Vec::new();
+            for spec in &shards {
+                let mut sink = StreamingWriterSink::new(Vec::new());
+                let engine = SimulationEngine::new(&model, &g);
+                let shard_plan = engine.plan(spec.master_seed);
+                engine.execute(shard_plan.shard_units(spec), &mut sink);
+                bytes.extend_from_slice(&sink.into_inner().unwrap());
+            }
+            let parsed = read_edge_list_exact(bytes.as_slice(), g.n_nodes(), g.n_timestamps())
+                .expect("streamed text parses");
+            assert_eq!(
+                parsed.edges(),
+                &reference[..],
+                "StreamingWriterSink: threads={threads} shards={n_shards}"
+            );
+
+            // StatsSink per shard: summed stats equal graph-derived stats
+            let mut stats_acc: Option<GenerationStats> = None;
+            for spec in &shards {
+                let s =
+                    generate_shard_with_sink(&model, &g, spec, StatsSink::new(g.n_timestamps()));
+                stats_acc = Some(match stats_acc {
+                    None => s,
+                    Some(mut acc) => {
+                        for (a, b) in acc.per_timestamp.iter_mut().zip(s.per_timestamp) {
+                            a.n_edges += b.n_edges;
+                            for (k, v) in b.out_degrees {
+                                *a.out_degrees.entry(k).or_insert(0) += v;
+                            }
+                            for (k, v) in b.in_degrees {
+                                *a.in_degrees.entry(k).or_insert(0) += v;
+                            }
+                        }
+                        acc
+                    }
+                });
+            }
+            let full = TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), reference.clone());
+            assert_eq!(
+                stats_acc.unwrap(),
+                GenerationStats::from_graph(&full),
+                "StatsSink: threads={threads} shards={n_shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_bytes_are_shard_concatenation() {
+    let g = mixed_graph(8, 2, 6, 9);
+    let model = tiny_trained(&g, 4);
+    let master = 77u64;
+    let dir = std::env::temp_dir().join(format!("tg_engine_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let full_path = dir.join("full.txt");
+    let n_full = generate_with_sink(
+        &model,
+        &g,
+        master,
+        StreamingWriterSink::create(&full_path).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(n_full as usize, g.n_edges());
+
+    let plan = SimulationEngine::new(&model, &g).plan(master);
+    let mut shard_paths = Vec::new();
+    for spec in plan.shards(2) {
+        let p = dir.join(format!("shard_{}.txt", spec.shard));
+        generate_shard_with_sink(&model, &g, &spec, StreamingWriterSink::create(&p).unwrap())
+            .unwrap();
+        shard_paths.push(p);
+    }
+    let merged_path = dir.join("merged.txt");
+    tg_graph::io::merge_edge_lists(&shard_paths, &merged_path).unwrap();
+    assert_eq!(
+        std::fs::read(&full_path).unwrap(),
+        std::fs::read(&merged_path).unwrap(),
+        "shard files must concatenate byte-identically to the full stream"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Over random small multigraphs: sharded GraphSink union equals the
+    /// full run, and StatsSink totals equal GraphSink-derived stats.
+    #[test]
+    fn sharding_and_stats_invariants_hold(
+        n in 5u32..9,
+        t_count in 1u32..4,
+        extra in 0usize..10,
+        graph_seed in 0u64..1000,
+        master in 0u64..1000,
+    ) {
+        let g = mixed_graph(n, t_count, extra, graph_seed);
+        let model = tiny_trained(&g, 4);
+        let reference = reference_edges(&model, &g, master);
+        prop_assert_eq!(reference.len(), g.n_edges());
+
+        let plan = SimulationEngine::new(&model, &g).plan(master);
+        let mut merged: Vec<TemporalEdge> = Vec::new();
+        for spec in plan.shards(2) {
+            merged.extend_from_slice(generate_shard(&model, &g, &spec).edges());
+        }
+        let merged = TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), merged);
+        prop_assert_eq!(merged.edges(), &reference[..]);
+
+        let stats = generate_with_sink(&model, &g, master, StatsSink::new(g.n_timestamps()));
+        let full = TemporalGraph::from_edges(g.n_nodes(), g.n_timestamps(), reference);
+        prop_assert_eq!(stats, GenerationStats::from_graph(&full));
+    }
+}

@@ -8,7 +8,8 @@
 //! [`crate::builder::TemporalGraphBuilder`].
 
 use crate::builder::TemporalGraphBuilder;
-use crate::temporal::TemporalGraph;
+use crate::sink::EdgeSink;
+use crate::temporal::{TemporalEdge, TemporalGraph, Time};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -108,6 +109,188 @@ pub fn save_edge_list(g: &TemporalGraph, path: impl AsRef<Path>) -> Result<(), I
     write_edge_list(g, f)
 }
 
+/// Parse `src dst timestamp` lines **without id/timestamp compaction**:
+/// every id must already be a dense `NodeId < n_nodes` and every
+/// timestamp a dense `Time < n_timestamps`. This is the loader for files
+/// produced by [`StreamingWriterSink`] / [`write_edge_list`], where the
+/// ids are already dense and compaction would silently relabel any graph
+/// whose generated edges miss a node or timestamp.
+pub fn read_edge_list_exact<R: Read>(
+    reader: R,
+    n_nodes: usize,
+    n_timestamps: usize,
+) -> Result<TemporalGraph, IoError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<TemporalEdge> = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') || s.starts_with('%') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let mut parse = |what: &str, bound: usize| -> Result<u32, IoError> {
+            let v = it
+                .next()
+                .ok_or_else(|| IoError::Parse {
+                    line: line_no,
+                    msg: format!("missing {what}"),
+                })?
+                .parse::<u32>()
+                .map_err(|e| IoError::Parse {
+                    line: line_no,
+                    msg: format!("bad {what}: {e}"),
+                })?;
+            if (v as usize) >= bound {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    msg: format!("{what} {v} out of range (< {bound})"),
+                });
+            }
+            Ok(v)
+        };
+        let u = parse("src", n_nodes)?;
+        let v = parse("dst", n_nodes)?;
+        let t = parse("timestamp", n_timestamps)?;
+        if it.next().is_some() {
+            // A fourth token means the line is not a clean `u v t` record
+            // (e.g. two lines spliced by a missing newline in a merge);
+            // accepting it would silently drop data.
+            return Err(IoError::Parse {
+                line: line_no,
+                msg: "trailing tokens after timestamp".into(),
+            });
+        }
+        edges.push(TemporalEdge::new(u, v, t));
+    }
+    Ok(TemporalGraph::from_edges(n_nodes, n_timestamps, edges))
+}
+
+/// Load a dense edge-list file without compaction; see
+/// [`read_edge_list_exact`].
+pub fn load_edge_list_exact(
+    path: impl AsRef<Path>,
+    n_nodes: usize,
+    n_timestamps: usize,
+) -> Result<TemporalGraph, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list_exact(f, n_nodes, n_timestamps)
+}
+
+/// [`EdgeSink`] that writes `src dst timestamp` lines straight through a
+/// buffered writer as units are emitted, retaining **no edges** — peak
+/// memory is bounded by the engine's in-flight unit window, independent
+/// of the total edge count.
+///
+/// Because the simulation engine emits units in plan order (and shard
+/// time-ranges partition that order), the files written by per-shard
+/// sinks concatenate byte-identically — via [`merge_edge_lists`] — to the
+/// file a single-process run would write.
+///
+/// I/O errors are captured on first occurrence and reported by
+/// [`EdgeSink::finish`]; subsequent writes become no-ops.
+pub struct StreamingWriterSink<W: Write> {
+    writer: BufWriter<W>,
+    n_written: u64,
+    err: Option<std::io::Error>,
+}
+
+impl<W: Write> StreamingWriterSink<W> {
+    /// Wrap any writer (a `File`, a `Vec<u8>`, a socket…).
+    pub fn new(writer: W) -> Self {
+        StreamingWriterSink {
+            writer: BufWriter::new(writer),
+            n_written: 0,
+            err: None,
+        }
+    }
+
+    /// Edges written so far (excluding any failed writes).
+    pub fn n_written(&self) -> u64 {
+        self.n_written
+    }
+
+    /// Flush and hand back the inner writer (useful for in-memory
+    /// `Vec<u8>` sinks in tests and benchmarks). Reports any deferred
+    /// write error, like [`EdgeSink::finish`].
+    pub fn into_inner(self) -> Result<W, IoError> {
+        if let Some(e) = self.err {
+            return Err(IoError::Io(e));
+        }
+        self.writer
+            .into_inner()
+            .map_err(|e| IoError::Io(e.into_error()))
+    }
+}
+
+impl StreamingWriterSink<std::fs::File> {
+    /// Create (truncating) an edge-list file at `path` and stream into it.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        Ok(StreamingWriterSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> EdgeSink for StreamingWriterSink<W> {
+    type Output = Result<u64, IoError>;
+
+    fn accept(&mut self, _t: Time, _chunk: u32, edges: &[TemporalEdge]) {
+        if self.err.is_some() {
+            return;
+        }
+        for e in edges {
+            if let Err(e) = writeln!(self.writer, "{} {} {}", e.u, e.v, e.t) {
+                self.err = Some(e);
+                return;
+            }
+            self.n_written += 1;
+        }
+    }
+
+    fn finish(mut self) -> Result<u64, IoError> {
+        if let Some(e) = self.err {
+            return Err(IoError::Io(e));
+        }
+        self.writer.flush()?;
+        Ok(self.n_written)
+    }
+}
+
+/// Concatenate shard edge-list files, in order, into `out` — a streaming
+/// byte copy with O(buffer) memory. When the inputs are the per-shard
+/// outputs of [`StreamingWriterSink`] over a partition of the shard
+/// manifest, the merged file is byte-identical to the single-process
+/// streamed output. A newline is inserted after any non-empty input that
+/// does not end with one (hand-edited files), so records never splice
+/// across file boundaries. Returns the number of bytes written.
+pub fn merge_edge_lists(
+    inputs: &[impl AsRef<Path>],
+    out: impl AsRef<Path>,
+) -> Result<u64, IoError> {
+    let mut w = BufWriter::new(std::fs::File::create(out)?);
+    let mut total = 0u64;
+    let mut buf = vec![0u8; 64 << 10];
+    for p in inputs {
+        let mut r = std::fs::File::open(p)?;
+        let mut last = b'\n';
+        loop {
+            let n = r.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            w.write_all(&buf[..n])?;
+            total += n as u64;
+            last = buf[n - 1];
+        }
+        if last != b'\n' {
+            w.write_all(b"\n")?;
+            total += 1;
+        }
+    }
+    w.flush()?;
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +363,92 @@ mod tests {
             read_edge_list("#nope\n".as_bytes(), None),
             Err(IoError::Empty)
         ));
+    }
+
+    #[test]
+    fn exact_reader_keeps_ids_dense() {
+        // node 2 and timestamp 1 never appear; the compacting reader
+        // would relabel, the exact reader must not
+        let text = "0 1 0\n1 0 2\n";
+        let g = read_edge_list_exact(text.as_bytes(), 4, 3).unwrap();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_timestamps(), 3);
+        assert_eq!(
+            g.edges(),
+            &[TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 0, 2)]
+        );
+    }
+
+    #[test]
+    fn exact_reader_rejects_out_of_range() {
+        assert!(matches!(
+            read_edge_list_exact("0 9 0\n".as_bytes(), 3, 1),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list_exact("0 1 7\n".as_bytes(), 3, 1),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_sink_matches_write_edge_list() {
+        let edges = vec![
+            TemporalEdge::new(0, 1, 0),
+            TemporalEdge::new(1, 2, 0),
+            TemporalEdge::new(2, 0, 1),
+        ];
+        let g = TemporalGraph::from_edges(3, 2, edges.clone());
+        let mut via_writer = Vec::new();
+        write_edge_list(&g, &mut via_writer).unwrap();
+
+        let mut sink = StreamingWriterSink::new(Vec::new());
+        // emit in sorted order (what the engine's plan order gives for a
+        // graph whose edges are already sorted)
+        sink.accept(0, 0, &edges[..2]);
+        sink.accept(1, 0, &edges[2..]);
+        assert_eq!(sink.n_written(), 3);
+        let buf = sink.writer.into_inner().unwrap();
+        assert_eq!(buf, via_writer);
+    }
+
+    #[test]
+    fn exact_reader_rejects_trailing_tokens() {
+        // a spliced line (missing newline between records) must not parse
+        // as a single edge that silently drops the trailing tokens
+        assert!(matches!(
+            read_edge_list_exact("5 6 01 2 0\n".as_bytes(), 10, 5),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn merge_inserts_newline_for_unterminated_input() {
+        let dir = std::env::temp_dir().join(format!("tg_merge_nl_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        let out = dir.join("merged.txt");
+        std::fs::write(&a, "0 1 0").unwrap(); // no trailing newline
+        std::fs::write(&b, "1 0 1\n").unwrap();
+        merge_edge_lists(&[&a, &b], &out).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "0 1 0\n1 0 1\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let dir = std::env::temp_dir().join(format!("tg_merge_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        let out = dir.join("merged.txt");
+        std::fs::write(&a, "0 1 0\n").unwrap();
+        std::fs::write(&b, "1 0 1\n").unwrap();
+        let bytes = merge_edge_lists(&[&a, &b], &out).unwrap();
+        let merged = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(merged, "0 1 0\n1 0 1\n");
+        assert_eq!(bytes as usize, merged.len());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,14 +12,21 @@
 //! - [`builder::TemporalGraphBuilder`] — relabeling/compaction from raw
 //!   ids and epoch timestamps;
 //! - [`io`] — the `src dst timestamp` text interchange format used by the
-//!   paper's datasets (SNAP/Bitcoin/StackExchange dumps drop in directly).
+//!   paper's datasets (SNAP/Bitcoin/StackExchange dumps drop in directly),
+//!   plus the streaming writer/merger behind sharded generation;
+//! - [`sink`] — the [`sink::EdgeSink`] abstraction consumed by the
+//!   simulation engine (`tgae::engine`): in-memory graph assembly,
+//!   streaming edge-list writing, or online statistics with no edge
+//!   storage.
 
 pub mod builder;
 pub mod io;
+pub mod sink;
 pub mod snapshot;
 pub mod temporal;
 pub mod transform;
 
 pub use builder::TemporalGraphBuilder;
+pub use sink::{EdgeSink, GenerationStats, GraphSink, StatsSink};
 pub use snapshot::Snapshot;
 pub use temporal::{NodeId, TemporalEdge, TemporalGraph, Time};

@@ -230,6 +230,12 @@ impl Default for Tape {
     }
 }
 
+thread_local! {
+    /// One persistent scratch tape per OS thread; see
+    /// [`Tape::with_thread_local`].
+    static THREAD_TAPE: RefCell<Tape> = RefCell::new(Tape::new());
+}
+
 impl Tape {
     /// Empty tape with a fresh scratch pool.
     pub fn new() -> Self {
@@ -239,6 +245,30 @@ impl Tape {
             pool: RefCell::new(ScratchPool::new()),
             materialise_xent: false,
         }
+    }
+
+    /// Run `f` with this thread's **persistent scratch tape**.
+    ///
+    /// The tape (and crucially its scratch pool, capped at 64 MiB) lives
+    /// for the thread's lifetime, so forward passes executed on the
+    /// persistent worker pool (`crate::parallel`) reuse their buffers
+    /// across work items exactly like the training loop's single reused
+    /// tape — this is what gives *generation* the trainer's scratch
+    /// story. The tape is [`Tape::clear`]ed before `f` runs; `f` must not
+    /// re-enter `with_thread_local` on the same thread (the `RefCell`
+    /// would panic).
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+        THREAD_TAPE.with(|t| {
+            let mut tape = t.borrow_mut();
+            tape.clear();
+            let out = f(&mut tape);
+            // Clear again on the way out: node buffers return to the
+            // capped scratch pool instead of staying live on the tape, so
+            // an idle worker retains at most the pool cap — not its last
+            // forward pass's full activation set.
+            tape.clear();
+            out
+        })
     }
 
     /// Select the softmax-cross-entropy implementation recorded by
@@ -1250,5 +1280,42 @@ mod tests {
         assert!((grads.global_norm() - 2.0).abs() < 1e-6); // sqrt(4 * 1^2)
         grads.scale_all(0.5);
         assert!((grads.global_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thread_local_tape_is_cleared_and_matches_fresh_tape() {
+        let run = |tape: &mut Tape| -> f32 {
+            let a = tape.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            let b = tape.input(Matrix::from_vec(2, 2, vec![0.5, 0.5, 0.5, 0.5]));
+            let c = tape.matmul(a, b);
+            let s = tape.sum(c);
+            tape.value(s).item()
+        };
+        let fresh = run(&mut Tape::new());
+        // two back-to-back thread-local uses: second must see a cleared
+        // tape whose pooled (stale) buffers do not change the result
+        let first = Tape::with_thread_local(|t| run(t));
+        let second = Tape::with_thread_local(|t| {
+            assert!(t.is_empty(), "thread-local tape not cleared");
+            run(t)
+        });
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+    }
+
+    #[test]
+    fn thread_local_tapes_are_per_worker_on_the_pool() {
+        // every pool task gets *a* tape; distinct threads get distinct
+        // tapes, so concurrent use never aliases
+        let results = crate::parallel::par_map(16, |i| {
+            Tape::with_thread_local(|tape| {
+                let x = tape.input(Matrix::full(1, 1, i as f32));
+                let y = tape.scale(x, 2.0);
+                tape.value(y).item()
+            })
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, 2.0 * i as f32);
+        }
     }
 }

@@ -54,8 +54,13 @@ pub use tgae as model;
 pub mod prelude {
     pub use tg_baselines::TemporalGraphGenerator;
     pub use tg_datasets::{Preset, SyntheticConfig};
-    pub use tg_graph::{Snapshot, TemporalEdge, TemporalGraph};
+    pub use tg_graph::{
+        EdgeSink, GenerationStats, GraphSink, Snapshot, StatsSink, TemporalEdge, TemporalGraph,
+    };
     pub use tg_metrics::{evaluate, GraphStats, MetricKind};
     pub use tg_sampling::SamplerConfig;
-    pub use tgae::{fit, generate, Tgae, TgaeConfig, TgaeVariant, TrainReport};
+    pub use tgae::{
+        fit, generate, generate_shard, generate_with_sink, ShardSpec, SimulationEngine,
+        SimulationPlan, Tgae, TgaeConfig, TgaeVariant, TrainReport,
+    };
 }

@@ -138,11 +138,22 @@ fn generation_benches(c: &mut Criterion) {
     let g = p.generate(7);
     let mut cfg = TgaeConfig::tiny();
     cfg.epochs = 5;
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-    tgae::fit(&mut model, &g);
+    let mut session = tgae::Session::builder(&g)
+        .config(cfg)
+        .build()
+        .expect("session");
+    session.train().expect("train");
     c.bench_function("tgae_generate_500n_5t", |b| {
-        let mut rng = SmallRng::seed_from_u64(8);
-        b.iter(|| tgae::generate(&model, &g, &mut rng))
+        let mut master = 8u64;
+        b.iter(|| {
+            master = master.wrapping_add(1);
+            session
+                .simulate_seeded(
+                    master,
+                    tg_graph::sink::GraphSink::new(g.n_nodes(), g.n_timestamps()),
+                )
+                .expect("simulate")
+        })
     });
 }
 

@@ -1,26 +1,27 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR3.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR4.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
-//! portable-vs-SIMD pairs and the xent fusion A/B).
+//! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
+//! generation throughput and streaming peak-heap A/B).
 //!
-//! Entry kinds in this snapshot (PR 3 = the sharded streaming engine):
+//! Entry kinds in this snapshot (PR 4 = the `Session` API + the
+//! multi-process shard driver):
 //!
-//! - **Generation throughput per sink** — end-to-end `edges/s` through
-//!   the plan → execute → emit pipeline at 500 and 2000 nodes, for each
-//!   `EdgeSink`: `GraphSink` (in-memory graph), `StreamingWriterSink`
-//!   (edge-list text to a temp file), and `StatsSink` (online statistics,
-//!   no edge storage). The three should be within a few percent of each
-//!   other — decode dominates — which is exactly the point: streaming
-//!   costs ~nothing over materialising.
-//! - **Peak-heap A/B: GraphSink vs StreamingWriterSink** at 2000 nodes —
-//!   the streaming sink must sit measurably below the in-memory sink,
-//!   because it never holds the edge set or the final graph.
-//! - **Fresh-tape vs thread-local-tape decode** — `decode_rows_for_
-//!   generation_into(&mut Tape::new(), ..)` per chunk vs the per-worker
-//!   persistent tape path (`decode_rows_for_generation`), the generation
-//!   analogue of the trainer's reused-tape story.
+//! - **Session-API overhead A/B** — the PR-3 free functions (`fit`,
+//!   `generate`) vs the same work driven through `Session::train` /
+//!   `Session::simulate_seeded`. The session layer is bookkeeping around
+//!   the identical loop, so the target is ≤1% overhead (speedup ≈ 1.0);
+//!   outputs are bit-identical by the session regression tests.
+//! - **Single- vs multi-process sharded generation** — wall-clock of
+//!   `tgx-cli simulate --shards {1,2,4}` (fork/exec one worker per
+//!   shard, each loading the checkpointed model, then byte-merge)
+//!   against the in-process run on the same trained run directory. On a
+//!   1-core container the processes serialise, so this mostly prices the
+//!   per-worker model-load + spawn overhead the driver pays for
+//!   distribution; with real cores the shards run concurrently.
 //! - **Absolute baselines** — end-to-end `fit` and `generate` wall
-//!   times, carried forward every PR for trend tracking.
+//!   times, carried forward every PR for trend tracking (now driven
+//!   through the session).
 //!
 //! Usage: `cargo run --release -p tg-bench --bin perf_snapshot [out.json]`
 
@@ -28,14 +29,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
-use tg_bench::memtrack::{self, TrackingAllocator};
+use tg_bench::memtrack::TrackingAllocator;
 use tg_datasets::SyntheticConfig;
-use tg_graph::io::StreamingWriterSink;
-use tg_graph::sink::{GraphSink, StatsSink};
+use tg_graph::sink::GraphSink;
 use tg_graph::TemporalGraph;
-use tg_tensor::tape::Tape;
-use tgae::engine::{generate_with_sink, SimulationEngine};
-use tgae::{fit, generate, Tgae, TgaeConfig};
+use tgae::{Session, Tgae, TgaeConfig};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -44,7 +42,7 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 struct Entry {
     name: String,
     /// Median seconds per call on the "before" side (absent for absolute
-    /// baselines and memory/throughput-only entries).
+    /// baselines and throughput-only entries).
     before_s: Option<f64>,
     /// Median seconds per call, this PR (absent for memory-only entries).
     after_s: Option<f64>,
@@ -104,6 +102,45 @@ fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Interleaved A/B medians: run `(a, b)` pairs back to back so drift on a
+/// shared/virtualised host hits both sides equally, **alternating which
+/// side goes first** each rep so within-pair ordering effects (cache /
+/// allocator state left by the first run) cancel too, then take per-side
+/// medians. Sequential per-side runs were measured to swing ±10% either
+/// way on the CI container, and fixed-order pairs still showed a
+/// persistent ~5% bias toward the first side — both larger than any
+/// effect being measured.
+fn median_ab<O1, O2>(
+    reps: usize,
+    mut a: impl FnMut() -> O1,
+    mut b: impl FnMut() -> O2,
+) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    let mut time_a = |sa: &mut Vec<f64>| {
+        let t = Instant::now();
+        std::hint::black_box(a());
+        sa.push(t.elapsed().as_secs_f64());
+    };
+    let mut time_b = |sb: &mut Vec<f64>| {
+        let t = Instant::now();
+        std::hint::black_box(b());
+        sb.push(t.elapsed().as_secs_f64());
+    };
+    for rep in 0..reps.max(4) {
+        if rep % 2 == 0 {
+            time_a(&mut sa);
+            time_b(&mut sb);
+        } else {
+            time_b(&mut sb);
+            time_a(&mut sa);
+        }
+    }
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    (sa[sa.len() / 2], sb[sb.len() / 2])
+}
+
 fn synthetic(nodes: usize, edges: usize, seed: u64) -> TemporalGraph {
     let cfg = SyntheticConfig {
         nodes,
@@ -114,182 +151,193 @@ fn synthetic(nodes: usize, edges: usize, seed: u64) -> TemporalGraph {
     tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(seed))
 }
 
-fn trained(g: &TemporalGraph, epochs: usize) -> Tgae {
+fn small_cfg(epochs: usize) -> TgaeConfig {
     let mut cfg = TgaeConfig::tiny();
     cfg.epochs = epochs;
-    let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-    fit(&mut m, g);
-    m
+    cfg
+}
+
+/// The `tgx-cli` binary living next to this one in the target dir (both
+/// are workspace release binaries, so a `cargo build --release
+/// --workspace` places them together).
+fn find_tgx_cli() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe.parent()?.join("tgx-cli");
+    candidate.exists().then_some(candidate)
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let mut entries = Vec::new();
     let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
 
-    // --- generation throughput per sink, 500 and 2000 nodes ---
-    for &(nodes, edges) in &[(500usize, 8_000usize), (2000, 60_000)] {
-        let g = synthetic(nodes, edges, 3);
-        let model = trained(&g, 8);
-        let master = 42u64;
-        let reps = if nodes >= 2000 { 3 } else { 5 };
+    // --- session-API overhead A/B: fit vs Session::train ---
+    let g = synthetic(500, 4_000, 1);
+    let (free_fit, session_fit) = median_ab(
+        5,
+        || {
+            let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg(30));
+            #[allow(deprecated)]
+            tgae::fit(&mut m, &g)
+        },
+        || {
+            let mut s = Session::builder(&g)
+                .config(small_cfg(30))
+                .build()
+                .expect("session");
+            s.train().expect("train")
+        },
+    );
+    println!(
+        "session_overhead_fit_500n_30ep: free {:.1} ms -> session {:.1} ms ({:+.2}% overhead)",
+        free_fit * 1e3,
+        session_fit * 1e3,
+        (session_fit / free_fit - 1.0) * 100.0
+    );
+    entries.push(Entry::timing(
+        "session_overhead_fit_500n_30ep",
+        Some(free_fit),
+        session_fit,
+    ));
 
-        let graph_s = median_time(reps, || {
-            generate_with_sink(
-                &model,
-                &g,
-                master,
-                GraphSink::new(g.n_nodes(), g.n_timestamps()),
-            )
-        });
-        let stream_path = tmp.join(format!("gen_{nodes}.edges"));
-        let stream_s = median_time(reps, || {
-            generate_with_sink(
-                &model,
-                &g,
-                master,
-                StreamingWriterSink::create(&stream_path).expect("create stream file"),
-            )
-            .expect("stream generation")
-        });
-        let stats_s = median_time(reps, || {
-            generate_with_sink(&model, &g, master, StatsSink::new(g.n_timestamps()))
-        });
-        for (sink, s) in [
-            ("graph_sink", graph_s),
-            ("streaming_sink", stream_s),
-            ("stats_sink", stats_s),
-        ] {
+    // --- session-API overhead A/B: generate vs Session::simulate_seeded
+    //     (identical master seed, identical output) ---
+    let mut trained = Session::builder(&g)
+        .config(small_cfg(30))
+        .build()
+        .expect("session");
+    trained.train().expect("train");
+    let model = trained.model().clone();
+    // the PR-3 wrapper draws one u64 from its rng as the engine master;
+    // reproduce that draw so both sides run the identical manifest and
+    // the outputs really are bit-identical
+    let master: u64 = rand::Rng::gen(&mut SmallRng::seed_from_u64(8));
+    let (free_gen, session_gen) = median_ab(
+        9,
+        || {
+            let mut rng = SmallRng::seed_from_u64(8);
+            #[allow(deprecated)]
+            tgae::generate(&model, &g, &mut rng)
+        },
+        || {
+            trained
+                .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+                .expect("simulate")
+        },
+    );
+    println!(
+        "session_overhead_generate_500n_10t: free {:.1} ms -> session {:.1} ms ({:+.2}% overhead)",
+        free_gen * 1e3,
+        session_gen * 1e3,
+        (session_gen / free_gen - 1.0) * 100.0
+    );
+    entries.push(Entry::timing(
+        "session_overhead_generate_500n_10t",
+        Some(free_gen),
+        session_gen,
+    ));
+
+    // --- absolute baselines for the trajectory (same names every PR) ---
+    println!("fit_500n_30ep: {:.1} ms", session_fit * 1e3);
+    entries.push(Entry::timing("fit_500n_30ep", None, session_fit));
+    println!("generate_500n_10t: {:.1} ms", session_gen * 1e3);
+    entries.push(Entry::timing("generate_500n_10t", None, session_gen));
+
+    // --- single- vs multi-process sharded generation through tgx-cli ---
+    match find_tgx_cli() {
+        None => {
             println!(
-                "generate_{nodes}n_{sink}: {:.1} ms ({:.0} kedges/s)",
-                s * 1e3,
-                g.n_edges() as f64 / s / 1e3
+                "tgx-cli binary not found next to perf_snapshot — skipping the \
+                 multi-process entries (build with `cargo build --release --workspace`)"
+            );
+        }
+        Some(cli) => {
+            let run_dir = tmp.join("procs_run");
+            let status = std::process::Command::new(&cli)
+                .args(["train", "--run-dir"])
+                .arg(&run_dir)
+                .args([
+                    "--preset",
+                    "dblp",
+                    "--scale",
+                    "0.12",
+                    "--data-seed",
+                    "7",
+                    "--epochs",
+                    "8",
+                    "--quiet",
+                ])
+                .stdout(std::process::Stdio::null())
+                .status()
+                .expect("run tgx-cli train");
+            assert!(status.success(), "tgx-cli train failed");
+            let n_edges: usize = {
+                let manifest = std::fs::read_to_string(run_dir.join("run.json")).expect("run.json");
+                // cheap field scrape (no serde deps on the cli crate here)
+                manifest
+                    .split("\"n_edges\":")
+                    .nth(1)
+                    .and_then(|s| {
+                        s.trim_start()
+                            .chars()
+                            .take_while(|c| c.is_ascii_digit())
+                            .collect::<String>()
+                            .parse()
+                            .ok()
+                    })
+                    .expect("n_edges in run.json")
+            };
+            for shards in [1usize, 2, 4] {
+                let secs = median_time(3, || {
+                    let status = std::process::Command::new(&cli)
+                        .args(["simulate", "--run-dir"])
+                        .arg(&run_dir)
+                        .args(["--shards", &shards.to_string(), "--quiet"])
+                        .stdout(std::process::Stdio::null())
+                        .status()
+                        .expect("run tgx-cli simulate");
+                    assert!(status.success(), "tgx-cli simulate failed");
+                });
+                println!(
+                    "generate_sharded_{shards}proc: {:.1} ms ({:.0} kedges/s incl. spawn+load)",
+                    secs * 1e3,
+                    n_edges as f64 / secs / 1e3
+                );
+                entries.push(Entry::throughput(
+                    format!("generate_sharded_{shards}proc"),
+                    secs,
+                    n_edges,
+                ));
+            }
+            // in-process reference on the same run directory
+            let in_proc = median_time(3, || {
+                let status = std::process::Command::new(&cli)
+                    .args(["simulate", "--run-dir"])
+                    .arg(&run_dir)
+                    .args(["--shards", "1", "--in-process", "--quiet"])
+                    .stdout(std::process::Stdio::null())
+                    .status()
+                    .expect("run tgx-cli simulate");
+                assert!(status.success(), "tgx-cli simulate failed");
+            });
+            println!(
+                "generate_sharded_inprocess: {:.1} ms (driver, no fork/exec)",
+                in_proc * 1e3
             );
             entries.push(Entry::throughput(
-                format!("generate_{nodes}n_{sink}"),
-                s,
-                g.n_edges(),
+                "generate_sharded_inprocess",
+                in_proc,
+                n_edges,
             ));
         }
     }
 
-    // --- peak-heap A/B at 2000 nodes: in-memory graph assembly vs
-    //     streaming writer, on a dense 400k-edge budget where the edge
-    //     set is the dominant sink-side allocation. One warm run first so
-    //     worker thread-local tapes and scratch pools reach steady state;
-    //     then each side reports its peak *delta above the pre-run live
-    //     baseline* — the baseline (model, observed graph, retained
-    //     scratch) is identical for both sinks, so the delta isolates
-    //     what the sink itself holds: the full edge set + final graph
-    //     build for `GraphSink`, only the bounded unit window + write
-    //     buffer for `StreamingWriterSink`. ---
-    {
-        let g = synthetic(2000, 400_000, 3);
-        let model = trained(&g, 6);
-        let master = 42u64;
-        let stream_path = tmp.join("peak_ab.edges");
-        generate_with_sink(
-            &model,
-            &g,
-            master,
-            StatsSink::new(g.n_timestamps()), // warm the scratch pools
-        );
-        let peak_delta_of = |run: &dyn Fn()| -> usize {
-            let live = memtrack::current_bytes();
-            memtrack::reset_peak();
-            run();
-            memtrack::peak_bytes().saturating_sub(live)
-        };
-        let graph_peak = peak_delta_of(&|| {
-            generate_with_sink(
-                &model,
-                &g,
-                master,
-                GraphSink::new(g.n_nodes(), g.n_timestamps()),
-            );
-        });
-        let stream_peak = peak_delta_of(&|| {
-            generate_with_sink(
-                &model,
-                &g,
-                master,
-                StreamingWriterSink::create(&stream_path).expect("create stream file"),
-            )
-            .expect("stream generation");
-        });
-        println!(
-            "generate_2000n_400k_peak_heap_delta: graph {} -> streaming {} ({:.2}x)",
-            memtrack::fmt_bytes(graph_peak),
-            memtrack::fmt_bytes(stream_peak),
-            graph_peak as f64 / stream_peak as f64
-        );
-        entries.push(Entry {
-            name: "generate_2000n_400k_peak_heap_delta".into(),
-            before_s: None,
-            after_s: None,
-            speedup: None,
-            edges_per_s: None,
-            before_peak_bytes: Some(graph_peak),
-            after_peak_bytes: Some(stream_peak),
-        });
-    }
-
-    // --- fresh-tape vs thread-local-tape decode (the pool-aware tape
-    //     story): same chunk of centers, identical per-rep RNG seeds ---
-    {
-        let g = synthetic(500, 8_000, 3);
-        let model = trained(&g, 8);
-        let plan = SimulationEngine::new(&model, &g).plan(7);
-        let unit = plan
-            .units()
-            .iter()
-            .max_by_key(|u| u.budgets.len())
-            .expect("non-empty plan");
-        let centers: Vec<(u32, u32)> = unit.budgets.iter().map(|&(u, _, _)| (u, unit.t)).collect();
-        let fresh = median_time(40, || {
-            let mut tape = Tape::new();
-            let mut rng = SmallRng::seed_from_u64(unit.seed);
-            model.decode_rows_for_generation_into(&mut tape, &g, &centers, &mut rng)
-        });
-        let local = median_time(40, || {
-            let mut rng = SmallRng::seed_from_u64(unit.seed);
-            model.decode_rows_for_generation(&g, &centers, &mut rng)
-        });
-        println!(
-            "decode_chunk_500n: fresh-tape {:.2} ms -> thread-local {:.2} ms ({:.2}x)",
-            fresh * 1e3,
-            local * 1e3,
-            fresh / local
-        );
-        entries.push(Entry::timing("decode_chunk_500n", Some(fresh), local));
-    }
-
-    // --- absolute baselines for the trajectory ---
-    let g = synthetic(500, 4_000, 1);
-    let mut small_cfg = TgaeConfig::tiny();
-    small_cfg.epochs = 30;
-    let fit_time = median_time(3, || {
-        let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg.clone());
-        fit(&mut m, &g)
-    });
-    println!("fit_500n_30ep: {:.1} ms", fit_time * 1e3);
-    entries.push(Entry::timing("fit_500n_30ep", None, fit_time));
-
-    let mut gen_model = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg.clone());
-    fit(&mut gen_model, &g);
-    let gen_time = median_time(3, || {
-        let mut rng = SmallRng::seed_from_u64(8);
-        generate(&gen_model, &g, &mut rng)
-    });
-    println!("generate_500n_10t: {:.1} ms", gen_time * 1e3);
-    entries.push(Entry::timing("generate_500n_10t", None, gen_time));
-
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 3,
+        pr: 4,
         threads: tg_tensor::parallel::num_threads(),
         entries,
     };

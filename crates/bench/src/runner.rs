@@ -7,11 +7,15 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use tg_baselines::TemporalGraphGenerator;
+use tg_graph::sink::GraphSink;
 use tg_graph::TemporalGraph;
-use tgae::{fit, generate, Tgae, TgaeConfig};
+use tgae::{Session, TgaeConfig};
 
 /// TGAE wrapped as a [`TemporalGraphGenerator`] so the harness treats it
-/// uniformly with the baselines.
+/// uniformly with the baselines. Internally drives a [`Session`];
+/// training derives from `cfg.seed` and the simulation master seed is the
+/// one `u64` drawn from the harness RNG — exactly the PR-3 free-function
+/// behaviour, so recorded experiment outputs are unchanged.
 pub struct TgaeMethod {
     pub cfg: TgaeConfig,
     name: &'static str,
@@ -36,13 +40,18 @@ impl TemporalGraphGenerator for TgaeMethod {
         observed: &TemporalGraph,
         rng: &mut dyn rand::RngCore,
     ) -> TemporalGraph {
-        let mut model = Tgae::new(
-            observed.n_nodes(),
-            observed.n_timestamps(),
-            self.cfg.clone(),
-        );
-        fit(&mut model, observed);
-        generate(&model, observed, rng)
+        let mut session = Session::builder(observed)
+            .config(self.cfg.clone())
+            .build()
+            .expect("benchmark graph/config must be valid");
+        session.train().expect("training failed");
+        let master = rng.next_u64();
+        session
+            .simulate_seeded(
+                master,
+                GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+            )
+            .expect("simulation failed")
     }
 }
 

@@ -1,0 +1,61 @@
+//! `tgx-cli eval`: score a generated edge list against the observed graph
+//! (Eq. 10 — mean/median relative error of the seven Table III
+//! statistics over accumulated snapshots).
+//!
+//! ```text
+//! tgx-cli eval --run-dir DIR [--generated FILE]
+//! tgx-cli eval --observed FILE --generated FILE --n-nodes N --n-timestamps T
+//! ```
+//!
+//! With `--run-dir` the observed graph and shape come from the run
+//! manifest, and `--generated` defaults to the driver's merged
+//! `simulated.edges`. Raw mode takes two dense edge-list files plus the
+//! shape explicitly.
+
+use crate::args::Args;
+use crate::rundir::RunDir;
+use tg_graph::io::load_edge_list_exact;
+use tg_metrics::MetricScore;
+
+/// Run the subcommand.
+pub fn run(args: &Args) -> Result<(), String> {
+    let scores: Vec<MetricScore> = match args.get("run-dir") {
+        Some(dir) => {
+            let run_dir = RunDir::open(dir.to_string());
+            let (manifest, observed) = run_dir.load_all()?;
+            let generated_path = args
+                .get("generated")
+                .map(|s| std::path::PathBuf::from(s.to_string()))
+                .unwrap_or_else(|| run_dir.simulated_path());
+            args.reject_unused()?;
+            let generated =
+                load_edge_list_exact(&generated_path, manifest.n_nodes, manifest.n_timestamps)
+                    .map_err(|e| format!("load {}: {e}", generated_path.display()))?;
+            // the session validates shape and runs the harness
+            let session = run_dir.session(&manifest, &observed)?;
+            session.evaluate(&generated).map_err(|e| e.to_string())?
+        }
+        None => {
+            let observed_path: String = args.require("observed")?;
+            let generated_path: String = args.require("generated")?;
+            let n_nodes: usize = args.require("n-nodes")?;
+            let n_timestamps: usize = args.require("n-timestamps")?;
+            args.reject_unused()?;
+            let observed = load_edge_list_exact(&observed_path, n_nodes, n_timestamps)
+                .map_err(|e| format!("load {observed_path}: {e}"))?;
+            let generated = load_edge_list_exact(&generated_path, n_nodes, n_timestamps)
+                .map_err(|e| format!("load {generated_path}: {e}"))?;
+            tg_metrics::evaluate(&observed, &generated)
+        }
+    };
+    println!("{:<16} {:>10} {:>10}", "metric", "f_avg", "f_med");
+    for score in &scores {
+        println!(
+            "{:<16} {:>10.4} {:>10.4}",
+            score.kind.name(),
+            score.avg,
+            score.med
+        );
+    }
+    Ok(())
+}

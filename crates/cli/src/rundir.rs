@@ -1,0 +1,183 @@
+//! The on-disk layout shared by every `tgx-cli` subcommand: a **run
+//! directory** holding everything a worker process needs to execute any
+//! shard of a simulation.
+//!
+//! ```text
+//! <run-dir>/
+//!   run.json          RunManifest: graph shape, master seed, provenance
+//!   observed.edges    the observed graph (dense `u v t` lines)
+//!   model.json        trained model checkpoint (tgae::persist format)
+//!   train_ckpt.json   mid-training checkpoint (when --checkpoint-every)
+//!   shards.json       ShardSpec manifest of the last `simulate` call
+//!   shard_<i>.edges   per-worker shard output
+//!   simulated.edges   merged shard outputs (bit-identical to in-process)
+//! ```
+//!
+//! The manifest is deliberately tiny: shard workers re-derive everything
+//! else (the simulation plan, unit seeds, budgets) deterministically from
+//! the observed graph + the `ShardSpec`, which is what makes the
+//! fork/exec driver sound.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use tg_graph::io::load_edge_list_exact;
+use tg_graph::TemporalGraph;
+use tgae::{Session, Tgae};
+
+/// Provenance + shape record for one run directory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Layout version (bumped on incompatible changes).
+    pub version: u32,
+    /// Nodes in the observed graph.
+    pub n_nodes: usize,
+    /// Timestamps in the observed graph.
+    pub n_timestamps: usize,
+    /// Temporal edges in the observed graph.
+    pub n_edges: usize,
+    /// The session master seed (seed policy) the run was trained under.
+    pub seed: u64,
+    /// The full model/training configuration — authoritative on
+    /// `train --resume`, so an interrupted `--full`/`--batch-centers`
+    /// run resumes with exactly the config it was started with (the
+    /// session's checkpoint-config equality check would refuse anything
+    /// else).
+    pub config: tgae::TgaeConfig,
+    /// Human-readable provenance (preset name / input file).
+    pub source: String,
+}
+
+/// Current [`RunManifest::version`].
+pub const RUN_VERSION: u32 = 1;
+
+/// Typed paths inside one run directory.
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Wrap (and `mkdir -p`) a run directory.
+    pub fn create(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create run dir {}: {e}", root.display()))?;
+        Ok(RunDir { root })
+    }
+
+    /// Wrap an existing run directory (no filesystem access yet).
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        RunDir { root: root.into() }
+    }
+
+    /// The directory itself.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `run.json`.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("run.json")
+    }
+
+    /// `observed.edges`.
+    pub fn observed_path(&self) -> PathBuf {
+        self.root.join("observed.edges")
+    }
+
+    /// `model.json`.
+    pub fn model_path(&self) -> PathBuf {
+        self.root.join("model.json")
+    }
+
+    /// `train_ckpt.json`.
+    pub fn train_checkpoint_path(&self) -> PathBuf {
+        self.root.join("train_ckpt.json")
+    }
+
+    /// `shards.json` — the serialised `ShardSpec` manifest.
+    pub fn shard_manifest_path(&self) -> PathBuf {
+        self.root.join("shards.json")
+    }
+
+    /// `shard_<i>.edges`.
+    pub fn shard_edges_path(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("shard_{shard}.edges"))
+    }
+
+    /// `shard_<i>.stats.json`.
+    pub fn shard_stats_path(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("shard_{shard}.stats.json"))
+    }
+
+    /// `simulated.edges` — the merged output.
+    pub fn simulated_path(&self) -> PathBuf {
+        self.root.join("simulated.edges")
+    }
+
+    /// `simulated.stats.json` — the merged statistics.
+    pub fn simulated_stats_path(&self) -> PathBuf {
+        self.root.join("simulated.stats.json")
+    }
+
+    /// Write the manifest.
+    pub fn save_manifest(&self, m: &RunManifest) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(m).map_err(|e| e.to_string())?;
+        std::fs::write(self.manifest_path(), json)
+            .map_err(|e| format!("write {}: {e}", self.manifest_path().display()))
+    }
+
+    /// Read the manifest.
+    pub fn load_manifest(&self) -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(self.manifest_path()).map_err(|e| {
+            format!(
+                "{} is not a run directory (missing run.json): {e}",
+                self.root.display()
+            )
+        })?;
+        let m: RunManifest = serde_json::from_str(&text)
+            .map_err(|e| format!("corrupt run.json in {}: {e}", self.root.display()))?;
+        if m.version != RUN_VERSION {
+            return Err(format!(
+                "run.json is layout v{} (this build reads v{RUN_VERSION})",
+                m.version
+            ));
+        }
+        Ok(m)
+    }
+
+    /// Load the observed graph exactly as written (no id compaction).
+    pub fn load_observed(&self, m: &RunManifest) -> Result<TemporalGraph, String> {
+        load_edge_list_exact(self.observed_path(), m.n_nodes, m.n_timestamps)
+            .map_err(|e| format!("load {}: {e}", self.observed_path().display()))
+    }
+
+    /// Load the trained model checkpoint.
+    pub fn load_model(&self) -> Result<Tgae, String> {
+        tgae::persist::load(self.model_path())
+            .map_err(|e| format!("load {}: {e}", self.model_path().display()))
+    }
+
+    /// Load manifest + observed graph + model and build a simulation-ready
+    /// [`Session`] over them. The observed graph is returned alongside
+    /// because the session borrows it.
+    pub fn load_all(&self) -> Result<(RunManifest, TemporalGraph), String> {
+        let manifest = self.load_manifest()?;
+        let observed = self.load_observed(&manifest)?;
+        Ok((manifest, observed))
+    }
+
+    /// Build a [`Session`] over a loaded run (typed shape validation
+    /// happens in the builder).
+    pub fn session<'g>(
+        &self,
+        manifest: &RunManifest,
+        observed: &'g TemporalGraph,
+    ) -> Result<Session<'g>, String> {
+        let model = self.load_model()?;
+        Session::builder(observed)
+            .seed(manifest.seed)
+            .with_model(model)
+            .build()
+            .map_err(|e| e.to_string())
+    }
+}

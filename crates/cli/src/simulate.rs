@@ -1,0 +1,281 @@
+//! `tgx-cli simulate`: the ROADMAP's **multi-process shard driver**.
+//!
+//! ```text
+//! driver:  tgx-cli simulate --run-dir DIR [--shards K] [--master M]
+//!                           [--stats] [--in-process] [--verify]
+//!                           [--keep-shards] [--quiet]
+//! worker:  tgx-cli simulate --run-dir DIR --shard-index I [--stats] [--quiet]
+//! ```
+//!
+//! The driver loads the trained run, partitions the simulation plan into
+//! `K` timestamp-range [`ShardSpec`]s, serialises them to `shards.json`,
+//! and **fork/execs one worker process per shard** (`current_exe
+//! simulate --shard-index i`). Each worker independently loads the
+//! checkpointed model + observed graph, re-derives the plan from its
+//! spec, and streams its shard to `shard_<i>.edges`. The driver then
+//! collects the shard files with [`merge_edge_lists`] — and, because
+//! per-unit RNG streams depend only on `(master, t, chunk)`, the merged
+//! file is **byte-identical** to what a single in-process run would
+//! stream (`--verify` asserts exactly that).
+//!
+//! `--stats` additionally runs a `StatsSink` pass per worker and merges
+//! the shard statistics with the public `GenerationStats::merge`.
+//!
+//! [`ShardSpec`]: tgae::ShardSpec
+//! [`merge_edge_lists`]: tg_graph::io::merge_edge_lists
+
+use crate::args::Args;
+use crate::rundir::RunDir;
+use std::process::Command;
+use tg_graph::io::{merge_edge_lists, StreamingWriterSink};
+use tg_graph::sink::{GenerationStats, StatsSink};
+use tgae::ShardSpec;
+
+/// Run the subcommand (dispatches to driver or worker mode).
+pub fn run(args: &Args) -> Result<(), String> {
+    let run_dir = RunDir::open(args.require::<String>("run-dir")?);
+    match args.get("shard-index") {
+        Some(idx) => {
+            let idx: u32 = idx.parse().map_err(|_| "--shard-index: bad value")?;
+            let stats = args.flag("stats");
+            let quiet = args.flag("quiet");
+            args.reject_unused()?;
+            worker(&run_dir, idx, stats, quiet)
+        }
+        None => driver(args, &run_dir),
+    }
+}
+
+/// Worker mode: execute one shard of the serialised manifest.
+fn worker(run_dir: &RunDir, shard_index: u32, stats: bool, quiet: bool) -> Result<(), String> {
+    let (manifest, observed) = run_dir.load_all()?;
+    let session = run_dir.session(&manifest, &observed)?;
+    let specs = load_shard_manifest(run_dir)?;
+    let spec = specs
+        .iter()
+        .find(|s| s.shard == shard_index)
+        .ok_or_else(|| {
+            format!(
+                "shard index {shard_index} not in shards.json ({} shards)",
+                specs.len()
+            )
+        })?;
+    run_shard(&session, run_dir, spec, stats, quiet)
+}
+
+/// Stream one shard's edges (and optionally stats) to its run-dir files
+/// through an already-loaded session — shared by worker processes and
+/// the driver's `--in-process` path (which would otherwise reload the
+/// model and observed graph once per shard).
+fn run_shard(
+    session: &tgae::Session<'_>,
+    run_dir: &RunDir,
+    spec: &ShardSpec,
+    stats: bool,
+    quiet: bool,
+) -> Result<(), String> {
+    let out = run_dir.shard_edges_path(spec.shard);
+    let n = session
+        .simulate_shard_with_sink(
+            spec,
+            StreamingWriterSink::create(&out).map_err(|e| format!("create shard file: {e}"))?,
+        )
+        .map_err(|e| e.to_string())?
+        .map_err(|e| format!("stream shard: {e}"))?;
+    if stats {
+        let s = session
+            .simulate_shard_with_sink(spec, StatsSink::new(session.observed().n_timestamps()))
+            .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string(&s).map_err(|e| e.to_string())?;
+        std::fs::write(run_dir.shard_stats_path(spec.shard), json)
+            .map_err(|e| format!("write shard stats: {e}"))?;
+    }
+    if !quiet {
+        eprintln!(
+            "  shard {}: t in [{}, {}), {n} edges -> {}",
+            spec.shard,
+            spec.t_begin,
+            spec.t_end,
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+/// Driver mode: plan, serialise the manifest, spawn workers, merge.
+fn driver(args: &Args, run_dir: &RunDir) -> Result<(), String> {
+    let n_shards: usize = args.get_parsed("shards", 2)?;
+    let stats = args.flag("stats");
+    let verify = args.flag("verify");
+    let in_process = args.flag("in-process");
+    let keep_shards = args.flag("keep-shards");
+    let quiet = args.flag("quiet");
+    let (manifest, observed) = run_dir.load_all()?;
+    let session = run_dir.session(&manifest, &observed)?;
+    let master: u64 = args.get_parsed("master", session.seed_policy().simulation_master(0))?;
+    args.reject_unused()?;
+
+    // 1. Plan and serialise the shard manifest.
+    let specs = session
+        .shard_specs(master, n_shards)
+        .map_err(|e| e.to_string())?;
+    let manifest_json = serde_json::to_string_pretty(&specs).map_err(|e| e.to_string())?;
+    std::fs::write(run_dir.shard_manifest_path(), manifest_json)
+        .map_err(|e| format!("write shards.json: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "plan: master seed {master}, {} edges over {} shards -> {}",
+            manifest.n_edges,
+            specs.len(),
+            run_dir.shard_manifest_path().display()
+        );
+    }
+
+    // 2. One worker per shard: separate processes by default (the point
+    //    of the driver), in-process execution with --in-process (useful
+    //    under debuggers and on exotic platforms).
+    if in_process {
+        for spec in &specs {
+            run_shard(&session, run_dir, spec, stats, quiet)?;
+        }
+    } else {
+        spawn_workers(run_dir, &specs, stats, quiet)?;
+    }
+
+    // 3. Collect shard files in shard order.
+    let shard_paths: Vec<std::path::PathBuf> = specs
+        .iter()
+        .map(|s| run_dir.shard_edges_path(s.shard))
+        .collect();
+    let merged = run_dir.simulated_path();
+    let bytes =
+        merge_edge_lists(&shard_paths, &merged).map_err(|e| format!("merge shard files: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "merged {} shard files ({bytes} bytes) -> {}",
+            specs.len(),
+            merged.display()
+        );
+    }
+    if stats {
+        let mut acc = GenerationStats::default();
+        for spec in &specs {
+            let text = std::fs::read_to_string(run_dir.shard_stats_path(spec.shard))
+                .map_err(|e| format!("read shard stats: {e}"))?;
+            let s: GenerationStats = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            acc.merge(&s);
+        }
+        let json = serde_json::to_string_pretty(&acc).map_err(|e| e.to_string())?;
+        std::fs::write(run_dir.simulated_stats_path(), json)
+            .map_err(|e| format!("write merged stats: {e}"))?;
+    }
+
+    // 4. --verify: the bit-identical-merge invariant, asserted at the
+    //    byte level against an in-process single-run stream.
+    if verify {
+        let reference = run_dir.root().join("reference.edges");
+        session
+            .simulate_seeded(
+                master,
+                StreamingWriterSink::create(&reference)
+                    .map_err(|e| format!("create reference file: {e}"))?,
+            )
+            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("stream reference: {e}"))?;
+        let a = std::fs::read(&merged).map_err(|e| e.to_string())?;
+        let b = std::fs::read(&reference).map_err(|e| e.to_string())?;
+        if a != b {
+            return Err(format!(
+                "VERIFY FAILED: merged {}-process output differs from in-process generation \
+                 ({} vs {} bytes)",
+                specs.len(),
+                a.len(),
+                b.len()
+            ));
+        }
+        if stats {
+            let text = std::fs::read_to_string(run_dir.simulated_stats_path())
+                .map_err(|e| e.to_string())?;
+            let merged_stats: GenerationStats =
+                serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            let reference_stats = session
+                .simulate_seeded(master, StatsSink::new(observed.n_timestamps()))
+                .map_err(|e| e.to_string())?;
+            if merged_stats != reference_stats {
+                return Err(
+                    "VERIFY FAILED: merged shard stats differ from in-process stats".into(),
+                );
+            }
+        }
+        std::fs::remove_file(&reference).ok();
+        if !quiet {
+            eprintln!(
+                "verified: {}-process sharded output is byte-identical to in-process generation",
+                specs.len()
+            );
+        }
+    }
+    if !keep_shards {
+        for p in &shard_paths {
+            std::fs::remove_file(p).ok();
+        }
+        for spec in &specs {
+            std::fs::remove_file(run_dir.shard_stats_path(spec.shard)).ok();
+        }
+    }
+    println!("{}", merged.display());
+    Ok(())
+}
+
+/// Fork/exec one worker per shard and wait for all of them; any non-zero
+/// exit fails the driver (after letting the rest finish, so partial
+/// output files are not silently half-written by killed siblings).
+fn spawn_workers(
+    run_dir: &RunDir,
+    specs: &[ShardSpec],
+    stats: bool,
+    quiet: bool,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut children = Vec::new();
+    for spec in specs {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("simulate")
+            .arg("--run-dir")
+            .arg(run_dir.root())
+            .arg("--shard-index")
+            .arg(spec.shard.to_string());
+        if stats {
+            cmd.arg("--stats");
+        }
+        if quiet {
+            cmd.arg("--quiet");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn worker for shard {}: {e}", spec.shard))?;
+        children.push((spec.shard, child));
+    }
+    let mut failures = Vec::new();
+    for (shard, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for shard {shard}: {e}"))?;
+        if !status.success() {
+            failures.push(format!("shard {shard} worker exited with {status}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Read back `shards.json`.
+fn load_shard_manifest(run_dir: &RunDir) -> Result<Vec<ShardSpec>, String> {
+    let text = std::fs::read_to_string(run_dir.shard_manifest_path()).map_err(|e| {
+        format!("missing shards.json (driver writes it before spawning workers): {e}")
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("corrupt shards.json: {e}"))
+}

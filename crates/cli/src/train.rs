@@ -1,0 +1,165 @@
+//! `tgx-cli train`: fit a TGAE on an observed graph and persist a run
+//! directory that `simulate` workers can load.
+//!
+//! ```text
+//! tgx-cli train --run-dir DIR (--preset NAME [--scale F] [--data-seed S]
+//!                              | --edges FILE [--buckets T])
+//!               [--epochs N] [--batch-centers N] [--seed S] [--full]
+//!               [--checkpoint-every N] [--resume] [--quiet]
+//! ```
+//!
+//! Training runs through the `Session` API: a progress observer prints
+//! epoch-end lines, `--checkpoint-every N` writes a resumable
+//! `train_ckpt.json`, and `--resume` continues a previously interrupted
+//! run **bit-identically** (same final parameters as an uninterrupted
+//! run).
+
+use crate::args::Args;
+use crate::rundir::{RunDir, RunManifest, RUN_VERSION};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tg_graph::io::{load_edge_list, save_edge_list};
+use tg_graph::TemporalGraph;
+use tgae::{EpochEvent, Session, TgaeConfig, TrainControl, TrainReport};
+
+/// Resolve the observed graph from `--preset`/`--edges` options.
+fn load_observed(args: &Args) -> Result<(TemporalGraph, String), String> {
+    match (args.get("preset"), args.get("edges")) {
+        (Some(name), None) => {
+            let name = name.to_string();
+            let preset = tg_datasets::presets::by_name(&name)
+                .ok_or_else(|| format!("unknown preset `{name}` (try: dblp, email, msg, …)"))?;
+            let scale: f64 = args.get_parsed("scale", 1.0)?;
+            let data_seed: u64 = args.get_parsed("data-seed", 7)?;
+            let mut cfg = preset.config.scaled(scale);
+            if let Some(t) = args.get("n-timestamps") {
+                cfg.timestamps = t.parse().map_err(|_| "--n-timestamps: bad value")?;
+            }
+            let g = tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(data_seed));
+            Ok((g, format!("preset:{name}@{scale}x_seed{data_seed}")))
+        }
+        (None, Some(path)) => {
+            let path = path.to_string();
+            let buckets: Option<usize> = args
+                .get("buckets")
+                .map(|b| b.parse())
+                .transpose()
+                .map_err(|_| "--buckets: bad value")?;
+            let g = load_edge_list(&path, buckets).map_err(|e| format!("load {path}: {e}"))?;
+            Ok((g, format!("file:{path}")))
+        }
+        (Some(_), Some(_)) => Err("give either --preset or --edges, not both".into()),
+        (None, None) => Err("need an observed graph: --preset NAME or --edges FILE".into()),
+    }
+}
+
+fn progress_observer(quiet: bool, n_epochs: usize) -> impl FnMut(&EpochEvent) -> TrainControl {
+    // print ~10 lines per run regardless of epoch count
+    let stride = (n_epochs / 10).max(1);
+    move |ev: &EpochEvent| {
+        if !quiet && ((ev.epoch + 1).is_multiple_of(stride) || ev.epoch + 1 == ev.n_epochs) {
+            eprintln!(
+                "  epoch {:>4}/{}: loss {:.4} ({:.1} ms)",
+                ev.epoch + 1,
+                ev.n_epochs,
+                ev.loss,
+                ev.wall.as_secs_f64() * 1e3
+            );
+        }
+        TrainControl::Continue
+    }
+}
+
+/// Run the subcommand.
+pub fn run(args: &Args) -> Result<(), String> {
+    let run_dir = RunDir::create(args.require::<String>("run-dir")?)?;
+    let quiet = args.flag("quiet");
+    let resume = args.flag("resume");
+    let checkpoint_every: usize = args.get_parsed("checkpoint-every", 0)?;
+
+    let (observed, source, seed, cfg) = if resume {
+        // Resuming: the run dir is authoritative — graph, config, and
+        // seed all come from the manifest (written before training
+        // started), so the session's checkpoint-config equality check
+        // passes without re-passing any training flags.
+        let manifest = run_dir.load_manifest()?;
+        let observed = run_dir.load_observed(&manifest)?;
+        (observed, manifest.source, manifest.seed, manifest.config)
+    } else {
+        let (observed, source) = load_observed(args)?;
+        let seed: u64 = args.get_parsed("seed", 42)?;
+        let mut cfg = if args.flag("full") {
+            TgaeConfig::default()
+        } else {
+            TgaeConfig::tiny()
+        };
+        cfg.seed = seed;
+        cfg.epochs = args.get_parsed("epochs", cfg.epochs)?;
+        cfg.batch_centers = args.get_parsed("batch-centers", cfg.batch_centers)?;
+        (observed, source, seed, cfg)
+    };
+    args.reject_unused()?;
+    let epochs = cfg.epochs;
+
+    if !quiet {
+        eprintln!(
+            "observed: {} nodes, {} timestamps, {} edges ({source})",
+            observed.n_nodes(),
+            observed.n_timestamps(),
+            observed.n_edges()
+        );
+    }
+
+    // Persist the manifest + observed graph *before* training: an
+    // interrupted run then has everything `--resume` needs on disk
+    // (the resumable train_ckpt.json is written by the session itself).
+    if !resume {
+        save_edge_list(&observed, run_dir.observed_path())
+            .map_err(|e| format!("write observed.edges: {e}"))?;
+        run_dir.save_manifest(&RunManifest {
+            version: RUN_VERSION,
+            n_nodes: observed.n_nodes(),
+            n_timestamps: observed.n_timestamps(),
+            n_edges: observed.n_edges(),
+            seed,
+            config: cfg.clone(),
+            source,
+        })?;
+    }
+
+    let mut builder = Session::builder(&observed)
+        .config(cfg)
+        .seed(seed)
+        .observer(progress_observer(quiet, epochs));
+    if checkpoint_every > 0 || resume {
+        builder = builder.checkpoint(run_dir.train_checkpoint_path(), checkpoint_every.max(1));
+    }
+    let mut session = builder.build().map_err(|e| e.to_string())?;
+
+    let report: TrainReport = if resume {
+        session
+            .resume_from(run_dir.train_checkpoint_path())
+            .map_err(|e| e.to_string())?
+    } else {
+        session.train().map_err(|e| e.to_string())?
+    };
+    if !quiet {
+        eprintln!(
+            "trained {} epochs in {:.2?}: loss {:.4} -> {:.4} ({} params)",
+            report.epochs_run(),
+            report.wall,
+            report.losses[0],
+            report.final_loss(),
+            report.n_params
+        );
+    }
+
+    session
+        .save_model(run_dir.model_path())
+        .map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!("run directory ready: {}", run_dir.root().display());
+    }
+    println!("{}", run_dir.root().display());
+    Ok(())
+}

@@ -353,7 +353,11 @@ pub fn generate_shard(model: &Tgae, observed: &TemporalGraph, spec: &ShardSpec) 
 mod tests {
     use super::*;
     use crate::config::TgaeConfig;
-    use crate::trainer::fit;
+    use crate::trainer::{train_loop, LoopHooks};
+
+    fn fit_for_test(model: &mut Tgae, g: &TemporalGraph) {
+        train_loop(model, g, LoopHooks::none()).expect("train");
+    }
 
     fn ring_graph(n: u32, t_count: u32) -> TemporalGraph {
         let mut edges = Vec::new();
@@ -428,7 +432,7 @@ mod tests {
         cfg.epochs = 5;
         cfg.batch_centers = 4;
         let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
+        fit_for_test(&mut model, &g);
 
         let full = generate_with_sink(
             &model,

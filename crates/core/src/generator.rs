@@ -19,15 +19,19 @@
 //! [`crate::engine`]: center chunks are independent given the trained
 //! model, so they fan out across the worker pool, each `(timestamp,
 //! chunk)` unit decoding and sampling with its **own RNG stream** seeded
-//! by mixing a master seed (one draw from the caller's RNG) with the
-//! unit's indices. Unit outputs are emitted in plan order afterwards.
-//! Consequences:
+//! by mixing a master seed with the unit's indices. Unit outputs are
+//! emitted in plan order afterwards. Consequences:
 //!
 //! - the generated graph is **bit-identical for a fixed seed regardless
 //!   of thread count** (including `set_num_threads(1)`), and across any
 //!   shard partition of the manifest, and
-//! - `generate` scales with cores while consuming exactly one `u64` from
-//!   the caller's RNG.
+//! - generation scales with cores while consuming exactly one `u64`
+//!   master seed.
+//!
+//! The supported entry points are
+//! [`Session::simulate`](crate::session::Session::simulate) (seed policy,
+//! typed errors) and the [`crate::engine`] free functions (explicit
+//! master seed); [`generate`] survives as a deprecated wrapper.
 
 use crate::engine::generate_with_sink;
 use crate::model::Tgae;
@@ -38,11 +42,18 @@ use tg_graph::TemporalGraph;
 /// Generate a synthetic temporal graph mirroring the observed graph's
 /// per-timestamp out-degree sequence.
 ///
-/// This is the in-memory convenience entry point: it draws one master
-/// seed from `rng`, plans the full shard manifest, executes it on the
-/// worker pool, and assembles a [`TemporalGraph`] through a
-/// [`GraphSink`]. For streaming output, sharded execution, or
-/// statistics-only runs, use [`crate::engine`] directly.
+/// **Deprecated:** this is the PR-3 entry point, kept as a thin wrapper so
+/// existing callers compile. It draws one master seed (exactly one `u64`)
+/// from `rng` and delegates to
+/// [`generate_with_sink`] with a
+/// [`GraphSink`] — prefer [`Session::simulate`] (seed policy, typed
+/// errors) or the engine functions (explicit master seed, any sink).
+///
+/// [`Session::simulate`]: crate::session::Session::simulate
+#[deprecated(
+    since = "0.1.0",
+    note = "use tgae::Session::simulate / simulate_seeded, or tgae::engine::generate_with_sink with an explicit master seed"
+)]
 pub fn generate<R: Rng + ?Sized>(
     model: &Tgae,
     observed: &TemporalGraph,
@@ -61,9 +72,9 @@ pub fn generate<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::TgaeConfig;
-    use crate::trainer::fit;
+    use crate::session::Session;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use tg_graph::TemporalEdge;
 
     fn ring_graph(n: u32, t_count: u32) -> TemporalGraph {
@@ -76,15 +87,21 @@ mod tests {
         TemporalGraph::from_edges(n as usize, t_count as usize, edges)
     }
 
+    /// Build a trained session over `g` with the tiny config.
+    fn trained_session(g: &TemporalGraph, epochs: usize, batch_centers: usize) -> Session<'_> {
+        let mut cfg = TgaeConfig::tiny();
+        cfg.epochs = epochs;
+        cfg.batch_centers = batch_centers;
+        let mut s = Session::builder(g).config(cfg).build().expect("session");
+        s.train().expect("train");
+        s
+    }
+
     #[test]
     fn generated_graph_matches_shape_and_budgets() {
         let g = ring_graph(8, 3);
-        let mut cfg = TgaeConfig::tiny();
-        cfg.epochs = 10;
-        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
-        let mut rng = SmallRng::seed_from_u64(0);
-        let gen = generate(&model, &g, &mut rng);
+        let mut session = trained_session(&g, 10, 16);
+        let gen = session.simulate().expect("simulate");
         assert_eq!(gen.n_nodes(), g.n_nodes());
         assert_eq!(gen.n_timestamps(), g.n_timestamps());
         // per-timestamp budgets preserved exactly (ring: every node has
@@ -98,12 +115,8 @@ mod tests {
     #[test]
     fn generated_edges_have_no_self_loops() {
         let g = ring_graph(6, 2);
-        let mut cfg = TgaeConfig::tiny();
-        cfg.epochs = 5;
-        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let gen = generate(&model, &g, &mut rng);
+        let mut session = trained_session(&g, 5, 16);
+        let gen = session.simulate().expect("simulate");
         assert!(gen.edges().iter().all(|e| e.u != e.v));
     }
 
@@ -112,12 +125,8 @@ mod tests {
         // we preserve the out-degree sequence, so generated sources at t
         // must be a subset of observed sources at t
         let g = ring_graph(6, 2);
-        let mut cfg = TgaeConfig::tiny();
-        cfg.epochs = 5;
-        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
-        let mut rng = SmallRng::seed_from_u64(2);
-        let gen = generate(&model, &g, &mut rng);
+        let mut session = trained_session(&g, 5, 16);
+        let gen = session.simulate().expect("simulate");
         for t in 0..2u32 {
             let mut observed_sources: Vec<u32> = g.edges_at(t).iter().map(|e| e.u).collect();
             observed_sources.dedup();
@@ -142,12 +151,8 @@ mod tests {
             edges.push(TemporalEdge::new(u, (u + 1) % 4, 1));
         }
         let g = TemporalGraph::from_edges(4, 2, edges);
-        let mut cfg = TgaeConfig::tiny();
-        cfg.epochs = 5;
-        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
-        let mut rng = SmallRng::seed_from_u64(5);
-        let gen = generate(&model, &g, &mut rng);
+        let mut session = trained_session(&g, 5, 16);
+        let gen = session.simulate().expect("simulate");
         assert_eq!(
             gen.edge_counts_per_timestamp(),
             g.edge_counts_per_timestamp()
@@ -159,15 +164,12 @@ mod tests {
     #[test]
     fn generation_is_bit_identical_across_thread_counts() {
         let g = ring_graph(10, 3);
-        let mut cfg = TgaeConfig::tiny();
-        cfg.epochs = 5;
-        cfg.batch_centers = 4; // force several chunks per timestamp
-        let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
+        let session = trained_session(&g, 5, 4); // several chunks per timestamp
         let run = |threads: usize| -> Vec<(u32, u32, u32)> {
             let _pin = tg_tensor::parallel::ThreadPin::new(threads);
-            let mut rng = SmallRng::seed_from_u64(77);
-            let gen = generate(&model, &g, &mut rng);
+            let gen = session
+                .simulate_seeded(77, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+                .expect("simulate");
             gen.edges().iter().map(|e| (e.u, e.v, e.t)).collect()
         };
         let serial = run(1);
@@ -181,6 +183,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_engine_path() {
+        // `generate` must keep its PR-3 contract: one u64 drawn from the
+        // caller's RNG becomes the engine master seed.
+        let g = ring_graph(6, 2);
+        let session = trained_session(&g, 5, 16);
+        let seed = 20240731u64;
+        let via_wrapper = generate(session.model(), &g, &mut SmallRng::seed_from_u64(seed));
+        let master: u64 = SmallRng::seed_from_u64(seed).gen();
+        let via_engine = session
+            .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+            .expect("simulate");
+        assert_eq!(via_wrapper.edges(), via_engine.edges());
+    }
+
+    #[test]
     fn trained_model_reproduces_ring_better_than_untrained() {
         // The ring is perfectly learnable: out-neighbor of u is always
         // (u+1) mod n. A trained model should hit far more true edges.
@@ -188,12 +206,16 @@ mod tests {
         let mut cfg = TgaeConfig::tiny();
         cfg.epochs = 200;
         cfg.lr = 3e-2;
-        let mut trained = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg.clone());
-        fit(&mut trained, &g);
-        let untrained = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        let hit_rate = |model: &Tgae, seed: u64| -> f64 {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let gen = generate(model, &g, &mut rng);
+        let mut trained = Session::builder(&g)
+            .config(cfg.clone())
+            .build()
+            .expect("session");
+        trained.train().expect("train");
+        let untrained = Session::builder(&g).config(cfg).build().expect("session");
+        let hit_rate = |session: &Session<'_>, master: u64| -> f64 {
+            let gen = session
+                .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+                .expect("simulate");
             let truth: std::collections::HashSet<(u32, u32)> =
                 g.edges().iter().map(|e| (e.u, e.v)).collect();
             let hits = gen

@@ -24,10 +24,16 @@
 //! ablation variants of §IV-F are selected via
 //! [`config::TgaeVariant`].
 //!
+//! The supported entry point is the [`session`] API: one [`Session`]
+//! object owns the **train → simulate → evaluate** lifecycle with a
+//! single master seed ([`SeedPolicy`]), typed errors ([`TgxError`]),
+//! epoch observation/cancellation ([`RunObserver`]), and bit-identical
+//! checkpoint/resume. The PR-3 free functions ([`fit`], [`generate`])
+//! remain as deprecated wrappers.
+//!
 //! # Quickstart
 //! ```
-//! use tgae::{Tgae, TgaeConfig, fit, generate};
-//! use rand::{rngs::SmallRng, SeedableRng};
+//! use tgae::{Session, TgaeConfig};
 //! use tg_graph::{TemporalEdge, TemporalGraph};
 //!
 //! // a small ring evolving over 2 timestamps
@@ -41,23 +47,31 @@
 //!
 //! let mut cfg = TgaeConfig::tiny();
 //! cfg.epochs = 5;
-//! let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-//! let report = fit(&mut model, &observed);
+//! let mut session = Session::builder(&observed)
+//!     .config(cfg)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid graph + config");
+//! let report = session.train().expect("training ran");
 //! assert!(report.final_loss().is_finite());
 //!
-//! let mut rng = SmallRng::seed_from_u64(7);
-//! let synthetic = generate(&model, &observed, &mut rng);
+//! let synthetic = session.simulate().expect("simulation ran");
 //! assert_eq!(synthetic.n_edges(), observed.n_edges());
+//!
+//! let scores = session.evaluate(&synthetic).expect("same shape");
+//! assert_eq!(scores.len(), 7);
 //! ```
 
 pub mod config;
 pub mod decoder;
 pub mod encoder;
 pub mod engine;
+pub mod errors;
 pub mod features;
 pub mod generator;
 pub mod model;
 pub mod persist;
+pub mod session;
 pub mod trainer;
 
 pub use config::{TgaeConfig, TgaeVariant};
@@ -65,7 +79,15 @@ pub use engine::{
     generate_shard, generate_shard_with_sink, generate_with_sink, ShardSpec, SimulationEngine,
     SimulationPlan,
 };
-pub use generator::generate;
+pub use errors::TgxError;
 pub use model::{BatchStats, Tgae};
 pub use persist::{load, save, PersistError};
-pub use trainer::{fit, TrainReport};
+pub use session::{
+    CheckpointPolicy, EpochEvent, RunObserver, SeedPolicy, Session, SessionBuilder, TrainControl,
+};
+pub use trainer::{TrainCheckpoint, TrainReport};
+
+#[allow(deprecated)]
+pub use generator::generate;
+#[allow(deprecated)]
+pub use trainer::fit;

@@ -42,26 +42,42 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// Write any serialisable document as JSON (the shared primitive behind
+/// model checkpoints and the session's [`TrainCheckpoint`]s).
+///
+/// [`TrainCheckpoint`]: crate::trainer::TrainCheckpoint
+pub fn save_json<T: serde::Serialize>(
+    value: &T,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    serde_json::to_writer(BufWriter::new(f), value)?;
+    Ok(())
+}
+
+/// Read a JSON document written by [`save_json`].
+pub fn load_json<T: serde::Deserialize>(path: impl AsRef<Path>) -> Result<T, PersistError> {
+    let f = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(f))?)
+}
+
 /// Write a model checkpoint.
 pub fn save(model: &Tgae, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let f = std::fs::File::create(path)?;
-    serde_json::to_writer(BufWriter::new(f), model)?;
-    Ok(())
+    save_json(model, path)
 }
 
 /// Load a model checkpoint.
 pub fn load(path: impl AsRef<Path>) -> Result<Tgae, PersistError> {
-    let f = std::fs::File::open(path)?;
-    Ok(serde_json::from_reader(BufReader::new(f))?)
+    load_json(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::TgaeConfig;
-    use crate::trainer::fit;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::engine::generate_with_sink;
+    use crate::trainer::{train_loop, LoopHooks};
+    use tg_graph::sink::GraphSink;
     use tg_graph::{TemporalEdge, TemporalGraph};
 
     fn toy() -> TemporalGraph {
@@ -77,7 +93,7 @@ mod tests {
         let mut cfg = TgaeConfig::tiny();
         cfg.epochs = 4;
         let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
+        train_loop(&mut model, &g, LoopHooks::none()).expect("train");
         let dir = std::env::temp_dir().join("tgae_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
@@ -85,10 +101,9 @@ mod tests {
         let restored = load(&path).expect("load");
         assert_eq!(restored.n_nodes, model.n_nodes);
         assert_eq!(restored.n_parameters(), model.n_parameters());
-        let mut r1 = SmallRng::seed_from_u64(1);
-        let mut r2 = SmallRng::seed_from_u64(1);
-        let a = crate::generator::generate(&model, &g, &mut r1);
-        let b = crate::generator::generate(&restored, &g, &mut r2);
+        let sink = || GraphSink::new(g.n_nodes(), g.n_timestamps());
+        let a = generate_with_sink(&model, &g, 1, sink());
+        let b = generate_with_sink(&restored, &g, 1, sink());
         assert_eq!(a.edges(), b.edges());
         std::fs::remove_file(&path).ok();
     }

@@ -1,0 +1,740 @@
+//! The `Session` API: one owned object for the whole
+//! **train → simulate → evaluate** lifecycle.
+//!
+//! The paper's pitch is an *efficient end-to-end pipeline*: train a TGAE
+//! once on an observed temporal graph, then cheaply generate (and score)
+//! many synthetic graphs. Before PR 4 that pipeline was a bag of free
+//! functions — `fit(&mut model, &g)`, `generate(&model, &g, &mut rng)` —
+//! with `&mut SmallRng` threaded through every call and `assert!`s that
+//! panic on bad input. A [`Session`] owns the lifecycle instead:
+//!
+//! ```text
+//! Session::builder(&observed)          SeedPolicy (one master u64)
+//!     .config(cfg)                     RunObserver (epoch hook: progress,
+//!     .seed(7)                                      early stop, cancel)
+//!     .observer(obs)                   CheckpointPolicy (every N epochs)
+//!     .checkpoint(path, 5)
+//!     .build()?                        -> typed TgxError, never a panic
+//!        |
+//!     train() ----------- checkpoints ----> ckpt.json
+//!        |                                     |
+//!        |   (crash / ctrl-C)   resume_from(ckpt.json)  [bit-identical]
+//!        v
+//!     simulate() / simulate_sharded(k, ..) / simulate_shard_with_sink(spec, ..)
+//!        |
+//!     evaluate(&synthetic)             -> Eq. 10 metric scores
+//! ```
+//!
+//! # Determinism contract
+//!
+//! A session is driven by a single [`SeedPolicy`] master seed; internals
+//! derive SplitMix64 sub-streams exactly as the simulation engine already
+//! does for its work units. For the same config the session path is
+//! **bit-identical** to the PR-3 free functions (regression-tested in
+//! `tests/session_api.rs`):
+//!
+//! - [`Session::train`] reproduces `fit`'s parameter trajectory exactly
+//!   (same RNG stream `seed ^ 0x5eed_1234`, same update order);
+//! - [`Session::simulate_seeded`] with master `m` reproduces
+//!   `generate_with_sink(.., m, ..)` exactly;
+//! - [`Session::resume_from`] a mid-run checkpoint and training to the end
+//!   reproduces an uninterrupted run bit-for-bit (the checkpoint carries
+//!   the model, the Adam moments, and the raw RNG state).
+
+use crate::engine::{
+    generate_shard_with_sink, generate_with_sink, mix_seed, ShardSpec, SimulationPlan,
+};
+use crate::errors::TgxError;
+use crate::model::Tgae;
+use crate::persist::{self, PersistError};
+use crate::trainer::{
+    train_loop, validate_shapes, LoopHooks, ResumeState, TrainCheckpoint, TrainReport,
+    CHECKPOINT_VERSION,
+};
+use crate::TgaeConfig;
+use rand::rngs::SmallRng;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use tg_graph::sink::{EdgeSink, GraphSink};
+use tg_graph::TemporalGraph;
+use tg_metrics::MetricScore;
+
+/// Stream tag mixed into the master seed to derive per-run simulation
+/// seeds (so `simulate()` run 0, 1, 2… get decorrelated streams that are
+/// still pure functions of the master).
+const SIM_STREAM: u64 = 0x51AB_CAFE;
+
+/// The session's single source of randomness: one master `u64`.
+///
+/// Replaces the `&mut SmallRng` parameters of the PR-3 free functions.
+/// Internals derive independent SplitMix64 sub-streams from the master —
+/// parameter init and the training stream use it as `cfg.seed` did, and
+/// each `simulate()` call gets [`SeedPolicy::simulation_master`]`(run)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedPolicy {
+    master: u64,
+}
+
+impl SeedPolicy {
+    /// Policy deriving every stream from `master`.
+    pub fn new(master: u64) -> Self {
+        SeedPolicy { master }
+    }
+
+    /// The master seed.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// The engine master seed of simulation run `run` (0-based call
+    /// counter). Pure: any process computing this for the same policy and
+    /// run index gets the same seed — which is what lets a remote worker
+    /// reproduce a driver's plan.
+    pub fn simulation_master(&self, run: u64) -> u64 {
+        mix_seed(self.master, SIM_STREAM, run)
+    }
+}
+
+/// What the training loop should do after an observed epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainControl {
+    /// Keep training.
+    Continue,
+    /// Stop after this epoch (graceful early stop / cancellation); the
+    /// report's [`TrainReport::early_stopped`] flag is set when epochs
+    /// remained.
+    Stop,
+}
+
+/// Everything an observer sees at the end of one epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochEvent {
+    /// 0-based index of the epoch that just finished.
+    pub epoch: usize,
+    /// Total epochs the run is configured for.
+    pub n_epochs: usize,
+    /// Loss after this epoch's step.
+    pub loss: f32,
+    /// Wall-clock time this epoch took.
+    pub wall: Duration,
+}
+
+/// Epoch-end hook: progress bars, metric logging, early stopping, and
+/// cooperative cancellation (return [`TrainControl::Stop`]).
+///
+/// Observers only *observe* — the training RNG stream never sees them, so
+/// attaching or detaching an observer cannot change the trained
+/// parameters of the epochs that do run.
+///
+/// Any `FnMut(&EpochEvent) -> TrainControl` closure is an observer:
+///
+/// ```
+/// use tgae::{EpochEvent, TrainControl};
+/// let mut best = f32::INFINITY;
+/// let _early_stop = move |ev: &EpochEvent| {
+///     if ev.loss < best {
+///         best = ev.loss;
+///     }
+///     if ev.loss > best * 2.0 {
+///         TrainControl::Stop // diverged
+///     } else {
+///         TrainControl::Continue
+///     }
+/// };
+/// ```
+pub trait RunObserver {
+    /// Called after every completed epoch, in order.
+    fn on_epoch_end(&mut self, event: &EpochEvent) -> TrainControl;
+}
+
+impl<F: FnMut(&EpochEvent) -> TrainControl> RunObserver for F {
+    fn on_epoch_end(&mut self, event: &EpochEvent) -> TrainControl {
+        self(event)
+    }
+}
+
+/// Periodic checkpointing: overwrite `path` with a full
+/// [`TrainCheckpoint`] every `every_epochs` epochs.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// File the checkpoint JSON is (re)written to.
+    pub path: PathBuf,
+    /// Cadence in epochs (a checkpoint lands after epochs `every`,
+    /// `2*every`, …).
+    pub every_epochs: usize,
+}
+
+/// Builder for a [`Session`]; see the [module docs](crate::session) for
+/// the lifecycle picture.
+pub struct SessionBuilder<'a> {
+    observed: &'a TemporalGraph,
+    cfg: TgaeConfig,
+    seed: Option<u64>,
+    observer: Option<Box<dyn RunObserver + 'a>>,
+    checkpoint: Option<CheckpointPolicy>,
+    model: Option<Tgae>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Use this model/training configuration (default:
+    /// [`TgaeConfig::default`]).
+    pub fn config(mut self, cfg: TgaeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the [`SeedPolicy`] master seed. Overrides `cfg.seed`, so
+    /// parameter init, the training stream, and all simulation streams
+    /// derive from this one value.
+    pub fn seed(mut self, master: u64) -> Self {
+        self.seed = Some(master);
+        self
+    }
+
+    /// Equivalent to [`SessionBuilder::seed`] with `policy.master()`.
+    pub fn seed_policy(self, policy: SeedPolicy) -> Self {
+        self.seed(policy.master())
+    }
+
+    /// Attach an epoch-end [`RunObserver`] (closure or trait object).
+    pub fn observer(mut self, observer: impl RunObserver + 'a) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Write a [`TrainCheckpoint`] to `path` every `every_epochs` epochs
+    /// during [`Session::train`] / [`Session::resume_from`].
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every_epochs,
+        });
+        self
+    }
+
+    /// Adopt an existing (typically already-trained) model instead of
+    /// initialising a fresh one. The session takes the model's own config;
+    /// builder-set config is ignored. This is how `tgx-cli` workers load a
+    /// checkpointed model and go straight to simulation.
+    pub fn with_model(mut self, model: Tgae) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Validate everything and construct the [`Session`].
+    ///
+    /// Returns a typed [`TgxError`] — never panics — for: an empty or
+    /// zero-timestamp observed graph, out-of-range config fields, or a
+    /// provided model whose shape disagrees with the observed graph.
+    pub fn build(self) -> Result<Session<'a>, TgxError> {
+        let SessionBuilder {
+            observed,
+            mut cfg,
+            seed,
+            observer,
+            checkpoint,
+            model,
+        } = self;
+        if observed.n_timestamps() == 0 || observed.n_edges() == 0 || observed.n_nodes() < 2 {
+            return Err(TgxError::EmptyGraph);
+        }
+        if let Some(cp) = &checkpoint {
+            if cp.every_epochs == 0 {
+                return Err(TgxError::InvalidConfig(
+                    "checkpoint cadence must be > 0 epochs".into(),
+                ));
+            }
+        }
+        let model = match model {
+            Some(m) => {
+                // An adopted model is authoritative for its config; only
+                // its shape needs to agree with the observed graph.
+                validate_shapes(&m, observed)?;
+                if m.n_timestamps != observed.n_timestamps() {
+                    return Err(TgxError::TimestampMismatch {
+                        model: m.n_timestamps,
+                        graph: observed.n_timestamps(),
+                    });
+                }
+                m
+            }
+            None => {
+                if let Some(master) = seed {
+                    cfg.seed = master;
+                }
+                validate_config(&cfg)?;
+                Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg)
+            }
+        };
+        let policy = SeedPolicy::new(seed.unwrap_or(model.cfg.seed));
+        Ok(Session {
+            observed,
+            model,
+            policy,
+            observer,
+            checkpoint,
+            trained_epochs: 0,
+            sim_runs: 0,
+        })
+    }
+}
+
+fn validate_config(cfg: &TgaeConfig) -> Result<(), TgxError> {
+    let field_checks: [(&str, bool); 8] = [
+        ("epochs must be > 0", cfg.epochs > 0),
+        ("d_in must be > 0", cfg.d_in > 0),
+        ("d_head must be > 0", cfg.d_head > 0),
+        ("heads must be > 0", cfg.heads > 0),
+        ("d_model must be > 0", cfg.d_model > 0),
+        ("batch_centers must be > 0", cfg.batch_centers > 0),
+        (
+            "lr must be finite and > 0",
+            cfg.lr.is_finite() && cfg.lr > 0.0,
+        ),
+        (
+            "gen_temperature must be finite and > 0",
+            cfg.gen_temperature.is_finite() && cfg.gen_temperature > 0.0,
+        ),
+    ];
+    for (msg, ok) in field_checks {
+        if !ok {
+            return Err(TgxError::InvalidConfig(msg.into()));
+        }
+    }
+    Ok(())
+}
+
+/// One train → simulate → evaluate run over a fixed observed graph.
+///
+/// Construct with [`Session::builder`]; see the
+/// [module docs](crate::session) for the lifecycle and the determinism
+/// contract.
+pub struct Session<'a> {
+    observed: &'a TemporalGraph,
+    model: Tgae,
+    policy: SeedPolicy,
+    observer: Option<Box<dyn RunObserver + 'a>>,
+    checkpoint: Option<CheckpointPolicy>,
+    trained_epochs: usize,
+    sim_runs: u64,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("n_nodes", &self.observed.n_nodes())
+            .field("n_timestamps", &self.observed.n_timestamps())
+            .field("master_seed", &self.policy.master())
+            .field("trained_epochs", &self.trained_epochs)
+            .field("simulation_runs", &self.sim_runs)
+            .field("has_observer", &self.observer.is_some())
+            .field("checkpoint", &self.checkpoint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for SessionBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("n_nodes", &self.observed.n_nodes())
+            .field("n_timestamps", &self.observed.n_timestamps())
+            .field("seed", &self.seed)
+            .field("has_observer", &self.observer.is_some())
+            .field("checkpoint", &self.checkpoint)
+            .field("has_model", &self.model.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// Start building a session over `observed`.
+    pub fn builder(observed: &TemporalGraph) -> SessionBuilder<'_> {
+        SessionBuilder {
+            observed,
+            cfg: TgaeConfig::default(),
+            seed: None,
+            observer: None,
+            checkpoint: None,
+            model: None,
+        }
+    }
+
+    /// The observed graph this session trains on and mirrors.
+    pub fn observed(&self) -> &TemporalGraph {
+        self.observed
+    }
+
+    /// The model (trained in place by [`Session::train`]).
+    pub fn model(&self) -> &Tgae {
+        &self.model
+    }
+
+    /// Consume the session, keeping the model.
+    pub fn into_model(self) -> Tgae {
+        self.model
+    }
+
+    /// The seed policy every stream derives from.
+    pub fn seed_policy(&self) -> SeedPolicy {
+        self.policy
+    }
+
+    /// Epochs run so far across [`Session::train`] /
+    /// [`Session::resume_from`] calls.
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Simulation runs started so far (the per-run seed counter).
+    pub fn simulation_runs(&self) -> u64 {
+        self.sim_runs
+    }
+
+    /// Run the configured number of training epochs from the model's
+    /// current parameters, driving the observer and writing periodic
+    /// checkpoints as configured.
+    ///
+    /// For a freshly built session this is bit-identical to the PR-3
+    /// `fit` free function with the same config.
+    pub fn train(&mut self) -> Result<TrainReport, TgxError> {
+        let hooks = LoopHooks {
+            observer: self.observer.as_deref_mut(),
+            checkpoint: self.checkpoint.as_ref(),
+            resume: None,
+        };
+        let report = train_loop(&mut self.model, self.observed, hooks)?;
+        self.trained_epochs = report.epochs_run();
+        Ok(report)
+    }
+
+    /// Restore a mid-run [`TrainCheckpoint`] from `path` and train the
+    /// remaining epochs (observer + further checkpoints included).
+    ///
+    /// The checkpoint carries the model, the Adam moments, and the raw
+    /// training-RNG state, so the completed run is **bit-identical** to
+    /// one that never stopped. Returns the *full-run* report (restored
+    /// history + new epochs).
+    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> Result<TrainReport, TgxError> {
+        let ckpt: TrainCheckpoint = persist::load_json(path.as_ref())?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(TgxError::CheckpointMismatch(format!(
+                "checkpoint format v{} (this build reads v{CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        if ckpt.model.n_nodes != self.observed.n_nodes()
+            || ckpt.model.n_timestamps != self.observed.n_timestamps()
+        {
+            return Err(TgxError::CheckpointMismatch(format!(
+                "checkpointed model is shaped {}x{} but the observed graph is {}x{}",
+                ckpt.model.n_nodes,
+                ckpt.model.n_timestamps,
+                self.observed.n_nodes(),
+                self.observed.n_timestamps()
+            )));
+        }
+        let ckpt_cfg = serde_json::to_string(&ckpt.model.cfg).map_err(PersistError::Codec)?;
+        let own_cfg = serde_json::to_string(&self.model.cfg).map_err(PersistError::Codec)?;
+        if ckpt_cfg != own_cfg {
+            return Err(TgxError::CheckpointMismatch(
+                "checkpointed config differs from this session's config".into(),
+            ));
+        }
+        if ckpt.losses.len() != ckpt.epoch_wall_nanos.len() {
+            return Err(TgxError::CheckpointMismatch(format!(
+                "inconsistent history: {} losses vs {} epoch walls",
+                ckpt.losses.len(),
+                ckpt.epoch_wall_nanos.len()
+            )));
+        }
+        self.model = ckpt.model;
+        let resume = ResumeState {
+            opt: ckpt.opt,
+            rng: SmallRng::from_state(ckpt.rng_state),
+            losses: ckpt.losses,
+            epoch_walls: ckpt
+                .epoch_wall_nanos
+                .iter()
+                .map(|&n| Duration::from_nanos(n))
+                .collect(),
+            slot_acc: ckpt.slot_acc,
+        };
+        let hooks = LoopHooks {
+            observer: self.observer.as_deref_mut(),
+            checkpoint: self.checkpoint.as_ref(),
+            resume: Some(resume),
+        };
+        let report = train_loop(&mut self.model, self.observed, hooks)?;
+        self.trained_epochs = report.epochs_run();
+        Ok(report)
+    }
+
+    /// Save the current model (not the training state — use the
+    /// checkpoint policy for that) as a standalone artifact loadable by
+    /// [`crate::persist::load`] or [`SessionBuilder::with_model`].
+    pub fn save_model(&self, path: impl AsRef<Path>) -> Result<(), TgxError> {
+        persist::save(&self.model, path)?;
+        Ok(())
+    }
+
+    /// Simulate one synthetic graph mirroring the observed graph. Each
+    /// call uses the next per-run seed derived from the [`SeedPolicy`],
+    /// so repeated calls produce independent (but individually
+    /// reproducible) graphs.
+    pub fn simulate(&mut self) -> Result<TemporalGraph, TgxError> {
+        let sink = GraphSink::new(self.observed.n_nodes(), self.observed.n_timestamps());
+        self.simulate_with_sink(sink)
+    }
+
+    /// [`Session::simulate`] into any [`EdgeSink`] (streaming writer,
+    /// statistics-only, …).
+    pub fn simulate_with_sink<S: EdgeSink>(&mut self, sink: S) -> Result<S::Output, TgxError> {
+        let master = self.policy.simulation_master(self.sim_runs);
+        self.sim_runs += 1;
+        self.simulate_seeded(master, sink)
+    }
+
+    /// Simulate with an explicit engine master seed (does not advance the
+    /// per-run counter). Bit-identical to the PR-3
+    /// [`generate_with_sink`] for the
+    /// same master.
+    pub fn simulate_seeded<S: EdgeSink>(
+        &self,
+        master: u64,
+        sink: S,
+    ) -> Result<S::Output, TgxError> {
+        Ok(generate_with_sink(&self.model, self.observed, master, sink))
+    }
+
+    /// The deterministic shard manifest a run with `master` would execute.
+    pub fn simulation_plan(&self, master: u64) -> SimulationPlan {
+        SimulationPlan::new(self.observed, self.model.cfg.batch_centers, master)
+    }
+
+    /// Partition the run with `master` into `n_shards` serialisable
+    /// [`ShardSpec`]s (contiguous timestamp ranges balanced by observed
+    /// edge count) — the unit of cross-process distribution.
+    pub fn shard_specs(&self, master: u64, n_shards: usize) -> Result<Vec<ShardSpec>, TgxError> {
+        if n_shards == 0 {
+            return Err(TgxError::InvalidConfig("n_shards must be > 0".into()));
+        }
+        Ok(self.simulation_plan(master).shards(n_shards))
+    }
+
+    /// Execute one shard of a run into `sink` — any process holding the
+    /// model and the observed graph can run any shard, and concatenating
+    /// shard outputs in shard order reproduces the single-process stream
+    /// bit-identically.
+    pub fn simulate_shard_with_sink<S: EdgeSink>(
+        &self,
+        spec: &ShardSpec,
+        sink: S,
+    ) -> Result<S::Output, TgxError> {
+        Ok(generate_shard_with_sink(
+            &self.model,
+            self.observed,
+            spec,
+            sink,
+        ))
+    }
+
+    /// Simulate one run as `n_shards` in-process shards, building one sink
+    /// per shard and returning the per-shard outputs in shard order.
+    /// Advances the per-run seed counter once (the whole sharded run is
+    /// one simulation).
+    pub fn simulate_sharded<S: EdgeSink>(
+        &mut self,
+        n_shards: usize,
+        mut make_sink: impl FnMut(&ShardSpec) -> S,
+    ) -> Result<Vec<S::Output>, TgxError> {
+        let master = self.policy.simulation_master(self.sim_runs);
+        self.sim_runs += 1;
+        let specs = self.shard_specs(master, n_shards)?;
+        let mut outputs = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let sink = make_sink(spec);
+            outputs.push(self.simulate_shard_with_sink(spec, sink)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Score a synthetic graph against the observed one across the seven
+    /// Table III statistics (Eq. 10). The synthetic graph must cover the
+    /// observed horizon and node set.
+    pub fn evaluate(&self, synthetic: &TemporalGraph) -> Result<Vec<MetricScore>, TgxError> {
+        if synthetic.n_nodes() != self.observed.n_nodes() {
+            return Err(TgxError::NodeCountMismatch {
+                model: self.observed.n_nodes(),
+                graph: synthetic.n_nodes(),
+            });
+        }
+        if synthetic.n_timestamps() < self.observed.n_timestamps() {
+            return Err(TgxError::TimestampMismatch {
+                model: self.observed.n_timestamps(),
+                graph: synthetic.n_timestamps(),
+            });
+        }
+        Ok(tg_metrics::evaluate(self.observed, synthetic))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::TemporalEdge;
+
+    fn ring(n: u32, t_count: u32) -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..t_count {
+            for u in 0..n {
+                edges.push(TemporalEdge::new(u, (u + 1) % n, t));
+            }
+        }
+        TemporalGraph::from_edges(n as usize, t_count as usize, edges)
+    }
+
+    fn tiny_cfg(epochs: usize) -> TgaeConfig {
+        let mut cfg = TgaeConfig::tiny();
+        cfg.epochs = epochs;
+        cfg
+    }
+
+    #[test]
+    fn seed_policy_streams_are_deterministic_and_distinct() {
+        let p = SeedPolicy::new(7);
+        assert_eq!(p.master(), 7);
+        assert_eq!(
+            p.simulation_master(0),
+            SeedPolicy::new(7).simulation_master(0)
+        );
+        assert_ne!(p.simulation_master(0), p.simulation_master(1));
+        assert_ne!(
+            p.simulation_master(0),
+            SeedPolicy::new(8).simulation_master(0)
+        );
+    }
+
+    #[test]
+    fn build_train_simulate_evaluate_round_trip() {
+        let g = ring(8, 3);
+        let mut session = Session::builder(&g)
+            .config(tiny_cfg(5))
+            .seed(11)
+            .build()
+            .expect("valid session");
+        let report = session.train().expect("train");
+        assert_eq!(report.epochs_run(), 5);
+        assert_eq!(session.trained_epochs(), 5);
+        let synthetic = session.simulate().expect("simulate");
+        assert_eq!(synthetic.n_edges(), g.n_edges());
+        assert_eq!(session.simulation_runs(), 1);
+        let scores = session.evaluate(&synthetic).expect("evaluate");
+        assert_eq!(scores.len(), 7);
+    }
+
+    #[test]
+    fn repeated_simulations_differ_but_are_reproducible() {
+        let g = ring(8, 3);
+        let mut s = Session::builder(&g)
+            .config(tiny_cfg(5))
+            .seed(3)
+            .build()
+            .unwrap();
+        s.train().unwrap();
+        let a = s.simulate().unwrap();
+        let b = s.simulate().unwrap();
+        // run 0 and run 1 use different derived seeds
+        assert_ne!(a.edges(), b.edges());
+        // but run 0 is reproducible from the policy
+        let master0 = s.seed_policy().simulation_master(0);
+        let again = s
+            .simulate_seeded(master0, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+            .unwrap();
+        assert_eq!(a.edges(), again.edges());
+    }
+
+    #[test]
+    fn sharded_simulation_concatenates_to_full_run() {
+        let g = ring(9, 4);
+        let mut cfg = tiny_cfg(4);
+        cfg.batch_centers = 4;
+        let mut s = Session::builder(&g).config(cfg).seed(5).build().unwrap();
+        s.train().unwrap();
+        let master = s.seed_policy().simulation_master(0);
+        let full = s
+            .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+            .unwrap();
+        let shard_graphs = s
+            .simulate_sharded(3, |_| GraphSink::new(g.n_nodes(), g.n_timestamps()))
+            .unwrap();
+        let merged: Vec<TemporalEdge> = shard_graphs
+            .iter()
+            .flat_map(|sg| sg.edges().iter().copied())
+            .collect();
+        assert_eq!(merged, full.edges());
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        let g = TemporalGraph::from_edges(4, 2, Vec::new());
+        let err = Session::builder(&g)
+            .config(tiny_cfg(3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TgxError::EmptyGraph));
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let g = ring(6, 2);
+        let err = Session::builder(&g)
+            .config(tiny_cfg(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TgxError::InvalidConfig(_)));
+        let mut bad = tiny_cfg(3);
+        bad.lr = f32::NAN;
+        let err = Session::builder(&g).config(bad).build().unwrap_err();
+        assert!(matches!(err, TgxError::InvalidConfig(_)));
+        let err = Session::builder(&g)
+            .config(tiny_cfg(3))
+            .checkpoint("/tmp/nope.json", 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TgxError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn adopted_model_shape_mismatch_is_a_typed_error() {
+        let g = ring(6, 2);
+        let other = Tgae::new(9, 2, tiny_cfg(3));
+        let err = Session::builder(&g).with_model(other).build().unwrap_err();
+        assert!(matches!(
+            err,
+            TgxError::NodeCountMismatch { model: 9, graph: 6 }
+        ));
+        let other_t = Tgae::new(6, 4, tiny_cfg(3));
+        let err = Session::builder(&g)
+            .with_model(other_t)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TgxError::TimestampMismatch { .. }));
+    }
+
+    #[test]
+    fn evaluate_rejects_mismatched_synthetic() {
+        let g = ring(6, 3);
+        let mut s = Session::builder(&g).config(tiny_cfg(3)).build().unwrap();
+        s.train().unwrap();
+        let short = ring(6, 2);
+        assert!(matches!(
+            s.evaluate(&short).unwrap_err(),
+            TgxError::TimestampMismatch { model: 3, graph: 2 }
+        ));
+        let other = ring(8, 3);
+        assert!(matches!(
+            s.evaluate(&other).unwrap_err(),
+            TgxError::NodeCountMismatch { .. }
+        ));
+    }
+}

@@ -4,27 +4,59 @@
 //! depending on the variant), merges their ego-graphs into k-bipartite
 //! computation graphs, and minimises the approximate loss of Eq. 7 with
 //! Adam under global-norm gradient clipping.
+//!
+//! The loop itself lives in `train_loop` (crate-private), which is
+//! driven two ways:
+//!
+//! - [`Session::train`](crate::session::Session::train) — the supported
+//!   entry point: typed errors, [`RunObserver`] epoch hooks (progress,
+//!   early stopping), periodic checkpoints, and bit-identical
+//!   resume-from-checkpoint (the loop's RNG stream, optimizer moments,
+//!   and loss history are all part of [`TrainCheckpoint`]).
+//! - [`fit`] — the original PR-3 free function, kept as a thin deprecated
+//!   wrapper (no hooks, panics on bad input) so existing callers compile.
+//!
+//! For a fixed config the two paths drive the loop identically, so their
+//! trained parameters are bit-for-bit equal.
 
 use crate::config::TgaeConfig;
+use crate::errors::TgxError;
 use crate::model::Tgae;
+use crate::session::{CheckpointPolicy, EpochEvent, RunObserver, TrainControl};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 use tg_graph::TemporalGraph;
 use tg_sampling::InitialNodeSampler;
 use tg_tensor::prelude::*;
 
+/// XOR-folded into the master seed to derive the training RNG stream
+/// (kept from the seed implementation so trained parameters stay
+/// bit-identical across the free-function → session migration).
+pub(crate) const TRAIN_STREAM: u64 = 0x5eed_1234;
+
 /// Outcome of a training run.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
-    /// Loss after each optimisation step.
+    /// Loss after each optimisation step actually run (on an
+    /// early-stopped or resumed run this is the *full* history, including
+    /// epochs restored from the checkpoint).
     pub losses: Vec<f32>,
-    /// Wall-clock training time.
+    /// Wall-clock time of each epoch, aligned with [`TrainReport::losses`].
+    pub epoch_walls: Vec<Duration>,
+    /// Total wall-clock training time (including the checkpointed portion
+    /// of a resumed run).
     pub wall: Duration,
     /// Trainable scalar count.
     pub n_params: usize,
     /// Mean slots per batch (space diagnostics for Fig. 6).
     pub mean_batch_slots: f64,
+    /// Epochs the configuration asked for (`cfg.epochs`).
+    pub epochs_configured: usize,
+    /// Whether a [`RunObserver`] stopped the run before
+    /// [`TrainReport::epochs_configured`] epochs completed.
+    pub early_stopped: bool,
 }
 
 impl TrainReport {
@@ -39,36 +71,160 @@ impl TrainReport {
         let tail = &self.losses[n - (n / 4).max(1)..];
         tail.iter().sum::<f32>() / tail.len() as f32
     }
+
+    /// Epochs actually run — `< epochs_configured` when early-stopped.
+    pub fn epochs_run(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Per-epoch loss history (aligned with [`TrainReport::epoch_walls`]).
+    pub fn loss_history(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Wall-clock time of epoch `i`.
+    pub fn epoch_wall(&self, i: usize) -> Duration {
+        self.epoch_walls[i]
+    }
+
+    /// Mean wall-clock time per epoch actually run.
+    pub fn mean_epoch_wall(&self) -> Duration {
+        if self.epoch_walls.is_empty() {
+            return Duration::ZERO;
+        }
+        self.epoch_walls.iter().sum::<Duration>() / self.epoch_walls.len() as u32
+    }
 }
 
-/// Train a TGAE model in place on an observed temporal graph.
-pub fn fit(model: &mut Tgae, g: &TemporalGraph) -> TrainReport {
-    let cfg: TgaeConfig = model.cfg.clone();
-    assert_eq!(
-        g.n_nodes(),
-        model.n_nodes,
-        "graph/model node-count mismatch"
-    );
-    assert!(
-        g.n_timestamps() <= model.n_timestamps,
-        "graph has more timestamps than model"
-    );
-    let start = Instant::now();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed_1234);
-    let sampler = InitialNodeSampler::new(g, cfg.sampler.degree_weighted);
-    assert!(
-        sampler.population_size() > 0,
-        "graph has no temporal nodes to learn from"
-    );
+/// Everything the training loop needs to continue a run exactly where a
+/// checkpoint left off: model parameters, Adam moments, the raw RNG
+/// stream state, and the already-run history. Serialised as one JSON
+/// document by [`Session`](crate::session::Session)'s periodic
+/// checkpointing; restoring it and running the remaining epochs is
+/// bit-identical to never having stopped.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Checkpoint format version (bumped on incompatible layout changes).
+    pub version: u32,
+    /// The model mid-training (config + all parameters).
+    pub model: Tgae,
+    /// Adam state: step count and first/second moments.
+    pub opt: Adam,
+    /// Raw xoshiro256++ state of the training RNG stream.
+    pub rng_state: [u64; 4],
+    /// Loss after each epoch run so far (`len()` = next epoch index).
+    pub losses: Vec<f32>,
+    /// Wall-clock nanoseconds of each epoch run so far.
+    pub epoch_wall_nanos: Vec<u64>,
+    /// Accumulated batch-slot count (diagnostics carried into the final
+    /// report's `mean_batch_slots`).
+    pub slot_acc: u64,
+}
 
-    let mut opt = Adam::new(cfg.lr);
-    let mut losses = Vec::with_capacity(cfg.epochs);
-    let mut slot_acc = 0usize;
+/// Current [`TrainCheckpoint::version`].
+pub(crate) const CHECKPOINT_VERSION: u32 = 1;
+
+/// Mid-run state threaded back into [`train_loop`] when resuming.
+pub(crate) struct ResumeState {
+    pub opt: Adam,
+    pub rng: SmallRng,
+    pub losses: Vec<f32>,
+    pub epoch_walls: Vec<Duration>,
+    pub slot_acc: u64,
+}
+
+/// Hooks and prior state for one [`train_loop`] drive. `'h` is the
+/// borrow of the driving session, `'o` the observer's own lifetime
+/// (captured environment of a closure observer).
+pub(crate) struct LoopHooks<'h, 'o> {
+    pub observer: Option<&'h mut (dyn RunObserver + 'o)>,
+    pub checkpoint: Option<&'h CheckpointPolicy>,
+    pub resume: Option<ResumeState>,
+}
+
+impl LoopHooks<'_, '_> {
+    /// No observer, no checkpoints, fresh run — the [`fit`] configuration.
+    pub fn none() -> Self {
+        LoopHooks {
+            observer: None,
+            checkpoint: None,
+            resume: None,
+        }
+    }
+}
+
+/// Validate that `g` matches the shape `model` was built for.
+pub(crate) fn validate_shapes(model: &Tgae, g: &TemporalGraph) -> Result<(), TgxError> {
+    if g.n_nodes() != model.n_nodes {
+        return Err(TgxError::NodeCountMismatch {
+            model: model.n_nodes,
+            graph: g.n_nodes(),
+        });
+    }
+    if g.n_timestamps() > model.n_timestamps {
+        return Err(TgxError::TimestampMismatch {
+            model: model.n_timestamps,
+            graph: g.n_timestamps(),
+        });
+    }
+    Ok(())
+}
+
+/// The mini-batch training loop shared by [`fit`] and
+/// [`Session::train`](crate::session::Session::train). For identical
+/// inputs (same config, same graph, no resume) the parameter trajectory is
+/// bit-identical to the seed implementation: the RNG stream, sampling
+/// order, and update order are unchanged — hooks only observe.
+pub(crate) fn train_loop(
+    model: &mut Tgae,
+    g: &TemporalGraph,
+    hooks: LoopHooks<'_, '_>,
+) -> Result<TrainReport, TgxError> {
+    let cfg: TgaeConfig = model.cfg.clone();
+    validate_shapes(model, g)?;
+    if g.n_timestamps() == 0 || g.n_edges() == 0 {
+        return Err(TgxError::EmptyGraph);
+    }
+    if cfg.epochs == 0 {
+        return Err(TgxError::InvalidConfig("epochs must be > 0".into()));
+    }
+    let sampler = InitialNodeSampler::new(g, cfg.sampler.degree_weighted);
+    if sampler.population_size() == 0 {
+        return Err(TgxError::EmptyGraph);
+    }
+
+    let LoopHooks {
+        mut observer,
+        checkpoint,
+        resume,
+    } = hooks;
+    let (mut opt, mut rng, mut losses, mut epoch_walls, mut slot_acc) = match resume {
+        Some(r) => (r.opt, r.rng, r.losses, r.epoch_walls, r.slot_acc),
+        None => (
+            Adam::new(cfg.lr),
+            SmallRng::seed_from_u64(cfg.seed ^ TRAIN_STREAM),
+            Vec::with_capacity(cfg.epochs),
+            Vec::with_capacity(cfg.epochs),
+            0u64,
+        ),
+    };
+    let start_epoch = losses.len();
+    if start_epoch > cfg.epochs {
+        return Err(TgxError::CheckpointMismatch(format!(
+            "checkpoint has already run {start_epoch} epochs but the config asks for {}",
+            cfg.epochs
+        )));
+    }
+    let prior_wall: Duration = epoch_walls.iter().sum();
+    let run_start = Instant::now();
+    let mut early_stopped = false;
+
     // One tape for the whole run: `forward_batch_into` clears it each step
     // and node/gradient buffers recycle through its scratch pool, so the
     // steady-state loop performs (almost) no heap allocation.
     let mut tape = Tape::new();
-    for _step in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
+        let t0 = Instant::now();
         let centers = sampler.sample_batch(cfg.batch_centers, &mut rng);
         let (loss, stats) = model.forward_batch_into(&mut tape, g, &centers, &mut rng);
         let loss_val = tape.value(loss).item();
@@ -77,15 +233,69 @@ pub fn fit(model: &mut Tgae, g: &TemporalGraph) -> TrainReport {
         opt.step(&mut model.store, &grads);
         tape.recycle(grads);
         losses.push(loss_val);
-        slot_acc += stats.n_slots;
+        slot_acc += stats.n_slots as u64;
+        epoch_walls.push(t0.elapsed());
         debug_assert!(!model.store.any_non_finite(), "parameters went non-finite");
+
+        if let Some(cp) = checkpoint {
+            if (epoch + 1).is_multiple_of(cp.every_epochs) {
+                let ckpt = TrainCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    model: model.clone(),
+                    opt: opt.clone(),
+                    rng_state: rng.state(),
+                    losses: losses.clone(),
+                    epoch_wall_nanos: epoch_walls.iter().map(|w| w.as_nanos() as u64).collect(),
+                    slot_acc,
+                };
+                crate::persist::save_json(&ckpt, &cp.path)?;
+            }
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            let event = EpochEvent {
+                epoch,
+                n_epochs: cfg.epochs,
+                loss: loss_val,
+                wall: *epoch_walls.last().expect("just pushed"),
+            };
+            if matches!(obs.on_epoch_end(&event), TrainControl::Stop) {
+                early_stopped = epoch + 1 < cfg.epochs;
+                break;
+            }
+        }
     }
-    TrainReport {
-        mean_batch_slots: slot_acc as f64 / losses.len().max(1) as f64,
+    if losses.is_empty() {
+        // start_epoch == cfg.epochs can't happen (checked above) with an
+        // empty history, so this is unreachable in practice; keep a typed
+        // error rather than an expect-panic all the same.
+        return Err(TgxError::Cancelled);
+    }
+    Ok(TrainReport {
+        mean_batch_slots: slot_acc as f64 / losses.len() as f64,
+        epochs_configured: cfg.epochs,
+        early_stopped,
         losses,
-        wall: start.elapsed(),
+        epoch_walls,
+        wall: prior_wall + run_start.elapsed(),
         n_params: model.n_parameters(),
-    }
+    })
+}
+
+/// Train a TGAE model in place on an observed temporal graph.
+///
+/// **Deprecated:** this is the PR-3 entry point, kept as a thin wrapper so
+/// existing callers compile. It panics on shape mismatches and offers no
+/// observation, cancellation, or checkpointing — prefer building a
+/// [`Session`](crate::session::Session), whose
+/// [`train`](crate::session::Session::train) produces bit-identical
+/// parameters for the same config and reports failures as
+/// [`TgxError`] instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use tgae::Session::builder(..).build()?.train() — typed errors, observer hooks, checkpoint/resume"
+)]
+pub fn fit(model: &mut Tgae, g: &TemporalGraph) -> TrainReport {
+    train_loop(model, g, LoopHooks::none()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -93,6 +303,12 @@ mod tests {
     use super::*;
     use crate::config::TgaeConfig;
     use tg_graph::TemporalEdge;
+
+    /// Non-deprecated shim over the shared loop for these unit tests (the
+    /// wrapper-equivalence test in `tests/session_api.rs` covers `fit`).
+    fn fit_for_test(model: &mut Tgae, g: &TemporalGraph) -> TrainReport {
+        train_loop(model, g, LoopHooks::none()).expect("training failed")
+    }
 
     fn community_graph() -> TemporalGraph {
         // two dense communities: {0..4} and {5..9}, repeated over 4 steps
@@ -117,7 +333,7 @@ mod tests {
         cfg.epochs = 40;
         cfg.lr = 2e-2;
         let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        let report = fit(&mut model, &g);
+        let report = fit_for_test(&mut model, &g);
         assert_eq!(report.losses.len(), 40);
         let head: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
         let tail = report.tail_loss();
@@ -130,12 +346,14 @@ mod tests {
 
     #[test]
     fn trained_model_prefers_community_neighbors() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
         let g = community_graph();
         let mut cfg = TgaeConfig::tiny();
         cfg.epochs = 120;
         cfg.lr = 2e-2;
         let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        fit(&mut model, &g);
+        fit_for_test(&mut model, &g);
         // node 0 (community A) should put more mass on 1..5 than on 5..10
         let mut rng = SmallRng::seed_from_u64(99);
         let (probs, cands) = model.decode_rows_for_generation(&g, &[(0, 0)], &mut rng);
@@ -157,11 +375,33 @@ mod tests {
         let mut cfg = TgaeConfig::tiny();
         cfg.epochs = 4;
         let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-        let report = fit(&mut model, &g);
+        let report = fit_for_test(&mut model, &g);
         assert!(report.final_loss().is_finite());
         assert!(report.tail_loss().is_finite());
         assert!(report.n_params > 0);
         assert!(report.mean_batch_slots > 0.0);
         assert!(report.wall.as_nanos() > 0);
+        // PR-4 accessors: per-epoch history and actual-vs-configured count
+        assert_eq!(report.epochs_run(), 4);
+        assert_eq!(report.epochs_configured, 4);
+        assert!(!report.early_stopped);
+        assert_eq!(report.loss_history().len(), report.epoch_walls.len());
+        assert!(report.mean_epoch_wall() <= report.wall);
+        let summed: Duration = (0..report.epochs_run()).map(|i| report.epoch_wall(i)).sum();
+        assert!(summed <= report.wall);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let g = community_graph();
+        let mut model = Tgae::new(g.n_nodes() + 2, g.n_timestamps(), TgaeConfig::tiny());
+        let err = train_loop(&mut model, &g, LoopHooks::none()).unwrap_err();
+        assert!(matches!(
+            err,
+            TgxError::NodeCountMismatch {
+                model: 12,
+                graph: 10
+            }
+        ));
     }
 }

@@ -15,7 +15,7 @@ use tg_tensor::parallel::ThreadPin;
 use tgae::engine::{
     generate_shard, generate_shard_with_sink, generate_with_sink, SimulationEngine,
 };
-use tgae::{fit, Tgae, TgaeConfig};
+use tgae::{Session, Tgae, TgaeConfig};
 
 /// A small multigraph with ring structure plus seeded random extra edges
 /// (including re-fired pairs, so the multiplicity path is exercised).
@@ -46,9 +46,9 @@ fn tiny_trained(g: &TemporalGraph, batch_centers: usize) -> Tgae {
     let mut cfg = TgaeConfig::tiny();
     cfg.epochs = 4;
     cfg.batch_centers = batch_centers;
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg);
-    fit(&mut model, g);
-    model
+    let mut session = Session::builder(g).config(cfg).build().expect("session");
+    session.train().expect("train");
+    session.into_model()
 }
 
 /// Full-run reference edges through a `GraphSink`.
@@ -107,7 +107,8 @@ fn edges_bit_identical_across_threads_shards_and_sinks() {
                 "StreamingWriterSink: threads={threads} shards={n_shards}"
             );
 
-            // StatsSink per shard: summed stats equal graph-derived stats
+            // StatsSink per shard: stats merged through the public
+            // GenerationStats::merge equal graph-derived stats
             let mut stats_acc: Option<GenerationStats> = None;
             for spec in &shards {
                 let s =
@@ -115,15 +116,7 @@ fn edges_bit_identical_across_threads_shards_and_sinks() {
                 stats_acc = Some(match stats_acc {
                     None => s,
                     Some(mut acc) => {
-                        for (a, b) in acc.per_timestamp.iter_mut().zip(s.per_timestamp) {
-                            a.n_edges += b.n_edges;
-                            for (k, v) in b.out_degrees {
-                                *a.out_degrees.entry(k).or_insert(0) += v;
-                            }
-                            for (k, v) in b.in_degrees {
-                                *a.in_degrees.entry(k).or_insert(0) += v;
-                            }
-                        }
+                        acc.merge(&s);
                         acc
                     }
                 });

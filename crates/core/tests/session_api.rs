@@ -1,0 +1,279 @@
+//! Acceptance tests for the PR-4 `Session` API:
+//!
+//! - **bit-identity with the PR-3 free functions** — for the same config
+//!   and master seed, `Session::train` + `simulate_seeded` reproduce
+//!   `fit` + `generate_with_sink` exactly;
+//! - **resume-equals-straight-run** — training with a mid-run checkpoint,
+//!   then resuming from it in a *fresh* session, yields bit-identical
+//!   parameters, losses, and generated edges;
+//! - **typed error paths** — shape/config mismatches and corrupt
+//!   checkpoints come back as `TgxError`, never a panic;
+//! - **observer semantics** — epoch events arrive in order,
+//!   cancellation stops mid-train, and attaching an observer does not
+//!   change the trained parameters.
+
+use tg_graph::sink::{GenerationStats, GraphSink, StatsSink};
+use tg_graph::{TemporalEdge, TemporalGraph};
+use tgae::engine::generate_with_sink;
+use tgae::{EpochEvent, Session, Tgae, TgaeConfig, TgxError, TrainControl};
+
+fn ring_graph(n: u32, t_count: u32) -> TemporalGraph {
+    let mut edges = Vec::new();
+    for t in 0..t_count {
+        for u in 0..n {
+            edges.push(TemporalEdge::new(u, (u + 1) % n, t));
+        }
+    }
+    TemporalGraph::from_edges(n as usize, t_count as usize, edges)
+}
+
+fn tiny_cfg(epochs: usize, seed: u64) -> TgaeConfig {
+    let mut cfg = TgaeConfig::tiny();
+    cfg.epochs = epochs;
+    cfg.seed = seed;
+    cfg
+}
+
+fn params_of(model: &Tgae) -> String {
+    serde_json::to_string(&model.store).expect("serialise params")
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tgae_session_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+#[allow(deprecated)]
+fn session_is_bit_identical_to_free_function_path() {
+    let g = ring_graph(9, 3);
+    let cfg = tiny_cfg(6, 41);
+    let master = 20240731u64;
+
+    // PR-3 free-function path
+    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg.clone());
+    let free_report = tgae::fit(&mut model, &g);
+    let free_edges = generate_with_sink(
+        &model,
+        &g,
+        master,
+        GraphSink::new(g.n_nodes(), g.n_timestamps()),
+    );
+
+    // Session path, same config => same master seed policy
+    let mut session = Session::builder(&g).config(cfg).build().expect("session");
+    let report = session.train().expect("train");
+    assert_eq!(report.losses, free_report.losses, "loss trajectories");
+    assert_eq!(
+        params_of(session.model()),
+        params_of(&model),
+        "trained parameters"
+    );
+    let session_edges = session
+        .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .expect("simulate");
+    assert_eq!(session_edges.edges(), free_edges.edges(), "generated edges");
+}
+
+#[test]
+fn resume_from_checkpoint_equals_straight_run() {
+    let g = ring_graph(8, 3);
+    let dir = tmp_dir("resume");
+    let ckpt = dir.join("ckpt.json");
+    let total_epochs = 9usize;
+    let stop_after = 4usize;
+
+    // Straight run, no interruption.
+    let mut straight = Session::builder(&g)
+        .config(tiny_cfg(total_epochs, 17))
+        .build()
+        .expect("session");
+    let straight_report = straight.train().expect("train");
+
+    // Interrupted run: checkpoint every 2 epochs, observer cancels after
+    // epoch index 3 (i.e. 4 epochs run, last checkpoint at epoch 4).
+    let mut interrupted = Session::builder(&g)
+        .config(tiny_cfg(total_epochs, 17))
+        .checkpoint(&ckpt, 2)
+        .observer(move |ev: &EpochEvent| {
+            if ev.epoch + 1 >= stop_after {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .build()
+        .expect("session");
+    let partial = interrupted.train().expect("train");
+    assert!(partial.early_stopped);
+    assert_eq!(partial.epochs_run(), stop_after);
+    assert_eq!(partial.epochs_configured, total_epochs);
+    assert!(ckpt.exists(), "cadence checkpoint written");
+
+    // Resume in a *fresh* session (fresh process stand-in).
+    let mut resumed = Session::builder(&g)
+        .config(tiny_cfg(total_epochs, 17))
+        .build()
+        .expect("session");
+    let full_report = resumed.resume_from(&ckpt).expect("resume");
+    assert!(!full_report.early_stopped);
+    assert_eq!(full_report.epochs_run(), total_epochs);
+    // The resumed run must be bit-identical to the straight run: losses
+    // (restored prefix from the checkpoint epoch + recomputed tail)...
+    assert_eq!(full_report.losses, straight_report.losses);
+    // ...parameters...
+    assert_eq!(params_of(resumed.model()), params_of(straight.model()));
+    // ...and generated output.
+    let a = straight
+        .simulate_seeded(5, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .unwrap();
+    let b = resumed
+        .simulate_seeded(5, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .unwrap();
+    assert_eq!(a.edges(), b.edges());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn observer_does_not_perturb_training() {
+    let g = ring_graph(8, 2);
+    let mut plain = Session::builder(&g)
+        .config(tiny_cfg(5, 23))
+        .build()
+        .unwrap();
+    plain.train().unwrap();
+
+    let mut events: Vec<(usize, f32)> = Vec::new();
+    let mut observed_session = Session::builder(&g)
+        .config(tiny_cfg(5, 23))
+        .observer(|ev: &EpochEvent| {
+            events.push((ev.epoch, ev.loss));
+            TrainControl::Continue
+        })
+        .build()
+        .unwrap();
+    let report = observed_session.train().unwrap();
+    let observed_params = params_of(observed_session.model());
+    drop(observed_session);
+
+    assert_eq!(params_of(plain.model()), observed_params);
+    // events arrive once per epoch, in order, with the reported losses
+    assert_eq!(events.len(), 5);
+    assert!(events.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+    let event_losses: Vec<f32> = events.iter().map(|&(_, l)| l).collect();
+    assert_eq!(event_losses, report.losses);
+}
+
+#[test]
+fn observer_cancellation_stops_mid_train() {
+    let g = ring_graph(8, 2);
+    let mut calls = 0usize;
+    let mut s = Session::builder(&g)
+        .config(tiny_cfg(50, 1))
+        .observer(|ev: &EpochEvent| {
+            calls += 1;
+            assert_eq!(ev.n_epochs, 50);
+            if ev.epoch == 2 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .build()
+        .unwrap();
+    let report = s.train().unwrap();
+    assert!(report.early_stopped);
+    assert_eq!(report.epochs_run(), 3);
+    assert_eq!(report.epochs_configured, 50);
+    assert_eq!(s.trained_epochs(), 3);
+    drop(s);
+    assert_eq!(calls, 3, "observer not called after cancellation");
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_typed_error_not_a_panic() {
+    let g = ring_graph(6, 2);
+    let dir = tmp_dir("corrupt");
+    let path = dir.join("bad.json");
+    std::fs::write(&path, b"{this is not json").unwrap();
+    let mut s = Session::builder(&g).config(tiny_cfg(4, 2)).build().unwrap();
+    let err = s.resume_from(&path).unwrap_err();
+    assert!(matches!(err, TgxError::Checkpoint(_)), "{err}");
+    // missing file: also typed
+    let err = s.resume_from(dir.join("nope.json")).unwrap_err();
+    assert!(matches!(err, TgxError::Checkpoint(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_checkpoint_is_rejected_with_mismatch() {
+    let g = ring_graph(6, 2);
+    let other = ring_graph(9, 2);
+    let dir = tmp_dir("foreign");
+    let ckpt = dir.join("other.json");
+    // checkpoint written against a 9-node graph...
+    let mut other_session = Session::builder(&other)
+        .config(tiny_cfg(4, 2))
+        .checkpoint(&ckpt, 2)
+        .build()
+        .unwrap();
+    other_session.train().unwrap();
+    // ...must be refused by a 6-node session
+    let mut s = Session::builder(&g).config(tiny_cfg(4, 2)).build().unwrap();
+    let err = s.resume_from(&ckpt).unwrap_err();
+    assert!(matches!(err, TgxError::CheckpointMismatch(_)), "{err}");
+
+    // same shape but different config: also refused
+    let g2 = ring_graph(9, 2);
+    let mut diff_cfg = Session::builder(&g2)
+        .config(tiny_cfg(4, 999))
+        .build()
+        .unwrap();
+    let err = diff_cfg.resume_from(&ckpt).unwrap_err();
+    assert!(matches!(err, TgxError::CheckpointMismatch(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn edgeless_graph_is_a_typed_error() {
+    // `TemporalGraph::from_edges` statically refuses zero timestamps, so
+    // the reachable "nothing to simulate" inputs are an edgeless horizon
+    // or a sub-2-node graph; both must come back as EmptyGraph, not a
+    // panic from deep inside the sampler.
+    let g = TemporalGraph::from_edges(4, 3, Vec::new());
+    let err = Session::builder(&g)
+        .config(tiny_cfg(3, 0))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TgxError::EmptyGraph));
+
+    let one_node = TemporalGraph::from_edges(1, 2, Vec::new());
+    let err = Session::builder(&one_node)
+        .config(tiny_cfg(3, 0))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TgxError::EmptyGraph));
+}
+
+#[test]
+fn stats_sink_and_merge_through_the_session() {
+    let g = ring_graph(8, 4);
+    let mut cfg = tiny_cfg(4, 9);
+    cfg.batch_centers = 4;
+    let mut s = Session::builder(&g).config(cfg).build().unwrap();
+    s.train().unwrap();
+    let master = s.seed_policy().simulation_master(0);
+    let reference = s
+        .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .unwrap();
+    // sharded stats runs merged through the public GenerationStats::merge
+    let shard_stats = s
+        .simulate_sharded(3, |_| StatsSink::new(g.n_timestamps()))
+        .unwrap();
+    let mut merged = GenerationStats::default();
+    for stats in &shard_stats {
+        merged.merge(stats);
+    }
+    assert_eq!(merged, GenerationStats::from_graph(&reference));
+}

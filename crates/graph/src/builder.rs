@@ -15,6 +15,7 @@ pub struct TemporalGraphBuilder {
 }
 
 impl TemporalGraphBuilder {
+    /// An empty builder (equivalent to `Default::default()`).
     pub fn new() -> Self {
         Self::default()
     }
@@ -36,6 +37,7 @@ impl TemporalGraphBuilder {
         *self.node_map.entry(raw).or_insert(next)
     }
 
+    /// Whether no edges have been added yet.
     pub fn is_empty(&self) -> bool {
         self.raw.is_empty()
     }

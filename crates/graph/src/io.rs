@@ -16,8 +16,16 @@ use std::path::Path;
 /// Errors produced by the edge-list parser.
 #[derive(Debug)]
 pub enum IoError {
+    /// Underlying filesystem/stream error.
     Io(std::io::Error),
-    Parse { line: usize, msg: String },
+    /// A line failed to parse as a `src dst timestamp` record.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// The input contained no edges at all.
     Empty,
 }
 

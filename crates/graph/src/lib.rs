@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `tg-graph`: temporal-graph storage for the TGAE reproduction.
 //!
 //! A temporal graph (paper §III, Def. 2) is a series of snapshots

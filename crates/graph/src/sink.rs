@@ -98,6 +98,18 @@ pub struct TimestampStats {
 }
 
 impl TimestampStats {
+    /// Fold another accumulator over the same timestamp into this one
+    /// (degree tallies add; volume adds).
+    pub fn merge(&mut self, other: &TimestampStats) {
+        self.n_edges += other.n_edges;
+        for (&node, &d) in &other.out_degrees {
+            *self.out_degrees.entry(node).or_insert(0) += d;
+        }
+        for (&node, &d) in &other.in_degrees {
+            *self.in_degrees.entry(node).or_insert(0) += d;
+        }
+    }
+
     /// Distinct sources active at this timestamp.
     pub fn n_sources(&self) -> usize {
         self.out_degrees.len()
@@ -114,14 +126,37 @@ impl TimestampStats {
 }
 
 /// Summary produced by [`StatsSink::finish`]: one [`TimestampStats`] per
-/// timestamp plus whole-run totals.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// timestamp plus whole-run totals. `Default` is the empty (zero
+/// timestamps) summary — the identity of [`GenerationStats::merge`], so
+/// shard statistics fold into `GenerationStats::default()`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct GenerationStats {
     /// One accumulator per timestamp `0..T`.
     pub per_timestamp: Vec<TimestampStats>,
 }
 
 impl GenerationStats {
+    /// Fold another run's (or shard's) statistics into this one,
+    /// timestamp by timestamp. If `other` covers more timestamps, the
+    /// horizon grows to match — so shard stats merge cleanly regardless
+    /// of which shard finished first.
+    ///
+    /// Because every [`TimestampStats`] field is a sum, merging the
+    /// per-shard outputs of a sharded generation run (in any order)
+    /// yields exactly the statistics of the equivalent single-process
+    /// run. This is the merge the engine determinism tests previously
+    /// re-implemented inline, promoted to the public API for the
+    /// `tgx-cli merge --stats` subcommand.
+    pub fn merge(&mut self, other: &GenerationStats) {
+        if other.per_timestamp.len() > self.per_timestamp.len() {
+            self.per_timestamp
+                .resize_with(other.per_timestamp.len(), TimestampStats::default);
+        }
+        for (mine, theirs) in self.per_timestamp.iter_mut().zip(&other.per_timestamp) {
+            mine.merge(theirs);
+        }
+    }
+
     /// Total generated edges across all timestamps.
     pub fn n_edges(&self) -> u64 {
         self.per_timestamp.iter().map(|s| s.n_edges).sum()
@@ -262,6 +297,45 @@ mod tests {
         let mut sink = StatsSink::new(2);
         emit(&mut sink, &edges);
         assert_eq!(sink.finish(), GenerationStats::from_graph(&g));
+    }
+
+    #[test]
+    fn merge_equals_stats_over_union() {
+        let edges_a = vec![
+            TemporalEdge::new(0, 1, 0),
+            TemporalEdge::new(0, 1, 0),
+            TemporalEdge::new(1, 2, 1),
+        ];
+        let edges_b = vec![TemporalEdge::new(2, 0, 1), TemporalEdge::new(0, 2, 2)];
+        let stats_of = |edges: &[TemporalEdge], t_count: usize| {
+            let mut sink = StatsSink::new(t_count);
+            sink.accept_all(edges);
+            sink.finish()
+        };
+        let mut merged = stats_of(&edges_a, 2);
+        // other side covers one more timestamp: merge must grow
+        merged.merge(&stats_of(&edges_b, 3));
+        let mut union = edges_a.clone();
+        union.extend_from_slice(&edges_b);
+        assert_eq!(merged, stats_of(&union, 3));
+        // merging in the opposite order gives the same totals
+        let mut reversed = stats_of(&edges_b, 3);
+        reversed.merge(&stats_of(&edges_a, 2));
+        assert_eq!(reversed, merged);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let edges = vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 0, 1)];
+        let mut sink = StatsSink::new(2);
+        sink.accept_all(&edges);
+        let mut stats = sink.finish();
+        let before = stats.clone();
+        stats.merge(&StatsSink::new(2).finish());
+        assert_eq!(stats, before);
+        let mut empty = StatsSink::new(0).finish();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

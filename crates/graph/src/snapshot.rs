@@ -77,6 +77,7 @@ impl Snapshot {
         Snapshot::from_pairs(g.n_nodes(), &pairs, dedup)
     }
 
+    /// Number of nodes (fixed across all snapshots of a temporal graph).
     pub fn n_nodes(&self) -> usize {
         self.n
     }
@@ -96,10 +97,12 @@ impl Snapshot {
         &self.in_targets[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
     }
 
+    /// Out-degree of `u` (after any dedup at construction).
     pub fn out_degree(&self, u: NodeId) -> usize {
         self.out_neighbors(u).len()
     }
 
+    /// In-degree of `v` (after any dedup at construction).
     pub fn in_degree(&self, v: NodeId) -> usize {
         self.in_neighbors(v).len()
     }

@@ -17,12 +17,17 @@ pub type Time = u32;
 /// A directed timestamped edge `u -> v` at time `t`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TemporalEdge {
+    /// Timestamp (field order puts `t` first so derived `Ord` sorts by
+    /// time, then source, then target — the engine's emission order).
     pub t: Time,
+    /// Source node.
     pub u: NodeId,
+    /// Target node.
     pub v: NodeId,
 }
 
 impl TemporalEdge {
+    /// Edge `u -> v` at time `t`.
     pub fn new(u: NodeId, v: NodeId, t: Time) -> Self {
         TemporalEdge { t, u, v }
     }

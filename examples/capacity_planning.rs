@@ -19,7 +19,10 @@ use tgx::baselines::{
 use tgx::datasets::GridPoint;
 use tgx::prelude::*;
 
-/// TGAE behind the common generator interface.
+/// TGAE behind the common generator interface, driven by a `Session`.
+/// The harness hands us an RNG; one `u64` drawn from it seeds the whole
+/// session (train stream + simulation stream), so the run stays
+/// reproducible under the uniform interface.
 struct TgaeMethod(TgaeConfig);
 
 impl TemporalGraphGenerator for TgaeMethod {
@@ -32,9 +35,14 @@ impl TemporalGraphGenerator for TgaeMethod {
         observed: &TemporalGraph,
         rng: &mut dyn rand::RngCore,
     ) -> TemporalGraph {
-        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), self.0.clone());
-        fit(&mut model, observed);
-        generate(&model, observed, rng)
+        let mut cfg = self.0.clone();
+        cfg.seed = rng.next_u64();
+        let mut session = Session::builder(observed)
+            .config(cfg)
+            .build()
+            .expect("valid session");
+        session.train().expect("train");
+        session.simulate().expect("simulate")
     }
 }
 

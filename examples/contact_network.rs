@@ -79,10 +79,13 @@ fn main() {
     ] {
         let mut cfg = TgaeConfig::default().with_variant(variant);
         cfg.epochs = 60;
-        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-        let report = fit(&mut model, &observed);
-        let mut rng = SmallRng::seed_from_u64(9);
-        let synthetic = generate(&model, &observed, &mut rng);
+        let mut session = Session::builder(&observed)
+            .config(cfg)
+            .seed(9)
+            .build()
+            .expect("valid session");
+        let report = session.train().expect("train");
+        let synthetic = session.simulate().expect("simulate");
 
         // functional fidelity: how closely does an epidemic on the twin
         // track an epidemic on the real network?

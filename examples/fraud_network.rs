@@ -39,18 +39,22 @@ fn main() {
     let total: u64 = real_census.iter().map(|c| c.total()).sum();
     println!("observed delta-temporal motifs (delta={delta}): {total}");
 
-    // Synthetic twin via TGAE.
+    // Synthetic twin via TGAE (session API: one master seed, no RNG
+    // threading).
     let mut cfg = TgaeConfig::default();
     cfg.epochs = 80;
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-    let report = fit(&mut model, &observed);
+    let mut session = Session::builder(&observed)
+        .config(cfg)
+        .seed(2)
+        .build()
+        .expect("valid session");
+    let report = session.train().expect("train");
     println!(
         "TGAE trained in {:.2?} (final loss {:.4})",
         report.wall,
         report.final_loss()
     );
-    let mut rng = SmallRng::seed_from_u64(2);
-    let twin = generate(&model, &observed, &mut rng);
+    let twin = session.simulate().expect("simulate");
 
     // Strawman anonymiser: edge shuffling (Erdős–Rényi per snapshot).
     let mut er_rng = SmallRng::seed_from_u64(2);

@@ -1,12 +1,10 @@
-//! Quickstart: train TGAE on a small temporal graph and verify the
-//! simulation preserves the Table III statistics.
+//! Quickstart: train TGAE on a small temporal graph through the `Session`
+//! API and verify the simulation preserves the Table III statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 #![allow(clippy::field_reassign_with_default)] // config-building style
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use tgx::prelude::*;
 
 fn main() {
@@ -19,33 +17,54 @@ fn main() {
         observed.n_timestamps()
     );
 
-    // 2. Configure and train the model (Eq. 7 objective, Adam).
+    // 2. Build a session: one master seed drives init, training, and
+    //    every simulation; the observer prints coarse progress.
     let mut cfg = TgaeConfig::default();
     cfg.epochs = 80;
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-    println!("model: {} trainable parameters", model.n_parameters());
-    let report = fit(&mut model, &observed);
+    let mut session = Session::builder(&observed)
+        .config(cfg)
+        .seed(7)
+        .observer(|ev: &EpochEvent| {
+            if (ev.epoch + 1).is_multiple_of(20) {
+                println!(
+                    "  epoch {:>3}/{}: loss {:.4}",
+                    ev.epoch + 1,
+                    ev.n_epochs,
+                    ev.loss
+                );
+            }
+            TrainControl::Continue
+        })
+        .build()
+        .expect("valid graph + config");
     println!(
-        "trained {} steps in {:.2?}: loss {:.4} -> {:.4}",
-        report.losses.len(),
-        report.wall,
-        report.losses[0],
-        report.final_loss()
+        "model: {} trainable parameters",
+        session.model().n_parameters()
     );
 
-    // 3. Simulate a synthetic temporal graph with the same edge budget.
-    let mut rng = SmallRng::seed_from_u64(7);
-    let synthetic = generate(&model, &observed, &mut rng);
+    // 3. Train (Eq. 7 objective, Adam); errors are typed, not panics.
+    let report = session.train().expect("training ran");
+    println!(
+        "trained {} steps in {:.2?}: loss {:.4} -> {:.4} (mean epoch {:.2?})",
+        report.epochs_run(),
+        report.wall,
+        report.losses[0],
+        report.final_loss(),
+        report.mean_epoch_wall()
+    );
+
+    // 4. Simulate a synthetic temporal graph with the same edge budget.
+    let synthetic = session.simulate().expect("simulation ran");
     println!(
         "generated: {} temporal edges across {} timestamps",
         synthetic.n_edges(),
         synthetic.n_timestamps()
     );
 
-    // 4. Evaluate with the paper's harness (Eq. 10): relative error of the
+    // 5. Evaluate with the paper's harness (Eq. 10): relative error of the
     //    seven graph statistics across accumulated snapshots.
     println!("\n{:<16} {:>10} {:>10}", "metric", "f_avg", "f_med");
-    for score in evaluate(&observed, &synthetic) {
+    for score in session.evaluate(&synthetic).expect("same shape") {
         println!(
             "{:<16} {:>10.4} {:>10.4}",
             score.kind.name(),
@@ -54,7 +73,7 @@ fn main() {
         );
     }
 
-    // 5. Inspect the final accumulated snapshots side by side.
+    // 6. Inspect the final accumulated snapshots side by side.
     let t_last = observed.n_timestamps() as u32 - 1;
     let real = GraphStats::compute(&Snapshot::accumulated(&observed, t_last, true));
     let fake = GraphStats::compute(&Snapshot::accumulated(&synthetic, t_last, true));

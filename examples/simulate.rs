@@ -1,21 +1,21 @@
-//! End-to-end sharded streaming simulation: train a tiny preset, generate
-//! the synthetic graph as K independent shards streamed to edge-list
-//! files, merge the shard files, and verify the result is **bit-identical**
-//! to a single-process in-memory `generate()` — plus a statistics-only
-//! pass that stores no edges at all.
+//! End-to-end sharded streaming simulation: train a tiny preset through
+//! the `Session` API, generate the synthetic graph as K independent
+//! shards streamed to edge-list files, merge the shard files, and verify
+//! the result is **bit-identical** to a single in-process run — plus a
+//! statistics-only pass merged through `GenerationStats::merge`.
 //!
-//! This is both the quickstart for the `tgae::engine` API and the CI
-//! smoke test for sharded-generation determinism (it exits non-zero on
-//! any mismatch).
+//! This is both the quickstart for the session/engine API and a CI smoke
+//! test for sharded-generation determinism (it exits non-zero on any
+//! mismatch). The same pipeline across *processes* is `tgx-cli`:
+//!
+//! ```text
+//! tgx-cli train    --run-dir /tmp/run --preset dblp --scale 0.04
+//! tgx-cli simulate --run-dir /tmp/run --shards 2 --verify
+//! ```
 //!
 //! Usage: `cargo run --release --example simulate [n_shards]`
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tgx::graph::io::{load_edge_list_exact, merge_edge_lists, StreamingWriterSink};
-use tgx::graph::sink::GenerationStats;
-use tgx::model::engine::{generate_shard_with_sink, generate_with_sink, SimulationEngine};
-use tgx::model::{fit, generate, Tgae, TgaeConfig};
 use tgx::prelude::*;
 
 fn main() {
@@ -33,26 +33,33 @@ fn main() {
         observed.n_edges()
     );
 
-    // 2. Train a tiny model.
+    // 2. Train a tiny model through a session (one master seed).
     let mut cfg = TgaeConfig::tiny();
     cfg.epochs = 8;
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-    let report = fit(&mut model, &observed);
+    let mut session = Session::builder(&observed)
+        .config(cfg)
+        .seed(20250730)
+        .build()
+        .expect("valid session");
+    let report = session.train().expect("train");
     println!("trained: final loss {:.4}", report.final_loss());
 
-    // 3. Single-process reference: the classic in-memory generate().
-    let seed = 20250730u64;
-    let reference = generate(&model, &observed, &mut SmallRng::seed_from_u64(seed));
-    // generate() consumes exactly one u64 from its RNG as the master seed;
-    // reproduce that draw so the sharded runs plan the same manifest.
-    let master: u64 = SmallRng::seed_from_u64(seed).gen();
+    // 3. Single-process reference: simulation run 0 of the seed policy.
+    let master = session.seed_policy().simulation_master(0);
+    let reference = session
+        .simulate_seeded(
+            master,
+            GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+        )
+        .expect("reference run");
 
-    // 4. Sharded + streamed: plan, split into K timestamp-range shards,
-    //    stream each shard to its own edge-list file (each of these could
-    //    run in a separate process — a ShardSpec is a few serialisable
-    //    integers), then merge the files.
-    let engine = SimulationEngine::new(&model, &observed);
-    let plan = engine.plan(master);
+    // 4. Sharded + streamed: split the same run into K timestamp-range
+    //    shards, stream each shard to its own edge-list file (each of
+    //    these could run in a separate process — a ShardSpec is a few
+    //    serialisable integers; `tgx-cli simulate` does exactly that),
+    //    then merge the files.
+    let plan = session.simulation_plan(master);
+    let specs = session.shard_specs(master, n_shards).expect("shard specs");
     println!(
         "plan: {} work units, {} edges budgeted, {} shards",
         plan.units().len(),
@@ -62,15 +69,15 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("tgae_simulate_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let mut shard_paths = Vec::new();
-    for spec in plan.shards(n_shards) {
+    for spec in &specs {
         let path = dir.join(format!("shard_{}.edges", spec.shard));
-        let n = generate_shard_with_sink(
-            &model,
-            &observed,
-            &spec,
-            StreamingWriterSink::create(&path).expect("create shard file"),
-        )
-        .expect("stream shard");
+        let n = session
+            .simulate_shard_with_sink(
+                spec,
+                StreamingWriterSink::create(&path).expect("create shard file"),
+            )
+            .expect("valid shard")
+            .expect("stream shard");
         println!(
             "  shard {}: t in [{}, {}), {} edges -> {}",
             spec.shard,
@@ -90,29 +97,31 @@ fn main() {
     assert_eq!(
         merged.edges(),
         reference.edges(),
-        "sharded+streamed output differs from single-process generate()"
+        "sharded+streamed output differs from single-process run"
     );
     println!(
-        "verified: merged {}-shard streamed output == single-process generate() ({} edges)",
+        "verified: merged {}-shard streamed output == single-process run ({} edges)",
         n_shards,
         reference.n_edges()
     );
 
-    // 6. Statistics-only pass: no edges stored, same totals.
-    let stats = generate_with_sink(
-        &model,
-        &observed,
-        master,
-        StatsSink::new(observed.n_timestamps()),
-    );
+    // 6. Statistics-only pass: per-shard StatsSink runs merged through the
+    //    public GenerationStats::merge — no edges stored, same totals.
+    let mut stats = GenerationStats::default();
+    for spec in &specs {
+        let shard_stats = session
+            .simulate_shard_with_sink(spec, StatsSink::new(observed.n_timestamps()))
+            .expect("stats shard");
+        stats.merge(&shard_stats);
+    }
     assert_eq!(
         stats,
         GenerationStats::from_graph(&reference),
-        "StatsSink totals differ from GraphSink-derived stats"
+        "merged StatsSink totals differ from GraphSink-derived stats"
     );
     assert_eq!(stats.edge_counts(), observed.edge_counts_per_timestamp());
     println!(
-        "verified: StatsSink totals match ({} edges, mean out-degree at t=0: {:.2})",
+        "verified: merged StatsSink totals match ({} edges, mean out-degree at t=0: {:.2})",
         stats.n_edges(),
         stats.per_timestamp[0].mean_out_degree()
     );

@@ -8,37 +8,48 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`graph`] | `tg-graph` | temporal graph storage, snapshots, I/O |
+//! | [`graph`] | `tg-graph` | temporal graph storage, snapshots, I/O, sinks |
 //! | [`tensor`] | `tg-tensor` | CPU autodiff tensor library |
 //! | [`sampling`] | `tg-sampling` | ego-graph sampling, bipartite batching |
-//! | [`model`] | `tgae` | the TGAE model, trainer, generator |
+//! | [`model`] | `tgae` | the TGAE model, `Session` API, engine |
 //! | [`metrics`] | `tg-metrics` | Table III stats, motif census, MMD |
 //! | [`baselines`] | `tg-baselines` | the ten comparison generators |
 //! | [`datasets`] | `tg-datasets` | synthetic Table II presets, grids |
+//!
+//! The entry point is the [`Session`](tgae::Session) API — one object for
+//! the train → simulate → evaluate lifecycle, driven by a single master
+//! seed, with typed errors, epoch observation, and checkpoint/resume. The
+//! `tgx-cli` binary (workspace crate `crates/cli`) drives the same
+//! pipeline across *processes*: per-shard workers, checkpointed model
+//! loading, and a bit-identical merge.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use tgx::prelude::*;
-//! use rand::{rngs::SmallRng, SeedableRng};
 //!
 //! // 1. an observed temporal graph (here: a synthetic preset, scaled down)
 //! let observed = tgx::datasets::presets::dblp().generate_scaled(0.05, 7);
 //!
-//! // 2. train TGAE on it
+//! // 2. build a session: config + one master seed for the whole lifecycle
 //! let mut cfg = TgaeConfig::tiny();
 //! cfg.epochs = 5; // keep the doctest fast; use the default for real runs
-//! let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-//! let report = fit(&mut model, &observed);
+//! let mut session = Session::builder(&observed)
+//!     .config(cfg)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid graph + config");
+//!
+//! // 3. train (typed errors; attach .observer(..) for progress/early stop)
+//! let report = session.train().expect("training ran");
 //! assert!(report.final_loss().is_finite());
 //!
-//! // 3. simulate a synthetic graph with the same shape
-//! let mut rng = SmallRng::seed_from_u64(0);
-//! let synthetic = generate(&model, &observed, &mut rng);
+//! // 4. simulate a synthetic graph with the same shape
+//! let synthetic = session.simulate().expect("simulation ran");
 //! assert_eq!(synthetic.n_edges(), observed.n_edges());
 //!
-//! // 4. score the simulation (Eq. 10)
-//! let scores = evaluate(&observed, &synthetic);
+//! // 5. score the simulation (Eq. 10)
+//! let scores = session.evaluate(&synthetic).expect("same shape");
 //! assert_eq!(scores.len(), 7);
 //! ```
 
@@ -59,8 +70,11 @@ pub mod prelude {
     };
     pub use tg_metrics::{evaluate, GraphStats, MetricKind};
     pub use tg_sampling::SamplerConfig;
+    #[allow(deprecated)]
+    pub use tgae::{fit, generate};
     pub use tgae::{
-        fit, generate, generate_shard, generate_with_sink, ShardSpec, SimulationEngine,
-        SimulationPlan, Tgae, TgaeConfig, TgaeVariant, TrainReport,
+        generate_shard, generate_with_sink, CheckpointPolicy, EpochEvent, RunObserver, SeedPolicy,
+        Session, SessionBuilder, ShardSpec, SimulationEngine, SimulationPlan, Tgae, TgaeConfig,
+        TgaeVariant, TgxError, TrainControl, TrainReport,
     };
 }

@@ -1,6 +1,6 @@
 //! Failure-injection and pathological-input tests: the library must stay
-//! finite, panic-free (or panic *usefully*), and protocol-compliant on
-//! degenerate graphs and hostile hyper-parameters.
+//! finite, error *typedly* (no panics on user input), and stay
+//! protocol-compliant on degenerate graphs and hostile hyper-parameters.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -12,6 +12,16 @@ fn cfg(epochs: usize) -> TgaeConfig {
     c
 }
 
+fn trained_session(g: &TemporalGraph, c: TgaeConfig, seed: u64) -> Session<'_> {
+    let mut s = Session::builder(g)
+        .config(c)
+        .seed(seed)
+        .build()
+        .expect("valid session");
+    s.train().expect("train");
+    s
+}
+
 /// One repeated pair, one timestamp: the smallest possible corpus.
 #[test]
 fn trains_on_single_pair_graph() {
@@ -21,11 +31,8 @@ fn trains_on_single_pair_graph() {
         TemporalEdge::new(0, 1, 0),
     ];
     let g = TemporalGraph::from_edges(2, 1, edges);
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(10));
-    let report = fit(&mut model, &g);
-    assert!(report.final_loss().is_finite());
-    let mut rng = SmallRng::seed_from_u64(1);
-    let out = generate(&model, &g, &mut rng);
+    let mut session = trained_session(&g, cfg(10), 1);
+    let out = session.simulate().expect("simulate");
     assert_eq!(out.n_edges(), 3);
     // only possible non-self target is node 1
     assert!(out.edges().iter().all(|e| e.u == 0 && e.v == 1));
@@ -36,10 +43,8 @@ fn trains_on_single_pair_graph() {
 fn handles_sparse_time_axis() {
     let edges = vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 9)];
     let g = TemporalGraph::from_edges(3, 10, edges);
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(6));
-    fit(&mut model, &g);
-    let mut rng = SmallRng::seed_from_u64(2);
-    let out = generate(&model, &g, &mut rng);
+    let mut session = trained_session(&g, cfg(6), 2);
+    let out = session.simulate().expect("simulate");
     assert_eq!(
         out.edge_counts_per_timestamp(),
         g.edge_counts_per_timestamp()
@@ -56,10 +61,13 @@ fn survives_huge_learning_rate() {
     let mut c = cfg(15);
     c.lr = 1.0; // absurd
     c.grad_clip = 1.0;
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), c);
-    let report = fit(&mut model, &g);
+    let mut session = Session::builder(&g).config(c).build().expect("session");
+    let report = session.train().expect("train");
     assert!(report.losses.iter().all(|l| l.is_finite()), "loss diverged");
-    assert!(!model.store.any_non_finite(), "parameters went NaN/Inf");
+    assert!(
+        !session.model().store.any_non_finite(),
+        "parameters went NaN/Inf"
+    );
 }
 
 /// Budget larger than the candidate pool: generation must clamp, not hang.
@@ -72,15 +80,30 @@ fn generation_clamps_when_budget_exceeds_targets() {
         edges.push(TemporalEdge::new(0, 2, 0));
     }
     let g = TemporalGraph::from_edges(3, 1, edges);
-    let mut model = Tgae::new(g.n_nodes(), g.n_timestamps(), cfg(5));
-    fit(&mut model, &g);
-    let mut rng = SmallRng::seed_from_u64(3);
-    let out = generate(&model, &g, &mut rng);
+    let mut session = trained_session(&g, cfg(5), 3);
+    let out = session.simulate().expect("simulate");
     assert_eq!(out.n_edges(), 10, "multiplicity fill must hit the budget");
     assert!(out
         .edges()
         .iter()
         .all(|e| e.u == 0 && (e.v == 1 || e.v == 2)));
+}
+
+/// Bad inputs to the session surface as typed errors, not panics.
+#[test]
+fn session_surfaces_typed_errors() {
+    let g = TemporalGraph::from_edges(5, 2, Vec::new());
+    match Session::builder(&g).config(cfg(3)).build() {
+        Err(TgxError::EmptyGraph) => {}
+        other => panic!("expected EmptyGraph, got {other:?}"),
+    }
+    let ok = TemporalGraph::from_edges(5, 2, vec![TemporalEdge::new(0, 1, 0)]);
+    let mut bad = cfg(3);
+    bad.epochs = 0;
+    match Session::builder(&ok).config(bad).build() {
+        Err(TgxError::InvalidConfig(_)) => {}
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    };
 }
 
 /// Metrics on a graph with zero edges must not divide by zero.

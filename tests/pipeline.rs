@@ -1,5 +1,6 @@
 //! End-to-end integration: dataset generation -> TGAE training ->
-//! simulation -> evaluation, across crates.
+//! simulation -> evaluation, across crates, driven through the `Session`
+//! API.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -25,11 +26,14 @@ fn quick_cfg(epochs: usize) -> TgaeConfig {
 #[test]
 fn full_pipeline_produces_scored_simulation() {
     let observed = small_observed(1);
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(20));
-    let report = fit(&mut model, &observed);
+    let mut session = Session::builder(&observed)
+        .config(quick_cfg(20))
+        .seed(2)
+        .build()
+        .expect("valid session");
+    let report = session.train().expect("train");
     assert!(report.final_loss().is_finite());
-    let mut rng = SmallRng::seed_from_u64(2);
-    let synthetic = generate(&model, &observed, &mut rng);
+    let synthetic = session.simulate().expect("simulate");
     assert_eq!(synthetic.n_nodes(), observed.n_nodes());
     assert_eq!(synthetic.n_timestamps(), observed.n_timestamps());
     assert_eq!(
@@ -37,7 +41,7 @@ fn full_pipeline_produces_scored_simulation() {
         observed.edge_counts_per_timestamp(),
         "per-timestamp budgets must be preserved"
     );
-    let scores = evaluate(&observed, &synthetic);
+    let scores = session.evaluate(&synthetic).expect("evaluate");
     assert_eq!(scores.len(), 7);
     for s in &scores {
         assert!(s.avg.is_finite() && s.med.is_finite(), "{}", s.kind.name());
@@ -48,32 +52,38 @@ fn full_pipeline_produces_scored_simulation() {
 #[test]
 fn generation_is_deterministic_for_fixed_seeds() {
     let observed = small_observed(3);
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(10));
-    fit(&mut model, &observed);
-    let gen = |seed: u64| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        generate(&model, &observed, &mut rng)
+    let mut session = Session::builder(&observed)
+        .config(quick_cfg(10))
+        .build()
+        .expect("session");
+    session.train().expect("train");
+    let gen = |master: u64| {
+        session
+            .simulate_seeded(
+                master,
+                GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+            )
+            .expect("simulate")
     };
     let a = gen(42);
     let b = gen(42);
-    assert_eq!(
-        a.edges(),
-        b.edges(),
-        "same RNG seed must reproduce the graph"
-    );
+    assert_eq!(a.edges(), b.edges(), "same master must reproduce the graph");
     let c = gen(43);
-    assert_ne!(a.edges(), c.edges(), "different seeds should differ");
+    assert_ne!(a.edges(), c.edges(), "different masters should differ");
 }
 
 #[test]
-fn training_is_deterministic_for_fixed_config_seed() {
+fn training_is_deterministic_for_fixed_master_seed() {
     let observed = small_observed(4);
     let run = || {
-        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(8));
-        let report = fit(&mut model, &observed);
-        report.losses
+        let mut session = Session::builder(&observed)
+            .config(quick_cfg(8))
+            .seed(4)
+            .build()
+            .expect("session");
+        session.train().expect("train").losses
     };
-    assert_eq!(run(), run(), "fit must be reproducible from cfg.seed");
+    assert_eq!(run(), run(), "training must be reproducible from the seed");
 }
 
 #[test]
@@ -85,11 +95,14 @@ fn all_variants_train_and_generate() {
         if variant == TgaeVariant::NoTruncation {
             cfg.batch_centers = 8;
         }
-        let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-        let report = fit(&mut model, &observed);
+        let mut session = Session::builder(&observed)
+            .config(cfg)
+            .seed(6)
+            .build()
+            .expect("session");
+        let report = session.train().expect("train");
         assert!(report.final_loss().is_finite(), "{} loss", variant.name());
-        let mut rng = SmallRng::seed_from_u64(6);
-        let synthetic = generate(&model, &observed, &mut rng);
+        let synthetic = session.simulate().expect("simulate");
         assert_eq!(
             synthetic.n_edges(),
             observed.n_edges(),
@@ -105,11 +118,14 @@ fn sparse_candidate_mode_trains_and_generates() {
     let mut cfg = quick_cfg(10);
     cfg.dense_cutoff = 0; // force sampled-softmax path even on a small graph
     cfg.n_negatives = 32;
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg);
-    let report = fit(&mut model, &observed);
+    let mut session = Session::builder(&observed)
+        .config(cfg)
+        .seed(8)
+        .build()
+        .expect("session");
+    let report = session.train().expect("train");
     assert!(report.final_loss().is_finite());
-    let mut rng = SmallRng::seed_from_u64(8);
-    let synthetic = generate(&model, &observed, &mut rng);
+    let synthetic = session.simulate().expect("simulate");
     assert_eq!(synthetic.n_nodes(), observed.n_nodes());
     assert!(synthetic.n_edges() > 0);
 }
@@ -117,15 +133,30 @@ fn sparse_candidate_mode_trains_and_generates() {
 #[test]
 fn model_serializes_and_roundtrips() {
     let observed = small_observed(9);
-    let mut model = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(5));
-    fit(&mut model, &observed);
-    let json = serde_json::to_string(&model).expect("serialize model");
+    let mut session = Session::builder(&observed)
+        .config(quick_cfg(5))
+        .build()
+        .expect("session");
+    session.train().expect("train");
+    let json = serde_json::to_string(session.model()).expect("serialize model");
     let restored: Tgae = serde_json::from_str(&json).expect("deserialize model");
-    // restored model generates identically under the same RNG
-    let mut r1 = SmallRng::seed_from_u64(10);
-    let mut r2 = SmallRng::seed_from_u64(10);
-    let a = generate(&model, &observed, &mut r1);
-    let b = generate(&restored, &observed, &mut r2);
+    // a session adopting the restored model generates identically
+    let restored_session = Session::builder(&observed)
+        .with_model(restored)
+        .build()
+        .expect("adopted session");
+    let a = session
+        .simulate_seeded(
+            10,
+            GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+        )
+        .expect("simulate");
+    let b = restored_session
+        .simulate_seeded(
+            10,
+            GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+        )
+        .expect("simulate");
     assert_eq!(a.edges(), b.edges());
 }
 
@@ -136,19 +167,29 @@ fn trained_beats_untrained_on_reconstruction() {
     let observed = small_observed(11);
     let truth: std::collections::HashSet<(u32, u32)> =
         observed.edges().iter().map(|e| (e.u, e.v)).collect();
-    let hit_rate = |model: &Tgae| {
-        let mut rng = SmallRng::seed_from_u64(12);
-        let g = generate(model, &observed, &mut rng);
+    let hit_rate = |session: &Session<'_>| {
+        let g = session
+            .simulate_seeded(
+                12,
+                GraphSink::new(observed.n_nodes(), observed.n_timestamps()),
+            )
+            .expect("simulate");
         g.edges()
             .iter()
             .filter(|e| truth.contains(&(e.u, e.v)))
             .count() as f64
             / g.n_edges().max(1) as f64
     };
-    let untrained = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(40));
+    let untrained = Session::builder(&observed)
+        .config(quick_cfg(40))
+        .build()
+        .expect("session");
     let untrained_rate = hit_rate(&untrained);
-    let mut trained = Tgae::new(observed.n_nodes(), observed.n_timestamps(), quick_cfg(40));
-    fit(&mut trained, &observed);
+    let mut trained = Session::builder(&observed)
+        .config(quick_cfg(40))
+        .build()
+        .expect("session");
+    trained.train().expect("train");
     let trained_rate = hit_rate(&trained);
     assert!(
         trained_rate > untrained_rate,

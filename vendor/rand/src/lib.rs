@@ -230,6 +230,29 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Snapshot the raw xoshiro256++ state words.
+        ///
+        /// Not part of upstream `rand`'s API — this workspace uses it to
+        /// checkpoint mid-training RNG streams so a resumed run replays
+        /// the exact draw sequence (`tgae::Session::resume_from`). If the
+        /// vendored crate is ever swapped for upstream, these two methods
+        /// are the only surface that needs a shim.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`SmallRng::state`] snapshot. The
+        /// all-zero state (a fixed point of xoshiro) is nudged exactly as
+        /// `from_seed` does, so restoring is total.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return SmallRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            SmallRng { s }
+        }
+
         #[inline]
         fn step(&mut self) -> u64 {
             let s = &mut self.s;
@@ -296,6 +319,21 @@ pub mod prelude {
 mod tests {
     use super::rngs::SmallRng;
     use super::*;
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // all-zero state restores to a working generator, like from_seed
+        let mut z = SmallRng::from_state([0, 0, 0, 0]);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
 
     #[test]
     fn seeded_streams_are_reproducible() {

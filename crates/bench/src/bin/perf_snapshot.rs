@@ -1,27 +1,29 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR4.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR5.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
 //! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
-//! generation throughput and streaming peak-heap A/B).
+//! generation throughput and streaming peak-heap A/B, PR 4 the
+//! session-overhead and multi-process A/Bs).
 //!
-//! Entry kinds in this snapshot (PR 4 = the `Session` API + the
-//! multi-process shard driver):
+//! Entry kinds in this snapshot (PR 5 = the `tg-store` out-of-core edge
+//! store + streaming training ingest):
 //!
-//! - **Session-API overhead A/B** — the PR-3 free functions (`fit`,
-//!   `generate`) vs the same work driven through `Session::train` /
-//!   `Session::simulate_seeded`. The session layer is bookkeeping around
-//!   the identical loop, so the target is ≤1% overhead (speedup ≈ 1.0);
-//!   outputs are bit-identical by the session regression tests.
-//! - **Single- vs multi-process sharded generation** — wall-clock of
-//!   `tgx-cli simulate --shards {1,2,4}` (fork/exec one worker per
-//!   shard, each loading the checkpointed model, then byte-merge)
-//!   against the in-process run on the same trained run directory. On a
-//!   1-core container the processes serialise, so this mostly prices the
-//!   per-worker model-load + spawn overhead the driver pays for
-//!   distribution; with real cores the shards run concurrently.
-//! - **Absolute baselines** — end-to-end `fit` and `generate` wall
-//!   times, carried forward every PR for trend tracking (now driven
-//!   through the session).
+//! - **Ingest peak-heap A/B** — loading the observed graph for training
+//!   from a text edge list (`load_edge_list`: staged raw triples +
+//!   id-compaction maps + re-sort) vs streaming it from a TGES store
+//!   (`StoreSource` → `GraphAssembler`: exact-capacity append, one
+//!   resident block). Measured at 2000 nodes for 100k and 400k edges:
+//!   the text path's peak *overhead above the final resident graph*
+//!   grows with the edge count, the store path's stays at the
+//!   block/chunk size — the input-side twin of PR 3's streaming-sink
+//!   memory entry. (The paper's Fig. 6 memory story, applied to ingest.)
+//! - **Store throughput** — edges/s for writing and for streaming back a
+//!   2000-node store (sequential I/O both ways).
+//! - **Absolute baselines** — end-to-end `fit` and `generate` wall times
+//!   through the session, carried forward every PR for trend tracking.
+//!
+//! The snapshot also asserts (not just measures) that training from the
+//! store reproduces the in-memory loss stream bit-for-bit.
 //!
 //! Usage: `cargo run --release -p tg-bench --bin perf_snapshot [out.json]`
 
@@ -29,11 +31,12 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
-use tg_bench::memtrack::TrackingAllocator;
+use tg_bench::memtrack::{self, TrackingAllocator};
 use tg_datasets::SyntheticConfig;
 use tg_graph::sink::GraphSink;
 use tg_graph::TemporalGraph;
-use tgae::{Session, Tgae, TgaeConfig};
+use tg_store::StoreSource;
+use tgae::{Session, TgaeConfig};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -48,7 +51,7 @@ struct Entry {
     after_s: Option<f64>,
     /// `before_s / after_s` when both sides exist.
     speedup: Option<f64>,
-    /// Generated edges per second (generation-throughput entries).
+    /// Edges per second (store-throughput entries).
     edges_per_s: Option<f64>,
     /// Peak heap bytes, before side (memory A/B entries only).
     before_peak_bytes: Option<usize>,
@@ -80,6 +83,18 @@ impl Entry {
             after_peak_bytes: None,
         }
     }
+
+    fn memory(name: impl Into<String>, before_peak: usize, after_peak: usize) -> Self {
+        Entry {
+            name: name.into(),
+            before_s: None,
+            after_s: None,
+            speedup: None,
+            edges_per_s: None,
+            before_peak_bytes: Some(before_peak),
+            after_peak_bytes: Some(after_peak),
+        }
+    }
 }
 
 #[derive(Serialize)]
@@ -102,45 +117,6 @@ fn median_time<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Interleaved A/B medians: run `(a, b)` pairs back to back so drift on a
-/// shared/virtualised host hits both sides equally, **alternating which
-/// side goes first** each rep so within-pair ordering effects (cache /
-/// allocator state left by the first run) cancel too, then take per-side
-/// medians. Sequential per-side runs were measured to swing ±10% either
-/// way on the CI container, and fixed-order pairs still showed a
-/// persistent ~5% bias toward the first side — both larger than any
-/// effect being measured.
-fn median_ab<O1, O2>(
-    reps: usize,
-    mut a: impl FnMut() -> O1,
-    mut b: impl FnMut() -> O2,
-) -> (f64, f64) {
-    let mut sa = Vec::with_capacity(reps);
-    let mut sb = Vec::with_capacity(reps);
-    let mut time_a = |sa: &mut Vec<f64>| {
-        let t = Instant::now();
-        std::hint::black_box(a());
-        sa.push(t.elapsed().as_secs_f64());
-    };
-    let mut time_b = |sb: &mut Vec<f64>| {
-        let t = Instant::now();
-        std::hint::black_box(b());
-        sb.push(t.elapsed().as_secs_f64());
-    };
-    for rep in 0..reps.max(4) {
-        if rep % 2 == 0 {
-            time_a(&mut sa);
-            time_b(&mut sb);
-        } else {
-            time_b(&mut sb);
-            time_a(&mut sa);
-        }
-    }
-    sa.sort_by(f64::total_cmp);
-    sb.sort_by(f64::total_cmp);
-    (sa[sa.len() / 2], sb[sb.len() / 2])
-}
-
 fn synthetic(nodes: usize, edges: usize, seed: u64) -> TemporalGraph {
     let cfg = SyntheticConfig {
         nodes,
@@ -157,187 +133,161 @@ fn small_cfg(epochs: usize) -> TgaeConfig {
     cfg
 }
 
-/// The `tgx-cli` binary living next to this one in the target dir (both
-/// are workspace release binaries, so a `cargo build --release
-/// --workspace` places them together).
-fn find_tgx_cli() -> Option<std::path::PathBuf> {
-    let exe = std::env::current_exe().ok()?;
-    let candidate = exe.parent()?.join("tgx-cli");
-    candidate.exists().then_some(candidate)
+/// Peak and live heap growth (bytes above the pre-call baseline) of one
+/// graph-producing call.
+fn measure_load(f: impl FnOnce() -> TemporalGraph) -> (usize, usize, TemporalGraph) {
+    let baseline = memtrack::current_bytes();
+    memtrack::reset_peak();
+    let g = f();
+    let peak = memtrack::peak_bytes().saturating_sub(baseline);
+    let live = memtrack::current_bytes().saturating_sub(baseline);
+    (peak, live, g)
+}
+
+/// One text-vs-store ingest A/B at a given scale; returns the entry plus
+/// the loaded graphs' equality check.
+fn ingest_ab(tmp: &std::path::Path, nodes: usize, edges: usize, entries: &mut Vec<Entry>) {
+    let tag = format!("{}n_{}k", nodes, edges / 1000);
+    let g = synthetic(nodes, edges, 42);
+    let n_edges = g.n_edges();
+    let text_path = tmp.join(format!("obs_{tag}.edges"));
+    let store_path = tmp.join(format!("obs_{tag}.tgs"));
+    tg_graph::io::save_edge_list(&g, &text_path).expect("write text");
+    let write_s = median_time(3, || {
+        tg_store::write_graph(&g, &store_path).expect("write store")
+    });
+    drop(g);
+
+    // A: the pre-PR-5 training ingest — parse text, compact ids, re-sort.
+    let (text_peak, text_live, g_text) =
+        measure_load(|| tg_graph::io::load_edge_list(&text_path, None).expect("parse text"));
+    drop(g_text);
+    // B: stream the store through the chunked assembler.
+    let (store_peak, store_live, g_store) = measure_load(|| {
+        StoreSource::open(&store_path)
+            .expect("open store")
+            .load_graph()
+            .expect("stream store")
+    });
+
+    // Overhead above the final resident graph is the honest comparison:
+    // both sides must end up holding the graph itself.
+    let text_over = text_peak.saturating_sub(text_live);
+    let store_over = store_peak.saturating_sub(store_live);
+    println!(
+        "ingest_peak_{tag}: text {} (overhead {}) vs store {} (overhead {})",
+        memtrack::fmt_bytes(text_peak),
+        memtrack::fmt_bytes(text_over),
+        memtrack::fmt_bytes(store_peak),
+        memtrack::fmt_bytes(store_over),
+    );
+    entries.push(Entry::memory(
+        format!("ingest_peak_{tag}"),
+        text_peak,
+        store_peak,
+    ));
+    entries.push(Entry::memory(
+        format!("ingest_overhead_above_graph_{tag}"),
+        text_over,
+        store_over,
+    ));
+
+    let read_s = median_time(3, || {
+        StoreSource::open(&store_path)
+            .expect("open store")
+            .load_graph()
+            .expect("stream store")
+    });
+    println!(
+        "store_write_{tag}: {:.1} ms ({:.1} Medges/s); store_read_{tag}: {:.1} ms ({:.1} Medges/s)",
+        write_s * 1e3,
+        n_edges as f64 / write_s / 1e6,
+        read_s * 1e3,
+        n_edges as f64 / read_s / 1e6
+    );
+    entries.push(Entry::throughput(
+        format!("store_write_{tag}"),
+        write_s,
+        n_edges,
+    ));
+    entries.push(Entry::throughput(
+        format!("store_read_{tag}"),
+        read_s,
+        n_edges,
+    ));
+    drop(g_store);
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let mut entries = Vec::new();
     let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
 
-    // --- session-API overhead A/B: fit vs Session::train ---
+    // --- absolute baselines for the trajectory (same names every PR) ---
     let g = synthetic(500, 4_000, 1);
-    let (free_fit, session_fit) = median_ab(
-        5,
-        || {
-            let mut m = Tgae::new(g.n_nodes(), g.n_timestamps(), small_cfg(30));
-            #[allow(deprecated)]
-            tgae::fit(&mut m, &g)
-        },
-        || {
-            let mut s = Session::builder(&g)
-                .config(small_cfg(30))
-                .build()
-                .expect("session");
-            s.train().expect("train")
-        },
-    );
-    println!(
-        "session_overhead_fit_500n_30ep: free {:.1} ms -> session {:.1} ms ({:+.2}% overhead)",
-        free_fit * 1e3,
-        session_fit * 1e3,
-        (session_fit / free_fit - 1.0) * 100.0
-    );
-    entries.push(Entry::timing(
-        "session_overhead_fit_500n_30ep",
-        Some(free_fit),
-        session_fit,
-    ));
+    let fit_s = median_time(5, || {
+        let mut s = Session::builder(&g)
+            .config(small_cfg(30))
+            .build()
+            .expect("session");
+        s.train().expect("train")
+    });
+    println!("fit_500n_30ep: {:.1} ms", fit_s * 1e3);
+    entries.push(Entry::timing("fit_500n_30ep", None, fit_s));
 
-    // --- session-API overhead A/B: generate vs Session::simulate_seeded
-    //     (identical master seed, identical output) ---
     let mut trained = Session::builder(&g)
         .config(small_cfg(30))
         .build()
         .expect("session");
     trained.train().expect("train");
-    let model = trained.model().clone();
-    // the PR-3 wrapper draws one u64 from its rng as the engine master;
-    // reproduce that draw so both sides run the identical manifest and
-    // the outputs really are bit-identical
-    let master: u64 = rand::Rng::gen(&mut SmallRng::seed_from_u64(8));
-    let (free_gen, session_gen) = median_ab(
-        9,
-        || {
-            let mut rng = SmallRng::seed_from_u64(8);
-            #[allow(deprecated)]
-            tgae::generate(&model, &g, &mut rng)
-        },
-        || {
-            trained
-                .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
-                .expect("simulate")
-        },
-    );
-    println!(
-        "session_overhead_generate_500n_10t: free {:.1} ms -> session {:.1} ms ({:+.2}% overhead)",
-        free_gen * 1e3,
-        session_gen * 1e3,
-        (session_gen / free_gen - 1.0) * 100.0
-    );
-    entries.push(Entry::timing(
-        "session_overhead_generate_500n_10t",
-        Some(free_gen),
-        session_gen,
-    ));
+    let master = trained.seed_policy().simulation_master(0);
+    let gen_s = median_time(9, || {
+        trained
+            .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+            .expect("simulate")
+    });
+    println!("generate_500n_10t: {:.1} ms", gen_s * 1e3);
+    entries.push(Entry::timing("generate_500n_10t", None, gen_s));
 
-    // --- absolute baselines for the trajectory (same names every PR) ---
-    println!("fit_500n_30ep: {:.1} ms", session_fit * 1e3);
-    entries.push(Entry::timing("fit_500n_30ep", None, session_fit));
-    println!("generate_500n_10t: {:.1} ms", session_gen * 1e3);
-    entries.push(Entry::timing("generate_500n_10t", None, session_gen));
-
-    // --- single- vs multi-process sharded generation through tgx-cli ---
-    match find_tgx_cli() {
-        None => {
-            println!(
-                "tgx-cli binary not found next to perf_snapshot — skipping the \
-                 multi-process entries (build with `cargo build --release --workspace`)"
-            );
-        }
-        Some(cli) => {
-            let run_dir = tmp.join("procs_run");
-            let status = std::process::Command::new(&cli)
-                .args(["train", "--run-dir"])
-                .arg(&run_dir)
-                .args([
-                    "--preset",
-                    "dblp",
-                    "--scale",
-                    "0.12",
-                    "--data-seed",
-                    "7",
-                    "--epochs",
-                    "8",
-                    "--quiet",
-                ])
-                .stdout(std::process::Stdio::null())
-                .status()
-                .expect("run tgx-cli train");
-            assert!(status.success(), "tgx-cli train failed");
-            let n_edges: usize = {
-                let manifest = std::fs::read_to_string(run_dir.join("run.json")).expect("run.json");
-                // cheap field scrape (no serde deps on the cli crate here)
-                manifest
-                    .split("\"n_edges\":")
-                    .nth(1)
-                    .and_then(|s| {
-                        s.trim_start()
-                            .chars()
-                            .take_while(|c| c.is_ascii_digit())
-                            .collect::<String>()
-                            .parse()
-                            .ok()
-                    })
-                    .expect("n_edges in run.json")
-            };
-            for shards in [1usize, 2, 4] {
-                let secs = median_time(3, || {
-                    let status = std::process::Command::new(&cli)
-                        .args(["simulate", "--run-dir"])
-                        .arg(&run_dir)
-                        .args(["--shards", &shards.to_string(), "--quiet"])
-                        .stdout(std::process::Stdio::null())
-                        .status()
-                        .expect("run tgx-cli simulate");
-                    assert!(status.success(), "tgx-cli simulate failed");
-                });
-                println!(
-                    "generate_sharded_{shards}proc: {:.1} ms ({:.0} kedges/s incl. spawn+load)",
-                    secs * 1e3,
-                    n_edges as f64 / secs / 1e3
-                );
-                entries.push(Entry::throughput(
-                    format!("generate_sharded_{shards}proc"),
-                    secs,
-                    n_edges,
-                ));
-            }
-            // in-process reference on the same run directory
-            let in_proc = median_time(3, || {
-                let status = std::process::Command::new(&cli)
-                    .args(["simulate", "--run-dir"])
-                    .arg(&run_dir)
-                    .args(["--shards", "1", "--in-process", "--quiet"])
-                    .stdout(std::process::Stdio::null())
-                    .status()
-                    .expect("run tgx-cli simulate");
-                assert!(status.success(), "tgx-cli simulate failed");
-            });
-            println!(
-                "generate_sharded_inprocess: {:.1} ms (driver, no fork/exec)",
-                in_proc * 1e3
-            );
-            entries.push(Entry::throughput(
-                "generate_sharded_inprocess",
-                in_proc,
-                n_edges,
-            ));
-        }
+    // --- bit-identity sanity: store-fed training == in-memory training ---
+    {
+        let store_path = tmp.join("sanity.tgs");
+        tg_store::write_graph(&g, &store_path).expect("write store");
+        let mut mem = Session::builder(&g)
+            .config(small_cfg(5))
+            .seed(7)
+            .build()
+            .expect("session");
+        let mut src = StoreSource::open(&store_path).expect("open store");
+        let mut stored = Session::builder_from_source(&mut src)
+            .expect("ingest")
+            .config(small_cfg(5))
+            .seed(7)
+            .build()
+            .expect("session");
+        let a = mem.train().expect("train").losses;
+        let b = stored.train().expect("train").losses;
+        assert_eq!(a, b, "store-fed training diverged from in-memory");
+        println!(
+            "bit-identity: store-fed losses == in-memory losses ({} epochs)",
+            a.len()
+        );
     }
+    drop(trained);
+    drop(g);
+
+    // --- ingest peak-heap A/B: text parse vs store stream ---
+    // Two scales at fixed node count: the text path's transient overhead
+    // scales with edges, the store path's stays block-sized.
+    ingest_ab(&tmp, 2000, 100_000, &mut entries);
+    ingest_ab(&tmp, 2000, 400_000, &mut entries);
 
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 4,
+        pr: 5,
         threads: tg_tensor::parallel::num_threads(),
         entries,
     };

@@ -38,6 +38,9 @@ const VALUE_KEYS: &[&str] = &[
     "observed",
     "n-nodes",
     "n-timestamps",
+    "store",
+    "block-edges",
+    "retries",
 ];
 
 impl Args {

@@ -19,6 +19,8 @@
 
 mod args;
 mod eval;
+mod ingest;
+mod input;
 mod merge;
 mod rundir;
 mod simulate;
@@ -30,19 +32,26 @@ const USAGE: &str = "\
 tgx-cli — multi-process driver for the TGAE temporal-graph simulator
 
 USAGE:
+  tgx-cli ingest   --out FILE (--edges FILE [--buckets T] [--exact]
+                               [--n-nodes N] [--n-timestamps T]
+                               | --preset NAME [--scale F] [--data-seed S])
+                   [--block-edges N] [--verify] [--quiet]
   tgx-cli train    --run-dir DIR (--preset NAME [--scale F] [--data-seed S]
-                                  | --edges FILE [--buckets T])
+                                  | --edges FILE [--buckets T]
+                                  | --store FILE)
                    [--epochs N] [--batch-centers N] [--seed S] [--full]
                    [--checkpoint-every N] [--resume] [--quiet]
   tgx-cli simulate --run-dir DIR [--shards K] [--master M] [--stats]
-                   [--verify] [--in-process] [--keep-shards] [--quiet]
+                   [--verify] [--retries N] [--in-process] [--keep-shards]
+                   [--quiet]
   tgx-cli merge    [--stats] --out FILE INPUT...
   tgx-cli eval     --run-dir DIR [--generated FILE]
   tgx-cli eval     --observed FILE --generated FILE --n-nodes N --n-timestamps T
 
 The smoke pipeline (also run in CI):
-  tgx-cli train    --run-dir /tmp/run --preset dblp --scale 0.04 --epochs 8
-  tgx-cli simulate --run-dir /tmp/run --shards 2 --verify
+  tgx-cli ingest   --out /tmp/obs.tgs --preset dblp --scale 0.04 --verify
+  tgx-cli train    --run-dir /tmp/run --store /tmp/obs.tgs --epochs 8
+  tgx-cli simulate --run-dir /tmp/run --shards 2 --verify --retries 1
   tgx-cli eval     --run-dir /tmp/run
 ";
 
@@ -69,6 +78,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
+        "ingest" => ingest::run(&args),
         "train" => train::run(&args),
         "simulate" => simulate::run(&args),
         "merge" => merge::run(&args),

@@ -11,6 +11,7 @@
 //!   shards.json       ShardSpec manifest of the last `simulate` call
 //!   shard_<i>.edges   per-worker shard output
 //!   simulated.edges   merged shard outputs (bit-identical to in-process)
+//!   retry_log.json    failed/excluded bookkeeping when --retries saw failures
 //! ```
 //!
 //! The manifest is deliberately tiny: shard workers re-derive everything
@@ -45,6 +46,11 @@ pub struct RunManifest {
     pub config: tgae::TgaeConfig,
     /// Human-readable provenance (preset name / input file).
     pub source: String,
+    /// Path of the TGES edge store the observed graph was streamed from
+    /// (`train --store`); `None` for preset/text inputs. Recorded so a
+    /// run is traceable back to its canonical on-disk input even after
+    /// `observed.edges` is regenerated.
+    pub store: Option<String>,
 }
 
 /// Current [`RunManifest::version`].
@@ -117,6 +123,12 @@ impl RunDir {
     /// `simulated.stats.json` — the merged statistics.
     pub fn simulated_stats_path(&self) -> PathBuf {
         self.root.join("simulated.stats.json")
+    }
+
+    /// `retry_log.json` — per-round failed shards + excluded set of a
+    /// `simulate --retries` run that saw failures.
+    pub fn retry_log_path(&self) -> PathBuf {
+        self.root.join("retry_log.json")
     }
 
     /// Write the manifest.

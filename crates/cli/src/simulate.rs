@@ -21,15 +21,48 @@
 //! `--stats` additionally runs a `StatsSink` pass per worker and merges
 //! the shard statistics with the public `GenerationStats::merge`.
 //!
+//! # Partial-failure retry
+//!
+//! `--retries N` makes the driver tolerate worker failures: after each
+//! round it **excludes** every shard whose worker exited cleanly and
+//! re-spawns only the failed ones, up to `N` extra rounds. Because each
+//! shard's output is a pure function of `(model, observed, ShardSpec)`,
+//! re-running a shard produces the identical file, so a retried run
+//! merges byte-identically to an undisturbed one (`--verify` still
+//! holds). The per-round failure history and the final excluded set are
+//! recorded in `retry_log.json` — the bookkeeping a cross-machine
+//! scheduler needs to resume a half-finished simulation.
+//!
+//! For testing the retry path end to end, the hidden env hook
+//! `TGX_CLI_TEST_FAIL_ONCE=<i>,<j>,…` makes the listed shard workers fail
+//! their *first* attempt (a `shard_<i>.failed_once` marker keeps it to
+//! one injection per run directory).
+//!
 //! [`ShardSpec`]: tgae::ShardSpec
 //! [`merge_edge_lists`]: tg_graph::io::merge_edge_lists
 
 use crate::args::Args;
 use crate::rundir::RunDir;
+use serde::Serialize;
 use std::process::Command;
 use tg_graph::io::{merge_edge_lists, StreamingWriterSink};
 use tg_graph::sink::{GenerationStats, StatsSink};
 use tgae::ShardSpec;
+
+/// On-disk record of a retried driver run (`retry_log.json`): which
+/// shards failed in each round, and which were excluded from re-runs
+/// (completed successfully) by the end.
+#[derive(Serialize)]
+struct RetryLog {
+    /// Extra rounds the driver was allowed (`--retries`).
+    retries: usize,
+    /// Shard ids that failed, per spawn round (round 0 = first attempt).
+    failed_per_round: Vec<Vec<u32>>,
+    /// Shards that completed and were excluded from later rounds.
+    excluded: Vec<u32>,
+    /// Whether the run ultimately produced every shard.
+    completed: bool,
+}
 
 /// Run the subcommand (dispatches to driver or worker mode).
 pub fn run(args: &Args) -> Result<(), String> {
@@ -48,6 +81,26 @@ pub fn run(args: &Args) -> Result<(), String> {
 
 /// Worker mode: execute one shard of the serialised manifest.
 fn worker(run_dir: &RunDir, shard_index: u32, stats: bool, quiet: bool) -> Result<(), String> {
+    // Failure-injection hook for the retry path (see module docs): the
+    // listed shards fail their first attempt only.
+    if let Ok(list) = std::env::var("TGX_CLI_TEST_FAIL_ONCE") {
+        let injected = list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<u32>().ok())
+            .any(|i| i == shard_index);
+        if injected {
+            let marker = run_dir
+                .root()
+                .join(format!("shard_{shard_index}.failed_once"));
+            if !marker.exists() {
+                std::fs::write(&marker, b"injected failure\n")
+                    .map_err(|e| format!("write fail marker: {e}"))?;
+                return Err(format!(
+                    "shard {shard_index}: injected first-attempt failure (TGX_CLI_TEST_FAIL_ONCE)"
+                ));
+            }
+        }
+    }
     let (manifest, observed) = run_dir.load_all()?;
     let session = run_dir.session(&manifest, &observed)?;
     let specs = load_shard_manifest(run_dir)?;
@@ -105,6 +158,7 @@ fn run_shard(
 /// Driver mode: plan, serialise the manifest, spawn workers, merge.
 fn driver(args: &Args, run_dir: &RunDir) -> Result<(), String> {
     let n_shards: usize = args.get_parsed("shards", 2)?;
+    let retries: usize = args.get_parsed("retries", 0)?;
     let stats = args.flag("stats");
     let verify = args.flag("verify");
     let in_process = args.flag("in-process");
@@ -114,6 +168,14 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), String> {
     let session = run_dir.session(&manifest, &observed)?;
     let master: u64 = args.get_parsed("master", session.seed_policy().simulation_master(0))?;
     args.reject_unused()?;
+    if in_process && retries > 0 {
+        // the retry machinery is process-level (re-spawn failed workers);
+        // silently ignoring the flag would promise resilience it can't give
+        return Err("--retries is not supported with --in-process".into());
+    }
+    // A retry log describes exactly one driver run; a stale one from an
+    // earlier failed/retried run must not outlive the run it documents.
+    std::fs::remove_file(run_dir.retry_log_path()).ok();
 
     // 1. Plan and serialise the shard manifest.
     let specs = session
@@ -133,13 +195,16 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), String> {
 
     // 2. One worker per shard: separate processes by default (the point
     //    of the driver), in-process execution with --in-process (useful
-    //    under debuggers and on exotic platforms).
+    //    under debuggers and on exotic platforms). Failed workers are
+    //    retried in shard-only rounds up to --retries times; completed
+    //    shards are excluded from re-runs (their files are already
+    //    final — shard output is a pure function of the spec).
     if in_process {
         for spec in &specs {
             run_shard(&session, run_dir, spec, stats, quiet)?;
         }
     } else {
-        spawn_workers(run_dir, &specs, stats, quiet)?;
+        run_workers_with_retries(run_dir, &specs, retries, stats, quiet)?;
     }
 
     // 3. Collect shard files in shard order.
@@ -221,21 +286,96 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), String> {
         }
         for spec in &specs {
             std::fs::remove_file(run_dir.shard_stats_path(spec.shard)).ok();
+            // failure-injection markers from a TGX_CLI_TEST_FAIL_ONCE run
+            std::fs::remove_file(
+                run_dir
+                    .root()
+                    .join(format!("shard_{}.failed_once", spec.shard)),
+            )
+            .ok();
         }
     }
     println!("{}", merged.display());
     Ok(())
 }
 
-/// Fork/exec one worker per shard and wait for all of them; any non-zero
-/// exit fails the driver (after letting the rest finish, so partial
-/// output files are not silently half-written by killed siblings).
+/// Drive worker rounds until every shard has completed or the retry
+/// budget is exhausted. Round 0 spawns every shard; each later round
+/// spawns **only the shards that failed the previous one** (everything
+/// else is excluded — its output file is already final). A
+/// `retry_log.json` documenting the rounds is written whenever any
+/// failure occurred.
+fn run_workers_with_retries(
+    run_dir: &RunDir,
+    specs: &[ShardSpec],
+    retries: usize,
+    stats: bool,
+    quiet: bool,
+) -> Result<(), String> {
+    let mut log = RetryLog {
+        retries,
+        failed_per_round: Vec::new(),
+        excluded: Vec::new(),
+        completed: false,
+    };
+    let mut pending: Vec<ShardSpec> = specs.to_vec();
+    for round in 0..=retries {
+        let failed = spawn_workers(run_dir, &pending, stats, quiet)?;
+        log.excluded.extend(
+            pending
+                .iter()
+                .map(|s| s.shard)
+                .filter(|s| !failed.contains(s)),
+        );
+        if failed.is_empty() {
+            log.completed = true;
+            break;
+        }
+        log.failed_per_round.push(failed.clone());
+        pending.retain(|s| failed.contains(&s.shard));
+        if round < retries && !quiet {
+            eprintln!(
+                "  retrying {} failed shard(s) {:?} (round {}/{}; {} excluded as complete)",
+                failed.len(),
+                failed,
+                round + 1,
+                retries,
+                log.excluded.len()
+            );
+        }
+    }
+    log.excluded.sort_unstable();
+    if !log.failed_per_round.is_empty() || !log.completed {
+        let json = serde_json::to_string_pretty(&log).map_err(|e| e.to_string())?;
+        std::fs::write(run_dir.retry_log_path(), json)
+            .map_err(|e| format!("write retry_log.json: {e}"))?;
+    }
+    if log.completed {
+        Ok(())
+    } else {
+        let last = log
+            .failed_per_round
+            .last()
+            .expect("at least one failed round");
+        Err(format!(
+            "shard worker(s) {last:?} still failing after {retries} retr{} (see {})",
+            if retries == 1 { "y" } else { "ies" },
+            run_dir.retry_log_path().display()
+        ))
+    }
+}
+
+/// Fork/exec one worker per shard, wait for all of them, and report the
+/// shard ids whose workers exited non-zero (letting siblings finish, so
+/// partial output files are not silently half-written by killed
+/// processes). Infrastructure errors — failing to spawn or wait at all —
+/// abort instead of counting as shard failures.
 fn spawn_workers(
     run_dir: &RunDir,
     specs: &[ShardSpec],
     stats: bool,
     quiet: bool,
-) -> Result<(), String> {
+) -> Result<Vec<u32>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let mut children = Vec::new();
     for spec in specs {
@@ -256,20 +396,19 @@ fn spawn_workers(
             .map_err(|e| format!("spawn worker for shard {}: {e}", spec.shard))?;
         children.push((spec.shard, child));
     }
-    let mut failures = Vec::new();
+    let mut failed = Vec::new();
     for (shard, mut child) in children {
         let status = child
             .wait()
             .map_err(|e| format!("wait for shard {shard}: {e}"))?;
         if !status.success() {
-            failures.push(format!("shard {shard} worker exited with {status}"));
+            if !quiet {
+                eprintln!("  shard {shard} worker exited with {status}");
+            }
+            failed.push(shard);
         }
     }
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(failures.join("; "))
-    }
+    Ok(failed)
 }
 
 /// Read back `shards.json`.

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! tgx-cli train --run-dir DIR (--preset NAME [--scale F] [--data-seed S]
-//!                              | --edges FILE [--buckets T])
+//!                              | --edges FILE [--buckets T]
+//!                              | --store FILE)
 //!               [--epochs N] [--batch-centers N] [--seed S] [--full]
 //!               [--checkpoint-every N] [--resume] [--quiet]
 //! ```
@@ -13,43 +14,65 @@
 //! `train_ckpt.json`, and `--resume` continues a previously interrupted
 //! run **bit-identically** (same final parameters as an uninterrupted
 //! run).
+//!
+//! `--store FILE` reads the observed graph from a TGES edge store
+//! (written by `tgx-cli ingest`) through the streaming `EdgeSource`
+//! ingest path — bounded-memory assembly instead of text re-parsing —
+//! and records the store path in the run manifest. Training from the
+//! store is **bit-identical** to training from the equivalent
+//! `--edges`/`--preset` input (asserted by the CI smoke pipeline).
 
 use crate::args::Args;
 use crate::rundir::{RunDir, RunManifest, RUN_VERSION};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use tg_graph::io::{load_edge_list, save_edge_list};
+use tg_graph::io::save_edge_list;
 use tg_graph::TemporalGraph;
+use tg_store::StoreSource;
 use tgae::{EpochEvent, Session, TgaeConfig, TrainControl, TrainReport};
 
-/// Resolve the observed graph from `--preset`/`--edges` options.
-fn load_observed(args: &Args) -> Result<(TemporalGraph, String), String> {
-    match (args.get("preset"), args.get("edges")) {
-        (Some(name), None) => {
-            let name = name.to_string();
-            let preset = tg_datasets::presets::by_name(&name)
-                .ok_or_else(|| format!("unknown preset `{name}` (try: dblp, email, msg, …)"))?;
-            let scale: f64 = args.get_parsed("scale", 1.0)?;
-            let data_seed: u64 = args.get_parsed("data-seed", 7)?;
-            let mut cfg = preset.config.scaled(scale);
-            if let Some(t) = args.get("n-timestamps") {
-                cfg.timestamps = t.parse().map_err(|_| "--n-timestamps: bad value")?;
-            }
-            let g = tg_datasets::generate(&cfg, &mut SmallRng::seed_from_u64(data_seed));
-            Ok((g, format!("preset:{name}@{scale}x_seed{data_seed}")))
+/// The resolved observed graph plus its provenance.
+struct ObservedInput {
+    graph: TemporalGraph,
+    /// Human-readable provenance for the manifest.
+    source: String,
+    /// TGES store path, when the graph came from `--store`.
+    store: Option<String>,
+}
+
+/// Resolve the observed graph from `--preset`/`--edges`/`--store`.
+fn load_observed(args: &Args) -> Result<ObservedInput, String> {
+    match (args.get("preset"), args.get("edges"), args.get("store")) {
+        (Some(name), None, None) => {
+            let (graph, source) = crate::input::load_preset(args, name)?;
+            Ok(ObservedInput {
+                graph,
+                source,
+                store: None,
+            })
         }
-        (None, Some(path)) => {
+        (None, Some(path), None) => {
+            let (graph, source) = crate::input::load_text_edges(args, path)?;
+            Ok(ObservedInput {
+                graph,
+                source,
+                store: None,
+            })
+        }
+        (None, None, Some(path)) => {
             let path = path.to_string();
-            let buckets: Option<usize> = args
-                .get("buckets")
-                .map(|b| b.parse())
-                .transpose()
-                .map_err(|_| "--buckets: bad value")?;
-            let g = load_edge_list(&path, buckets).map_err(|e| format!("load {path}: {e}"))?;
-            Ok((g, format!("file:{path}")))
+            let mut src = StoreSource::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            let g = src
+                .load_graph()
+                .map_err(|e| format!("stream {path}: {e}"))?;
+            Ok(ObservedInput {
+                graph: g,
+                source: format!("store:{path}"),
+                store: Some(path),
+            })
         }
-        (Some(_), Some(_)) => Err("give either --preset or --edges, not both".into()),
-        (None, None) => Err("need an observed graph: --preset NAME or --edges FILE".into()),
+        (None, None, None) => {
+            Err("need an observed graph: --preset NAME, --edges FILE, or --store FILE".into())
+        }
+        _ => Err("give exactly one of --preset, --edges, or --store".into()),
     }
 }
 
@@ -77,16 +100,22 @@ pub fn run(args: &Args) -> Result<(), String> {
     let resume = args.flag("resume");
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 0)?;
 
-    let (observed, source, seed, cfg) = if resume {
+    let (observed, source, store, seed, cfg) = if resume {
         // Resuming: the run dir is authoritative — graph, config, and
         // seed all come from the manifest (written before training
         // started), so the session's checkpoint-config equality check
         // passes without re-passing any training flags.
         let manifest = run_dir.load_manifest()?;
         let observed = run_dir.load_observed(&manifest)?;
-        (observed, manifest.source, manifest.seed, manifest.config)
+        (
+            observed,
+            manifest.source,
+            manifest.store,
+            manifest.seed,
+            manifest.config,
+        )
     } else {
-        let (observed, source) = load_observed(args)?;
+        let input = load_observed(args)?;
         let seed: u64 = args.get_parsed("seed", 42)?;
         let mut cfg = if args.flag("full") {
             TgaeConfig::default()
@@ -96,7 +125,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         cfg.seed = seed;
         cfg.epochs = args.get_parsed("epochs", cfg.epochs)?;
         cfg.batch_centers = args.get_parsed("batch-centers", cfg.batch_centers)?;
-        (observed, source, seed, cfg)
+        (input.graph, input.source, input.store, seed, cfg)
     };
     args.reject_unused()?;
     let epochs = cfg.epochs;
@@ -124,6 +153,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             seed,
             config: cfg.clone(),
             source,
+            store,
         })?;
     }
 

@@ -1,0 +1,134 @@
+//! End-to-end test of the PR-5 store ingest pipeline at the CLI level:
+//! `ingest` converts a text edge list to a TGES store, `train --store`
+//! streams it back, and the resulting run is **byte-identical**
+//! (model.json, observed.edges) to training from the text directly —
+//! the same invariant the CI smoke step asserts with the dblp preset.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgx-cli"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tgx_cli_store_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Unsorted text with sparse raw ids — exercises the compacting parse.
+fn write_sparse_edges(path: &Path) {
+    let mut text = String::from("# sparse ids, unsorted\n");
+    for t in [2u32, 0, 1] {
+        for u in 0..20u32 {
+            text.push_str(&format!(
+                "{} {} {}\n",
+                u * 100,
+                ((u + 1) % 20) * 100,
+                t * 10
+            ));
+        }
+    }
+    std::fs::write(path, text).unwrap();
+}
+
+fn train(run_dir: &Path, input: &[&str]) {
+    let mut cmd = cli();
+    cmd.args(["train", "--run-dir"]).arg(run_dir);
+    cmd.args(input);
+    cmd.args(["--epochs", "2", "--seed", "5", "--quiet"]);
+    let out = cmd
+        .stdout(std::process::Stdio::null())
+        .output()
+        .expect("run tgx-cli train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn train_from_store_is_byte_identical_to_text_path() {
+    let dir = tmp("parity");
+    let edges = dir.join("sparse.edges");
+    write_sparse_edges(&edges);
+    let store = dir.join("obs.tgs");
+
+    // text -> store (compacting, verified round-trip)
+    let out = cli()
+        .args(["ingest", "--out"])
+        .arg(&store)
+        .arg("--edges")
+        .arg(&edges)
+        .args(["--verify", "--quiet"])
+        .output()
+        .expect("run tgx-cli ingest");
+    assert!(
+        out.status.success(),
+        "ingest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run_text = dir.join("run_text");
+    let run_store = dir.join("run_store");
+    train(&run_text, &["--edges", edges.to_str().unwrap()]);
+    train(&run_store, &["--store", store.to_str().unwrap()]);
+
+    let model_a = std::fs::read(run_text.join("model.json")).unwrap();
+    let model_b = std::fs::read(run_store.join("model.json")).unwrap();
+    assert_eq!(
+        model_a, model_b,
+        "trained models differ between text and store input"
+    );
+    let obs_a = std::fs::read(run_text.join("observed.edges")).unwrap();
+    let obs_b = std::fs::read(run_store.join("observed.edges")).unwrap();
+    assert_eq!(
+        obs_a, obs_b,
+        "observed graphs differ between text and store input"
+    );
+
+    // the manifest records the store path for the store-fed run only
+    let manifest = std::fs::read_to_string(run_store.join("run.json")).unwrap();
+    assert!(manifest.contains("obs.tgs"), "{manifest}");
+    let manifest_text = std::fs::read_to_string(run_text.join("run.json")).unwrap();
+    assert!(manifest_text.contains("\"store\": null"), "{manifest_text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exact_ingest_of_a_run_dir_observed_file_round_trips() {
+    // observed.edges files are dense by construction; --exact must store
+    // them without relabeling (shape inferred from the data here).
+    let dir = tmp("exact");
+    let edges = dir.join("sparse.edges");
+    write_sparse_edges(&edges);
+    let run_a = dir.join("run_a");
+    train(&run_a, &["--edges", edges.to_str().unwrap()]);
+
+    let store = dir.join("reingested.tgs");
+    let out = cli()
+        .args(["ingest", "--out"])
+        .arg(&store)
+        .arg("--edges")
+        .arg(run_a.join("observed.edges"))
+        .args(["--exact", "--verify", "--quiet"])
+        .output()
+        .expect("run tgx-cli ingest --exact");
+    assert!(
+        out.status.success(),
+        "exact ingest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run_b = dir.join("run_b");
+    train(&run_b, &["--store", store.to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read(run_a.join("model.json")).unwrap(),
+        std::fs::read(run_b.join("model.json")).unwrap(),
+        "re-ingested store trained a different model"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

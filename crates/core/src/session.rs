@@ -39,7 +39,12 @@
 //!   `generate_with_sink(.., m, ..)` exactly;
 //! - [`Session::resume_from`] a mid-run checkpoint and training to the end
 //!   reproduces an uninterrupted run bit-for-bit (the checkpoint carries
-//!   the model, the Adam moments, and the raw RNG state).
+//!   the model, the Adam moments, and the raw RNG state);
+//! - [`Session::builder_from_source`] — streaming the observed graph out
+//!   of any [`EdgeSource`] (the on-disk `tg-store` or an in-memory
+//!   adapter) — trains and simulates bit-identically to
+//!   [`Session::builder`] over the same edges: ingest changes where the
+//!   bytes come from, never what the model sees.
 
 use crate::engine::{
     generate_shard_with_sink, generate_with_sink, mix_seed, ShardSpec, SimulationPlan,
@@ -56,8 +61,30 @@ use rand::rngs::SmallRng;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use tg_graph::sink::{EdgeSink, GraphSink};
+use tg_graph::source::{read_graph, EdgeSource, DEFAULT_CHUNK_EDGES};
 use tg_graph::TemporalGraph;
 use tg_metrics::MetricScore;
+
+/// The observed graph a session mirrors: either borrowed from the caller
+/// ([`Session::builder`]) or owned after streaming ingest from an
+/// [`EdgeSource`] ([`Session::builder_from_source`]). Both paths feed the
+/// identical training/simulation code, which is what makes the
+/// store-vs-in-memory bit-identity guarantee testable at this level.
+enum Observed<'a> {
+    /// Caller-provided graph, borrowed for the session's lifetime.
+    Borrowed(&'a TemporalGraph),
+    /// Graph assembled by the session itself (boxed: sessions move).
+    Owned(Box<TemporalGraph>),
+}
+
+impl Observed<'_> {
+    fn get(&self) -> &TemporalGraph {
+        match self {
+            Observed::Borrowed(g) => g,
+            Observed::Owned(g) => g,
+        }
+    }
+}
 
 /// Stream tag mixed into the master seed to derive per-run simulation
 /// seeds (so `simulate()` run 0, 1, 2… get decorrelated streams that are
@@ -167,7 +194,7 @@ pub struct CheckpointPolicy {
 /// Builder for a [`Session`]; see the [module docs](crate::session) for
 /// the lifecycle picture.
 pub struct SessionBuilder<'a> {
-    observed: &'a TemporalGraph,
+    observed: Observed<'a>,
     cfg: TgaeConfig,
     seed: Option<u64>,
     observer: Option<Box<dyn RunObserver + 'a>>,
@@ -235,7 +262,8 @@ impl<'a> SessionBuilder<'a> {
             checkpoint,
             model,
         } = self;
-        if observed.n_timestamps() == 0 || observed.n_edges() == 0 || observed.n_nodes() < 2 {
+        let g = observed.get();
+        if g.n_timestamps() == 0 || g.n_edges() == 0 || g.n_nodes() < 2 {
             return Err(TgxError::EmptyGraph);
         }
         if let Some(cp) = &checkpoint {
@@ -249,11 +277,11 @@ impl<'a> SessionBuilder<'a> {
             Some(m) => {
                 // An adopted model is authoritative for its config; only
                 // its shape needs to agree with the observed graph.
-                validate_shapes(&m, observed)?;
-                if m.n_timestamps != observed.n_timestamps() {
+                validate_shapes(&m, g)?;
+                if m.n_timestamps != g.n_timestamps() {
                     return Err(TgxError::TimestampMismatch {
                         model: m.n_timestamps,
-                        graph: observed.n_timestamps(),
+                        graph: g.n_timestamps(),
                     });
                 }
                 m
@@ -263,7 +291,7 @@ impl<'a> SessionBuilder<'a> {
                     cfg.seed = master;
                 }
                 validate_config(&cfg)?;
-                Tgae::new(observed.n_nodes(), observed.n_timestamps(), cfg)
+                Tgae::new(g.n_nodes(), g.n_timestamps(), cfg)
             }
         };
         let policy = SeedPolicy::new(seed.unwrap_or(model.cfg.seed));
@@ -310,7 +338,7 @@ fn validate_config(cfg: &TgaeConfig) -> Result<(), TgxError> {
 /// [module docs](crate::session) for the lifecycle and the determinism
 /// contract.
 pub struct Session<'a> {
-    observed: &'a TemporalGraph,
+    observed: Observed<'a>,
     model: Tgae,
     policy: SeedPolicy,
     observer: Option<Box<dyn RunObserver + 'a>>,
@@ -322,8 +350,8 @@ pub struct Session<'a> {
 impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("n_nodes", &self.observed.n_nodes())
-            .field("n_timestamps", &self.observed.n_timestamps())
+            .field("n_nodes", &self.observed.get().n_nodes())
+            .field("n_timestamps", &self.observed.get().n_timestamps())
             .field("master_seed", &self.policy.master())
             .field("trained_epochs", &self.trained_epochs)
             .field("simulation_runs", &self.sim_runs)
@@ -336,8 +364,8 @@ impl std::fmt::Debug for Session<'_> {
 impl std::fmt::Debug for SessionBuilder<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionBuilder")
-            .field("n_nodes", &self.observed.n_nodes())
-            .field("n_timestamps", &self.observed.n_timestamps())
+            .field("n_nodes", &self.observed.get().n_nodes())
+            .field("n_timestamps", &self.observed.get().n_timestamps())
             .field("seed", &self.seed)
             .field("has_observer", &self.observer.is_some())
             .field("checkpoint", &self.checkpoint)
@@ -347,10 +375,11 @@ impl std::fmt::Debug for SessionBuilder<'_> {
 }
 
 impl<'a> Session<'a> {
-    /// Start building a session over `observed`.
+    /// Start building a session over a borrowed, already-materialised
+    /// `observed` graph.
     pub fn builder(observed: &TemporalGraph) -> SessionBuilder<'_> {
         SessionBuilder {
-            observed,
+            observed: Observed::Borrowed(observed),
             cfg: TgaeConfig::default(),
             seed: None,
             observer: None,
@@ -359,9 +388,38 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Start building a session by **streaming** the observed graph out
+    /// of any [`EdgeSource`] — `tg-store`'s `StoreSource` for an on-disk
+    /// edge store, or [`InMemorySource`](tg_graph::source::InMemorySource)
+    /// for an existing graph. The per-timestamp chunks are assembled
+    /// incrementally (never re-sorted, never staged twice), so ingest
+    /// peak memory above the finished graph is `O(chunk)`; the session
+    /// owns the result, which is why the returned builder is `'static`.
+    ///
+    /// Training, simulation, and evaluation behave **bit-identically** to
+    /// a [`Session::builder`] session over the same edges — same losses,
+    /// same parameters, same generated edges for the same seed
+    /// (regression-tested against both source implementations).
+    ///
+    /// Source I/O or contract failures surface as [`TgxError::Ingest`].
+    pub fn builder_from_source<S: EdgeSource>(
+        source: &mut S,
+    ) -> Result<SessionBuilder<'static>, TgxError> {
+        let g =
+            read_graph(source, DEFAULT_CHUNK_EDGES).map_err(|e| TgxError::Ingest(e.to_string()))?;
+        Ok(SessionBuilder {
+            observed: Observed::Owned(Box::new(g)),
+            cfg: TgaeConfig::default(),
+            seed: None,
+            observer: None,
+            checkpoint: None,
+            model: None,
+        })
+    }
+
     /// The observed graph this session trains on and mirrors.
     pub fn observed(&self) -> &TemporalGraph {
-        self.observed
+        self.observed.get()
     }
 
     /// The model (trained in place by [`Session::train`]).
@@ -402,7 +460,7 @@ impl<'a> Session<'a> {
             checkpoint: self.checkpoint.as_ref(),
             resume: None,
         };
-        let report = train_loop(&mut self.model, self.observed, hooks)?;
+        let report = train_loop(&mut self.model, self.observed.get(), hooks)?;
         self.trained_epochs = report.epochs_run();
         Ok(report)
     }
@@ -422,15 +480,15 @@ impl<'a> Session<'a> {
                 ckpt.version
             )));
         }
-        if ckpt.model.n_nodes != self.observed.n_nodes()
-            || ckpt.model.n_timestamps != self.observed.n_timestamps()
+        if ckpt.model.n_nodes != self.observed.get().n_nodes()
+            || ckpt.model.n_timestamps != self.observed.get().n_timestamps()
         {
             return Err(TgxError::CheckpointMismatch(format!(
                 "checkpointed model is shaped {}x{} but the observed graph is {}x{}",
                 ckpt.model.n_nodes,
                 ckpt.model.n_timestamps,
-                self.observed.n_nodes(),
-                self.observed.n_timestamps()
+                self.observed.get().n_nodes(),
+                self.observed.get().n_timestamps()
             )));
         }
         let ckpt_cfg = serde_json::to_string(&ckpt.model.cfg).map_err(PersistError::Codec)?;
@@ -464,7 +522,7 @@ impl<'a> Session<'a> {
             checkpoint: self.checkpoint.as_ref(),
             resume: Some(resume),
         };
-        let report = train_loop(&mut self.model, self.observed, hooks)?;
+        let report = train_loop(&mut self.model, self.observed.get(), hooks)?;
         self.trained_epochs = report.epochs_run();
         Ok(report)
     }
@@ -482,7 +540,10 @@ impl<'a> Session<'a> {
     /// so repeated calls produce independent (but individually
     /// reproducible) graphs.
     pub fn simulate(&mut self) -> Result<TemporalGraph, TgxError> {
-        let sink = GraphSink::new(self.observed.n_nodes(), self.observed.n_timestamps());
+        let sink = GraphSink::new(
+            self.observed.get().n_nodes(),
+            self.observed.get().n_timestamps(),
+        );
         self.simulate_with_sink(sink)
     }
 
@@ -503,12 +564,17 @@ impl<'a> Session<'a> {
         master: u64,
         sink: S,
     ) -> Result<S::Output, TgxError> {
-        Ok(generate_with_sink(&self.model, self.observed, master, sink))
+        Ok(generate_with_sink(
+            &self.model,
+            self.observed.get(),
+            master,
+            sink,
+        ))
     }
 
     /// The deterministic shard manifest a run with `master` would execute.
     pub fn simulation_plan(&self, master: u64) -> SimulationPlan {
-        SimulationPlan::new(self.observed, self.model.cfg.batch_centers, master)
+        SimulationPlan::new(self.observed.get(), self.model.cfg.batch_centers, master)
     }
 
     /// Partition the run with `master` into `n_shards` serialisable
@@ -532,7 +598,7 @@ impl<'a> Session<'a> {
     ) -> Result<S::Output, TgxError> {
         Ok(generate_shard_with_sink(
             &self.model,
-            self.observed,
+            self.observed.get(),
             spec,
             sink,
         ))
@@ -562,19 +628,19 @@ impl<'a> Session<'a> {
     /// Table III statistics (Eq. 10). The synthetic graph must cover the
     /// observed horizon and node set.
     pub fn evaluate(&self, synthetic: &TemporalGraph) -> Result<Vec<MetricScore>, TgxError> {
-        if synthetic.n_nodes() != self.observed.n_nodes() {
+        if synthetic.n_nodes() != self.observed.get().n_nodes() {
             return Err(TgxError::NodeCountMismatch {
-                model: self.observed.n_nodes(),
+                model: self.observed.get().n_nodes(),
                 graph: synthetic.n_nodes(),
             });
         }
-        if synthetic.n_timestamps() < self.observed.n_timestamps() {
+        if synthetic.n_timestamps() < self.observed.get().n_timestamps() {
             return Err(TgxError::TimestampMismatch {
-                model: self.observed.n_timestamps(),
+                model: self.observed.get().n_timestamps(),
                 graph: synthetic.n_timestamps(),
             });
         }
-        Ok(tg_metrics::evaluate(self.observed, synthetic))
+        Ok(tg_metrics::evaluate(self.observed.get(), synthetic))
     }
 }
 

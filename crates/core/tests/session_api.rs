@@ -13,6 +13,7 @@
 //!   change the trained parameters.
 
 use tg_graph::sink::{GenerationStats, GraphSink, StatsSink};
+use tg_graph::source::InMemorySource;
 use tg_graph::{TemporalEdge, TemporalGraph};
 use tgae::engine::generate_with_sink;
 use tgae::{EpochEvent, Session, Tgae, TgaeConfig, TgxError, TrainControl};
@@ -133,6 +134,49 @@ fn resume_from_checkpoint_equals_straight_run() {
         .unwrap();
     assert_eq!(a.edges(), b.edges());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn source_built_session_is_bit_identical_to_borrowed_graph() {
+    // The PR-5 EdgeSource ingest path: a session whose observed graph was
+    // streamed chunk-by-chunk out of a source must train to the same
+    // losses and parameters — and generate the same edges — as a session
+    // borrowing the materialised graph directly. (The same invariant for
+    // the on-disk StoreSource lives in crates/store/tests, which owns the
+    // tg-store dev-dependency.)
+    let g = ring_graph(10, 4);
+    let cfg = tiny_cfg(6, 17);
+    let master = 424242u64;
+
+    let mut borrowed = Session::builder(&g)
+        .config(cfg.clone())
+        .seed(17)
+        .build()
+        .expect("borrowed session");
+    let report_a = borrowed.train().expect("train borrowed");
+    let edges_a = borrowed
+        .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .expect("simulate borrowed");
+
+    let mut streamed = Session::builder_from_source(&mut InMemorySource::new(&g))
+        .expect("ingest")
+        .config(cfg)
+        .seed(17)
+        .build()
+        .expect("streamed session");
+    assert_eq!(streamed.observed().edges(), g.edges());
+    let report_b = streamed.train().expect("train streamed");
+    let edges_b = streamed
+        .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
+        .expect("simulate streamed");
+
+    assert_eq!(report_a.losses, report_b.losses, "loss history diverged");
+    assert_eq!(
+        params_of(borrowed.model()),
+        params_of(streamed.model()),
+        "trained parameters diverged"
+    );
+    assert_eq!(edges_a.edges(), edges_b.edges(), "generated edges diverged");
 }
 
 #[test]

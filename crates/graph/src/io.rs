@@ -198,8 +198,21 @@ pub fn load_edge_list_exact(
 ///
 /// I/O errors are captured on first occurrence and reported by
 /// [`EdgeSink::finish`]; subsequent writes become no-ops.
+///
+/// # Drop behavior
+///
+/// The intended protocol is **explicit finish**: call
+/// [`EdgeSink::finish`] (or [`StreamingWriterSink::into_inner`]) and
+/// check the result — that is the only place deferred write errors are
+/// reported. A sink dropped without finishing (early return, panic
+/// unwind) still **flushes its buffer best-effort** so the file is not
+/// silently truncated at a buffer boundary, but any error from that
+/// final flush is swallowed, exactly like `BufWriter`'s own drop. Code
+/// that cares whether the bytes landed must finish explicitly.
 pub struct StreamingWriterSink<W: Write> {
-    writer: BufWriter<W>,
+    /// `Some` until `finish`/`into_inner` consumes the sink (`Option`
+    /// only so those methods can move the writer out despite `Drop`).
+    writer: Option<BufWriter<W>>,
     n_written: u64,
     err: Option<std::io::Error>,
 }
@@ -208,7 +221,7 @@ impl<W: Write> StreamingWriterSink<W> {
     /// Wrap any writer (a `File`, a `Vec<u8>`, a socket…).
     pub fn new(writer: W) -> Self {
         StreamingWriterSink {
-            writer: BufWriter::new(writer),
+            writer: Some(BufWriter::new(writer)),
             n_written: 0,
             err: None,
         }
@@ -222,13 +235,28 @@ impl<W: Write> StreamingWriterSink<W> {
     /// Flush and hand back the inner writer (useful for in-memory
     /// `Vec<u8>` sinks in tests and benchmarks). Reports any deferred
     /// write error, like [`EdgeSink::finish`].
-    pub fn into_inner(self) -> Result<W, IoError> {
-        if let Some(e) = self.err {
+    pub fn into_inner(mut self) -> Result<W, IoError> {
+        if let Some(e) = self.err.take() {
             return Err(IoError::Io(e));
         }
         self.writer
+            .take()
+            .expect("writer present until consumed")
             .into_inner()
             .map_err(|e| IoError::Io(e.into_error()))
+    }
+}
+
+impl<W: Write> Drop for StreamingWriterSink<W> {
+    fn drop(&mut self) {
+        // Dropped without finish(): flush best-effort so the edges
+        // already accepted reach the underlying writer (see the type-level
+        // "Drop behavior" docs). `BufWriter`'s own drop would do the same,
+        // but doing it explicitly documents the contract and keeps it even
+        // if the buffering strategy changes.
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -246,8 +274,9 @@ impl<W: Write> EdgeSink for StreamingWriterSink<W> {
         if self.err.is_some() {
             return;
         }
+        let w = self.writer.as_mut().expect("writer present until consumed");
         for e in edges {
-            if let Err(e) = writeln!(self.writer, "{} {} {}", e.u, e.v, e.t) {
+            if let Err(e) = writeln!(w, "{} {} {}", e.u, e.v, e.t) {
                 self.err = Some(e);
                 return;
             }
@@ -256,10 +285,13 @@ impl<W: Write> EdgeSink for StreamingWriterSink<W> {
     }
 
     fn finish(mut self) -> Result<u64, IoError> {
-        if let Some(e) = self.err {
+        if let Some(e) = self.err.take() {
             return Err(IoError::Io(e));
         }
-        self.writer.flush()?;
+        self.writer
+            .as_mut()
+            .expect("writer present until consumed")
+            .flush()?;
         Ok(self.n_written)
     }
 }
@@ -416,8 +448,30 @@ mod tests {
         sink.accept(0, 0, &edges[..2]);
         sink.accept(1, 0, &edges[2..]);
         assert_eq!(sink.n_written(), 3);
-        let buf = sink.writer.into_inner().unwrap();
+        let buf = sink.into_inner().unwrap();
         assert_eq!(buf, via_writer);
+    }
+
+    #[test]
+    fn dropped_sink_flushes_buffered_edges() {
+        // The explicit-finish contract: finish() is where errors surface,
+        // but a sink dropped without it must still flush its buffer — a
+        // worker that early-returns after accepting edges must not leave a
+        // file truncated at a BufWriter boundary.
+        let dir = std::env::temp_dir().join(format!("tg_drop_flush_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.edges");
+        {
+            let mut sink = StreamingWriterSink::create(&path).unwrap();
+            // few edges: far below BufWriter's default 8 KiB buffer, so
+            // without the drop-flush nothing would reach the file
+            sink.accept(0, 0, &[TemporalEdge::new(0, 1, 0)]);
+            sink.accept(1, 0, &[TemporalEdge::new(1, 0, 1)]);
+            assert_eq!(sink.n_written(), 2);
+            // dropped here — no finish(), no into_inner()
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "0 1 0\n1 0 1\n");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

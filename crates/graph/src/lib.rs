@@ -18,16 +18,24 @@
 //! - [`sink`] — the [`sink::EdgeSink`] abstraction consumed by the
 //!   simulation engine (`tgae::engine`): in-memory graph assembly,
 //!   streaming edge-list writing, or online statistics with no edge
-//!   storage.
+//!   storage;
+//! - [`source`] — the mirror-image [`source::EdgeSource`] abstraction
+//!   produced by ingest: observed edges as per-timestamp chunk streams
+//!   (in-memory via [`source::InMemorySource`], out-of-core via
+//!   `tg-store`'s `StoreSource`), plus the streaming
+//!   [`source::GraphAssembler`] that rebuilds a graph from them with
+//!   `O(chunk)` overhead.
 
 pub mod builder;
 pub mod io;
 pub mod sink;
 pub mod snapshot;
+pub mod source;
 pub mod temporal;
 pub mod transform;
 
 pub use builder::TemporalGraphBuilder;
 pub use sink::{EdgeSink, GenerationStats, GraphSink, StatsSink};
 pub use snapshot::Snapshot;
+pub use source::{EdgeSource, GraphAssembler, InMemorySource};
 pub use temporal::{NodeId, TemporalEdge, TemporalGraph, Time};

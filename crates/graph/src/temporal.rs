@@ -82,6 +82,33 @@ impl TemporalGraph {
         }
     }
 
+    /// Assemble from already-validated sorted parts — the streaming
+    /// construction path of [`crate::source::GraphAssembler`], which
+    /// builds `edges` / `in_order` / `time_offsets` incrementally from
+    /// per-timestamp chunks and therefore never re-sorts or copies the
+    /// edge array. Callers must uphold the [`TemporalGraph`] invariants:
+    /// `edges` sorted by `(t, u, v)` with endpoints `< n` and timestamps
+    /// `< t`, `in_order` the `(t, v, u)` permutation, and `time_offsets`
+    /// the per-timestamp prefix sums.
+    pub(crate) fn from_sorted_parts(
+        n: usize,
+        t: usize,
+        edges: Vec<TemporalEdge>,
+        in_order: Vec<u32>,
+        time_offsets: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(time_offsets.len(), t + 1);
+        debug_assert_eq!(in_order.len(), edges.len());
+        debug_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        TemporalGraph {
+            n,
+            t,
+            edges,
+            in_order,
+            time_offsets,
+        }
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.n

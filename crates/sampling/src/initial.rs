@@ -7,6 +7,7 @@
 //! ablation switches to a uniform draw.
 
 use rand::Rng;
+use tg_graph::source::{EdgeSource, InMemorySource};
 use tg_graph::{NodeId, TemporalGraph, Time};
 
 /// Pre-computed sampling population with cumulative weights for O(log n)
@@ -19,9 +20,56 @@ pub struct InitialNodeSampler {
 }
 
 impl InitialNodeSampler {
-    /// Build the sampler from a temporal graph.
+    /// Build the sampler from a temporal graph. Equivalent to streaming
+    /// the graph through [`InitialNodeSampler::from_source`] (the two
+    /// constructions are regression-tested to produce bit-identical
+    /// samplers).
     pub fn new(g: &TemporalGraph, degree_weighted: bool) -> Self {
-        let nodes = g.temporal_nodes();
+        match Self::from_source(&mut InMemorySource::new(g), degree_weighted) {
+            Ok(s) => s,
+            Err(e) => match e {}, // Infallible
+        }
+    }
+
+    /// Build the sampler by streaming per-timestamp chunks from any
+    /// [`EdgeSource`] — the ingest-side twin of
+    /// [`InitialNodeSampler::new`]. Because chunks arrive grouped by
+    /// timestamp, temporal degrees accumulate in a per-timestamp map that
+    /// is drained as each timestamp closes, so the transient working set
+    /// is `O(nodes active at one timestamp)` rather than `O(all temporal
+    /// nodes)`; only the final population (which the sampler must hold
+    /// anyway) grows with the graph.
+    pub fn from_source<S: EdgeSource>(
+        source: &mut S,
+        degree_weighted: bool,
+    ) -> Result<Self, S::Error> {
+        use std::collections::HashMap;
+        let mut nodes: Vec<(NodeId, Time, usize)> = Vec::new();
+        let mut open: HashMap<NodeId, usize> = HashMap::new();
+        let mut open_t: Time = 0;
+        let close =
+            |open: &mut HashMap<NodeId, usize>, t: Time, nodes: &mut Vec<(NodeId, Time, usize)>| {
+                nodes.extend(open.drain().map(|(v, d)| (v, t, d)));
+            };
+        source.for_each_chunk(
+            tg_graph::source::DEFAULT_CHUNK_EDGES,
+            &mut |t, _c, edges| {
+                if t != open_t {
+                    close(&mut open, open_t, &mut nodes);
+                    open_t = t;
+                }
+                for e in edges {
+                    *open.entry(e.u).or_insert(0) += 1;
+                    *open.entry(e.v).or_insert(0) += 1;
+                }
+            },
+        )?;
+        close(&mut open, open_t, &mut nodes);
+        // Same global order as `TemporalGraph::temporal_nodes` (sorted by
+        // `(v, t)`), so the cumulative-weight accumulation below visits
+        // entries in the identical sequence and the resulting sampler is
+        // bit-identical to the in-memory construction.
+        nodes.sort_unstable();
         let mut population = Vec::with_capacity(nodes.len());
         let mut cum_weights = Vec::with_capacity(nodes.len());
         let mut acc = 0.0f64;
@@ -30,11 +78,11 @@ impl InitialNodeSampler {
             acc += d as f64;
             cum_weights.push(acc);
         }
-        InitialNodeSampler {
+        Ok(InitialNodeSampler {
             population,
             cum_weights,
             degree_weighted,
-        }
+        })
     }
 
     /// Number of occurring temporal nodes.
@@ -141,6 +189,27 @@ mod tests {
         let mut sorted = batch.clone();
         sorted.dedup();
         assert_eq!(sorted.len(), batch.len());
+    }
+
+    #[test]
+    fn from_source_is_bit_identical_to_new() {
+        // The streamed (per-timestamp chunk) construction must reproduce
+        // the in-memory one exactly: same population, and — because the
+        // cumulative f64 weights accumulate in the same order — the same
+        // draws from the same RNG stream.
+        let g = hub_graph();
+        for degree_weighted in [true, false] {
+            let a = InitialNodeSampler::new(&g, degree_weighted);
+            let b = InitialNodeSampler::from_source(&mut InMemorySource::new(&g), degree_weighted)
+                .unwrap();
+            assert_eq!(a.population(), b.population());
+            let mut rng_a = SmallRng::seed_from_u64(11);
+            let mut rng_b = SmallRng::seed_from_u64(11);
+            assert_eq!(
+                a.sample_batch(300, &mut rng_a),
+                b.sample_batch(300, &mut rng_b)
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`graph`] | `tg-graph` | temporal graph storage, snapshots, I/O, sinks |
+//! | [`graph`] | `tg-graph` | temporal graph storage, snapshots, I/O, sinks/sources |
+//! | [`store`] | `tg-store` | out-of-core columnar edge store (TGES) + streaming ingest |
 //! | [`tensor`] | `tg-tensor` | CPU autodiff tensor library |
 //! | [`sampling`] | `tg-sampling` | ego-graph sampling, bipartite batching |
 //! | [`model`] | `tgae` | the TGAE model, `Session` API, engine |
@@ -58,6 +59,7 @@ pub use tg_datasets as datasets;
 pub use tg_graph as graph;
 pub use tg_metrics as metrics;
 pub use tg_sampling as sampling;
+pub use tg_store as store;
 pub use tg_tensor as tensor;
 pub use tgae as model;
 
@@ -66,10 +68,12 @@ pub mod prelude {
     pub use tg_baselines::TemporalGraphGenerator;
     pub use tg_datasets::{Preset, SyntheticConfig};
     pub use tg_graph::{
-        EdgeSink, GenerationStats, GraphSink, Snapshot, StatsSink, TemporalEdge, TemporalGraph,
+        EdgeSink, EdgeSource, GenerationStats, GraphSink, InMemorySource, Snapshot, StatsSink,
+        TemporalEdge, TemporalGraph,
     };
     pub use tg_metrics::{evaluate, GraphStats, MetricKind};
     pub use tg_sampling::SamplerConfig;
+    pub use tg_store::{StoreReader, StoreSource, StoreWriter};
     #[allow(deprecated)]
     pub use tgae::{fit, generate};
     pub use tgae::{

@@ -1,12 +1,22 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR5.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR6.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
 //! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
 //! generation throughput and streaming peak-heap A/B, PR 4 the
-//! session-overhead and multi-process A/Bs).
+//! session-overhead and multi-process A/Bs, PR 5 the store ingest
+//! A/Bs and throughput).
 //!
-//! Entry kinds in this snapshot (PR 5 = the `tg-store` out-of-core edge
-//! store + streaming training ingest):
+//! PR 6 wires `tg-faults` fault points into the store writer/reader and
+//! checkpoint paths. This harness builds with the faults feature **off**
+//! (only `tgx-cli` enables it by default), so `faults_compiled` in the
+//! snapshot must read `false` and the store write/read throughput
+//! entries — now crossing a `fail_point!` per block — double as the
+//! proof that disabled fault points cost nothing: the numbers must stay
+//! in line with the PR 5 snapshot. The binary asserts the disabled
+//! state instead of just recording it.
+//!
+//! Entry kinds in this snapshot (carried from PR 5 = the `tg-store`
+//! out-of-core edge store + streaming training ingest):
 //!
 //! - **Ingest peak-heap A/B** — loading the observed graph for training
 //!   from a text edge list (`load_edge_list`: staged raw triples +
@@ -101,6 +111,10 @@ impl Entry {
 struct Snapshot {
     pr: u32,
     threads: usize,
+    /// Whether the `tg-faults` machinery was compiled into this harness.
+    /// Must be `false`: the perf numbers double as the zero-cost proof
+    /// for disabled fault points.
+    faults_compiled: bool,
     entries: Vec<Entry>,
 }
 
@@ -221,7 +235,13 @@ fn ingest_ab(tmp: &std::path::Path, nodes: usize, edges: usize, entries: &mut Ve
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    assert!(
+        !tg_faults::is_compiled(),
+        "perf snapshot must run with fault injection compiled out \
+         (its store numbers are the zero-cost-when-disabled evidence)"
+    );
+    println!("faults_compiled: false (store paths cross no-op fail points)");
     let mut entries = Vec::new();
     let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
@@ -287,8 +307,9 @@ fn main() {
 
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 5,
+        pr: 6,
         threads: tg_tensor::parallel::num_threads(),
+        faults_compiled: tg_faults::is_compiled(),
         entries,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");

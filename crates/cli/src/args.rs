@@ -41,6 +41,11 @@ const VALUE_KEYS: &[&str] = &[
     "store",
     "block-edges",
     "retries",
+    "shard-timeout",
+    "backoff-base-ms",
+    "degrade",
+    "checkpoint-keep",
+    "salvage",
 ];
 
 impl Args {

@@ -1,0 +1,87 @@
+//! Typed process failure for `tgx-cli`: every way a run can end
+//! unsuccessfully gets a distinct exit code, so schedulers and scripts
+//! can react without parsing stderr.
+//!
+//! ```text
+//! 0  success
+//! 1  other failure (I/O, engine error, …)
+//! 2  usage error (unknown flag/subcommand, missing/contradictory args)
+//! 3  ingest/store corruption (unreadable or damaged TGES input)
+//! 4  shard worker(s) still failing after the retry budget
+//! 5  run completed in --degrade partial mode (output is incomplete
+//!    but usable; see partial_manifest.json)
+//! ```
+
+/// A failed `tgx-cli` invocation, tagged with its process exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: unknown subcommand/flag, missing or
+    /// contradictory arguments. Exit 2.
+    Usage(String),
+    /// A store/ingest input is unreadable or damaged. Exit 3.
+    Corruption(String),
+    /// Shard worker(s) exhausted the retry budget. Exit 4.
+    WorkerFailure(String),
+    /// The run finished under `--degrade partial`: some shards are
+    /// missing, the merged output covers the rest. Exit 5.
+    Partial(String),
+    /// Anything else. Exit 1.
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Corruption(_) => 3,
+            CliError::WorkerFailure(_) => 4,
+            CliError::Partial(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Corruption(m)
+            | CliError::WorkerFailure(m)
+            | CliError::Partial(m)
+            | CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Other(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let cases = [
+            (CliError::Other("x".into()), 1),
+            (CliError::Usage("x".into()), 2),
+            (CliError::Corruption("x".into()), 3),
+            (CliError::WorkerFailure("x".into()), 4),
+            (CliError::Partial("x".into()), 5),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.exit_code(), code, "{e}");
+        }
+    }
+
+    #[test]
+    fn string_errors_default_to_exit_1() {
+        let e: CliError = String::from("boom").into();
+        assert_eq!(e.exit_code(), 1);
+        assert_eq!(e.to_string(), "boom");
+    }
+}

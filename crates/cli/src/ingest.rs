@@ -1,9 +1,11 @@
-//! `tgx-cli ingest`: convert an observed graph into a TGES edge store.
+//! `tgx-cli ingest`: convert an observed graph into a TGES edge store —
+//! or salvage a damaged one.
 //!
 //! ```text
 //! tgx-cli ingest --out FILE (--edges FILE [--buckets T] [--exact]
 //!                            [--n-nodes N] [--n-timestamps T]
-//!                            | --preset NAME [--scale F] [--data-seed S])
+//!                            | --preset NAME [--scale F] [--data-seed S]
+//!                            | --salvage DAMAGED_STORE)
 //!                [--block-edges N] [--verify] [--quiet]
 //! ```
 //!
@@ -19,13 +21,21 @@
 //! `--verify` re-opens the finished store, checks the full payload
 //! checksum, and streams it back against the in-memory graph — a
 //! belt-and-braces round-trip proof before the text original is archived.
+//!
+//! `--salvage DAMAGED_STORE` is the disaster path: it block-scans a
+//! store that `open` refuses (torn tail, flipped bits, smashed index)
+//! with [`tg_store::StoreReader::salvage`], streams every checksummed-valid block
+//! into a fresh clean store at `--out`, and reports exactly which blocks
+//! — and how many edges — were lost. Exit code 3 when the damaged file
+//! is beyond recognition (bad magic/unreadable header).
 
 use crate::args::Args;
+use crate::errors::CliError;
 use std::io::BufRead;
 use tg_graph::io::load_edge_list_exact;
 use tg_graph::source::EdgeSource;
 use tg_graph::TemporalGraph;
-use tg_store::{StoreSource, StoreStats, DEFAULT_BLOCK_EDGES};
+use tg_store::{StoreSource, StoreStats, StoreWriter, DEFAULT_BLOCK_EDGES};
 
 /// Infer a dense file's shape (`max id + 1`, `max t + 1`) for `--exact`
 /// without materialising anything: one pass over the text.
@@ -116,13 +126,20 @@ fn print_stats(g: &TemporalGraph, stats: &StoreStats, out: &str, source: &str) {
 }
 
 /// Run the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
-    let out: String = args.require("out")?;
-    let block_edges: usize = args.get_parsed("block-edges", DEFAULT_BLOCK_EDGES)?;
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let out: String = args.require("out").map_err(CliError::Usage)?;
+    if let Some(damaged) = args.get("salvage").map(str::to_string) {
+        let quiet = args.flag("quiet");
+        args.reject_unused().map_err(CliError::Usage)?;
+        return salvage_store(&damaged, &out, quiet);
+    }
+    let block_edges: usize = args
+        .get_parsed("block-edges", DEFAULT_BLOCK_EDGES)
+        .map_err(CliError::Usage)?;
     let verify = args.flag("verify");
     let quiet = args.flag("quiet");
     let (g, source) = load_input(args)?;
-    args.reject_unused()?;
+    args.reject_unused().map_err(CliError::Usage)?;
 
     let stats = tg_store::write_source(
         &mut tg_graph::source::InMemorySource::new(&g),
@@ -135,10 +152,11 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
 
     if verify {
-        let mut src = StoreSource::open(&out).map_err(|e| format!("re-open {out}: {e}"))?;
+        let mut src = StoreSource::open(&out)
+            .map_err(|e| CliError::Corruption(format!("re-open {out}: {e}")))?;
         src.reader_mut()
             .verify_payload()
-            .map_err(|e| format!("verify {out}: {e}"))?;
+            .map_err(|e| CliError::Corruption(format!("verify {out}: {e}")))?;
         let mut pos = 0usize;
         let mut mismatch = false;
         src.for_each_chunk(block_edges.max(1), &mut |_t, _c, edges| {
@@ -148,17 +166,89 @@ pub fn run(args: &Args) -> Result<(), String> {
                 mismatch = true;
             }
         })
-        .map_err(|e| format!("re-read {out}: {e}"))?;
+        .map_err(|e| CliError::Corruption(format!("re-read {out}: {e}")))?;
         if mismatch || pos != g.n_edges() {
-            return Err(format!(
+            return Err(CliError::Corruption(format!(
                 "VERIFY FAILED: store stream diverges from the ingested graph at edge {pos}"
-            ));
+            )));
         }
         if !quiet {
             eprintln!(
                 "verified: payload checksum ok, streamed edges identical to the ingested graph"
             );
         }
+    }
+    println!("{out}");
+    Ok(())
+}
+
+/// `--salvage`: block-scan a damaged store and rewrite every recoverable
+/// block into a fresh clean store at `out` (built at a temp sibling and
+/// renamed into place, so a crash mid-salvage never leaves a half store
+/// under the target name).
+fn salvage_store(damaged: &str, out: &str, quiet: bool) -> Result<(), CliError> {
+    let tmp = tg_graph::io::tmp_sibling(std::path::Path::new(out));
+    let mut writer: Option<StoreWriter<std::io::BufWriter<std::fs::File>>> = None;
+    let result = tg_store::StoreReader::salvage(damaged, |header, edges| {
+        if writer.is_none() {
+            writer = Some(StoreWriter::create_with_block(
+                &tmp,
+                header.n_nodes as usize,
+                header.n_timestamps as usize,
+                header.block_edges as usize,
+            )?);
+        }
+        writer.as_mut().expect("created above").push_chunk(edges)
+    });
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            // unreadable header / I/O failure: nothing could be recovered
+            return Err(CliError::Corruption(format!("salvage {damaged}: {e}")));
+        }
+    };
+    // Every block may have been damaged; the salvage still yields a
+    // valid (empty) clean store with the original shape.
+    let writer = match writer {
+        Some(w) => w,
+        None => StoreWriter::create_with_block(
+            &tmp,
+            report.header.n_nodes as usize,
+            report.header.n_timestamps as usize,
+            report.header.block_edges as usize,
+        )
+        .map_err(|e| format!("create {}: {e}", tmp.display()))?,
+    };
+    let stats = writer
+        .finish()
+        .map_err(|e| format!("finalise {}: {e}", tmp.display()))?;
+    let f = std::fs::File::open(&tmp).map_err(|e| format!("reopen {}: {e}", tmp.display()))?;
+    f.sync_all()
+        .map_err(|e| format!("sync {}: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, out).map_err(|e| format!("rename into {out}: {e}"))?;
+
+    if !quiet {
+        let intact = report.n_blocks - report.bad_blocks.len() as u64;
+        eprintln!(
+            "salvaged {damaged}: {intact} of {} blocks intact, {} edges recovered, {} lost{}",
+            report.n_blocks,
+            report.recovered_edges,
+            report.lost_edges,
+            if report.index_valid {
+                ""
+            } else {
+                " (index was damaged; rebuilt)"
+            }
+        );
+        if !report.bad_blocks.is_empty() {
+            eprintln!("  damaged blocks: {:?}", report.bad_blocks);
+        }
+        eprintln!(
+            "clean store: {out} — {} bytes, {} edges, {} blocks",
+            stats.file_bytes, stats.n_edges, stats.n_blocks
+        );
     }
     println!("{out}");
     Ok(())

@@ -18,6 +18,7 @@
 //! scores any generated edge list with the paper's Eq. 10 harness.
 
 mod args;
+mod errors;
 mod eval;
 mod ingest;
 mod input;
@@ -27,6 +28,7 @@ mod simulate;
 mod train;
 
 use args::Args;
+use errors::CliError;
 
 const USAGE: &str = "\
 tgx-cli — multi-process driver for the TGAE temporal-graph simulator
@@ -34,19 +36,27 @@ tgx-cli — multi-process driver for the TGAE temporal-graph simulator
 USAGE:
   tgx-cli ingest   --out FILE (--edges FILE [--buckets T] [--exact]
                                [--n-nodes N] [--n-timestamps T]
-                               | --preset NAME [--scale F] [--data-seed S])
+                               | --preset NAME [--scale F] [--data-seed S]
+                               | --salvage DAMAGED_STORE)
                    [--block-edges N] [--verify] [--quiet]
   tgx-cli train    --run-dir DIR (--preset NAME [--scale F] [--data-seed S]
                                   | --edges FILE [--buckets T]
                                   | --store FILE)
                    [--epochs N] [--batch-centers N] [--seed S] [--full]
-                   [--checkpoint-every N] [--resume] [--quiet]
-  tgx-cli simulate --run-dir DIR [--shards K] [--master M] [--stats]
-                   [--verify] [--retries N] [--in-process] [--keep-shards]
+                   [--checkpoint-every N] [--checkpoint-keep K] [--resume]
                    [--quiet]
+  tgx-cli simulate --run-dir DIR [--shards K] [--master M] [--stats]
+                   [--verify] [--retries N] [--shard-timeout SECS]
+                   [--backoff-base-ms MS] [--degrade partial]
+                   [--in-process] [--keep-shards] [--quiet]
   tgx-cli merge    [--stats] --out FILE INPUT...
   tgx-cli eval     --run-dir DIR [--generated FILE]
   tgx-cli eval     --observed FILE --generated FILE --n-nodes N --n-timestamps T
+
+EXIT CODES:
+  0 success         3 ingest/store corruption   5 --degrade partial completion
+  1 other failure   4 workers exhausted retries
+  2 usage error
 
 The smoke pipeline (also run in CI):
   tgx-cli ingest   --out /tmp/obs.tgs --preset dblp --scale 0.04 --verify
@@ -61,31 +71,31 @@ fn main() {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("tgx-cli: {e}");
-            1
+            e.exit_code()
         }
     };
     std::process::exit(code);
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         eprint!("{USAGE}");
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         print!("{USAGE}");
         return Ok(());
     }
-    let args = Args::parse(&argv[1..])?;
+    let args = Args::parse(&argv[1..]).map_err(CliError::Usage)?;
     match cmd.as_str() {
         "ingest" => ingest::run(&args),
-        "train" => train::run(&args),
+        "train" => train::run(&args).map_err(CliError::from),
         "simulate" => simulate::run(&args),
-        "merge" => merge::run(&args),
-        "eval" => eval::run(&args),
+        "merge" => merge::run(&args).map_err(CliError::from),
+        "eval" => eval::run(&args).map_err(CliError::from),
         other => {
             eprint!("{USAGE}");
-            Err(format!("unknown subcommand `{other}`"))
+            Err(CliError::Usage(format!("unknown subcommand `{other}`")))
         }
     }
 }

@@ -11,7 +11,8 @@
 //!   shards.json       ShardSpec manifest of the last `simulate` call
 //!   shard_<i>.edges   per-worker shard output
 //!   simulated.edges   merged shard outputs (bit-identical to in-process)
-//!   retry_log.json    failed/excluded bookkeeping when --retries saw failures
+//!   retry_log.json    supervision bookkeeping when --retries saw failures
+//!   partial_manifest.json   completed/missing shards of a --degrade partial run
 //! ```
 //!
 //! The manifest is deliberately tiny: shard workers re-derive everything
@@ -125,16 +126,25 @@ impl RunDir {
         self.root.join("simulated.stats.json")
     }
 
-    /// `retry_log.json` — per-round failed shards + excluded set of a
-    /// `simulate --retries` run that saw failures.
+    /// `retry_log.json` — per-attempt supervision record (exit codes,
+    /// signals, timeouts, backoff) of a `simulate --retries` run that
+    /// saw failures.
     pub fn retry_log_path(&self) -> PathBuf {
         self.root.join("retry_log.json")
     }
 
-    /// Write the manifest.
+    /// `partial_manifest.json` — completed/missing shard sets of a
+    /// `simulate --degrade partial` run that delivered an incomplete
+    /// merge.
+    pub fn partial_manifest_path(&self) -> PathBuf {
+        self.root.join("partial_manifest.json")
+    }
+
+    /// Write the manifest (atomically: a crash mid-write must not leave
+    /// a torn run.json, or the whole run dir becomes unreadable).
     pub fn save_manifest(&self, m: &RunManifest) -> Result<(), String> {
         let json = serde_json::to_string_pretty(m).map_err(|e| e.to_string())?;
-        std::fs::write(self.manifest_path(), json)
+        tg_graph::io::atomic_write_bytes(self.manifest_path(), json.as_bytes())
             .map_err(|e| format!("write {}: {e}", self.manifest_path().display()))
     }
 

@@ -6,14 +6,18 @@
 //!                              | --edges FILE [--buckets T]
 //!                              | --store FILE)
 //!               [--epochs N] [--batch-centers N] [--seed S] [--full]
-//!               [--checkpoint-every N] [--resume] [--quiet]
+//!               [--checkpoint-every N] [--checkpoint-keep K] [--resume]
+//!               [--quiet]
 //! ```
 //!
 //! Training runs through the `Session` API: a progress observer prints
-//! epoch-end lines, `--checkpoint-every N` writes a resumable
-//! `train_ckpt.json`, and `--resume` continues a previously interrupted
-//! run **bit-identically** (same final parameters as an uninterrupted
-//! run).
+//! epoch-end lines, `--checkpoint-every N` writes resumable, atomically
+//! replaced checkpoints in a rotation of `--checkpoint-keep K`
+//! generations (`train_ckpt.json`, `.1`, …; default 2, so a checkpoint
+//! torn by a crash mid-write still leaves the previous generation for
+//! `--resume` to fall back to), and `--resume` continues a previously
+//! interrupted run **bit-identically** (same final parameters as an
+//! uninterrupted run).
 //!
 //! `--store FILE` reads the observed graph from a TGES edge store
 //! (written by `tgx-cli ingest`) through the streaming `EdgeSource`
@@ -24,7 +28,7 @@
 
 use crate::args::Args;
 use crate::rundir::{RunDir, RunManifest, RUN_VERSION};
-use tg_graph::io::save_edge_list;
+use tg_graph::io::save_edge_list_atomic;
 use tg_graph::TemporalGraph;
 use tg_store::StoreSource;
 use tgae::{EpochEvent, Session, TgaeConfig, TrainControl, TrainReport};
@@ -99,6 +103,10 @@ pub fn run(args: &Args) -> Result<(), String> {
     let quiet = args.flag("quiet");
     let resume = args.flag("resume");
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 0)?;
+    let checkpoint_keep: usize = args.get_parsed("checkpoint-keep", 2)?;
+    if checkpoint_keep == 0 {
+        return Err("--checkpoint-keep: must keep at least 1 generation".into());
+    }
 
     let (observed, source, store, seed, cfg) = if resume {
         // Resuming: the run dir is authoritative — graph, config, and
@@ -143,7 +151,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     // interrupted run then has everything `--resume` needs on disk
     // (the resumable train_ckpt.json is written by the session itself).
     if !resume {
-        save_edge_list(&observed, run_dir.observed_path())
+        save_edge_list_atomic(&observed, run_dir.observed_path())
             .map_err(|e| format!("write observed.edges: {e}"))?;
         run_dir.save_manifest(&RunManifest {
             version: RUN_VERSION,
@@ -162,7 +170,11 @@ pub fn run(args: &Args) -> Result<(), String> {
         .seed(seed)
         .observer(progress_observer(quiet, epochs));
     if checkpoint_every > 0 || resume {
-        builder = builder.checkpoint(run_dir.train_checkpoint_path(), checkpoint_every.max(1));
+        builder = builder.checkpoint_rotating(
+            run_dir.train_checkpoint_path(),
+            checkpoint_every.max(1),
+            checkpoint_keep,
+        );
     }
     let mut session = builder.build().map_err(|e| e.to_string())?;
 

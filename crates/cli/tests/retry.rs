@@ -1,8 +1,9 @@
 //! End-to-end test of `tgx-cli simulate --retries`: a worker that fails
-//! its first attempt (injected via the `TGX_CLI_TEST_FAIL_ONCE` hook) is
-//! re-run alone — completed shards are excluded — and the final merge is
-//! still byte-identical to in-process generation (`--verify`). With no
-//! retry budget the same failure aborts the driver.
+//! its first attempt (injected deterministically via the `worker.entry`
+//! fault point, budget shared across processes through `TG_FAULTS_STATE`)
+//! is re-run alone — completed shards are excluded — and the final merge
+//! is still byte-identical to in-process generation (`--verify`). With no
+//! retry budget the same failure aborts the driver with exit code 4.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -47,6 +48,9 @@ fn train_run(dir: &Path, run: &str, edges: &Path) -> PathBuf {
 
 #[test]
 fn failed_shard_is_retried_alone_and_verifies() {
+    if !tg_faults::is_compiled() {
+        return; // injection needs the default `faults` feature
+    }
     let dir = tmp("ok");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
@@ -56,7 +60,9 @@ fn failed_shard_is_retried_alone_and_verifies() {
         .args(["simulate", "--run-dir"])
         .arg(&run_dir)
         .args(["--shards", "2", "--retries", "2", "--verify", "--quiet"])
-        .env("TGX_CLI_TEST_FAIL_ONCE", "1")
+        .args(["--backoff-base-ms", "10"])
+        .env("TG_FAULTS", "worker.entry=err,arg=shard:1,max=1")
+        .env("TG_FAULTS_STATE", dir.join("faults.state"))
         .output()
         .expect("run tgx-cli simulate");
     assert!(
@@ -67,14 +73,19 @@ fn failed_shard_is_retried_alone_and_verifies() {
     // --verify already asserted byte-identity with in-process generation;
     // the retry log must document the injected failure and the exclusion
     let log = std::fs::read_to_string(run_dir.join("retry_log.json")).expect("retry_log.json");
-    assert!(log.contains("\"failed_per_round\""), "{log}");
-    assert!(log.contains('1'), "{log}");
-    assert!(log.contains("\"completed\": true"), "{log}");
+    let compact: String = log.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(compact.contains("\"failed_per_round\":[[1]]"), "{log}");
+    assert!(compact.contains("\"attempts\""), "{log}");
+    assert!(compact.contains("\"completed\":true"), "{log}");
+    assert!(compact.contains("\"quarantined\":[]"), "{log}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn no_retry_budget_means_the_failure_aborts() {
+fn no_retry_budget_means_the_failure_aborts_with_exit_4() {
+    if !tg_faults::is_compiled() {
+        return;
+    }
     let dir = tmp("abort");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
@@ -84,14 +95,21 @@ fn no_retry_budget_means_the_failure_aborts() {
         .args(["simulate", "--run-dir"])
         .arg(&run_dir)
         .args(["--shards", "2", "--retries", "0", "--quiet"])
-        .env("TGX_CLI_TEST_FAIL_ONCE", "0")
+        .env("TG_FAULTS", "worker.entry=err,arg=shard:0")
         .output()
         .expect("run tgx-cli simulate");
-    assert!(!out.status.success(), "driver should fail with no retries");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "worker failure must exit 4: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("still failing"), "{stderr}");
-    // the log records the incomplete run
+    // the log records the incomplete run and the quarantined shard
     let log = std::fs::read_to_string(run_dir.join("retry_log.json")).expect("retry_log.json");
-    assert!(log.contains("\"completed\": false"), "{log}");
+    let compact: String = log.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(compact.contains("\"completed\":false"), "{log}");
+    assert!(compact.contains("\"quarantined\":[0]"), "{log}");
     std::fs::remove_dir_all(&dir).ok();
 }

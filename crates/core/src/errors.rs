@@ -99,6 +99,12 @@ impl From<PersistError> for TgxError {
     }
 }
 
+impl From<tg_faults::FaultError> for TgxError {
+    fn from(e: tg_faults::FaultError) -> Self {
+        TgxError::Checkpoint(PersistError::Io(e.into()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! the `n x d` embedding/decoder tables) and diffable.
 
 use crate::model::Tgae;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::path::Path;
 
 /// Errors produced by checkpoint I/O.
@@ -45,13 +45,17 @@ impl From<serde_json::Error> for PersistError {
 /// Write any serialisable document as JSON (the shared primitive behind
 /// model checkpoints and the session's [`TrainCheckpoint`]s).
 ///
+/// The write is atomic: bytes land in a tmp sibling that is fsynced and
+/// renamed over `path`, so a crash mid-save can tear the tmp file but
+/// never the previous checkpoint at `path`.
+///
 /// [`TrainCheckpoint`]: crate::trainer::TrainCheckpoint
 pub fn save_json<T: serde::Serialize>(
     value: &T,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
-    let f = std::fs::File::create(path)?;
-    serde_json::to_writer(BufWriter::new(f), value)?;
+    let bytes = serde_json::to_string(value)?.into_bytes();
+    tg_graph::io::atomic_write_bytes(path, &bytes)?;
     Ok(())
 }
 

@@ -180,15 +180,37 @@ impl<F: FnMut(&EpochEvent) -> TrainControl> RunObserver for F {
     }
 }
 
-/// Periodic checkpointing: overwrite `path` with a full
-/// [`TrainCheckpoint`] every `every_epochs` epochs.
+/// Periodic checkpointing: write a full [`TrainCheckpoint`] to `path`
+/// every `every_epochs` epochs, retaining a rotation of the `keep` most
+/// recent checkpoints (`path` is the newest, `path.1` the one before,
+/// …). Writes are atomic (tmp + rename), and the rotation happens
+/// *before* each write, so even a crash mid-checkpoint leaves the
+/// previous generation intact at `path.1` for
+/// [`Session::resume_from`] to fall back to.
 #[derive(Clone, Debug)]
 pub struct CheckpointPolicy {
-    /// File the checkpoint JSON is (re)written to.
+    /// File the newest checkpoint JSON lives at.
     pub path: PathBuf,
     /// Cadence in epochs (a checkpoint lands after epochs `every`,
     /// `2*every`, …).
     pub every_epochs: usize,
+    /// Checkpoints retained, `>= 1`. With `keep == 1` there is no
+    /// rotation — `path` is atomically replaced each time.
+    pub keep: usize,
+}
+
+/// Rotation slot `i` of a checkpoint path: slot 0 is `path` itself,
+/// slot `i > 0` is `path.i` (`ckpt.json`, `ckpt.json.1`, …).
+pub(crate) fn rotation_slot(path: &Path, i: usize) -> PathBuf {
+    if i == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("checkpoint"));
+    name.push(format!(".{i}"));
+    path.with_file_name(name)
 }
 
 /// Builder for a [`Session`]; see the [module docs](crate::session) for
@@ -230,11 +252,26 @@ impl<'a> SessionBuilder<'a> {
     }
 
     /// Write a [`TrainCheckpoint`] to `path` every `every_epochs` epochs
-    /// during [`Session::train`] / [`Session::resume_from`].
-    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+    /// during [`Session::train`] / [`Session::resume_from`], keeping
+    /// only the newest one.
+    pub fn checkpoint(self, path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        self.checkpoint_rotating(path, every_epochs, 1)
+    }
+
+    /// [`SessionBuilder::checkpoint`] retaining the `keep` newest
+    /// checkpoints in a rotation (`path`, `path.1`, …) so a checkpoint
+    /// torn by a crash still leaves an older valid generation for
+    /// [`Session::resume_from`] to fall back to.
+    pub fn checkpoint_rotating(
+        mut self,
+        path: impl Into<PathBuf>,
+        every_epochs: usize,
+        keep: usize,
+    ) -> Self {
         self.checkpoint = Some(CheckpointPolicy {
             path: path.into(),
             every_epochs,
+            keep,
         });
         self
     }
@@ -270,6 +307,11 @@ impl<'a> SessionBuilder<'a> {
             if cp.every_epochs == 0 {
                 return Err(TgxError::InvalidConfig(
                     "checkpoint cadence must be > 0 epochs".into(),
+                ));
+            }
+            if cp.keep == 0 {
+                return Err(TgxError::InvalidConfig(
+                    "checkpoint rotation must keep >= 1 checkpoints".into(),
                 ));
             }
         }
@@ -465,15 +507,10 @@ impl<'a> Session<'a> {
         Ok(report)
     }
 
-    /// Restore a mid-run [`TrainCheckpoint`] from `path` and train the
-    /// remaining epochs (observer + further checkpoints included).
-    ///
-    /// The checkpoint carries the model, the Adam moments, and the raw
-    /// training-RNG state, so the completed run is **bit-identical** to
-    /// one that never stopped. Returns the *full-run* report (restored
-    /// history + new epochs).
-    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> Result<TrainReport, TgxError> {
-        let ckpt: TrainCheckpoint = persist::load_json(path.as_ref())?;
+    /// Validate one checkpoint candidate against this session (format
+    /// version, shape, config, history consistency).
+    fn try_load_checkpoint(&self, path: &Path) -> Result<TrainCheckpoint, TgxError> {
+        let ckpt: TrainCheckpoint = persist::load_json(path)?;
         if ckpt.version != CHECKPOINT_VERSION {
             return Err(TgxError::CheckpointMismatch(format!(
                 "checkpoint format v{} (this build reads v{CHECKPOINT_VERSION})",
@@ -505,6 +542,63 @@ impl<'a> Session<'a> {
                 ckpt.epoch_wall_nanos.len()
             )));
         }
+        Ok(ckpt)
+    }
+
+    /// Restore a mid-run [`TrainCheckpoint`] from `path` and train the
+    /// remaining epochs (observer + further checkpoints included).
+    ///
+    /// The checkpoint carries the model, the Adam moments, and the raw
+    /// training-RNG state, so the completed run is **bit-identical** to
+    /// one that never stopped. Returns the *full-run* report (restored
+    /// history + new epochs).
+    ///
+    /// If `path` is missing or damaged (a crash can tear at most the
+    /// newest write), the rotation siblings `path.1`, `path.2`, … left
+    /// by [`CheckpointPolicy`]'s `keep` are tried in order; the newest
+    /// valid checkpoint wins. Resuming from an older generation is
+    /// still bit-identical — it just re-runs more epochs. Only when no
+    /// candidate validates does this fail, with every candidate's
+    /// diagnosis.
+    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> Result<TrainReport, TgxError> {
+        let path = path.as_ref();
+        let mut found: Option<TrainCheckpoint> = None;
+        let mut failures: Vec<(PathBuf, TgxError)> = Vec::new();
+        let mut slot = 0usize;
+        loop {
+            let candidate = rotation_slot(path, slot);
+            // slot 0 is always probed; beyond it, stop at the first gap
+            if slot > 0 && !candidate.exists() {
+                break;
+            }
+            match self.try_load_checkpoint(&candidate) {
+                Ok(ckpt) => {
+                    found = Some(ckpt);
+                    break;
+                }
+                Err(e) => failures.push((candidate, e)),
+            }
+            slot += 1;
+        }
+        let ckpt = match found {
+            Some(ckpt) => ckpt,
+            // no rotation sibling to fall back to: surface the primary
+            // path's own typed error unchanged
+            None if failures.len() == 1 => {
+                return Err(failures.pop().expect("one failure").1);
+            }
+            None => {
+                let diagnoses: Vec<String> = failures
+                    .iter()
+                    .map(|(p, e)| format!("{}: {e}", p.display()))
+                    .collect();
+                return Err(TgxError::CheckpointMismatch(format!(
+                    "no usable checkpoint in the rotation at {}: [{}]",
+                    path.display(),
+                    diagnoses.join("; ")
+                )));
+            }
+        };
         self.model = ckpt.model;
         let resume = ResumeState {
             opt: ckpt.opt,

@@ -239,6 +239,7 @@ pub(crate) fn train_loop(
 
         if let Some(cp) = checkpoint {
             if (epoch + 1).is_multiple_of(cp.every_epochs) {
+                tg_faults::fail_point!("train.checkpoint.write", cp.path.display().to_string());
                 let ckpt = TrainCheckpoint {
                     version: CHECKPOINT_VERSION,
                     model: model.clone(),
@@ -248,6 +249,18 @@ pub(crate) fn train_loop(
                     epoch_wall_nanos: epoch_walls.iter().map(|w| w.as_nanos() as u64).collect(),
                     slot_acc,
                 };
+                // age the rotation before writing: path -> path.1 -> …
+                // so a crash inside save_json can cost at most the
+                // not-yet-written newest generation
+                for i in (1..cp.keep).rev() {
+                    let from = crate::session::rotation_slot(&cp.path, i - 1);
+                    let to = crate::session::rotation_slot(&cp.path, i);
+                    match std::fs::rename(&from, &to) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(crate::persist::PersistError::Io(e).into()),
+                    }
+                }
                 crate::persist::save_json(&ckpt, &cp.path)?;
             }
         }

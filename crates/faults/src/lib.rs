@@ -1,0 +1,646 @@
+#![warn(missing_docs)]
+//! `tg-faults`: deterministic fault injection for the tgx workspace.
+//!
+//! Long-lived pipelines need to *prove* their failure handling, not just
+//! claim it. This crate provides `fail`-crate-style **fault points** —
+//! named places in the code where a test or a CI job can deterministically
+//! inject an error, a panic, a hang, or a process death:
+//!
+//! ```ignore
+//! fn flush_block(&mut self) -> Result<(), StoreError> {
+//!     tg_faults::fail_point!("store.write.block");
+//!     // ... the real work ...
+//! }
+//! ```
+//!
+//! # Zero cost when disabled
+//!
+//! The `enabled` cargo feature gates the whole machinery. Without it,
+//! [`eval`] / [`eval_lazy`] are `#[inline(always)]` stubs returning
+//! `Ok(())`, so every `fail_point!` folds to nothing under optimization —
+//! no branch, no atomic load, and (for the lazy-argument form) not even
+//! the argument's construction. `tgx-cli` turns the feature on by
+//! default; library consumers and benchmarks that don't, pay nothing.
+//!
+//! # Activating points
+//!
+//! Points are configured from the `TG_FAULTS` environment variable (read
+//! once, lazily) or programmatically with [`set`]. The spec grammar is
+//! `point=action[,modifier=value]*` entries separated by `;`:
+//!
+//! ```text
+//! TG_FAULTS="worker.entry=abort,arg=shard:1,max=1;store.write.block=err,p=0.5"
+//! ```
+//!
+//! Actions: `off`, `err`, `panic`, `abort`, `exit:CODE`, `sleep:MILLIS`.
+//! Modifiers:
+//!
+//! - `p=PROB` — trigger with probability `PROB`, decided by a
+//!   **deterministic** SplitMix64 draw from `TG_FAULTS_SEED`, the point
+//!   name, and the per-point match counter (same seed ⇒ same trigger
+//!   pattern, across runs and machines);
+//! - `after=N` — skip the first `N` matching evaluations;
+//! - `max=N` — trigger at most `N` times. With `TG_FAULTS_STATE=FILE`
+//!   the trigger count is kept in an append-only ledger file, so the
+//!   budget spans *process restarts* — "fail the first attempt only"
+//!   works even when triggering kills the worker process;
+//! - `arg=SUBSTR` — only match evaluations whose call-site argument
+//!   contains `SUBSTR` (e.g. `arg=shard:1` to target one shard worker).
+//!
+//! A triggered point is recorded in the ledger **before** the action runs,
+//! so even `abort`/`exit`/`sleep`-then-SIGKILL count against `max`.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::Ordering;
+
+/// The error a triggered `err` fault point returns through `?`.
+///
+/// Converts into `std::io::Error` and `String`, so fault points drop into
+/// functions returning either without per-crate glue (store/core/graph
+/// errors add their own `From` impls on top of the `io::Error` one).
+#[derive(Debug, Clone)]
+pub struct FaultError {
+    /// Name of the fault point that fired.
+    pub point: String,
+    /// The call-site argument at the firing evaluation, if any.
+    pub arg: Option<String>,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "injected fault at `{}` ({a})", self.point),
+            None => write!(f, "injected fault at `{}`", self.point),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<FaultError> for std::io::Error {
+    fn from(e: FaultError) -> Self {
+        std::io::Error::other(e)
+    }
+}
+
+impl From<FaultError> for String {
+    fn from(e: FaultError) -> Self {
+        e.to_string()
+    }
+}
+
+/// Declare a fault point. Expands to an [`eval`]/[`eval_lazy`] call
+/// followed by `?`, so the enclosing function's error type must implement
+/// `From<FaultError>` (directly, or via `From<std::io::Error>`).
+///
+/// ```ignore
+/// tg_faults::fail_point!("store.write.block");
+/// tg_faults::fail_point!("worker.entry", format!("shard:{idx}"));
+/// ```
+///
+/// The two-argument form takes anything `String: From<T>`; the argument
+/// expression is **not evaluated** in disabled builds.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::eval($name, ::std::option::Option::None)?
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::eval_lazy($name, || ::std::string::String::from($arg))?
+    };
+}
+
+/// Whether this build carries the fault-point machinery (the `enabled`
+/// cargo feature). Tests that need injection should early-return when
+/// this is `false` instead of failing.
+pub const fn is_compiled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+// ---------------------------------------------------------------------
+// Disabled build: inline no-op stubs. The bodies below compile away
+// entirely; `fail_point!` costs nothing on any path.
+// ---------------------------------------------------------------------
+
+/// Evaluate the fault point `point`. No-op unless the `enabled` feature
+/// is on and a matching spec is active.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval(_point: &str, _arg: Option<&str>) -> Result<(), FaultError> {
+    Ok(())
+}
+
+/// [`eval`] with a lazily built argument (not constructed when disabled).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval_lazy<F: FnOnce() -> String>(_point: &str, _arg: F) -> Result<(), FaultError> {
+    Ok(())
+}
+
+/// Activate a fault point programmatically. Errors in disabled builds
+/// (the machinery is compiled out).
+#[cfg(not(feature = "enabled"))]
+pub fn set(_point: &str, _spec: &str) -> Result<(), String> {
+    Err("tg-faults was compiled without the `enabled` feature".into())
+}
+
+/// Deactivate one fault point. No-op in disabled builds.
+#[cfg(not(feature = "enabled"))]
+pub fn remove(_point: &str) {}
+
+/// Deactivate every fault point and reset all counters. No-op in
+/// disabled builds.
+#[cfg(not(feature = "enabled"))]
+pub fn clear() {}
+
+/// Times `point` has been evaluated (0 in disabled builds).
+#[cfg(not(feature = "enabled"))]
+pub fn hits(_point: &str) -> u64 {
+    0
+}
+
+/// Times `point` has actually triggered its action (0 in disabled builds).
+#[cfg(not(feature = "enabled"))]
+pub fn triggers(_point: &str) -> u64 {
+    0
+}
+
+// ---------------------------------------------------------------------
+// Enabled build: the real machinery.
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::collections::HashMap;
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Clone, Debug, PartialEq)]
+    pub(super) enum Action {
+        Off,
+        Err,
+        Panic,
+        Abort,
+        Exit(i32),
+        Sleep(u64),
+    }
+
+    #[derive(Clone, Debug)]
+    pub(super) struct PointSpec {
+        pub action: Action,
+        /// Trigger probability in [0, 1]; decided deterministically.
+        pub p: f64,
+        /// Maximum number of triggers (ledger-backed when a state file is
+        /// configured).
+        pub max: Option<u64>,
+        /// Matching evaluations to skip before the first trigger.
+        pub after: u64,
+        /// Substring the call-site argument must contain to match.
+        pub arg: Option<String>,
+    }
+
+    impl PointSpec {
+        /// Ledger key: the point name plus the arg filter, so two specs
+        /// targeting different shards of the same point count separately.
+        pub fn ledger_key(&self, point: &str) -> String {
+            match &self.arg {
+                Some(a) => format!("{point}|{a}"),
+                None => point.to_string(),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    pub(super) struct Registry {
+        pub points: HashMap<String, PointSpec>,
+        /// Evaluations per point (matched or not).
+        pub hits: HashMap<String, u64>,
+        /// Matching evaluations per point (drives `after`/`p`).
+        pub matches: HashMap<String, u64>,
+        /// In-process trigger counts per ledger key.
+        pub triggers: HashMap<String, u64>,
+        pub seed: u64,
+        pub state_path: Option<PathBuf>,
+    }
+
+    pub(super) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(super) static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    pub(super) static INIT: std::sync::Once = std::sync::Once::new();
+
+    pub(super) fn registry() -> &'static Mutex<Registry> {
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    /// SplitMix64 finalizer — the workspace's standard seed mixer.
+    pub(super) fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    pub(super) fn fnv64(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in s.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub(super) fn parse_spec(spec: &str) -> Result<PointSpec, String> {
+        let mut parts = spec.split(',').map(str::trim);
+        let action_str = parts.next().ok_or("empty fault spec")?;
+        let action = match action_str.split_once(':') {
+            None => match action_str {
+                "off" => Action::Off,
+                "err" => Action::Err,
+                "panic" => Action::Panic,
+                "abort" => Action::Abort,
+                other => return Err(format!("unknown fault action `{other}`")),
+            },
+            Some(("exit", code)) => Action::Exit(
+                code.parse()
+                    .map_err(|_| format!("bad exit code `{code}`"))?,
+            ),
+            Some(("sleep", ms)) => {
+                Action::Sleep(ms.parse().map_err(|_| format!("bad sleep millis `{ms}`"))?)
+            }
+            Some((other, _)) => return Err(format!("unknown fault action `{other}`")),
+        };
+        let mut out = PointSpec {
+            action,
+            p: 1.0,
+            max: None,
+            after: 0,
+            arg: None,
+        };
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault modifier `{part}` is not key=value"))?;
+            match k {
+                "p" => {
+                    let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}`"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability `{v}` outside [0, 1]"));
+                    }
+                    out.p = p;
+                }
+                "max" => {
+                    out.max = Some(v.parse().map_err(|_| format!("bad max `{v}`"))?);
+                }
+                "after" => {
+                    out.after = v.parse().map_err(|_| format!("bad after `{v}`"))?;
+                }
+                "arg" => out.arg = Some(v.to_string()),
+                other => return Err(format!("unknown fault modifier `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count ledger entries for `key` in the state file (absent file = 0).
+    pub(super) fn ledger_count(path: &std::path::Path, key: &str) -> u64 {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().filter(|l| l.trim() == key).count() as u64,
+            Err(_) => 0,
+        }
+    }
+
+    pub(super) fn ledger_append(path: &std::path::Path, key: &str) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{key}");
+        }
+    }
+
+    pub(super) fn init_from_env() {
+        let mut reg = registry().lock().expect("fault registry poisoned");
+        reg.seed = std::env::var("TG_FAULTS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        reg.state_path = std::env::var("TG_FAULTS_STATE").ok().map(PathBuf::from);
+        if let Ok(spec) = std::env::var("TG_FAULTS") {
+            for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+                let Some((point, rest)) = entry.split_once('=') else {
+                    eprintln!("tg-faults: ignoring malformed TG_FAULTS entry `{entry}`");
+                    continue;
+                };
+                match parse_spec(rest) {
+                    Ok(ps) => {
+                        reg.points.insert(point.trim().to_string(), ps);
+                    }
+                    Err(e) => eprintln!("tg-faults: ignoring `{entry}`: {e}"),
+                }
+            }
+        }
+        if !reg.points.is_empty() {
+            ACTIVE.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Evaluate the fault point `point` with an optional call-site argument.
+/// Returns `Err(FaultError)` when an active `err` spec triggers; `panic`,
+/// `abort`, `exit`, and `sleep` actions act directly.
+#[cfg(feature = "enabled")]
+pub fn eval(point: &str, arg: Option<&str>) -> Result<(), FaultError> {
+    use imp::*;
+    INIT.call_once(init_from_env);
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    eval_active(point, arg)
+}
+
+/// [`eval`] with a lazily built argument (only constructed when some
+/// fault point is active).
+#[cfg(feature = "enabled")]
+pub fn eval_lazy<F: FnOnce() -> String>(point: &str, arg: F) -> Result<(), FaultError> {
+    use imp::*;
+    INIT.call_once(init_from_env);
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let arg = arg();
+    eval_active(point, Some(&arg))
+}
+
+#[cfg(feature = "enabled")]
+fn eval_active(point: &str, arg: Option<&str>) -> Result<(), FaultError> {
+    use imp::*;
+    // Decide under the lock; act after releasing it (a sleeping or
+    // panicking point must not wedge sibling threads' evaluations).
+    let action: Action = {
+        let mut reg = registry().lock().expect("fault registry poisoned");
+        *reg.hits.entry(point.to_string()).or_insert(0) += 1;
+        let Some(spec) = reg.points.get(point).cloned() else {
+            return Ok(());
+        };
+        if spec.action == Action::Off {
+            return Ok(());
+        }
+        if let Some(filter) = &spec.arg {
+            if !arg.is_some_and(|a| a.contains(filter.as_str())) {
+                return Ok(());
+            }
+        }
+        let match_idx = {
+            let c = reg.matches.entry(point.to_string()).or_insert(0);
+            let idx = *c;
+            *c += 1;
+            idx
+        };
+        if match_idx < spec.after {
+            return Ok(());
+        }
+        if spec.p < 1.0 {
+            let draw = splitmix64(reg.seed ^ fnv64(point) ^ match_idx);
+            // map the top 53 bits to [0, 1)
+            let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+            if unit >= spec.p {
+                return Ok(());
+            }
+        }
+        let key = spec.ledger_key(point);
+        if let Some(max) = spec.max {
+            let fired = match &reg.state_path {
+                Some(p) => ledger_count(p, &key),
+                None => reg.triggers.get(&key).copied().unwrap_or(0),
+            };
+            if fired >= max {
+                return Ok(());
+            }
+        }
+        // Record the trigger BEFORE acting: abort/exit/sleep-then-SIGKILL
+        // must still consume their budget.
+        *reg.triggers.entry(key.clone()).or_insert(0) += 1;
+        if let Some(p) = reg.state_path.clone() {
+            ledger_append(&p, &key);
+        }
+        spec.action
+    };
+    let err = FaultError {
+        point: point.to_string(),
+        arg: arg.map(str::to_string),
+    };
+    match action {
+        imp::Action::Off => Ok(()),
+        imp::Action::Err => Err(err),
+        imp::Action::Panic => panic!("{err}"),
+        imp::Action::Abort => {
+            eprintln!("tg-faults: {err}: aborting");
+            std::process::abort()
+        }
+        imp::Action::Exit(code) => {
+            eprintln!("tg-faults: {err}: exiting with code {code}");
+            std::process::exit(code)
+        }
+        imp::Action::Sleep(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+/// Activate (or replace) the spec for one fault point, e.g.
+/// `set("store.write.block", "err,max=1")`.
+#[cfg(feature = "enabled")]
+pub fn set(point: &str, spec: &str) -> Result<(), String> {
+    use imp::*;
+    INIT.call_once(init_from_env);
+    let parsed = parse_spec(spec)?;
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.points.insert(point.to_string(), parsed);
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Deactivate one fault point (counters are kept).
+#[cfg(feature = "enabled")]
+pub fn remove(point: &str) {
+    use imp::*;
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.points.remove(point);
+    if reg.points.is_empty() {
+        ACTIVE.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Deactivate every fault point and reset all counters (the seed and
+/// state-file path survive; tests reconfigure with [`set`]).
+#[cfg(feature = "enabled")]
+pub fn clear() {
+    use imp::*;
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.points.clear();
+    reg.hits.clear();
+    reg.matches.clear();
+    reg.triggers.clear();
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Times `point` has been evaluated since process start (matched or not).
+#[cfg(feature = "enabled")]
+pub fn hits(point: &str) -> u64 {
+    imp::registry()
+        .lock()
+        .expect("fault registry poisoned")
+        .hits
+        .get(point)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Times `point` has actually triggered its action in this process
+/// (summed over arg filters).
+#[cfg(feature = "enabled")]
+pub fn triggers(point: &str) -> u64 {
+    let reg = imp::registry().lock().expect("fault registry poisoned");
+    reg.triggers
+        .iter()
+        .filter(|(k, _)| k.as_str() == point || k.starts_with(&format!("{point}|")))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global, so these tests serialize on a lock
+    // and clear() between scenarios.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        clear();
+        g
+    }
+
+    #[test]
+    fn inactive_points_are_ok() {
+        let _g = locked();
+        // nothing configured: the fast path skips even hit counting
+        assert!(eval("nothing.set", None).is_ok());
+        assert_eq!(hits("nothing.set"), 0);
+        // once any point is active, unmatched points are counted but inert
+        set("elsewhere", "err").unwrap();
+        assert!(eval("nothing.set", None).is_ok());
+        assert_eq!(hits("nothing.set"), 1);
+        assert_eq!(triggers("nothing.set"), 0);
+    }
+
+    #[test]
+    fn err_action_fires_and_counts() {
+        let _g = locked();
+        set("t.err", "err").unwrap();
+        let e = eval("t.err", None).unwrap_err();
+        assert!(e.to_string().contains("t.err"));
+        assert_eq!(triggers("t.err"), 1);
+        remove("t.err");
+        assert!(eval("t.err", None).is_ok());
+    }
+
+    #[test]
+    fn max_and_after_budgets() {
+        let _g = locked();
+        set("t.budget", "err,after=2,max=1").unwrap();
+        assert!(eval("t.budget", None).is_ok());
+        assert!(eval("t.budget", None).is_ok());
+        assert!(eval("t.budget", None).is_err()); // third matching eval
+        assert!(eval("t.budget", None).is_ok()); // budget exhausted
+        assert_eq!(triggers("t.budget"), 1);
+        assert_eq!(hits("t.budget"), 4);
+    }
+
+    #[test]
+    fn arg_filter_matches_substring() {
+        let _g = locked();
+        set("t.arg", "err,arg=shard:1").unwrap();
+        assert!(eval("t.arg", Some("shard:0")).is_ok());
+        assert!(eval("t.arg", None).is_ok());
+        assert!(eval("t.arg", Some("shard:1")).is_err());
+        assert!(eval_lazy("t.arg", || "shard:12".to_string()).is_err());
+    }
+
+    #[test]
+    fn probability_is_deterministic() {
+        let _g = locked();
+        set("t.prob", "err,p=0.5").unwrap();
+        let pattern: Vec<bool> = (0..64).map(|_| eval("t.prob", None).is_err()).collect();
+        let fired = pattern.iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&fired), "wildly unbalanced: {fired}/64");
+        // same seed, fresh counters: identical pattern
+        clear();
+        set("t.prob", "err,p=0.5").unwrap();
+        let again: Vec<bool> = (0..64).map(|_| eval("t.prob", None).is_err()).collect();
+        assert_eq!(pattern, again);
+    }
+
+    #[test]
+    fn ledger_spans_processes() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join(format!("tg_faults_ledger_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state");
+        std::fs::remove_file(&state).ok();
+        {
+            let mut reg = imp::registry().lock().unwrap();
+            reg.state_path = Some(state.clone());
+        }
+        set("t.ledger", "err,max=1").unwrap();
+        assert!(eval("t.ledger", None).is_err());
+        assert!(eval("t.ledger", None).is_ok());
+        // a "restarted process": same ledger, fresh in-memory counters
+        clear();
+        {
+            let mut reg = imp::registry().lock().unwrap();
+            reg.state_path = Some(state.clone());
+        }
+        set("t.ledger", "err,max=1").unwrap();
+        assert!(
+            eval("t.ledger", None).is_ok(),
+            "ledger-backed max must survive the restart"
+        );
+        {
+            let mut reg = imp::registry().lock().unwrap();
+            reg.state_path = None;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_parse_errors_are_loud() {
+        let _g = locked();
+        assert!(set("x", "explode").is_err());
+        assert!(set("x", "err,p=2.0").is_err());
+        assert!(set("x", "exit:nope").is_err());
+        assert!(set("x", "err,bogus=1").is_err());
+        assert!(set("x", "sleep:10,arg=a,max=2,after=1,p=0.5").is_ok());
+    }
+
+    #[test]
+    fn fail_point_macro_compiles_both_forms() {
+        let _g = locked();
+        fn f() -> Result<(), String> {
+            fail_point!("t.macro");
+            fail_point!("t.macro.arg", format!("x:{}", 1));
+            Ok(())
+        }
+        assert!(f().is_ok());
+        set("t.macro.arg", "err,arg=x:1").unwrap();
+        assert!(f().unwrap_err().contains("t.macro.arg"));
+    }
+}

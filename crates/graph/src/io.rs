@@ -47,6 +47,53 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+impl From<tg_faults::FaultError> for IoError {
+    fn from(e: tg_faults::FaultError) -> Self {
+        IoError::Io(e.into())
+    }
+}
+
+/// The temporary sibling `atomic_write_bytes` stages into before the
+/// rename: `<file name>.tmp` in the same directory (same filesystem, so
+/// the rename is atomic). A leftover `.tmp` after a crash is inert — no
+/// reader ever opens it — and the next write truncates it.
+pub fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("artifact"));
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-safe whole-file write: stage the bytes in a [`tmp_sibling`],
+/// `fsync`, then atomically rename over `path`. A crash at any point
+/// leaves either the old file intact or the complete new file — never a
+/// torn mix. This is the shared persistence primitive for every run-dir
+/// artifact (checkpoints, manifests, model snapshots, store commits).
+///
+/// Fault points (see `tg-faults`), each carrying the destination path as
+/// their argument: `persist.atomic.start` before anything is written,
+/// `persist.atomic.partial` between the two halves of the staged write
+/// (a crash here models a torn write), and `persist.atomic.unrenamed`
+/// after the fsync but before the rename.
+pub fn atomic_write_bytes(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let path_str = path.display().to_string();
+    tg_faults::fail_point!("persist.atomic.start", path_str.clone());
+    let tmp = tmp_sibling(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    let mid = bytes.len() / 2;
+    f.write_all(&bytes[..mid])?;
+    tg_faults::fail_point!("persist.atomic.partial", path_str.clone());
+    f.write_all(&bytes[mid..])?;
+    f.sync_all()?;
+    drop(f);
+    tg_faults::fail_point!("persist.atomic.unrenamed", path_str);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Parse `src dst timestamp` lines from any reader. Raw node ids and
 /// timestamps may be arbitrary `u64`s; they are compacted densely.
 /// `n_buckets`, when given, quantises raw timestamps into that many
@@ -115,6 +162,23 @@ pub fn write_edge_list<W: Write>(g: &TemporalGraph, writer: W) -> Result<(), IoE
 pub fn save_edge_list(g: &TemporalGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
     let f = std::fs::File::create(path)?;
     write_edge_list(g, f)
+}
+
+/// [`save_edge_list`], crash-safely: the lines are staged in a
+/// [`tmp_sibling`], fsynced, and renamed over `path` in one step, so an
+/// interrupted save never leaves a truncated edge list where a complete
+/// one used to be.
+pub fn save_edge_list_atomic(g: &TemporalGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let path_str = path.display().to_string();
+    tg_faults::fail_point!("persist.atomic.start", path_str.clone());
+    let tmp = tmp_sibling(path);
+    let f = std::fs::File::create(&tmp)?;
+    write_edge_list(g, &f)?;
+    f.sync_all()?;
+    tg_faults::fail_point!("persist.atomic.unrenamed", path_str);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// Parse `src dst timestamp` lines **without id/timestamp compaction**:
@@ -379,6 +443,39 @@ mod tests {
         let g2 = read_edge_list(buf.as_slice(), None).unwrap();
         assert_eq!(g.n_nodes(), g2.n_nodes());
         assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn tmp_sibling_stays_in_directory() {
+        let p = Path::new("/some/dir/model.json");
+        let t = tmp_sibling(p);
+        assert_eq!(t, Path::new("/some/dir/model.json.tmp"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("tgx-io-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("artifact.bin");
+        std::fs::write(&target, b"old contents").unwrap();
+        atomic_write_bytes(&target, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"new contents");
+        assert!(!tmp_sibling(&target).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_edge_list_atomic_roundtrips() {
+        let text = "0 1 0\n1 2 1\n2 0 1\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        let dir = std::env::temp_dir().join(format!("tgx-io-atomic-el-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("observed.edges");
+        save_edge_list_atomic(&g, &target).unwrap();
+        let g2 = load_edge_list(&target, None).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert!(!tmp_sibling(&target).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -48,6 +48,18 @@ pub enum StoreError {
         /// Checksum recomputed from the payload bytes.
         actual: u64,
     },
+    /// One SoA block's trailer checksum does not match its data bytes —
+    /// detected the moment the block is loaded (windowed read,
+    /// [`verify_payload`](crate::StoreReader::verify_payload), or
+    /// [`salvage`](crate::StoreReader::salvage)).
+    BlockChecksum {
+        /// Which block is damaged.
+        block: u64,
+        /// Checksum recorded in the block trailer.
+        expected: u64,
+        /// Checksum recomputed from the block's data bytes.
+        actual: u64,
+    },
     /// Header or timestamp index is internally inconsistent (offsets not
     /// monotone, totals disagreeing, zero-sized blocks, …).
     Corrupt {
@@ -100,6 +112,14 @@ impl std::fmt::Display for StoreError {
                 f,
                 "payload checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
             ),
+            StoreError::BlockChecksum {
+                block,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "block {block} checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
+            ),
             StoreError::Corrupt { what } => write!(f, "corrupt store metadata: {what}"),
             StoreError::CorruptPayload { what } => write!(f, "corrupt store payload: {what}"),
             StoreError::BadWrite { what } => write!(f, "invalid write: {what}"),
@@ -120,5 +140,11 @@ impl std::error::Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<tg_faults::FaultError> for StoreError {
+    fn from(e: tg_faults::FaultError) -> Self {
+        StoreError::Io(e.into())
     }
 }

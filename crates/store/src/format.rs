@@ -1,4 +1,4 @@
-//! The TGES ("Temporal Graph Edge Store") v1 on-disk layout.
+//! The TGES ("Temporal Graph Edge Store") v2 on-disk layout.
 //!
 //! A TGES file is a timestamp-sorted temporal edge list in columnar
 //! (struct-of-arrays) blocks, fronted by a checksummed header and a
@@ -7,26 +7,30 @@
 //! ```text
 //! offset  size            field
 //! 0       4               magic  b"TGES"
-//! 4       4               version (u32, = 1)
+//! 4       4               version (u32, = 2)
 //! 8       8               n_nodes (u64)
 //! 16      8               n_timestamps (u64)
 //! 24      8               n_edges (u64)
 //! 32      8               block_edges B (u64): SoA block capacity
-//! 40      8               payload checksum (FNV-1a 64 over payload bytes)
+//! 40      8               payload checksum (FNV-1a 64 over the edge data
+//!                         bytes of all blocks, excluding the per-block
+//!                         checksum trailers)
 //! 48      8               header checksum (FNV-1a 64 over bytes [0, 48)
 //!                         with this field zeroed, then the index bytes)
 //! 56      8·(T+1)         index: cumulative edge offsets per timestamp —
 //!                         edges at t live at positions [index[t], index[t+1])
-//! 56+8(T+1)  12·n_edges   payload: ⌈m/B⌉ SoA blocks
+//! 56+8(T+1)  12·m + 8·⌈m/B⌉   payload: ⌈m/B⌉ self-checksummed SoA blocks
 //! ```
 //!
 //! Block `k` holds edges `[k·B, min((k+1)·B, m))` — every block except
-//! the last has exactly `B` edges, so the byte offset of any block (and
-//! of any *edge*, via the index) is computable without a block table:
+//! the last has exactly `B` edges — followed by an 8-byte FNV-1a 64
+//! checksum of that block's data bytes, so the byte offset of any block
+//! (and of any *edge*, via the index) is computable without a block
+//! table:
 //!
 //! ```text
-//! block k:  u[len]  v[len]  t[len]      (u32 each, len = block's edges)
-//! offset  = payload_start + k·B·12
+//! block k:  u[len]  v[len]  t[len]  fnv64   (u32 columns + u64 trailer)
+//! offset  = payload_start + k·(B·12 + 8)
 //! ```
 //!
 //! Edges are sorted by `(t, u, v)` — [`TemporalGraph`]'s canonical order —
@@ -36,11 +40,20 @@
 //!
 //! Integrity is layered by access cost: the header checksum (covering
 //! header + index) and an exact file-length check are verified on every
-//! [`open`](crate::StoreReader::open) at `O(T)` cost; the payload
-//! checksum is verified by the optional
-//! [`verify_payload`](crate::StoreReader::verify_payload) full scan; and
-//! windowed reads cheaply cross-check each decoded edge against the index
-//! (timestamp match, endpoints in range) as they stream.
+//! [`open`](crate::StoreReader::open) at `O(T)` cost; each block's
+//! trailer checksum is verified when the block is loaded by a windowed
+//! read, so damage is caught at block granularity before any edge is
+//! decoded; the payload checksum plus every block trailer are verified by
+//! the optional [`verify_payload`](crate::StoreReader::verify_payload)
+//! full scan; and decoded edges are cross-checked against the index
+//! (timestamp match, endpoints in range) as they stream. The per-block
+//! trailers are also what makes [`salvage`](crate::StoreReader::salvage)
+//! possible: a damaged file can be walked block by block and every block
+//! whose checksummed region still validates is recoverable.
+//!
+//! Version history: v1 had no per-block trailers (payload was a bare
+//! 12·m-byte run, damage only detectable by a full-file scan). This
+//! build reads and writes v2 only.
 //!
 //! [`TemporalGraph`]: tg_graph::TemporalGraph
 
@@ -50,13 +63,16 @@ use crate::error::StoreError;
 pub const MAGIC: [u8; 4] = *b"TGES";
 
 /// Format version this build writes and reads.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Serialized header size in bytes.
 pub const HEADER_BYTES: u64 = 56;
 
 /// Bytes per edge in the payload (three u32 columns).
 pub const EDGE_BYTES: u64 = 12;
+
+/// Bytes of the FNV-1a 64 trailer appended to every SoA block.
+pub const BLOCK_CHECKSUM_BYTES: u64 = 8;
 
 /// Default SoA block capacity in edges (8192 edges = 96 KiB payload per
 /// block): large enough to amortise syscalls, small enough that a
@@ -180,9 +196,10 @@ impl Header {
         HEADER_BYTES + 8 * (self.n_timestamps + 1)
     }
 
-    /// Exact file size this header implies.
+    /// Exact file size this header implies (edge data plus one checksum
+    /// trailer per block).
     pub fn expected_file_len(&self) -> u64 {
-        self.payload_start() + EDGE_BYTES * self.n_edges
+        self.payload_start() + EDGE_BYTES * self.n_edges + BLOCK_CHECKSUM_BYTES * self.n_blocks()
     }
 
     /// Number of payload blocks.
@@ -196,9 +213,10 @@ impl Header {
         (self.n_edges - k * self.block_edges).min(self.block_edges)
     }
 
-    /// Byte offset of block `k`.
+    /// Byte offset of block `k`. Every block before `k` is full, so the
+    /// stride is constant: `B·12` data bytes plus the checksum trailer.
     pub fn block_offset(&self, k: u64) -> u64 {
-        self.payload_start() + k * self.block_edges * EDGE_BYTES
+        self.payload_start() + k * (self.block_edges * EDGE_BYTES + BLOCK_CHECKSUM_BYTES)
     }
 
     /// Checksum over the header (with a zeroed checksum field) plus the
@@ -253,11 +271,14 @@ mod tests {
         let decoded = Header::decode(&h.encode()).unwrap();
         assert_eq!(decoded, h);
         assert_eq!(h.payload_start(), 56 + 8 * 13);
-        assert_eq!(h.expected_file_len(), h.payload_start() + 12 * 5000);
         assert_eq!(h.n_blocks(), 5000u64.div_ceil(512));
+        assert_eq!(
+            h.expected_file_len(),
+            h.payload_start() + 12 * 5000 + 8 * h.n_blocks()
+        );
         assert_eq!(h.block_len(0), 512);
         assert_eq!(h.block_len(h.n_blocks() - 1), 5000 % 512);
-        assert_eq!(h.block_offset(1), h.payload_start() + 512 * 12);
+        assert_eq!(h.block_offset(1), h.payload_start() + 512 * 12 + 8);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod writer;
 
 pub use error::StoreError;
 pub use format::{Header, DEFAULT_BLOCK_EDGES};
-pub use reader::{StoreReader, WindowCursor};
+pub use reader::{SalvageReport, StoreReader, WindowCursor};
 pub use source::StoreSource;
 pub use writer::{write_graph, write_source, StoreStats, StoreWriter};
 

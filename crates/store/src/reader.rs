@@ -10,10 +10,38 @@
 //! `O(block + max_chunk)` however many edges the window covers.
 
 use crate::error::StoreError;
-use crate::format::{encode_index, Fnv1a, Header, EDGE_BYTES, HEADER_BYTES};
+use crate::format::{encode_index, Fnv1a, Header, BLOCK_CHECKSUM_BYTES, EDGE_BYTES, HEADER_BYTES};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use tg_graph::{TemporalEdge, Time};
+
+/// Read block `k`'s data bytes (checksum-verified against its trailer)
+/// into `buf`. Shared by windowed reads and `verify_payload`.
+fn read_block_verified(
+    file: &mut std::fs::File,
+    header: &Header,
+    k: u64,
+    buf: &mut Vec<u8>,
+) -> Result<(), StoreError> {
+    tg_faults::fail_point!("store.read.block", format!("block:{k}"));
+    let data_len = header.block_len(k) as usize * EDGE_BYTES as usize;
+    buf.resize(data_len + BLOCK_CHECKSUM_BYTES as usize, 0);
+    file.seek(SeekFrom::Start(header.block_offset(k)))?;
+    file.read_exact(buf)?;
+    let expected = u64::from_le_bytes(buf[data_len..].try_into().expect("8 bytes"));
+    let mut fnv = Fnv1a::new();
+    fnv.update(&buf[..data_len]);
+    let actual = fnv.finish();
+    if actual != expected {
+        return Err(StoreError::BlockChecksum {
+            block: k,
+            expected,
+            actual,
+        });
+    }
+    buf.truncate(data_len);
+    Ok(())
+}
 
 /// One yielded unit of a [`WindowCursor`]: `(timestamp, chunk index
 /// within the timestamp, edges)` — the same coordinates
@@ -140,25 +168,24 @@ impl StoreReader {
         }
     }
 
-    /// Re-hash the whole payload and compare against the header's
-    /// payload checksum — the full-scan integrity check (windowed reads
-    /// only cross-check the records they touch).
+    /// Walk every block, verifying each block's trailer checksum, and
+    /// compare the accumulated data hash against the header's payload
+    /// checksum — the full-scan integrity check (windowed reads only
+    /// verify the blocks they touch). Block damage surfaces as
+    /// [`StoreError::BlockChecksum`] naming the block; a payload-hash
+    /// mismatch with every block intact means the header itself lies.
     pub fn verify_payload(&mut self) -> Result<(), StoreError> {
-        self.file
-            .seek(SeekFrom::Start(self.header.payload_start()))?;
+        let header = self.header;
         let mut fnv = Fnv1a::new();
-        let mut buf = vec![0u8; 256 << 10];
-        let mut remaining = self.header.n_edges * EDGE_BYTES;
-        while remaining > 0 {
-            let take = remaining.min(buf.len() as u64) as usize;
-            self.file.read_exact(&mut buf[..take])?;
-            fnv.update(&buf[..take]);
-            remaining -= take as u64;
+        let mut buf = Vec::new();
+        for k in 0..header.n_blocks() {
+            read_block_verified(&mut self.file, &header, k, &mut buf)?;
+            fnv.update(&buf);
         }
         let actual = fnv.finish();
-        if actual != self.header.payload_checksum {
+        if actual != header.payload_checksum {
             return Err(StoreError::PayloadChecksum {
-                expected: self.header.payload_checksum,
+                expected: header.payload_checksum,
                 actual,
             });
         }
@@ -168,6 +195,142 @@ impl StoreReader {
     /// The serialized index bytes (test/tooling hook).
     pub fn index_bytes(&self) -> Vec<u8> {
         encode_index(&self.index)
+    }
+
+    /// Best-effort recovery of a damaged store file.
+    ///
+    /// Unlike [`open`](StoreReader::open), which refuses a file with any
+    /// invalid region, `salvage` walks the payload block by block and
+    /// hands every block whose trailer checksum validates (and whose
+    /// decoded edges pass the structural checks: endpoints and
+    /// timestamps in shape, `(t, u, v)` order preserved across emitted
+    /// blocks) to `emit`, in file order. Damaged, truncated, or
+    /// out-of-order blocks are skipped and reported. Only an unreadable
+    /// header (bad magic, wrong version, nonsense shape) or an I/O /
+    /// emit failure is fatal — a corrupt index or payload never is.
+    pub fn salvage(
+        path: impl AsRef<Path>,
+        mut emit: impl FnMut(&Header, &[TemporalEdge]) -> Result<(), StoreError>,
+    ) -> Result<SalvageReport, StoreError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                expected: HEADER_BYTES,
+                actual: file_len,
+            });
+        }
+        let mut header_bytes = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header_bytes)?;
+        let header = Header::decode(&header_bytes)?;
+
+        // The index is advisory for salvage (block offsets are pure
+        // arithmetic); just record whether it survived.
+        let index_len = 8 * (header.n_timestamps as usize + 1);
+        let index_valid = if file_len >= HEADER_BYTES + index_len as u64 {
+            let mut index_bytes = vec![0u8; index_len];
+            file.read_exact(&mut index_bytes)?;
+            header.compute_header_checksum(&index_bytes) == header.header_checksum
+        } else {
+            false
+        };
+
+        let mut report = SalvageReport {
+            header,
+            file_len,
+            n_blocks: header.n_blocks(),
+            bad_blocks: Vec::new(),
+            recovered_edges: 0,
+            lost_edges: 0,
+            index_valid,
+        };
+        let mut buf = Vec::new();
+        let mut edges = Vec::new();
+        let mut last_emitted: Option<TemporalEdge> = None;
+        for k in 0..header.n_blocks() {
+            let len = header.block_len(k);
+            let end = header.block_offset(k) + len * EDGE_BYTES + BLOCK_CHECKSUM_BYTES;
+            let intact = end <= file_len
+                && match read_block_verified(&mut file, &header, k, &mut buf) {
+                    Ok(()) => true,
+                    Err(StoreError::BlockChecksum { .. }) => false,
+                    Err(e) => return Err(e),
+                }
+                && decode_block_checked(&header, &buf, len, last_emitted, &mut edges);
+            if !intact {
+                report.bad_blocks.push(k);
+                report.lost_edges += len;
+                continue;
+            }
+            last_emitted = edges.last().copied().or(last_emitted);
+            emit(&header, &edges)?;
+            report.recovered_edges += len;
+        }
+        Ok(report)
+    }
+}
+
+/// Decode one verified block's SoA bytes into `out`, checking shape and
+/// `(t, u, v)` order (within the block and against the last edge emitted
+/// from an earlier block). Returns false if any record is inconsistent —
+/// a checksum collision over garbage, treated the same as block damage.
+fn decode_block_checked(
+    header: &Header,
+    data: &[u8],
+    len: u64,
+    last_emitted: Option<TemporalEdge>,
+    out: &mut Vec<TemporalEdge>,
+) -> bool {
+    let len = len as usize;
+    let col_at =
+        |col: &[u8], i: usize| u32::from_le_bytes(col[i * 4..i * 4 + 4].try_into().expect("4 B"));
+    let (u_col, rest) = data.split_at(len * 4);
+    let (v_col, t_col) = rest.split_at(len * 4);
+    out.clear();
+    out.reserve(len);
+    let mut prev = last_emitted;
+    for i in 0..len {
+        let e = TemporalEdge::new(col_at(u_col, i), col_at(v_col, i), col_at(t_col, i));
+        if e.u as u64 >= header.n_nodes
+            || e.v as u64 >= header.n_nodes
+            || e.t as u64 >= header.n_timestamps
+            || prev.is_some_and(|p| p > e)
+        {
+            return false;
+        }
+        prev = Some(e);
+        out.push(e);
+    }
+    true
+}
+
+/// What [`StoreReader::salvage`] recovered from a damaged store.
+#[derive(Clone, Debug)]
+pub struct SalvageReport {
+    /// The decoded header (trusted shape — it passed its structural
+    /// checks, though its checksums may not cover what's on disk).
+    pub header: Header,
+    /// Actual on-disk byte length.
+    pub file_len: u64,
+    /// Blocks the header implies.
+    pub n_blocks: u64,
+    /// Blocks skipped: truncated away, trailer checksum mismatch, or
+    /// structurally inconsistent records.
+    pub bad_blocks: Vec<u64>,
+    /// Edges handed to `emit`.
+    pub recovered_edges: u64,
+    /// Edges in skipped blocks.
+    pub lost_edges: u64,
+    /// Whether the header/index checksum validated (salvage proceeds
+    /// either way — block offsets are arithmetic).
+    pub index_valid: bool,
+}
+
+impl SalvageReport {
+    /// True when nothing was lost: every block validated and the index
+    /// checksum held.
+    pub fn is_clean(&self) -> bool {
+        self.bad_blocks.is_empty() && self.index_valid
     }
 }
 
@@ -217,15 +380,11 @@ impl WindowCursor<'_> {
             self.chunk_in_t = 0;
         }
         let t = self.cur_t;
-        // load the block holding `pos` if it isn't resident yet
+        // load (and checksum-verify) the block holding `pos` if it isn't
+        // resident yet
         let block = self.pos / header.block_edges;
         if self.loaded_block != Some(block) {
-            let len = header.block_len(block) as usize;
-            self.block_bytes.resize(len * EDGE_BYTES as usize, 0);
-            self.reader
-                .file
-                .seek(SeekFrom::Start(header.block_offset(block)))?;
-            self.reader.file.read_exact(&mut self.block_bytes)?;
+            read_block_verified(&mut self.reader.file, &header, block, &mut self.block_bytes)?;
             self.loaded_block = Some(block);
         }
         let block_start = block * header.block_edges;

@@ -181,6 +181,7 @@ impl<W: Write + Seek> StoreWriter<W> {
         if self.block_u.is_empty() {
             return Ok(());
         }
+        tg_faults::fail_point!("store.write.block", format!("block:{}", self.n_blocks));
         let mut bytes: Vec<u8> = Vec::with_capacity(self.block_u.len() * 12);
         for col in [&self.block_u, &self.block_v, &self.block_t] {
             for &x in col.iter() {
@@ -188,6 +189,11 @@ impl<W: Write + Seek> StoreWriter<W> {
             }
         }
         self.payload_hash.update(&bytes);
+        // per-block trailer: FNV over this block's data bytes, so damage
+        // is localizable (and salvageable) without a full-file scan
+        let mut block_hash = Fnv1a::new();
+        block_hash.update(&bytes);
+        bytes.extend_from_slice(&block_hash.finish().to_le_bytes());
         self.w.write_all(&bytes)?;
         self.block_u.clear();
         self.block_v.clear();
@@ -232,38 +238,71 @@ impl<W: Write + Seek> StoreWriter<W> {
     }
 }
 
+/// Build a store at a tmp sibling, fsync it, and atomically rename it
+/// into place — a crash at any point leaves either the old file or no
+/// file at `path`, never a half-written store.
+fn commit_atomic<F>(path: &Path, build: F) -> Result<StoreStats, StoreError>
+where
+    F: FnOnce(&Path) -> Result<StoreStats, StoreError>,
+{
+    let tmp = tg_graph::io::tmp_sibling(path);
+    let stats = match build(&tmp) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    let f = std::fs::File::open(&tmp)?;
+    f.sync_all()?;
+    drop(f);
+    tg_faults::fail_point!("store.commit", path.display().to_string());
+    std::fs::rename(&tmp, path)?;
+    Ok(stats)
+}
+
 /// Write an in-memory graph to a store file (edges are already in the
-/// canonical order, so this is one sequential pass).
+/// canonical order, so this is one sequential pass). The store is built
+/// at a tmp sibling and renamed into place on success.
 pub fn write_graph(g: &TemporalGraph, path: impl AsRef<Path>) -> Result<StoreStats, StoreError> {
-    let mut w = StoreWriter::create(path, g.n_nodes(), g.n_timestamps())?;
-    w.push_chunk(g.edges())?;
-    w.finish()
+    commit_atomic(path.as_ref(), |tmp| {
+        let mut w = StoreWriter::create(tmp, g.n_nodes(), g.n_timestamps())?;
+        w.push_chunk(g.edges())?;
+        w.finish()
+    })
 }
 
 /// Stream any [`EdgeSource`] into a store file with `O(chunk)` resident
 /// memory — store-to-store copies and text-to-store conversion both land
-/// here.
+/// here. The store is built at a tmp sibling and renamed into place on
+/// success.
 pub fn write_source<S: EdgeSource>(
     source: &mut S,
     path: impl AsRef<Path>,
     block_edges: usize,
 ) -> Result<StoreStats, StoreError> {
-    let mut w =
-        StoreWriter::create_with_block(path, source.n_nodes(), source.n_timestamps(), block_edges)?;
-    let mut failed: Option<StoreError> = None;
-    source
-        .for_each_chunk(block_edges.max(1), &mut |_t, _c, edges| {
-            if failed.is_none() {
-                if let Err(e) = w.push_chunk(edges) {
-                    failed = Some(e);
+    commit_atomic(path.as_ref(), |tmp| {
+        let mut w = StoreWriter::create_with_block(
+            tmp,
+            source.n_nodes(),
+            source.n_timestamps(),
+            block_edges,
+        )?;
+        let mut failed: Option<StoreError> = None;
+        source
+            .for_each_chunk(block_edges.max(1), &mut |_t, _c, edges| {
+                if failed.is_none() {
+                    if let Err(e) = w.push_chunk(edges) {
+                        failed = Some(e);
+                    }
                 }
-            }
-        })
-        .map_err(|e| StoreError::Source {
-            what: e.to_string(),
-        })?;
-    if let Some(e) = failed {
-        return Err(e);
-    }
-    w.finish()
+            })
+            .map_err(|e| StoreError::Source {
+                what: e.to_string(),
+            })?;
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        w.finish()
+    })
 }

@@ -187,7 +187,7 @@ fn flipped_payload_fails_verify_and_windowed_read() {
     let path = sample_store(&dir);
     let mut bytes = std::fs::read(&path).unwrap();
     // header (56) + index (8*5 = 40) = 96; corrupt the first u-column
-    // entry far beyond n_nodes so the lazy range check trips too
+    // entry — the block's trailer checksum catches it on load
     bytes[96] = 0xFF;
     bytes[97] = 0xFF;
     std::fs::write(&path, &bytes).unwrap();
@@ -195,7 +195,7 @@ fn flipped_payload_fails_verify_and_windowed_read() {
     let mut reader = StoreReader::open(&path).unwrap();
     assert!(matches!(
         reader.verify_payload(),
-        Err(StoreError::PayloadChecksum { .. })
+        Err(StoreError::BlockChecksum { block: 0, .. })
     ));
     let mut cursor = reader.window(0, 4, 64);
     let mut hit_error = false;
@@ -204,13 +204,33 @@ fn flipped_payload_fails_verify_and_windowed_read() {
             Ok(Some(_)) => continue,
             Ok(None) => break,
             Err(e) => {
-                assert!(matches!(e, StoreError::CorruptPayload { .. }), "{e:?}");
+                assert!(
+                    matches!(e, StoreError::BlockChecksum { block: 0, .. }),
+                    "{e:?}"
+                );
                 hit_error = true;
                 break;
             }
         }
     }
     assert!(hit_error, "windowed read silently accepted corrupt payload");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_store_is_rejected_with_version_error() {
+    let dir = tmp("v1");
+    let path = sample_store(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4] = 1; // rewrite the version field to v1
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(StoreError::UnsupportedVersion {
+            found: 1,
+            supported: 2
+        })
+    ));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,19 +1,27 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR6.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR7.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
 //! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
 //! generation throughput and streaming peak-heap A/B, PR 4 the
 //! session-overhead and multi-process A/Bs, PR 5 the store ingest
-//! A/Bs and throughput).
+//! A/Bs and throughput, PR 6 the fault-point zero-cost proof).
 //!
-//! PR 6 wires `tg-faults` fault points into the store writer/reader and
-//! checkpoint paths. This harness builds with the faults feature **off**
-//! (only `tgx-cli` enables it by default), so `faults_compiled` in the
-//! snapshot must read `false` and the store write/read throughput
-//! entries — now crossing a `fail_point!` per block — double as the
-//! proof that disabled fault points cost nothing: the numbers must stay
-//! in line with the PR 5 snapshot. The binary asserts the disabled
-//! state instead of just recording it.
+//! PR 7 adds the resident simulation service (`tg-serve`). The new
+//! entry is a **warm-vs-cold cache request latency A/B**: the same
+//! simulate request through a real TCP server, once forced through a
+//! model load on every request (capacity-1 cache, two alternating run
+//! ids — the resident-service "before": what every `tgx-cli simulate`
+//! invocation pays) and once against a resident model (pure cache
+//! hits — the point of the daemon). The binary asserts warm < cold
+//! rather than just recording it.
+//!
+//! The PR-6 contract is carried forward: this harness builds with the
+//! faults feature **off** (only `tgx-cli` enables it by default), so
+//! `faults_compiled` must read `false` and the store write/read
+//! throughput entries — crossing a `fail_point!` per block — double as
+//! the proof that disabled fault points cost nothing. (The serve crate
+//! crosses three more fault points per request, all equally no-op
+//! here.)
 //!
 //! Entry kinds in this snapshot (carried from PR 5 = the `tg-store`
 //! out-of-core edge store + streaming training ingest):
@@ -31,6 +39,10 @@
 //!   2000-node store (sequential I/O both ways).
 //! - **Absolute baselines** — end-to-end `fit` and `generate` wall times
 //!   through the session, carried forward every PR for trend tracking.
+//! - **Serve latency A/B** (new) — median wall time of one streamed
+//!   simulate request over TCP, cold cache (`before_s`, a disk model
+//!   load per request) vs warm cache (`after_s`, one resident
+//!   `Arc`-shared model); `speedup` is the resident-service win.
 //!
 //! The snapshot also asserts (not just measures) that training from the
 //! store reproduces the in-memory loss stream bit-for-bit.
@@ -232,10 +244,106 @@ fn ingest_ab(tmp: &std::path::Path, nodes: usize, edges: usize, entries: &mut Ve
     drop(g_store);
 }
 
+/// Warm-vs-cold request latency through a real TCP `tg-serve` server.
+///
+/// Cold side: a capacity-1 cache with two alternating run ids, so every
+/// request evicts and reloads the model from disk — the per-invocation
+/// price a non-resident `tgx-cli simulate` pays. Warm side: the same
+/// request repeated against one resident model. Asserts warm < cold.
+fn serve_latency_ab(tmp: &std::path::Path, entries: &mut Vec<Entry>) {
+    use tg_serve::{Client, ServeConfig, Server};
+
+    // A load-heavy shape: a wide node-embedding table makes the model
+    // checkpoint expensive to deserialise (the cold cost under test)
+    // while the short edge list keeps per-request generation cheap.
+    let gen_cfg = SyntheticConfig {
+        nodes: 2_000,
+        edges: 500,
+        timestamps: 3,
+        ..Default::default()
+    };
+    let observed = tg_datasets::generate(&gen_cfg, &mut SmallRng::seed_from_u64(1));
+    let mut model_cfg = small_cfg(4);
+    model_cfg.d_in = 48;
+    let mut session = Session::builder(&observed)
+        .config(model_cfg)
+        .seed(7)
+        .build()
+        .expect("session");
+    session.train().expect("train");
+    let model_path = tmp.join("serve_model.json");
+    session.save_model(&model_path).expect("save model");
+    drop(session);
+
+    let loader_observed = std::sync::Arc::new(observed);
+    let loader = Box::new(move |_run_id: &str| {
+        let model = tgae::load(&model_path).map_err(|e| e.to_string())?;
+        tgae::SharedRun::new(model, (*loader_observed).clone()).map_err(|e| e.to_string())
+    });
+    let cfg = ServeConfig {
+        cache_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", loader, cfg).expect("bind ephemeral port");
+    let addr = server.tcp_addr().expect("tcp server").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let mut request = |run_id: &str| {
+        let t = Instant::now();
+        let mut sink = Vec::new();
+        let outcome = client.simulate(run_id, 9, &mut sink).expect("simulate");
+        assert!(!sink.is_empty(), "request streamed no edges");
+        (t.elapsed().as_secs_f64(), outcome.cache)
+    };
+
+    let mut cold: Vec<f64> = (0..8)
+        .map(|i| {
+            let (s, cache) = request(if i % 2 == 0 { "a" } else { "b" });
+            assert_eq!(
+                cache, "miss",
+                "alternating ids must defeat a capacity-1 cache"
+            );
+            s
+        })
+        .collect();
+    // Re-admit "a" outside the timed loop so the warm side is pure hits.
+    request("a");
+    let mut warm: Vec<f64> = (0..9)
+        .map(|_| {
+            let (s, cache) = request("a");
+            assert_eq!(cache, "hit", "a repeated id must stay resident");
+            s
+        })
+        .collect();
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
+    let (cold_s, warm_s) = (cold[cold.len() / 2], warm[warm.len() / 2]);
+    assert!(
+        warm_s < cold_s,
+        "resident model must beat a per-request load: warm {warm_s:.6}s vs cold {cold_s:.6}s"
+    );
+    println!(
+        "serve_request_warm_vs_cold_cache: cold {:.2} ms vs warm {:.2} ms ({:.1}x)",
+        cold_s * 1e3,
+        warm_s * 1e3,
+        cold_s / warm_s
+    );
+    entries.push(Entry::timing(
+        "serve_request_warm_vs_cold_cache",
+        Some(cold_s),
+        warm_s,
+    ));
+
+    handle.shutdown();
+    thread.join().expect("server thread").expect("clean drain");
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     assert!(
         !tg_faults::is_compiled(),
         "perf snapshot must run with fault injection compiled out \
@@ -305,9 +413,12 @@ fn main() {
     ingest_ab(&tmp, 2000, 100_000, &mut entries);
     ingest_ab(&tmp, 2000, 400_000, &mut entries);
 
+    // --- resident service: warm vs cold cache request latency ---
+    serve_latency_ab(&tmp, &mut entries);
+
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 6,
+        pr: 7,
         threads: tg_tensor::parallel::num_threads(),
         faults_compiled: tg_faults::is_compiled(),
         entries,

@@ -46,6 +46,13 @@ const VALUE_KEYS: &[&str] = &[
     "degrade",
     "checkpoint-keep",
     "salvage",
+    "root",
+    "addr",
+    "socket",
+    "cache",
+    "max-cost",
+    "batch-edges",
+    "run-id",
 ];
 
 impl Args {

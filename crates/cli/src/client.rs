@@ -1,0 +1,148 @@
+//! `tgx-cli client`: talk to a running `tgx-cli serve` daemon.
+//!
+//! ```text
+//! tgx-cli client simulate (--addr HOST:PORT | --socket PATH)
+//!                 --run-id ID [--seed S] [--out FILE] [--stats] [--quiet]
+//! tgx-cli client eval     (--addr ... | --socket ...) --run-id ID [--seed S]
+//! tgx-cli client ping     (--addr ... | --socket ...)
+//! tgx-cli client shutdown (--addr ... | --socket ...)
+//! ```
+//!
+//! `simulate` streams the server's edge list into `--out` (default
+//! `simulated.edges`; `-` for stdout) — byte-identical to what
+//! `tgx-cli simulate --in-process --master S` writes locally for the same
+//! run. A `busy` rejection from admission control exits with code 6 so
+//! schedulers can back off and retry.
+
+use crate::args::Args;
+use crate::errors::CliError;
+use std::io::Write;
+use tg_serve::{Client, ClientError};
+
+fn map_client_err(e: ClientError) -> CliError {
+    match e {
+        ClientError::Busy(m) => CliError::Busy(m),
+        other => CliError::Other(other.to_string()),
+    }
+}
+
+fn connect(args: &Args) -> Result<Client, CliError> {
+    match (args.get("addr"), args.get("socket")) {
+        (Some(addr), None) => Client::connect_tcp(addr).map_err(map_client_err),
+        (None, Some(path)) => {
+            Client::connect_unix(std::path::Path::new(path)).map_err(map_client_err)
+        }
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--addr and --socket are mutually exclusive".into(),
+        )),
+        (None, None) => Err(CliError::Usage("--addr or --socket is required".into())),
+    }
+}
+
+/// Run the subcommand.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let op = args.positional().first().cloned().ok_or_else(|| {
+        CliError::Usage("client needs an operation: simulate|eval|ping|shutdown".into())
+    })?;
+    if args.positional().len() > 1 {
+        return Err(CliError::Usage(format!(
+            "unexpected operand(s) after `{op}`"
+        )));
+    }
+    match op.as_str() {
+        "simulate" => simulate(args),
+        "eval" => eval(args),
+        "ping" => {
+            let mut client = connect(args)?;
+            args.reject_unused().map_err(CliError::Usage)?;
+            client.ping().map_err(map_client_err)?;
+            println!("pong");
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = connect(args)?;
+            args.reject_unused().map_err(CliError::Usage)?;
+            client.shutdown().map_err(map_client_err)?;
+            println!("server is draining");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown client operation `{other}`"
+        ))),
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), CliError> {
+    let run_id: String = args.require("run-id").map_err(CliError::Usage)?;
+    let seed: u64 = args.get_parsed("seed", 0).map_err(CliError::Usage)?;
+    let out = args.get("out").unwrap_or("simulated.edges").to_string();
+    let stats = args.flag("stats");
+    let quiet = args.flag("quiet");
+    let mut client = connect(args)?;
+    args.reject_unused().map_err(CliError::Usage)?;
+
+    if stats {
+        let outcome = client
+            .simulate_stats(&run_id, seed)
+            .map_err(map_client_err)?;
+        if out == "-" {
+            println!("{}", outcome.stats_json);
+        } else {
+            std::fs::write(&out, format!("{}\n", outcome.stats_json))
+                .map_err(|e| CliError::Other(format!("write {out}: {e}")))?;
+        }
+        if !quiet {
+            eprintln!(
+                "simulated {} edges (stats only, cache {}, cost {})",
+                outcome.n_edges, outcome.cache, outcome.cost.cost
+            );
+        }
+        return Ok(());
+    }
+
+    let outcome = if out == "-" {
+        let stdout = std::io::stdout();
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        let outcome = client
+            .simulate(&run_id, seed, &mut w)
+            .map_err(map_client_err)?;
+        w.flush()
+            .map_err(|e| CliError::Other(format!("write stdout: {e}")))?;
+        outcome
+    } else {
+        let file = std::fs::File::create(&out)
+            .map_err(|e| CliError::Other(format!("create {out}: {e}")))?;
+        let mut w = std::io::BufWriter::new(file);
+        let outcome = client
+            .simulate(&run_id, seed, &mut w)
+            .map_err(map_client_err)?;
+        w.flush()
+            .map_err(|e| CliError::Other(format!("write {out}: {e}")))?;
+        outcome
+    };
+    if !quiet {
+        eprintln!(
+            "simulated {} edges -> {} (cache {}, cost {})",
+            outcome.n_edges, out, outcome.cache, outcome.cost.cost
+        );
+    }
+    Ok(())
+}
+
+fn eval(args: &Args) -> Result<(), CliError> {
+    let run_id: String = args.require("run-id").map_err(CliError::Usage)?;
+    let seed: u64 = args.get_parsed("seed", 0).map_err(CliError::Usage)?;
+    let mut client = connect(args)?;
+    args.reject_unused().map_err(CliError::Usage)?;
+    let scores = client.eval(&run_id, seed).map_err(map_client_err)?;
+    println!("{:<16} {:>10} {:>10}", "metric", "f_avg", "f_med");
+    for score in &scores {
+        println!(
+            "{:<16} {:>10.4} {:>10.4}",
+            score.kind.name(),
+            score.avg,
+            score.med
+        );
+    }
+    Ok(())
+}

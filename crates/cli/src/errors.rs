@@ -10,6 +10,8 @@
 //! 4  shard worker(s) still failing after the retry budget
 //! 5  run completed in --degrade partial mode (output is incomplete
 //!    but usable; see partial_manifest.json)
+//! 6  server busy (tgx-cli client: admission control or model cache
+//!    refused the request; retry later)
 //! ```
 
 /// A failed `tgx-cli` invocation, tagged with its process exit code.
@@ -25,6 +27,9 @@ pub enum CliError {
     /// The run finished under `--degrade partial`: some shards are
     /// missing, the merged output covers the rest. Exit 5.
     Partial(String),
+    /// A `tgx-cli client` request was refused as busy by the server's
+    /// admission control or saturated model cache. Exit 6.
+    Busy(String),
     /// Anything else. Exit 1.
     Other(String),
 }
@@ -38,6 +43,7 @@ impl CliError {
             CliError::Corruption(_) => 3,
             CliError::WorkerFailure(_) => 4,
             CliError::Partial(_) => 5,
+            CliError::Busy(_) => 6,
         }
     }
 }
@@ -49,6 +55,7 @@ impl std::fmt::Display for CliError {
             | CliError::Corruption(m)
             | CliError::WorkerFailure(m)
             | CliError::Partial(m)
+            | CliError::Busy(m)
             | CliError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -72,6 +79,7 @@ mod tests {
             (CliError::Corruption("x".into()), 3),
             (CliError::WorkerFailure("x".into()), 4),
             (CliError::Partial("x".into()), 5),
+            (CliError::Busy("x".into()), 6),
         ];
         for (e, code) in cases {
             assert_eq!(e.exit_code(), code, "{e}");

@@ -18,12 +18,14 @@
 //! scores any generated edge list with the paper's Eq. 10 harness.
 
 mod args;
+mod client;
 mod errors;
 mod eval;
 mod ingest;
 mod input;
 mod merge;
 mod rundir;
+mod serve;
 mod simulate;
 mod train;
 
@@ -52,10 +54,15 @@ USAGE:
   tgx-cli merge    [--stats] --out FILE INPUT...
   tgx-cli eval     --run-dir DIR [--generated FILE]
   tgx-cli eval     --observed FILE --generated FILE --n-nodes N --n-timestamps T
+  tgx-cli serve    --root DIR [--addr HOST:PORT | --socket PATH]
+                   [--cache N] [--max-cost C] [--batch-edges N] [--quiet]
+  tgx-cli client   (simulate --run-id ID [--seed S] [--out FILE] [--stats]
+                    | eval --run-id ID [--seed S] | ping | shutdown)
+                   (--addr HOST:PORT | --socket PATH) [--quiet]
 
 EXIT CODES:
   0 success         3 ingest/store corruption   5 --degrade partial completion
-  1 other failure   4 workers exhausted retries
+  1 other failure   4 workers exhausted retries  6 server busy (retry later)
   2 usage error
 
 The smoke pipeline (also run in CI):
@@ -93,6 +100,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "simulate" => simulate::run(&args),
         "merge" => merge::run(&args).map_err(CliError::from),
         "eval" => eval::run(&args).map_err(CliError::from),
+        "serve" => serve::run(&args),
+        "client" => client::run(&args),
         other => {
             eprint!("{USAGE}");
             Err(CliError::Usage(format!("unknown subcommand `{other}`")))

@@ -1,0 +1,100 @@
+//! `tgx-cli serve`: run the resident simulation daemon over a root
+//! directory of `tgx-cli train` run directories.
+//!
+//! ```text
+//! tgx-cli serve --root DIR [--addr HOST:PORT | --socket PATH]
+//!               [--cache N] [--max-cost C] [--batch-edges N] [--quiet]
+//! ```
+//!
+//! Each protocol `run_id` names one run directory under `--root`. Models
+//! are loaded lazily on first request and kept resident in an LRU cache
+//! (`--cache` entries), so repeated requests skip the load entirely;
+//! admission control bounds concurrent in-flight work by plan cost
+//! (`--max-cost`), refusing the excess with typed `busy` errors (client
+//! exit code 6).
+//!
+//! The daemon prints exactly one startup line —
+//! `tgx-serve listening on <endpoint>` — so scripts can bind an
+//! ephemeral port (`--addr 127.0.0.1:0`) and parse the real one.
+//! `SIGTERM`/`SIGINT` (or a protocol `shutdown` request) drain it: new
+//! work is refused, in-flight requests finish, exit code 0.
+
+use crate::args::Args;
+use crate::errors::CliError;
+use crate::rundir::RunDir;
+use std::io::Write;
+use std::path::PathBuf;
+use tg_serve::{Loader, ServeConfig, Server};
+use tgae::SharedRun;
+
+/// A protocol run-id must be a plain directory name — anything
+/// path-like is refused before it touches the filesystem.
+fn safe_run_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("empty run_id".into());
+    }
+    if id == "." || id == ".." || id.contains('/') || id.contains('\\') {
+        return Err(format!("run_id `{id}` is not a plain directory name"));
+    }
+    Ok(())
+}
+
+/// Build the cache-miss loader: `run_id` → run directory under `root` →
+/// validated [`SharedRun`] with the manifest's master seed.
+pub(crate) fn run_loader(root: PathBuf) -> Loader {
+    Box::new(move |run_id: &str| {
+        safe_run_id(run_id)?;
+        let run_dir = RunDir::open(root.join(run_id));
+        let (manifest, observed) = run_dir.load_all()?;
+        let model = run_dir.load_model()?;
+        let run = SharedRun::new(model, observed).map_err(|e| e.to_string())?;
+        Ok(run.with_master(manifest.seed))
+    })
+}
+
+/// Run the subcommand.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let root: String = args.require("root").map_err(CliError::Usage)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let socket = args.get("socket").map(PathBuf::from);
+    let mut cfg = ServeConfig::default();
+    cfg.cache_capacity = args
+        .get_parsed("cache", cfg.cache_capacity)
+        .map_err(CliError::Usage)?;
+    cfg.max_cost = args
+        .get_parsed("max-cost", cfg.max_cost)
+        .map_err(CliError::Usage)?;
+    cfg.batch_edges = args
+        .get_parsed("batch-edges", cfg.batch_edges)
+        .map_err(CliError::Usage)?;
+    let quiet = args.flag("quiet");
+    args.reject_unused().map_err(CliError::Usage)?;
+    if cfg.cache_capacity == 0 {
+        return Err(CliError::Usage("--cache must be >= 1".into()));
+    }
+
+    let loader = run_loader(PathBuf::from(root));
+    tg_serve::signal::install_handlers();
+    let server = match &socket {
+        Some(path) => Server::bind_unix(path, loader, cfg)
+            .map_err(|e| CliError::Other(format!("bind {}: {e}", path.display())))?,
+        None => Server::bind_tcp(&addr, loader, cfg)
+            .map_err(|e| CliError::Other(format!("bind {addr}: {e}")))?,
+    };
+
+    // The one line scripts depend on: parseable even with --quiet, and
+    // flushed so a parent polling our stdout sees it immediately.
+    println!("tgx-serve listening on {}", server.endpoint());
+    let _ = std::io::stdout().flush();
+
+    let report = server
+        .run()
+        .map_err(|e| CliError::Other(format!("serve loop failed: {e}")))?;
+    if !quiet {
+        println!(
+            "tgx-serve drained: {} request(s) served",
+            report.requests_served
+        );
+    }
+    Ok(())
+}

@@ -5,53 +5,16 @@
 //! is still byte-identical to in-process generation (`--verify`). With no
 //! retry budget the same failure aborts the driver with exit code 4.
 
-use std::path::{Path, PathBuf};
-use std::process::Command;
+mod common;
 
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_tgx-cli"))
-}
-
-fn tmp(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("tgx_cli_retry_{tag}_{}", std::process::id()));
-    std::fs::remove_dir_all(&d).ok();
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
-
-/// A small dense ring: fast to train in debug mode, every node and
-/// timestamp occupied.
-fn write_ring_edges(path: &Path) {
-    let mut text = String::new();
-    for t in 0..3u32 {
-        for u in 0..24u32 {
-            text.push_str(&format!("{u} {} {t}\n", (u + 1) % 24));
-        }
-    }
-    std::fs::write(path, text).unwrap();
-}
-
-fn train_run(dir: &Path, run: &str, edges: &Path) -> PathBuf {
-    let run_dir = dir.join(run);
-    let status = cli()
-        .args(["train", "--run-dir"])
-        .arg(&run_dir)
-        .arg("--edges")
-        .arg(edges)
-        .args(["--epochs", "2", "--seed", "5", "--quiet"])
-        .stdout(std::process::Stdio::null())
-        .status()
-        .expect("run tgx-cli train");
-    assert!(status.success(), "train failed");
-    run_dir
-}
+use common::{cli, tmp, train_run, write_ring_edges};
 
 #[test]
 fn failed_shard_is_retried_alone_and_verifies() {
     if !tg_faults::is_compiled() {
         return; // injection needs the default `faults` feature
     }
-    let dir = tmp("ok");
+    let dir = tmp("retry_ok");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
     let run_dir = train_run(&dir, "run", &edges);
@@ -86,7 +49,7 @@ fn no_retry_budget_means_the_failure_aborts_with_exit_4() {
     if !tg_faults::is_compiled() {
         return;
     }
-    let dir = tmp("abort");
+    let dir = tmp("retry_abort");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
     let run_dir = train_run(&dir, "run", &edges);

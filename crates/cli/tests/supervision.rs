@@ -10,55 +10,16 @@
 //!   bit-flipped one (exit 0) and exits 3 on a file that is not a store;
 //! - usage errors exit 2.
 
-use std::path::{Path, PathBuf};
-use std::process::Command;
+mod common;
 
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_tgx-cli"))
-}
-
-fn tmp(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("tgx_cli_sup_{tag}_{}", std::process::id()));
-    std::fs::remove_dir_all(&d).ok();
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
-
-fn write_ring_edges(path: &Path) {
-    let mut text = String::new();
-    for t in 0..3u32 {
-        for u in 0..24u32 {
-            text.push_str(&format!("{u} {} {t}\n", (u + 1) % 24));
-        }
-    }
-    std::fs::write(path, text).unwrap();
-}
-
-fn train_run(dir: &Path, run: &str, edges: &Path) -> PathBuf {
-    let run_dir = dir.join(run);
-    let status = cli()
-        .args(["train", "--run-dir"])
-        .arg(&run_dir)
-        .arg("--edges")
-        .arg(edges)
-        .args(["--epochs", "2", "--seed", "5", "--quiet"])
-        .stdout(std::process::Stdio::null())
-        .status()
-        .expect("run tgx-cli train");
-    assert!(status.success(), "train failed");
-    run_dir
-}
-
-fn compact(text: &str) -> String {
-    text.chars().filter(|c| !c.is_whitespace()).collect()
-}
+use common::{cli, compact, tmp, train_run, write_ring_edges};
 
 #[test]
 fn hung_worker_is_killed_at_timeout_and_retried() {
     if !tg_faults::is_compiled() {
         return; // injection needs the default `faults` feature
     }
-    let dir = tmp("hang");
+    let dir = tmp("sup_hang");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
     let run_dir = train_run(&dir, "run", &edges);
@@ -94,7 +55,7 @@ fn degrade_partial_merges_completed_shards_and_exits_5() {
     if !tg_faults::is_compiled() {
         return;
     }
-    let dir = tmp("partial");
+    let dir = tmp("sup_partial");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
 
@@ -173,7 +134,7 @@ fn usage_errors_exit_2() {
 
 #[test]
 fn salvage_rebuilds_a_verifiable_store_from_a_bitflipped_one() {
-    let dir = tmp("salvage");
+    let dir = tmp("sup_salvage");
     let edges = dir.join("ring.edges");
     write_ring_edges(&edges);
     let store = dir.join("obs.tgs");
@@ -228,7 +189,7 @@ fn salvage_rebuilds_a_verifiable_store_from_a_bitflipped_one() {
 
 #[test]
 fn salvage_of_a_non_store_exits_3() {
-    let dir = tmp("salvage3");
+    let dir = tmp("sup_salvage3");
     let garbage = dir.join("garbage.bin");
     std::fs::write(&garbage, vec![0x5a; 200]).unwrap();
     let out = cli()

@@ -214,6 +214,78 @@ impl SimulationPlan {
     }
 }
 
+/// A cheap, **monotone** workload estimate for executing a set of planned
+/// units — the admission currency of the `tg-serve` scheduler.
+///
+/// The component counts are exact (the plan already knows every unit's
+/// budgets); `cost` folds them into one scalar with fixed positive
+/// weights, so it is
+///
+/// - **monotone**: adding a timestamp, splitting into more chunks
+///   (smaller `batch_centers`), or growing any per-source budget can only
+///   increase the estimate, never decrease it;
+/// - **additive**: the estimates of the shards of a partition sum exactly
+///   to the estimate of the whole plan (shards partition the unit list).
+///
+/// The weights model the execute path: every emitted edge costs a sample,
+/// every center a decode row, and every unit a fixed dispatch/RNG-setup
+/// overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Work units (center chunks) the plan executes.
+    pub units: u64,
+    /// Center rows decoded across all units.
+    pub centers: u64,
+    /// Edges the executed units will emit (the observed budget).
+    pub edges: u64,
+    /// The folded scalar: `edges + 8·centers + 64·units`.
+    pub cost: u64,
+}
+
+/// Per-center decode weight in [`CostEstimate::cost`].
+const COST_PER_CENTER: u64 = 8;
+/// Per-unit dispatch weight in [`CostEstimate::cost`].
+const COST_PER_UNIT: u64 = 64;
+
+impl CostEstimate {
+    /// Estimate the cost of executing exactly `units`.
+    pub fn of_units(units: &[PlannedUnit]) -> CostEstimate {
+        let mut centers = 0u64;
+        let mut edges = 0u64;
+        for unit in units {
+            centers += unit.budgets.len() as u64;
+            edges += unit
+                .budgets
+                .iter()
+                .map(|&(_, total, _)| total as u64)
+                .sum::<u64>();
+        }
+        let n_units = units.len() as u64;
+        CostEstimate {
+            units: n_units,
+            centers,
+            edges,
+            cost: edges + COST_PER_CENTER * centers + COST_PER_UNIT * n_units,
+        }
+    }
+}
+
+impl SimulationPlan {
+    /// Workload estimate of executing the whole manifest. Independent of
+    /// the master seed (seeds never change budgets or chunking), so a
+    /// scheduler can price a request before committing to run it.
+    pub fn cost_estimate(&self) -> CostEstimate {
+        CostEstimate::of_units(&self.units)
+    }
+
+    /// Workload estimate of one shard of the manifest. Shard estimates
+    /// sum exactly to [`SimulationPlan::cost_estimate`] across a
+    /// partition.
+    pub fn shard_cost_estimate(&self, spec: &ShardSpec) -> CostEstimate {
+        CostEstimate::of_units(self.shard_units(spec))
+    }
+}
+
 /// Drives a [`SimulationPlan`] through a trained model into an
 /// [`EdgeSink`]. Stateless besides the two borrows, so engines are free
 /// to construct per call.
@@ -423,6 +495,56 @@ mod tests {
         assert!(non_empty <= 2);
         let covered: usize = specs.iter().map(|s| plan.shard_units(s).len()).sum();
         assert_eq!(covered, plan.units().len());
+    }
+
+    #[test]
+    fn cost_estimate_counts_the_observed_budget() {
+        let g = ring_graph(12, 4); // 12 edges × 4 timestamps
+        let plan = SimulationPlan::new(&g, 4, 99);
+        let est = plan.cost_estimate();
+        assert_eq!(est.edges as usize, g.n_edges());
+        assert_eq!(est.units as usize, plan.units().len());
+        // every node is a source once per timestamp
+        assert_eq!(est.centers, 12 * 4);
+        assert_eq!(est.cost, est.edges + 8 * est.centers + 64 * est.units);
+        // seed-independent: the estimate prices the plan, not the stream
+        assert_eq!(SimulationPlan::new(&g, 4, 1234).cost_estimate(), est);
+    }
+
+    #[test]
+    fn shard_cost_estimates_sum_to_the_total() {
+        let g = ring_graph(10, 5);
+        let plan = SimulationPlan::new(&g, 4, 7);
+        let total = plan.cost_estimate();
+        for n_shards in [1usize, 2, 3, 7] {
+            let mut units = 0u64;
+            let mut centers = 0u64;
+            let mut edges = 0u64;
+            let mut cost = 0u64;
+            for spec in plan.shards(n_shards) {
+                let e = plan.shard_cost_estimate(&spec);
+                units += e.units;
+                centers += e.centers;
+                edges += e.edges;
+                cost += e.cost;
+            }
+            assert_eq!(
+                (units, centers, edges, cost),
+                (total.units, total.centers, total.edges, total.cost),
+                "{n_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_chunks_never_cost_less() {
+        let g = ring_graph(96, 2); // enough sources for several 32-chunks
+        let fine = SimulationPlan::new(&g, 32, 1).cost_estimate();
+        let coarse = SimulationPlan::new(&g, 64, 1).cost_estimate();
+        assert!(fine.units > coarse.units);
+        assert!(fine.cost > coarse.cost);
+        assert_eq!(fine.edges, coarse.edges);
+        assert_eq!(fine.centers, coarse.centers);
     }
 
     #[test]

@@ -72,12 +72,13 @@ pub mod generator;
 pub mod model;
 pub mod persist;
 pub mod session;
+pub mod shared;
 pub mod trainer;
 
 pub use config::{TgaeConfig, TgaeVariant};
 pub use engine::{
-    generate_shard, generate_shard_with_sink, generate_with_sink, ShardSpec, SimulationEngine,
-    SimulationPlan,
+    generate_shard, generate_shard_with_sink, generate_with_sink, CostEstimate, ShardSpec,
+    SimulationEngine, SimulationPlan,
 };
 pub use errors::TgxError;
 pub use model::{BatchStats, Tgae};
@@ -85,6 +86,7 @@ pub use persist::{load, save, PersistError};
 pub use session::{
     CheckpointPolicy, EpochEvent, RunObserver, SeedPolicy, Session, SessionBuilder, TrainControl,
 };
+pub use shared::SharedRun;
 pub use trainer::{TrainCheckpoint, TrainReport};
 
 #[allow(deprecated)]

@@ -474,6 +474,25 @@ impl<'a> Session<'a> {
         self.model
     }
 
+    /// Consume the session into a [`SharedRun`](crate::shared::SharedRun): the trained model and
+    /// the observed graph move behind `Arc`s so any number of threads can
+    /// simulate/evaluate the run concurrently without cloning parameters
+    /// (a borrowed observed graph is cloned once here — the shared run
+    /// must be `'static` to cross threads). The seed policy carries over,
+    /// and [`simulate_seeded`](crate::shared::SharedRun::simulate_seeded) stays bit-identical to
+    /// [`Session::simulate_seeded`] for the same master.
+    pub fn into_shared(self) -> crate::shared::SharedRun {
+        let observed = match self.observed {
+            Observed::Borrowed(g) => g.clone(),
+            Observed::Owned(g) => *g,
+        };
+        crate::shared::SharedRun::assemble(
+            std::sync::Arc::new(self.model),
+            std::sync::Arc::new(observed),
+            self.policy,
+        )
+    }
+
     /// The seed policy every stream derives from.
     pub fn seed_policy(&self) -> SeedPolicy {
         self.policy

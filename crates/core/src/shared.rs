@@ -1,0 +1,277 @@
+//! One immutable trained run shared across concurrent generations.
+//!
+//! A [`Session`](crate::session::Session) *owns* its model and observed
+//! graph, which is the right shape for the train → simulate → evaluate
+//! lifecycle of one caller — but wrong for a resident server where many
+//! requests hit the same trained run at once: cloning the model per
+//! request would multiply resident memory by the concurrency level, and
+//! `&mut self` methods would serialise everything behind a lock.
+//!
+//! A [`SharedRun`] is the serving-side counterpart: the trained model and
+//! the observed graph live behind `Arc`s, every method takes `&self`, and
+//! the whole struct is `Clone` (two `Arc` bumps) + `Send` + `Sync`. Any
+//! number of threads can call [`SharedRun::simulate_seeded`] concurrently
+//! against **one** parameter set — generation is read-only over the model
+//! (`decode_rows_for_generation` takes `&self`), and each call's RNG
+//! streams derive purely from its own master seed, so concurrent outputs
+//! are bit-identical to sequential ones.
+//!
+//! ```
+//! use tgae::{Session, TgaeConfig};
+//! use tg_graph::sink::GraphSink;
+//! use tg_graph::{TemporalEdge, TemporalGraph};
+//!
+//! let mut edges = Vec::new();
+//! for t in 0..2 {
+//!     for u in 0..6u32 {
+//!         edges.push(TemporalEdge::new(u, (u + 1) % 6, t));
+//!     }
+//! }
+//! let observed = TemporalGraph::from_edges(6, 2, edges);
+//! let mut cfg = TgaeConfig::tiny();
+//! cfg.epochs = 3;
+//! let mut session = Session::builder(&observed).config(cfg).seed(7).build().unwrap();
+//! session.train().unwrap();
+//!
+//! let run = session.into_shared(); // Arc-held, Clone, Send + Sync
+//! let handles: Vec<_> = (0..4u64)
+//!     .map(|seed| {
+//!         let run = run.clone(); // two Arc bumps, no parameter copy
+//!         std::thread::spawn(move || {
+//!             let shape = (run.observed().n_nodes(), run.observed().n_timestamps());
+//!             run.simulate_seeded(seed, GraphSink::new(shape.0, shape.1)).unwrap()
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     assert_eq!(h.join().unwrap().n_edges(), run.observed().n_edges());
+//! }
+//! ```
+
+use crate::engine::{generate_with_sink, CostEstimate, SimulationPlan};
+use crate::errors::TgxError;
+use crate::model::Tgae;
+use crate::session::SeedPolicy;
+use crate::trainer::validate_shapes;
+use std::sync::Arc;
+use tg_graph::sink::EdgeSink;
+use tg_graph::TemporalGraph;
+use tg_metrics::MetricScore;
+
+/// An immutable trained run — model + observed graph behind `Arc`s — that
+/// any number of threads can simulate and evaluate concurrently.
+///
+/// Construct with [`SharedRun::new`] / [`SharedRun::from_arcs`] (typed
+/// shape validation, like the session builder) or convert a finished
+/// session with [`Session::into_shared`](crate::session::Session::into_shared).
+#[derive(Clone)]
+pub struct SharedRun {
+    model: Arc<Tgae>,
+    observed: Arc<TemporalGraph>,
+    policy: SeedPolicy,
+}
+
+impl std::fmt::Debug for SharedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRun")
+            .field("n_nodes", &self.observed.n_nodes())
+            .field("n_timestamps", &self.observed.n_timestamps())
+            .field("master_seed", &self.policy.master())
+            .field("model_refs", &Arc::strong_count(&self.model))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedRun {
+    /// Wrap an owned model + observed graph. Validates shapes exactly
+    /// like [`SessionBuilder::build`](crate::session::SessionBuilder::build)
+    /// with an adopted model: node counts must match, timestamp counts
+    /// must match, and the graph must have something to simulate.
+    pub fn new(model: Tgae, observed: TemporalGraph) -> Result<Self, TgxError> {
+        Self::from_arcs(Arc::new(model), Arc::new(observed))
+    }
+
+    /// [`SharedRun::new`] over already-shared parts (no copies; the run
+    /// keeps the given `Arc`s, so callers can hold aliases and assert
+    /// pointer identity).
+    pub fn from_arcs(model: Arc<Tgae>, observed: Arc<TemporalGraph>) -> Result<Self, TgxError> {
+        if observed.n_timestamps() == 0 || observed.n_edges() == 0 || observed.n_nodes() < 2 {
+            return Err(TgxError::EmptyGraph);
+        }
+        validate_shapes(&model, &observed)?;
+        if model.n_timestamps != observed.n_timestamps() {
+            return Err(TgxError::TimestampMismatch {
+                model: model.n_timestamps,
+                graph: observed.n_timestamps(),
+            });
+        }
+        let policy = SeedPolicy::new(model.cfg.seed);
+        Ok(SharedRun {
+            model,
+            observed,
+            policy,
+        })
+    }
+
+    /// Already-validated assembly path for [`Session::into_shared`]
+    /// (the session builder proved the shapes at build time).
+    pub(crate) fn assemble(
+        model: Arc<Tgae>,
+        observed: Arc<TemporalGraph>,
+        policy: SeedPolicy,
+    ) -> Self {
+        SharedRun {
+            model,
+            observed,
+            policy,
+        }
+    }
+
+    /// Replace the seed policy master (e.g. with the master seed recorded
+    /// in a run manifest, which is authoritative over the model config's
+    /// copy).
+    pub fn with_master(mut self, master: u64) -> Self {
+        self.policy = SeedPolicy::new(master);
+        self
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &Tgae {
+        &self.model
+    }
+
+    /// The observed graph the run mirrors.
+    pub fn observed(&self) -> &TemporalGraph {
+        &self.observed
+    }
+
+    /// An alias of the shared model `Arc` (pointer-identity checks; the
+    /// concurrency tests use this to prove no request cloned the params).
+    pub fn model_arc(&self) -> Arc<Tgae> {
+        Arc::clone(&self.model)
+    }
+
+    /// An alias of the shared observed-graph `Arc`.
+    pub fn observed_arc(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.observed)
+    }
+
+    /// The seed policy per-run streams derive from.
+    pub fn seed_policy(&self) -> SeedPolicy {
+        self.policy
+    }
+
+    /// The deterministic shard manifest a run with `master` would execute.
+    pub fn plan(&self, master: u64) -> SimulationPlan {
+        SimulationPlan::new(&self.observed, self.model.cfg.batch_centers, master)
+    }
+
+    /// Workload estimate of one full simulation of this run — what a
+    /// server's admission control prices a request at. Master-seed
+    /// independent (seeds never change budgets or chunking).
+    pub fn cost_estimate(&self) -> CostEstimate {
+        self.plan(0).cost_estimate()
+    }
+
+    /// Simulate one synthetic stream under an explicit engine master
+    /// seed. `&self`: any number of threads may call this concurrently on
+    /// clones of the same run, and each call is bit-identical to
+    /// [`generate_with_sink`] over the same model/graph/master.
+    pub fn simulate_seeded<S: EdgeSink>(
+        &self,
+        master: u64,
+        sink: S,
+    ) -> Result<S::Output, TgxError> {
+        Ok(generate_with_sink(
+            &self.model,
+            &self.observed,
+            master,
+            sink,
+        ))
+    }
+
+    /// Score a synthetic graph against the observed one (Eq. 10), with
+    /// the same typed shape checks as
+    /// [`Session::evaluate`](crate::session::Session::evaluate).
+    pub fn evaluate(&self, synthetic: &TemporalGraph) -> Result<Vec<MetricScore>, TgxError> {
+        if synthetic.n_nodes() != self.observed.n_nodes() {
+            return Err(TgxError::NodeCountMismatch {
+                model: self.observed.n_nodes(),
+                graph: synthetic.n_nodes(),
+            });
+        }
+        if synthetic.n_timestamps() < self.observed.n_timestamps() {
+            return Err(TgxError::TimestampMismatch {
+                model: self.observed.n_timestamps(),
+                graph: synthetic.n_timestamps(),
+            });
+        }
+        Ok(tg_metrics::evaluate(&self.observed, synthetic))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TgaeConfig;
+    use tg_graph::TemporalEdge;
+
+    fn ring(n: u32, t_count: u32) -> TemporalGraph {
+        let mut edges = Vec::new();
+        for t in 0..t_count {
+            for u in 0..n {
+                edges.push(TemporalEdge::new(u, (u + 1) % n, t));
+            }
+        }
+        TemporalGraph::from_edges(n as usize, t_count as usize, edges)
+    }
+
+    #[test]
+    fn validation_mirrors_the_session_builder() {
+        let g = ring(6, 2);
+        let wrong_nodes = Tgae::new(9, 2, TgaeConfig::tiny());
+        assert!(matches!(
+            SharedRun::new(wrong_nodes, g.clone()).unwrap_err(),
+            TgxError::NodeCountMismatch { model: 9, graph: 6 }
+        ));
+        let wrong_t = Tgae::new(6, 4, TgaeConfig::tiny());
+        assert!(matches!(
+            SharedRun::new(wrong_t, g.clone()).unwrap_err(),
+            TgxError::TimestampMismatch { .. }
+        ));
+        let empty = TemporalGraph::from_edges(4, 2, Vec::new());
+        assert!(matches!(
+            SharedRun::new(Tgae::new(4, 2, TgaeConfig::tiny()), empty).unwrap_err(),
+            TgxError::EmptyGraph
+        ));
+        assert!(SharedRun::new(Tgae::new(6, 2, TgaeConfig::tiny()), g).is_ok());
+    }
+
+    #[test]
+    fn clones_alias_the_same_model() {
+        let g = ring(6, 2);
+        let run = SharedRun::new(Tgae::new(6, 2, TgaeConfig::tiny()), g).unwrap();
+        let clone = run.clone();
+        assert!(Arc::ptr_eq(&run.model_arc(), &clone.model_arc()));
+        assert!(Arc::ptr_eq(&run.observed_arc(), &clone.observed_arc()));
+        assert_eq!(run.seed_policy(), clone.seed_policy());
+    }
+
+    #[test]
+    fn with_master_rebases_the_policy() {
+        let g = ring(6, 2);
+        let run = SharedRun::new(Tgae::new(6, 2, TgaeConfig::tiny()), g)
+            .unwrap()
+            .with_master(99);
+        assert_eq!(run.seed_policy().master(), 99);
+    }
+
+    #[test]
+    fn cost_estimate_matches_the_plan() {
+        let g = ring(8, 3);
+        let run = SharedRun::new(Tgae::new(8, 3, TgaeConfig::tiny()), g).unwrap();
+        let est = run.cost_estimate();
+        assert_eq!(est, run.plan(42).cost_estimate());
+        assert_eq!(est.edges as usize, run.observed().n_edges());
+    }
+}

@@ -1,0 +1,162 @@
+//! Cost-based admission control: bound in-flight work, reject the rest.
+//!
+//! Every request is priced before it runs via
+//! [`SimulationPlan::cost_estimate`](tgae::SimulationPlan::cost_estimate).
+//! The controller admits a request only while the sum of admitted costs
+//! stays within `max_cost`; otherwise it returns a typed [`Rejection`]
+//! that the server turns into a `busy` error frame (the HTTP-429
+//! analogue). Admission is a [`Permit`] — an RAII guard that releases the
+//! cost when the request finishes, however it finishes.
+//!
+//! One exception keeps the server live: when **nothing** is in flight,
+//! any request is admitted even if it alone exceeds `max_cost`. A
+//! too-small budget must degrade to serial execution, not to starving
+//! every oversized tenant forever.
+
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inflight {
+    cost: u64,
+    requests: usize,
+}
+
+/// Why a request was not admitted. Carries the numbers so the client can
+/// see exactly how busy the server was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The rejected request's estimated cost.
+    pub requested: u64,
+    /// Cost of the work already in flight.
+    pub inflight_cost: u64,
+    /// Number of requests already in flight.
+    pub inflight_requests: usize,
+    /// The configured budget.
+    pub max_cost: u64,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "server busy: request cost {} does not fit the in-flight budget ({} used by {} request(s), max {})",
+            self.requested, self.inflight_cost, self.inflight_requests, self.max_cost
+        )
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Admits requests while total in-flight cost fits `max_cost`.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_cost: u64,
+    inflight: Mutex<Inflight>,
+}
+
+impl AdmissionController {
+    /// Controller with the given in-flight cost budget.
+    pub fn new(max_cost: u64) -> Self {
+        AdmissionController {
+            max_cost,
+            inflight: Mutex::new(Inflight::default()),
+        }
+    }
+
+    /// The configured budget.
+    pub fn max_cost(&self) -> u64 {
+        self.max_cost
+    }
+
+    /// Currently admitted (cost, request-count).
+    pub fn inflight(&self) -> (u64, usize) {
+        let g = self.inflight.lock().unwrap();
+        (g.cost, g.requests)
+    }
+
+    /// Admit a request of estimated `cost`, or explain why not. Drop the
+    /// returned [`Permit`] to release the admission.
+    pub fn try_admit(&self, cost: u64) -> Result<Permit<'_>, Rejection> {
+        let mut g = self.inflight.lock().unwrap();
+        if g.requests > 0 && g.cost.saturating_add(cost) > self.max_cost {
+            return Err(Rejection {
+                requested: cost,
+                inflight_cost: g.cost,
+                inflight_requests: g.requests,
+                max_cost: self.max_cost,
+            });
+        }
+        g.cost = g.cost.saturating_add(cost);
+        g.requests += 1;
+        Ok(Permit {
+            controller: self,
+            cost,
+        })
+    }
+
+    fn release(&self, cost: u64) {
+        let mut g = self.inflight.lock().unwrap();
+        g.cost = g.cost.saturating_sub(cost);
+        g.requests = g.requests.saturating_sub(1);
+    }
+}
+
+/// An admitted request's hold on the cost budget; released on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    controller: &'a AdmissionController,
+    cost: u64,
+}
+
+impl Permit<'_> {
+    /// The cost this permit holds.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.controller.release(self.cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_within_budget_and_rejects_beyond_it() {
+        let ctl = AdmissionController::new(100);
+        let a = ctl.try_admit(60).unwrap();
+        let b = ctl.try_admit(40).unwrap();
+        assert_eq!(ctl.inflight(), (100, 2));
+        let rej = ctl.try_admit(1).unwrap_err();
+        assert_eq!(rej.requested, 1);
+        assert_eq!(rej.inflight_cost, 100);
+        assert_eq!(rej.inflight_requests, 2);
+        assert_eq!(rej.max_cost, 100);
+        assert!(rej.to_string().contains("server busy"));
+        drop(a);
+        drop(b);
+        assert_eq!(ctl.inflight(), (0, 0));
+    }
+
+    #[test]
+    fn dropping_a_permit_releases_its_cost() {
+        let ctl = AdmissionController::new(50);
+        let p = ctl.try_admit(50).unwrap();
+        assert!(ctl.try_admit(10).is_err());
+        drop(p);
+        ctl.try_admit(10).unwrap();
+    }
+
+    #[test]
+    fn an_idle_server_admits_even_an_oversized_request() {
+        let ctl = AdmissionController::new(10);
+        let p = ctl.try_admit(1_000_000).unwrap();
+        assert_eq!(p.cost(), 1_000_000);
+        // …but while it runs, everything else is busy-rejected.
+        assert!(ctl.try_admit(1).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The LRU model cache: loaded runs keyed by run-id, shared via `Arc`.
+//!
+//! Loading a run (model JSON + observed edge list off disk) is the
+//! expensive part of serving a request — the whole point of a resident
+//! server is to pay it once. The cache keeps up to `capacity` loaded
+//! values, hands every requester an [`Arc`] alias of the **same**
+//! instance (never a copy), and evicts least-recently-used entries when
+//! full — but only entries that are *idle*: an entry whose `Arc` is still
+//! held by an in-flight request is pinned, and if every resident entry is
+//! pinned the miss is refused as [`CacheError::Saturated`] (the server
+//! maps that to a typed `busy` rejection rather than unbounded growth).
+//!
+//! Loads run **outside** the lock (they hit the disk); if two threads
+//! miss the same id concurrently, the first insert wins and the loser
+//! adopts the winner's `Arc`, so there is always exactly one resident
+//! instance per id.
+//!
+//! Invariants (property-tested in `tests/cache_props.rs`):
+//!
+//! - resident entries never exceed `capacity`;
+//! - a hit returns the same `Arc` as the previous `get` of that id;
+//! - only idle entries are ever evicted.
+
+use std::sync::{Arc, Mutex};
+
+/// Whether a `get` found the value resident or had to load it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The value was resident; no load ran.
+    Hit,
+    /// The value was loaded (this request paid the disk cost).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Wire spelling (`"hit"` / `"miss"`) for `start` frames.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Why a `get` failed.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The loader could not produce a value for this id (unknown run,
+    /// unreadable run directory, shape mismatch, …).
+    Load {
+        /// The requested id.
+        run_id: String,
+        /// The loader's diagnosis.
+        message: String,
+    },
+    /// The cache is full and every resident entry is held by an in-flight
+    /// request — admitting this load would grow memory past the
+    /// configured bound. A `429`-style condition: retry later.
+    Saturated {
+        /// The configured capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Load { run_id, message } => {
+                write!(f, "cannot load run `{run_id}`: {message}")
+            }
+            CacheError::Saturated { capacity } => write!(
+                f,
+                "model cache saturated: all {capacity} resident models are serving in-flight requests"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// The fallible value loader a [`ModelCache`] fills misses through.
+pub type CacheLoader<T> = Box<dyn Fn(&str) -> Result<T, String> + Send + Sync>;
+
+/// A bounded, thread-safe LRU cache of `Arc<T>` values produced by a
+/// fallible loader. See the [module docs](self) for the contract.
+pub struct ModelCache<T> {
+    capacity: usize,
+    loader: CacheLoader<T>,
+    /// Most-recently-used first.
+    entries: Mutex<Vec<(String, Arc<T>)>>,
+}
+
+impl<T> ModelCache<T> {
+    /// Cache holding at most `capacity` (≥ 1) values, filling misses
+    /// through `loader`.
+    pub fn new(
+        capacity: usize,
+        loader: impl Fn(&str) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(capacity >= 1, "cache capacity must be >= 1");
+        ModelCache {
+            capacity,
+            loader: Box::new(loader),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entry count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `run_id` is currently resident (does not touch LRU order).
+    pub fn contains(&self, run_id: &str) -> bool {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|(id, _)| id == run_id)
+    }
+
+    /// Resident ids, most-recently-used first.
+    pub fn resident(&self) -> Vec<String> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Fetch `run_id`, loading it on a miss. The returned `Arc` aliases
+    /// the single resident instance; holding it pins the entry against
+    /// eviction.
+    pub fn get(&self, run_id: &str) -> Result<(Arc<T>, CacheOutcome), CacheError> {
+        {
+            let mut entries = self.entries.lock().unwrap();
+            if let Some(pos) = entries.iter().position(|(id, _)| id == run_id) {
+                let entry = entries.remove(pos);
+                let arc = Arc::clone(&entry.1);
+                entries.insert(0, entry);
+                return Ok((arc, CacheOutcome::Hit));
+            }
+        }
+        // Miss: load outside the lock — loads hit the disk, and a slow
+        // load must not block hits on other ids.
+        let loaded = (self.loader)(run_id).map_err(|message| CacheError::Load {
+            run_id: run_id.to_string(),
+            message,
+        })?;
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(pos) = entries.iter().position(|(id, _)| id == run_id) {
+            // A concurrent miss won the insert race; adopt its instance so
+            // exactly one copy stays resident. This request still paid a
+            // load, so it reports Miss.
+            let entry = entries.remove(pos);
+            let arc = Arc::clone(&entry.1);
+            entries.insert(0, entry);
+            return Ok((arc, CacheOutcome::Miss));
+        }
+        if entries.len() >= self.capacity {
+            // Evict the least-recently-used *idle* entry. strong_count == 1
+            // means the cache holds the only reference — no in-flight
+            // request is using it.
+            match entries
+                .iter()
+                .rposition(|(_, arc)| Arc::strong_count(arc) == 1)
+            {
+                Some(pos) => {
+                    entries.remove(pos);
+                }
+                None => {
+                    return Err(CacheError::Saturated {
+                        capacity: self.capacity,
+                    })
+                }
+            }
+        }
+        let arc = Arc::new(loaded);
+        entries.insert(0, (run_id.to_string(), Arc::clone(&arc)));
+        Ok((arc, CacheOutcome::Miss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_cache(capacity: usize) -> (Arc<AtomicUsize>, ModelCache<String>) {
+        let loads = Arc::new(AtomicUsize::new(0));
+        let loads2 = Arc::clone(&loads);
+        let cache = ModelCache::new(capacity, move |id: &str| {
+            loads2.fetch_add(1, Ordering::SeqCst);
+            if id == "missing" {
+                Err("no such run".into())
+            } else {
+                Ok(format!("model:{id}"))
+            }
+        });
+        (loads, cache)
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc_without_reloading() {
+        let (loads, cache) = counting_cache(2);
+        let (a, o1) = cache.get("r").unwrap();
+        let (b, o2) = cache.get("r").unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_idle_entry() {
+        let (_, cache) = counting_cache(2);
+        drop(cache.get("a").unwrap());
+        drop(cache.get("b").unwrap());
+        drop(cache.get("a").unwrap()); // a is now the warmest
+        drop(cache.get("c").unwrap()); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains("a"));
+        assert!(cache.contains("c"));
+        assert!(!cache.contains("b"));
+        assert_eq!(cache.resident(), vec!["c".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn held_entries_are_pinned_and_saturation_is_typed() {
+        let (_, cache) = counting_cache(1);
+        let (held, _) = cache.get("a").unwrap();
+        let err = cache.get("b").unwrap_err();
+        assert!(
+            matches!(err, CacheError::Saturated { capacity: 1 }),
+            "{err}"
+        );
+        assert!(cache.contains("a"), "pinned entry must not be evicted");
+        drop(held);
+        // idle now: the eviction goes through
+        cache.get("b").unwrap();
+        assert!(cache.contains("b"));
+        assert!(!cache.contains("a"));
+    }
+
+    #[test]
+    fn loader_failure_is_typed_and_caches_nothing() {
+        let (loads, cache) = counting_cache(2);
+        let err = cache.get("missing").unwrap_err();
+        assert!(matches!(err, CacheError::Load { .. }), "{err}");
+        assert!(err.to_string().contains("missing"));
+        assert!(cache.is_empty());
+        // failures are not negative-cached: the loader runs again
+        let _ = cache.get("missing");
+        assert_eq!(loads.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! The blocking protocol client used by `tgx-cli client`, the tests, and
+//! the benchmark harness.
+
+use crate::net::Conn;
+use crate::protocol::{kind, read_frame, write_frame, Frame};
+use std::io::{self, Write};
+use tg_metrics::MetricScore;
+use tgae::CostEstimate;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, torn frame).
+    Io(io::Error),
+    /// The server refused the request as busy (admission control or
+    /// saturated model cache). Retry later.
+    Busy(String),
+    /// The server answered with a typed error frame other than `busy`.
+    Server {
+        /// One of the [`kind`] constants.
+        kind: String,
+        /// The server's diagnosis.
+        message: String,
+    },
+    /// The server broke the protocol (unexpected frame for this state).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Busy(m) => write!(f, "{m}"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn error_frame(frame: Frame) -> ClientError {
+    let kind_str = frame.kind.unwrap_or_else(|| "unknown".to_string());
+    let message = frame.message.unwrap_or_default();
+    if kind_str == kind::BUSY {
+        ClientError::Busy(message)
+    } else {
+        ClientError::Server {
+            kind: kind_str,
+            message,
+        }
+    }
+}
+
+/// What an admitted request reported back in its `start` frame, plus the
+/// stream's final tally.
+#[derive(Clone, Debug)]
+pub struct SimulateOutcome {
+    /// Total edges generated.
+    pub n_edges: u64,
+    /// The admission price the server computed.
+    pub cost: CostEstimate,
+    /// `"hit"` / `"miss"` — whether the model was already resident.
+    pub cache: String,
+}
+
+/// Outcome of a `simulate --stats` request: the summary JSON instead of
+/// an edge stream.
+#[derive(Clone, Debug)]
+pub struct StatsOutcome {
+    /// JSON-encoded `GenerationStats`.
+    pub stats_json: String,
+    /// Total edges generated (none were transferred).
+    pub n_edges: u64,
+    /// The admission price the server computed.
+    pub cost: CostEstimate,
+    /// `"hit"` / `"miss"`.
+    pub cache: String,
+}
+
+/// One blocking protocol connection. A client may issue any number of
+/// sequential requests; drop it to hang up.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connect over TCP (`"127.0.0.1:4321"`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        // Small request frames must not sit in Nagle's buffer waiting
+        // for the server's delayed ACK.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            conn: Conn::Tcp(stream),
+        })
+    }
+
+    /// Connect to a Unix-domain socket path.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> Result<Client, ClientError> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(Client {
+            conn: Conn::Unix(stream),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        write_frame(&mut self.conn, frame)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.conn)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Expect the `start` acknowledgement of an admitted request.
+    fn recv_start(&mut self) -> Result<(CostEstimate, String), ClientError> {
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "start" => {
+                let cost = frame
+                    .cost
+                    .ok_or_else(|| ClientError::Protocol("start frame without cost".into()))?;
+                let cache = frame.cache.unwrap_or_else(|| "miss".to_string());
+                Ok((cost, cache))
+            }
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected start, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::ping())?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "pong" => Ok(()),
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Run one simulation on the server, streaming the edge-list text
+    /// into `out`. The bytes written are identical to an in-process
+    /// `StreamingWriterSink` run of the same run + seed.
+    pub fn simulate(
+        &mut self,
+        run_id: &str,
+        seed: u64,
+        out: &mut impl Write,
+    ) -> Result<SimulateOutcome, ClientError> {
+        self.send(&Frame::simulate(run_id, seed, false))?;
+        let (cost, cache) = self.recv_start()?;
+        loop {
+            let frame = self.recv()?;
+            match frame.op.as_str() {
+                "edges" => {
+                    let data = frame
+                        .data
+                        .ok_or_else(|| ClientError::Protocol("edges frame without data".into()))?;
+                    out.write_all(data.as_bytes())?;
+                }
+                "done" => {
+                    out.flush()?;
+                    return Ok(SimulateOutcome {
+                        n_edges: frame.n_edges.unwrap_or(0),
+                        cost,
+                        cache,
+                    });
+                }
+                "error" => return Err(error_frame(frame)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected edges/done, got `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Run one simulation, returning only the `GenerationStats` summary.
+    pub fn simulate_stats(&mut self, run_id: &str, seed: u64) -> Result<StatsOutcome, ClientError> {
+        self.send(&Frame::simulate(run_id, seed, true))?;
+        let (cost, cache) = self.recv_start()?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "stats" => Ok(StatsOutcome {
+                stats_json: frame
+                    .data
+                    .ok_or_else(|| ClientError::Protocol("stats frame without data".into()))?,
+                n_edges: frame.n_edges.unwrap_or(0),
+                cost,
+                cache,
+            }),
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Simulate under `seed` and score against the observed graph on the
+    /// server (Eq. 10 metric suite).
+    pub fn eval(&mut self, run_id: &str, seed: u64) -> Result<Vec<MetricScore>, ClientError> {
+        self.send(&Frame::eval(run_id, seed))?;
+        let _ = self.recv_start()?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "scores" => frame
+                .scores
+                .ok_or_else(|| ClientError::Protocol("scores frame without scores".into())),
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected scores, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::shutdown())?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "bye" => Ok(()),
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected bye, got `{other}`"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! The resident daemon: accept loop, per-connection workers, request
+//! execution.
+//!
+//! One [`Server`] owns the listening socket plus the shared serving state
+//! — the [`ModelCache`] of loaded runs, the [`AdmissionController`], and
+//! the drain flag. Each accepted connection gets its own worker thread
+//! that reads request frames in a loop; simulation itself additionally
+//! fans out across the engine's persistent worker pool, all requests
+//! sharing **one** `Arc`-held model per run-id.
+//!
+//! # Fault points
+//!
+//! - `serve.accept` — evaluated per accepted connection; an injected
+//!   error drops the connection before any frame is exchanged.
+//! - `serve.request.decode` — evaluated per decoded request frame (arg =
+//!   the `op`); an injected error yields a typed `decode` error frame and
+//!   the connection stays usable.
+//! - `serve.generate.unit` — evaluated per emitted work unit (arg =
+//!   `t:<t> chunk:<c>`); an injected error fails the request with a typed
+//!   `internal` error frame, an injected panic is caught at the request
+//!   boundary. Either way the daemon and all concurrent requests survive.
+//!
+//! # Drain
+//!
+//! `SIGTERM`/`SIGINT` (via [`crate::signal`]), a `shutdown` request
+//! frame, or [`ServerHandle::shutdown`] put the server in *draining*
+//! mode: new connections and new requests are refused with typed
+//! `shutdown` error frames, in-flight requests run to completion, then
+//! [`Server::run`] returns its [`ServeReport`].
+
+use crate::admission::AdmissionController;
+use crate::cache::{CacheError, ModelCache};
+use crate::net::{Conn, Listener};
+use crate::protocol::{kind, read_frame, write_frame, Frame};
+use crate::signal;
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tg_graph::sink::{EdgeSink, GraphSink, StatsSink};
+use tg_graph::{TemporalEdge, Time};
+use tgae::SharedRun;
+
+/// Produces the [`SharedRun`] for a run-id on a cache miss (typically by
+/// reading a `tgx-cli` run directory off disk).
+pub type Loader = Box<dyn Fn(&str) -> Result<SharedRun, String> + Send + Sync>;
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; the CLI exposes the interesting ones as flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Resident models kept loaded (LRU beyond this).
+    pub cache_capacity: usize,
+    /// In-flight cost budget for admission control (see
+    /// [`CostEstimate`](tgae::CostEstimate)).
+    pub max_cost: u64,
+    /// Edge rows buffered per `edges` frame.
+    pub batch_edges: usize,
+    /// Accept-loop poll interval while idle.
+    pub poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 4,
+            max_cost: 1 << 24,
+            batch_edges: 4096,
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What [`Server::run`] reports after a clean drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests answered successfully over the server's lifetime.
+    pub requests_served: u64,
+}
+
+struct SharedState {
+    cache: ModelCache<SharedRun>,
+    admission: AdmissionController,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+}
+
+impl SharedState {
+    fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::termination_requested()
+    }
+}
+
+/// A bound, not-yet-running server. Call [`Server::run`] to serve until
+/// drained.
+pub struct Server {
+    listener: Listener,
+    shared: Arc<SharedState>,
+}
+
+/// A cloneable handle for observing and stopping a running server from
+/// another thread (tests drive in-process servers through this).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<SharedState>,
+}
+
+impl ServerHandle {
+    /// Ask the server to drain and exit (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests currently executing.
+    pub fn active_requests(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered successfully so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server is refusing new work.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+}
+
+impl Server {
+    fn assemble(listener: Listener, loader: Loader, cfg: ServeConfig) -> Server {
+        let shared = Arc::new(SharedState {
+            cache: ModelCache::new(cfg.cache_capacity, move |id: &str| loader(id)),
+            admission: AdmissionController::new(cfg.max_cost),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+        });
+        Server { listener, shared }
+    }
+
+    /// Bind a TCP endpoint (`"127.0.0.1:0"` picks an ephemeral port —
+    /// read it back with [`Server::tcp_addr`]).
+    pub fn bind_tcp(addr: &str, loader: Loader, cfg: ServeConfig) -> io::Result<Server> {
+        Ok(Server::assemble(Listener::bind_tcp(addr)?, loader, cfg))
+    }
+
+    /// Bind a Unix-domain socket path (removed again on shutdown).
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: &std::path::Path,
+        loader: Loader,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Ok(Server::assemble(Listener::bind_unix(path)?, loader, cfg))
+    }
+
+    /// The bound TCP address (None for Unix sockets).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listener.tcp_addr()
+    }
+
+    /// Human-readable endpoint (address or socket path).
+    pub fn endpoint(&self) -> String {
+        self.listener.endpoint()
+    }
+
+    /// A handle for stopping/observing this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until drained. Returns after a `shutdown` request,
+    /// [`ServerHandle::shutdown`], or a termination signal — once every
+    /// in-flight request has completed.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let Server { listener, shared } = self;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            let draining = shared.is_draining();
+            match listener.accept_nonblocking() {
+                Ok(Some(mut conn)) => {
+                    // Direct eval (not the `fail_point!` macro): an injected
+                    // accept failure must drop this one connection, never
+                    // propagate out of the accept loop.
+                    if tg_faults::eval("serve.accept", None).is_err() {
+                        continue;
+                    }
+                    if draining {
+                        let _ = write_frame(
+                            &mut conn,
+                            &Frame::error(kind::SHUTDOWN, "server is draining"),
+                        );
+                        continue;
+                    }
+                    let worker_shared = Arc::clone(&shared);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(conn, worker_shared)
+                    }));
+                    workers.retain(|h| !h.is_finished());
+                }
+                Ok(None) => {
+                    if draining && shared.active.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    std::thread::sleep(shared.cfg.poll);
+                }
+                Err(_) => std::thread::sleep(shared.cfg.poll),
+            }
+        }
+        // Workers past this point are either writing drain refusals or
+        // blocked reading an idle connection; in-flight *requests* are
+        // already done (active == 0), so don't join — an idle client
+        // holding its connection open must not stall shutdown.
+        drop(workers);
+        Ok(ServeReport {
+            requests_served: shared.served.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Pins one executing request in the active counter (RAII).
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ActiveGuard<'a> {
+    fn new(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(counter)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(mut conn: Conn, shared: Arc<SharedState>) {
+    loop {
+        let frame = match read_frame(&mut conn) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_frame(&mut conn, &Frame::error(kind::DECODE, e.to_string()));
+                return;
+            }
+        };
+        // Pin BEFORE the drain check: once a request is past this line the
+        // accept loop's `active == 0` drain test cannot miss it.
+        let _active = ActiveGuard::new(&shared.active);
+        if shared.is_draining() {
+            let _ = write_frame(
+                &mut conn,
+                &Frame::error(kind::SHUTDOWN, "server is draining"),
+            );
+            return;
+        }
+        if let Err(e) = tg_faults::eval("serve.request.decode", Some(frame.op.as_str())) {
+            // Typed refusal; the framing is intact, so the connection
+            // stays usable and a retry on it can succeed.
+            if write_frame(&mut conn, &Frame::error(kind::DECODE, e.to_string())).is_err() {
+                return;
+            }
+            continue;
+        }
+        match frame.op.as_str() {
+            "ping" => {
+                if write_frame(&mut conn, &Frame::pong()).is_err() {
+                    return;
+                }
+            }
+            "shutdown" => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut conn, &Frame::bye());
+                return;
+            }
+            "simulate" | "eval" => match handle_request(&mut conn, &shared, &frame) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return,
+            },
+            other => {
+                let op = other.to_string();
+                if write_frame(
+                    &mut conn,
+                    &Frame::error(kind::DECODE, format!("unknown op `{op}`")),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Execute one admitted `simulate`/`eval` request. `Ok(true)` means the
+/// connection may serve further requests; `Ok(false)` means it must close
+/// (a response stream was torn mid-flight).
+fn handle_request(conn: &mut Conn, shared: &SharedState, frame: &Frame) -> io::Result<bool> {
+    let run_id = match frame.run_id.as_deref() {
+        Some(id) => id,
+        None => {
+            write_frame(
+                conn,
+                &Frame::error(kind::DECODE, "request is missing `run_id`"),
+            )?;
+            return Ok(true);
+        }
+    };
+    let (run, outcome) = match shared.cache.get(run_id) {
+        Ok(hit) => hit,
+        Err(e @ CacheError::Load { .. }) => {
+            write_frame(conn, &Frame::error(kind::NOT_FOUND, e.to_string()))?;
+            return Ok(true);
+        }
+        Err(e @ CacheError::Saturated { .. }) => {
+            write_frame(conn, &Frame::error(kind::BUSY, e.to_string()))?;
+            return Ok(true);
+        }
+    };
+    let est = run.cost_estimate();
+    let _permit = match shared.admission.try_admit(est.cost) {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            write_frame(conn, &Frame::error(kind::BUSY, rejection.to_string()))?;
+            return Ok(true);
+        }
+    };
+    write_frame(conn, &Frame::start(est, outcome.as_str()))?;
+
+    let seed = frame
+        .seed
+        .unwrap_or_else(|| run.seed_policy().simulation_master(0));
+    let want_stats = frame.stats == Some(true);
+    let is_eval = frame.op == "eval";
+    let batch_edges = shared.cfg.batch_edges;
+    // The panic boundary: an engine bug or an injected
+    // `serve.generate.unit=panic` fault unwinds to here and becomes a
+    // typed `internal` error frame — the daemon and every concurrent
+    // request keep going.
+    let executed = catch_unwind(AssertUnwindSafe(|| -> Result<Frame, String> {
+        if is_eval {
+            let shape = (run.observed().n_nodes(), run.observed().n_timestamps());
+            let sink = FaultGate::new(GraphSink::new(shape.0, shape.1));
+            let synthetic = run
+                .simulate_seeded(seed, sink)
+                .map_err(|e| e.to_string())??;
+            let scores = run.evaluate(&synthetic).map_err(|e| e.to_string())?;
+            Ok(Frame::scores(scores))
+        } else if want_stats {
+            let sink = FaultGate::new(StatsSink::new(run.observed().n_timestamps()));
+            let stats = run
+                .simulate_seeded(seed, sink)
+                .map_err(|e| e.to_string())??;
+            let json = serde_json::to_string(&stats).map_err(|e| e.to_string())?;
+            Ok(Frame::stats_summary(json, stats.n_edges()))
+        } else {
+            let sink = FaultGate::new(FrameSink::new(conn, batch_edges));
+            let streamed = run
+                .simulate_seeded(seed, sink)
+                .map_err(|e| e.to_string())??;
+            let n_edges = streamed.map_err(|e| format!("stream write failed: {e}"))?;
+            Ok(Frame::done(n_edges))
+        }
+    }));
+    match executed {
+        Ok(Ok(response)) => {
+            write_frame(conn, &response)?;
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            Ok(true)
+        }
+        Ok(Err(message)) => {
+            // Edge frames may already be on the wire: answer typed, then
+            // close so the client never mistakes a partial stream for a
+            // complete one.
+            let _ = write_frame(conn, &Frame::error(kind::INTERNAL, message));
+            Ok(false)
+        }
+        Err(panic) => {
+            // `as_ref`, not `&panic`: a `&Box<dyn Any>` unsize-coerces to
+            // the BOX as the `dyn Any`, making every payload downcast miss.
+            let message = panic_message(panic.as_ref());
+            let _ = write_frame(
+                conn,
+                &Frame::error(kind::INTERNAL, format!("request panicked: {message}")),
+            );
+            Ok(false)
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Wraps any [`EdgeSink`] with the `serve.generate.unit` fault point: an
+/// injected error marks the request failed (deferred, surfaced by
+/// `finish`) and stops feeding the inner sink; an injected panic unwinds
+/// to the request boundary.
+struct FaultGate<S> {
+    inner: S,
+    deferred: Option<String>,
+}
+
+impl<S> FaultGate<S> {
+    fn new(inner: S) -> Self {
+        FaultGate {
+            inner,
+            deferred: None,
+        }
+    }
+}
+
+impl<S: EdgeSink> EdgeSink for FaultGate<S> {
+    type Output = Result<S::Output, String>;
+
+    fn accept(&mut self, t: Time, chunk: u32, edges: &[TemporalEdge]) {
+        if self.deferred.is_some() {
+            return;
+        }
+        if let Err(e) =
+            tg_faults::eval_lazy("serve.generate.unit", || format!("t:{t} chunk:{chunk}"))
+        {
+            self.deferred = Some(e.to_string());
+            return;
+        }
+        self.inner.accept(t, chunk, edges);
+    }
+
+    fn finish(self) -> Result<S::Output, String> {
+        match self.deferred {
+            Some(message) => Err(message),
+            None => Ok(self.inner.finish()),
+        }
+    }
+}
+
+/// Streams accepted units to the connection as `edges` frames, batching
+/// `batch_edges` rows per frame. The text payload concatenation is
+/// byte-identical to what `StreamingWriterSink` writes in process. Write
+/// errors are deferred to `finish` (the [`EdgeSink`] contract has no
+/// fallible accept).
+struct FrameSink<'a> {
+    conn: &'a mut Conn,
+    buf: String,
+    buffered_rows: usize,
+    batch_edges: usize,
+    n_edges: u64,
+    deferred: Option<io::Error>,
+}
+
+impl<'a> FrameSink<'a> {
+    fn new(conn: &'a mut Conn, batch_edges: usize) -> Self {
+        FrameSink {
+            conn,
+            buf: String::new(),
+            buffered_rows: 0,
+            batch_edges: batch_edges.max(1),
+            n_edges: 0,
+            deferred: None,
+        }
+    }
+
+    fn flush_batch(&mut self) {
+        if self.buffered_rows == 0 || self.deferred.is_some() {
+            return;
+        }
+        let data = std::mem::take(&mut self.buf);
+        self.buffered_rows = 0;
+        if let Err(e) = write_frame(self.conn, &Frame::edges(data)) {
+            self.deferred = Some(e);
+        }
+    }
+}
+
+impl EdgeSink for FrameSink<'_> {
+    type Output = io::Result<u64>;
+
+    fn accept(&mut self, _t: Time, _chunk: u32, edges: &[TemporalEdge]) {
+        if self.deferred.is_some() {
+            return;
+        }
+        for e in edges {
+            // Must match StreamingWriterSink's row format exactly — the
+            // byte-identity contract of the protocol depends on it.
+            use std::fmt::Write as _;
+            let _ = writeln!(self.buf, "{} {} {}", e.u, e.v, e.t);
+            self.buffered_rows += 1;
+            self.n_edges += 1;
+            if self.buffered_rows >= self.batch_edges {
+                self.flush_batch();
+            }
+        }
+    }
+
+    fn finish(mut self) -> io::Result<u64> {
+        self.flush_batch();
+        match self.deferred {
+            Some(e) => Err(e),
+            None => {
+                self.conn.flush()?;
+                Ok(self.n_edges)
+            }
+        }
+    }
+}

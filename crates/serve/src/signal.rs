@@ -1,0 +1,78 @@
+//! Graceful-drain signal handling without any external crate.
+//!
+//! `SIGTERM` / `SIGINT` must not kill the daemon mid-stream: the handler
+//! only flips an [`AtomicBool`]; the accept loop notices it, refuses new
+//! connections with a typed `shutdown` error frame, lets in-flight
+//! requests finish, and exits 0. Setting a flag is one of the few things
+//! that is async-signal-safe, which is why the handler does nothing else.
+//!
+//! The registration goes through the raw libc `signal(2)` symbol (already
+//! linked into every Rust binary) so no new dependency is needed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal (or [`request_termination`]) has asked the
+/// server to drain.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of receiving `SIGTERM` (used by tests and by
+/// the `shutdown` protocol request path).
+pub fn request_termination() {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATE;
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: c_int) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install_handlers() {
+        let handler = on_term as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_handlers() {}
+}
+
+/// Install the `SIGTERM`/`SIGINT` drain handlers (no-op off unix).
+/// Idempotent; call once at server start.
+pub fn install_handlers() {
+    imp::install_handlers();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_termination_flips_the_flag() {
+        // Note: the flag is process-global, so this test never *unsets* it
+        // from another test's perspective; it only ever observes its own set.
+        install_handlers();
+        request_termination();
+        assert!(termination_requested());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the model-cache LRU invariants, driven by random
+//! op sequences:
+//!
+//! 1. resident entries never exceed the configured capacity;
+//! 2. a hit returns an `Arc` aliasing the resident instance (anyone
+//!    already holding a handle to that id sees pointer equality);
+//! 3. only idle entries are evicted — an id with a live handle stays
+//!    resident, and saturation is reported only when the held set alone
+//!    fills the cache.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tg_serve::{CacheError, CacheOutcome, ModelCache};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_invariants_hold_under_random_ops(
+        capacity in 1usize..5,
+        ops in proptest::collection::vec((0usize..6, 0u8..3), 1..40),
+    ) {
+        let cache: ModelCache<String> =
+            ModelCache::new(capacity, |id: &str| Ok(format!("model:{id}")));
+        // Live handles standing in for in-flight requests.
+        let mut held: Vec<(String, Arc<String>)> = Vec::new();
+        for (id_idx, action) in ops {
+            let id = format!("run{id_idx}");
+            if action == 2 {
+                // A request finishes: release the oldest live handle.
+                if !held.is_empty() {
+                    held.remove(0);
+                }
+            } else {
+                let was_resident = cache.contains(&id);
+                let held_ids: BTreeSet<&str> =
+                    held.iter().map(|(h, _)| h.as_str()).collect();
+                match cache.get(&id) {
+                    Ok((arc, outcome)) => {
+                        prop_assert_eq!(
+                            outcome == CacheOutcome::Hit,
+                            was_resident,
+                            "outcome must reflect residency"
+                        );
+                        // Invariant 2: one resident instance per id.
+                        for (hid, harc) in &held {
+                            if *hid == id {
+                                prop_assert!(
+                                    Arc::ptr_eq(harc, &arc),
+                                    "hit returned a different instance than a live handle"
+                                );
+                            }
+                        }
+                        if action == 1 {
+                            held.push((id.clone(), arc));
+                        }
+                    }
+                    Err(CacheError::Saturated { capacity: reported }) => {
+                        prop_assert_eq!(reported, capacity);
+                        // Saturation is only legal when live handles alone
+                        // pin a full cache and the id itself is absent.
+                        prop_assert!(!was_resident);
+                        prop_assert!(
+                            held_ids.len() >= capacity,
+                            "saturated with only {} held ids of capacity {}",
+                            held_ids.len(),
+                            capacity
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected cache error: {e}"),
+                }
+            }
+            // Invariant 1: capacity is a hard bound.
+            prop_assert!(cache.len() <= capacity);
+            // Invariant 3: ids with live handles are never evicted.
+            for (hid, _) in &held {
+                prop_assert!(
+                    cache.contains(hid),
+                    "held id {} was evicted",
+                    hid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_gets_never_reload_resident_ids(
+        ops in proptest::collection::vec(0usize..3, 1..30),
+    ) {
+        // With capacity >= distinct ids and no concurrency, every id keeps
+        // its original instance no matter the access pattern.
+        let cache: ModelCache<String> = ModelCache::new(3, |id: &str| Ok(id.to_string()));
+        let mut first_seen: std::collections::BTreeMap<String, *const String> =
+            std::collections::BTreeMap::new();
+        for id_idx in ops {
+            let id = format!("run{id_idx}");
+            let (arc, _) = cache.get(&id).unwrap();
+            let ptr = Arc::as_ptr(&arc);
+            match first_seen.get(&id) {
+                None => {
+                    first_seen.insert(id.clone(), ptr);
+                }
+                Some(&seen) => prop_assert!(
+                    std::ptr::eq(seen, ptr),
+                    "id {} was reloaded into a new instance",
+                    id
+                ),
+            }
+        }
+    }
+}

@@ -1,51 +1,41 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR7.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR8.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
 //! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
 //! generation throughput and streaming peak-heap A/B, PR 4 the
 //! session-overhead and multi-process A/Bs, PR 5 the store ingest
-//! A/Bs and throughput, PR 6 the fault-point zero-cost proof).
+//! A/Bs and throughput, PR 6 the fault-point zero-cost proof, PR 7 the
+//! warm-vs-cold serve cache latency).
 //!
-//! PR 7 adds the resident simulation service (`tg-serve`). The new
-//! entry is a **warm-vs-cold cache request latency A/B**: the same
-//! simulate request through a real TCP server, once forced through a
-//! model load on every request (capacity-1 cache, two alternating run
-//! ids — the resident-service "before": what every `tgx-cli simulate`
-//! invocation pays) and once against a resident model (pure cache
-//! hits — the point of the daemon). The binary asserts warm < cold
-//! rather than just recording it.
+//! PR 8 closes the kernel ceiling, and this snapshot records the
+//! evidence:
+//!
+//! - **Matmul GFLOP/s sweep** — square matmul at 256²/512²/1024²/2048²,
+//!   once per available ISA level (portable / AVX2+FMA / AVX-512) via
+//!   the scoped [`force_microkernel`] guard. The point of the new
+//!   GEBP `jc`/NC loop is that the 1024²+ rates no longer fall off the
+//!   512² rate (pre-PR-8 the packed 4 MB B panel was re-streamed per
+//!   row block: ~60 → ~35 GFLOP/s).
+//! - **Segment-softmax edges/s A/B** — the scalar-f64 reference
+//!   (`segment_softmax_naive`) vs the blocked run-based kernel at 2×10⁶
+//!   edges, on both the sorted-by-segment layout the encoder emits and
+//!   a shuffled worst case (which pays an extra counting-sort
+//!   permutation). Outputs are parity-checked here, not just timed.
+//! - **bf16-vs-f32 A/B** — parameter payload bytes, resident model
+//!   heap, and fit wall time for the same seeded model with
+//!   f32 vs bf16 embedding tables (`TgaeConfig::precision`).
+//! - **Absolute baselines** — end-to-end `fit` and `generate` wall
+//!   times through the session, carried forward every PR for trend
+//!   tracking, plus the store-fed-vs-in-memory training bit-identity
+//!   assertion.
+//!
+//! The binary doubles as the CI kernel-dispatch gate: it prints
+//! `active_microkernel()`, runs a bitwise matmul parity check forced to
+//! **every** available ISA level, and fails if the portable fallback is
+//! missing from the dispatch list.
 //!
 //! The PR-6 contract is carried forward: this harness builds with the
-//! faults feature **off** (only `tgx-cli` enables it by default), so
-//! `faults_compiled` must read `false` and the store write/read
-//! throughput entries — crossing a `fail_point!` per block — double as
-//! the proof that disabled fault points cost nothing. (The serve crate
-//! crosses three more fault points per request, all equally no-op
-//! here.)
-//!
-//! Entry kinds in this snapshot (carried from PR 5 = the `tg-store`
-//! out-of-core edge store + streaming training ingest):
-//!
-//! - **Ingest peak-heap A/B** — loading the observed graph for training
-//!   from a text edge list (`load_edge_list`: staged raw triples +
-//!   id-compaction maps + re-sort) vs streaming it from a TGES store
-//!   (`StoreSource` → `GraphAssembler`: exact-capacity append, one
-//!   resident block). Measured at 2000 nodes for 100k and 400k edges:
-//!   the text path's peak *overhead above the final resident graph*
-//!   grows with the edge count, the store path's stays at the
-//!   block/chunk size — the input-side twin of PR 3's streaming-sink
-//!   memory entry. (The paper's Fig. 6 memory story, applied to ingest.)
-//! - **Store throughput** — edges/s for writing and for streaming back a
-//!   2000-node store (sequential I/O both ways).
-//! - **Absolute baselines** — end-to-end `fit` and `generate` wall times
-//!   through the session, carried forward every PR for trend tracking.
-//! - **Serve latency A/B** (new) — median wall time of one streamed
-//!   simulate request over TCP, cold cache (`before_s`, a disk model
-//!   load per request) vs warm cache (`after_s`, one resident
-//!   `Arc`-shared model); `speedup` is the resident-service win.
-//!
-//! The snapshot also asserts (not just measures) that training from the
-//! store reproduces the in-memory loss stream bit-for-bit.
+//! faults feature **off**, so `faults_compiled` must read `false`.
 //!
 //! Usage: `cargo run --release -p tg-bench --bin perf_snapshot [out.json]`
 
@@ -58,7 +48,11 @@ use tg_datasets::SyntheticConfig;
 use tg_graph::sink::GraphSink;
 use tg_graph::TemporalGraph;
 use tg_store::StoreSource;
-use tgae::{Session, TgaeConfig};
+use tg_tensor::matrix::{
+    active_microkernel, available_microkernels, force_microkernel, matmul_nn, segment_softmax,
+    segment_softmax_naive, Matrix, MicrokernelKind,
+};
+use tgae::{Precision, Session, TgaeConfig};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -67,14 +61,16 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 struct Entry {
     name: String,
     /// Median seconds per call on the "before" side (absent for absolute
-    /// baselines and throughput-only entries).
+    /// baselines and rate-only entries).
     before_s: Option<f64>,
     /// Median seconds per call, this PR (absent for memory-only entries).
     after_s: Option<f64>,
     /// `before_s / after_s` when both sides exist.
     speedup: Option<f64>,
-    /// Edges per second (store-throughput entries).
+    /// Edges per second (segment-softmax / store entries).
     edges_per_s: Option<f64>,
+    /// Billions of f32 FLOPs per second (matmul sweep entries).
+    gflops: Option<f64>,
     /// Peak heap bytes, before side (memory A/B entries only).
     before_peak_bytes: Option<usize>,
     /// Peak heap bytes, after side (memory A/B entries only).
@@ -89,18 +85,38 @@ impl Entry {
             after_s: Some(after_s),
             speedup: before_s.map(|b| b / after_s),
             edges_per_s: None,
+            gflops: None,
             before_peak_bytes: None,
             after_peak_bytes: None,
         }
     }
 
-    fn throughput(name: impl Into<String>, seconds: f64, edges: usize) -> Self {
+    fn gflops(name: impl Into<String>, seconds: f64, flops: f64) -> Self {
         Entry {
             name: name.into(),
             before_s: None,
             after_s: Some(seconds),
             speedup: None,
-            edges_per_s: Some(edges as f64 / seconds),
+            edges_per_s: None,
+            gflops: Some(flops / seconds / 1e9),
+            before_peak_bytes: None,
+            after_peak_bytes: None,
+        }
+    }
+
+    fn edge_rate(
+        name: impl Into<String>,
+        before_s: Option<f64>,
+        after_s: f64,
+        edges: usize,
+    ) -> Self {
+        Entry {
+            name: name.into(),
+            before_s,
+            after_s: Some(after_s),
+            speedup: before_s.map(|b| b / after_s),
+            edges_per_s: Some(edges as f64 / after_s),
+            gflops: None,
             before_peak_bytes: None,
             after_peak_bytes: None,
         }
@@ -113,6 +129,7 @@ impl Entry {
             after_s: None,
             speedup: None,
             edges_per_s: None,
+            gflops: None,
             before_peak_bytes: Some(before_peak),
             after_peak_bytes: Some(after_peak),
         }
@@ -123,6 +140,11 @@ impl Entry {
 struct Snapshot {
     pr: u32,
     threads: usize,
+    /// The microkernel runtime dispatch picked on this host.
+    active_microkernel: String,
+    /// Every ISA level the dispatch can fall back through, fastest
+    /// first; must end with "portable".
+    microkernels: Vec<String>,
     /// Whether the `tg-faults` machinery was compiled into this harness.
     /// Must be `false`: the perf numbers double as the zero-cost proof
     /// for disabled fault points.
@@ -159,200 +181,194 @@ fn small_cfg(epochs: usize) -> TgaeConfig {
     cfg
 }
 
-/// Peak and live heap growth (bytes above the pre-call baseline) of one
-/// graph-producing call.
-fn measure_load(f: impl FnOnce() -> TemporalGraph) -> (usize, usize, TemporalGraph) {
-    let baseline = memtrack::current_bytes();
-    memtrack::reset_peak();
-    let g = f();
-    let peak = memtrack::peak_bytes().saturating_sub(baseline);
-    let live = memtrack::current_bytes().saturating_sub(baseline);
-    (peak, live, g)
-}
-
-/// One text-vs-store ingest A/B at a given scale; returns the entry plus
-/// the loaded graphs' equality check.
-fn ingest_ab(tmp: &std::path::Path, nodes: usize, edges: usize, entries: &mut Vec<Entry>) {
-    let tag = format!("{}n_{}k", nodes, edges / 1000);
-    let g = synthetic(nodes, edges, 42);
-    let n_edges = g.n_edges();
-    let text_path = tmp.join(format!("obs_{tag}.edges"));
-    let store_path = tmp.join(format!("obs_{tag}.tgs"));
-    tg_graph::io::save_edge_list(&g, &text_path).expect("write text");
-    let write_s = median_time(3, || {
-        tg_store::write_graph(&g, &store_path).expect("write store")
-    });
-    drop(g);
-
-    // A: the pre-PR-5 training ingest — parse text, compact ids, re-sort.
-    let (text_peak, text_live, g_text) =
-        measure_load(|| tg_graph::io::load_edge_list(&text_path, None).expect("parse text"));
-    drop(g_text);
-    // B: stream the store through the chunked assembler.
-    let (store_peak, store_live, g_store) = measure_load(|| {
-        StoreSource::open(&store_path)
-            .expect("open store")
-            .load_graph()
-            .expect("stream store")
-    });
-
-    // Overhead above the final resident graph is the honest comparison:
-    // both sides must end up holding the graph itself.
-    let text_over = text_peak.saturating_sub(text_live);
-    let store_over = store_peak.saturating_sub(store_live);
-    println!(
-        "ingest_peak_{tag}: text {} (overhead {}) vs store {} (overhead {})",
-        memtrack::fmt_bytes(text_peak),
-        memtrack::fmt_bytes(text_over),
-        memtrack::fmt_bytes(store_peak),
-        memtrack::fmt_bytes(store_over),
-    );
-    entries.push(Entry::memory(
-        format!("ingest_peak_{tag}"),
-        text_peak,
-        store_peak,
-    ));
-    entries.push(Entry::memory(
-        format!("ingest_overhead_above_graph_{tag}"),
-        text_over,
-        store_over,
-    ));
-
-    let read_s = median_time(3, || {
-        StoreSource::open(&store_path)
-            .expect("open store")
-            .load_graph()
-            .expect("stream store")
-    });
-    println!(
-        "store_write_{tag}: {:.1} ms ({:.1} Medges/s); store_read_{tag}: {:.1} ms ({:.1} Medges/s)",
-        write_s * 1e3,
-        n_edges as f64 / write_s / 1e6,
-        read_s * 1e3,
-        n_edges as f64 / read_s / 1e6
-    );
-    entries.push(Entry::throughput(
-        format!("store_write_{tag}"),
-        write_s,
-        n_edges,
-    ));
-    entries.push(Entry::throughput(
-        format!("store_read_{tag}"),
-        read_s,
-        n_edges,
-    ));
-    drop(g_store);
-}
-
-/// Warm-vs-cold request latency through a real TCP `tg-serve` server.
-///
-/// Cold side: a capacity-1 cache with two alternating run ids, so every
-/// request evicts and reloads the model from disk — the per-invocation
-/// price a non-resident `tgx-cli simulate` pays. Warm side: the same
-/// request repeated against one resident model. Asserts warm < cold.
-fn serve_latency_ab(tmp: &std::path::Path, entries: &mut Vec<Entry>) {
-    use tg_serve::{Client, ServeConfig, Server};
-
-    // A load-heavy shape: a wide node-embedding table makes the model
-    // checkpoint expensive to deserialise (the cold cost under test)
-    // while the short edge list keeps per-request generation cheap.
-    let gen_cfg = SyntheticConfig {
-        nodes: 2_000,
-        edges: 500,
-        timestamps: 3,
-        ..Default::default()
-    };
-    let observed = tg_datasets::generate(&gen_cfg, &mut SmallRng::seed_from_u64(1));
-    let mut model_cfg = small_cfg(4);
-    model_cfg.d_in = 48;
-    let mut session = Session::builder(&observed)
-        .config(model_cfg)
-        .seed(7)
-        .build()
-        .expect("session");
-    session.train().expect("train");
-    let model_path = tmp.join("serve_model.json");
-    session.save_model(&model_path).expect("save model");
-    drop(session);
-
-    let loader_observed = std::sync::Arc::new(observed);
-    let loader = Box::new(move |_run_id: &str| {
-        let model = tgae::load(&model_path).map_err(|e| e.to_string())?;
-        tgae::SharedRun::new(model, (*loader_observed).clone()).map_err(|e| e.to_string())
-    });
-    let cfg = ServeConfig {
-        cache_capacity: 1,
-        ..ServeConfig::default()
-    };
-    let server = Server::bind_tcp("127.0.0.1:0", loader, cfg).expect("bind ephemeral port");
-    let addr = server.tcp_addr().expect("tcp server").to_string();
-    let handle = server.handle();
-    let thread = std::thread::spawn(move || server.run());
-
-    let mut client = Client::connect_tcp(&addr).expect("connect");
-    let mut request = |run_id: &str| {
-        let t = Instant::now();
-        let mut sink = Vec::new();
-        let outcome = client.simulate(run_id, 9, &mut sink).expect("simulate");
-        assert!(!sink.is_empty(), "request streamed no edges");
-        (t.elapsed().as_secs_f64(), outcome.cache)
-    };
-
-    let mut cold: Vec<f64> = (0..8)
-        .map(|i| {
-            let (s, cache) = request(if i % 2 == 0 { "a" } else { "b" });
-            assert_eq!(
-                cache, "miss",
-                "alternating ids must defeat a capacity-1 cache"
-            );
-            s
-        })
-        .collect();
-    // Re-admit "a" outside the timed loop so the warm side is pure hits.
-    request("a");
-    let mut warm: Vec<f64> = (0..9)
-        .map(|_| {
-            let (s, cache) = request("a");
-            assert_eq!(cache, "hit", "a repeated id must stay resident");
-            s
-        })
-        .collect();
-    cold.sort_by(f64::total_cmp);
-    warm.sort_by(f64::total_cmp);
-    let (cold_s, warm_s) = (cold[cold.len() / 2], warm[warm.len() / 2]);
+/// CI kernel-dispatch gate: every available ISA level must reproduce the
+/// portable kernel bitwise on integer-valued data, and the portable
+/// fallback itself must be present in the dispatch list.
+fn check_dispatch_parity() {
+    let kernels = available_microkernels();
     assert!(
-        warm_s < cold_s,
-        "resident model must beat a per-request load: warm {warm_s:.6}s vs cold {cold_s:.6}s"
+        kernels.contains(&MicrokernelKind::Portable),
+        "portable fallback missing from the dispatch list: {kernels:?}"
     );
-    println!(
-        "serve_request_warm_vs_cold_cache: cold {:.2} ms vs warm {:.2} ms ({:.1}x)",
-        cold_s * 1e3,
-        warm_s * 1e3,
-        cold_s / warm_s
-    );
-    entries.push(Entry::timing(
-        "serve_request_warm_vs_cold_cache",
-        Some(cold_s),
-        warm_s,
-    ));
+    // A shape with MR/NR/KC/NC remainders all at once.
+    let (m, k, n) = (9usize, 300usize, 513usize);
+    let a = Matrix::from_fn(m, k, |r, c| ((r * 3 + c * 11) % 7) as f32 - 3.0);
+    let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 2) % 9) as f32 - 4.0);
+    let reference = {
+        let _g = force_microkernel(MicrokernelKind::Portable);
+        matmul_nn(&a, &b)
+    };
+    for kind in kernels {
+        let _g = force_microkernel(kind);
+        assert_eq!(active_microkernel(), kind, "force hook failed for {kind:?}");
+        assert_eq!(
+            reference,
+            matmul_nn(&a, &b),
+            "{kind:?} disagrees with portable on integer data"
+        );
+        println!("dispatch parity: {} == portable (bitwise)", kind.name());
+    }
+}
 
-    handle.shutdown();
-    thread.join().expect("server thread").expect("clean drain");
+/// Square-matmul GFLOP/s per ISA level. The jc/NC loop's job is keeping
+/// the 1024²+ rates near the 512² rate.
+fn matmul_sweep(entries: &mut Vec<Entry>) {
+    for kind in available_microkernels() {
+        let _g = force_microkernel(kind);
+        for &n in &[256usize, 512, 1024, 2048] {
+            // Portable at 2048² is ~seconds per rep; one size down tells
+            // the same falloff story at a fraction of the wall time.
+            if kind == MicrokernelKind::Portable && n > 1024 {
+                continue;
+            }
+            let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.093 - 1.0);
+            let b = Matrix::from_fn(n, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.081 - 0.7);
+            let flops = 2.0 * (n as f64).powi(3);
+            let reps = if n >= 1024 { 3 } else { 7 };
+            let secs = median_time(reps, || matmul_nn(&a, &b));
+            let name = format!("matmul_{n}sq_{}", kind.name());
+            println!("{name}: {:.1} GFLOP/s", flops / secs / 1e9);
+            entries.push(Entry::gflops(name, secs, flops));
+        }
+    }
+}
+
+/// Naive-vs-vectorised segment softmax at 2M edges, sorted and shuffled
+/// segment layouts. Parity-asserted, then timed.
+fn segment_softmax_ab(entries: &mut Vec<Entry>) {
+    const N_EDGES: usize = 2_000_000;
+    const RUN: usize = 20; // edges per segment, encoder-typical fan-in
+    let n_seg = N_EDGES / RUN;
+    let scores: Vec<f32> = (0..N_EDGES)
+        .map(|i| ((i * 2654435761) % 1000) as f32 / 100.0 - 5.0)
+        .collect();
+    let m = Matrix::from_vec(N_EDGES, 1, scores);
+
+    let sorted: Vec<u32> = (0..N_EDGES).map(|i| (i / RUN) as u32).collect();
+    let mut shuffled = sorted.clone();
+    // Deterministic Fisher-Yates (LCG) — the unsorted worst case.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for i in (1..shuffled.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+
+    for (tag, seg) in [("sorted", &sorted), ("shuffled", &shuffled)] {
+        let fast = segment_softmax(&m, seg, n_seg);
+        let naive = segment_softmax_naive(&m, seg, n_seg);
+        let max_diff = fast
+            .as_slice()
+            .iter()
+            .zip(naive.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-5, "{tag}: parity diff {max_diff}");
+        let naive_s = median_time(5, || segment_softmax_naive(&m, seg, n_seg));
+        let fast_s = median_time(5, || segment_softmax(&m, seg, n_seg));
+        println!(
+            "segment_softmax_2m_{tag}: naive {:.1} ms vs vectorised {:.1} ms \
+             ({:.1}x, {:.0} Medges/s)",
+            naive_s * 1e3,
+            fast_s * 1e3,
+            naive_s / fast_s,
+            N_EDGES as f64 / fast_s / 1e6
+        );
+        entries.push(Entry::edge_rate(
+            format!("segment_softmax_2m_{tag}"),
+            Some(naive_s),
+            fast_s,
+            N_EDGES,
+        ));
+    }
+}
+
+/// f32-vs-bf16 A/B on one seeded model: parameter payload bytes,
+/// resident heap after build, and fit wall time.
+fn bf16_ab(entries: &mut Vec<Entry>) {
+    // A wide node table so the embedding storage dominates the model.
+    let g = synthetic(5_000, 25_000, 11);
+    let cfg_at = |precision: Precision| {
+        let mut cfg = small_cfg(6);
+        cfg.d_in = 48;
+        cfg.precision = precision;
+        cfg
+    };
+    let mut stats = Vec::new();
+    for precision in [Precision::F32, Precision::Bf16] {
+        let baseline = memtrack::current_bytes();
+        let model = tgae::Tgae::new(g.n_nodes(), g.n_timestamps(), cfg_at(precision));
+        let resident = memtrack::current_bytes().saturating_sub(baseline);
+        let param_bytes = model.parameter_bytes();
+        drop(model);
+        let fit_s = median_time(3, || {
+            let mut s = Session::builder(&g)
+                .config(cfg_at(precision))
+                .seed(5)
+                .build()
+                .expect("session");
+            s.train().expect("train")
+        });
+        println!(
+            "bf16_ab[{}]: params {} resident {} fit {:.1} ms",
+            match precision {
+                Precision::F32 => "f32",
+                Precision::Bf16 => "bf16",
+            },
+            memtrack::fmt_bytes(param_bytes),
+            memtrack::fmt_bytes(resident),
+            fit_s * 1e3
+        );
+        stats.push((param_bytes, resident, fit_s));
+    }
+    let (f32_stats, bf_stats) = (&stats[0], &stats[1]);
+    assert!(
+        bf_stats.0 < f32_stats.0,
+        "bf16 must shrink parameter payload: {} vs {}",
+        bf_stats.0,
+        f32_stats.0
+    );
+    entries.push(Entry::memory(
+        "model_param_bytes_f32_vs_bf16",
+        f32_stats.0,
+        bf_stats.0,
+    ));
+    entries.push(Entry::memory(
+        "model_resident_heap_f32_vs_bf16",
+        f32_stats.1,
+        bf_stats.1,
+    ));
+    entries.push(Entry::timing(
+        "fit_5000n_6ep_f32_vs_bf16",
+        Some(f32_stats.2),
+        bf_stats.2,
+    ));
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     assert!(
         !tg_faults::is_compiled(),
         "perf snapshot must run with fault injection compiled out \
-         (its store numbers are the zero-cost-when-disabled evidence)"
+         (its numbers are the zero-cost-when-disabled evidence)"
     );
-    println!("faults_compiled: false (store paths cross no-op fail points)");
+    println!("faults_compiled: false");
+    println!("active_microkernel: {}", active_microkernel().name());
+    check_dispatch_parity();
+
     let mut entries = Vec::new();
     let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
+
+    // --- kernel-layer evidence: GFLOP/s sweep + segment softmax ---
+    matmul_sweep(&mut entries);
+    segment_softmax_ab(&mut entries);
+
+    // --- bf16 embedding-table storage A/B ---
+    bf16_ab(&mut entries);
 
     // --- absolute baselines for the trajectory (same names every PR) ---
     let g = synthetic(500, 4_000, 1);
@@ -404,22 +420,16 @@ fn main() {
             a.len()
         );
     }
-    drop(trained);
-    drop(g);
-
-    // --- ingest peak-heap A/B: text parse vs store stream ---
-    // Two scales at fixed node count: the text path's transient overhead
-    // scales with edges, the store path's stays block-sized.
-    ingest_ab(&tmp, 2000, 100_000, &mut entries);
-    ingest_ab(&tmp, 2000, 400_000, &mut entries);
-
-    // --- resident service: warm vs cold cache request latency ---
-    serve_latency_ab(&tmp, &mut entries);
 
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 7,
+        pr: 8,
         threads: tg_tensor::parallel::num_threads(),
+        active_microkernel: active_microkernel().name().to_string(),
+        microkernels: available_microkernels()
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect(),
         faults_compiled: tg_faults::is_compiled(),
         entries,
     };

@@ -87,6 +87,7 @@ pub use session::{
     CheckpointPolicy, EpochEvent, RunObserver, SeedPolicy, Session, SessionBuilder, TrainControl,
 };
 pub use shared::SharedRun;
+pub use tg_tensor::params::Precision;
 pub use trainer::{TrainCheckpoint, TrainReport};
 
 #[allow(deprecated)]

@@ -318,13 +318,22 @@ impl<'a> SessionBuilder<'a> {
         let model = match model {
             Some(m) => {
                 // An adopted model is authoritative for its config; only
-                // its shape needs to agree with the observed graph.
+                // its shape needs to agree with the observed graph —
+                // plus its table storage must match its declared
+                // precision (a deserialized model.json can be edited
+                // out of sync).
                 validate_shapes(&m, g)?;
                 if m.n_timestamps != g.n_timestamps() {
                     return Err(TgxError::TimestampMismatch {
                         model: m.n_timestamps,
                         graph: g.n_timestamps(),
                     });
+                }
+                if !m.precision_consistent() {
+                    return Err(TgxError::CheckpointMismatch(format!(
+                        "adopted model declares {} precision but its embedding tables are stored otherwise",
+                        m.cfg.precision.name()
+                    )));
                 }
                 m
             }
@@ -546,6 +555,22 @@ impl<'a> Session<'a> {
                 self.observed.get().n_nodes(),
                 self.observed.get().n_timestamps()
             )));
+        }
+        // Precision first, with a message that names it: the generic
+        // config comparison below would also catch a mismatch, but
+        // "config differs" hides *what* differs for the one field that
+        // changes numeric behaviour.
+        if ckpt.model.cfg.precision != self.model.cfg.precision {
+            return Err(TgxError::CheckpointMismatch(format!(
+                "checkpointed model stores {} embedding tables but this session expects {}",
+                ckpt.model.cfg.precision.name(),
+                self.model.cfg.precision.name()
+            )));
+        }
+        if !ckpt.model.precision_consistent() {
+            return Err(TgxError::CheckpointMismatch(
+                "checkpointed model's table storage disagrees with its declared precision".into(),
+            ));
         }
         let ckpt_cfg = serde_json::to_string(&ckpt.model.cfg).map_err(PersistError::Codec)?;
         let own_cfg = serde_json::to_string(&self.model.cfg).map_err(PersistError::Codec)?;

@@ -105,6 +105,12 @@ impl SharedRun {
                 graph: observed.n_timestamps(),
             });
         }
+        if !model.precision_consistent() {
+            return Err(TgxError::CheckpointMismatch(format!(
+                "model declares {} precision but its embedding tables are stored otherwise",
+                model.cfg.precision.name()
+            )));
+        }
         let policy = SeedPolicy::new(model.cfg.seed);
         Ok(SharedRun {
             model,

@@ -1,0 +1,130 @@
+//! bfloat16 encode/decode for reduced-precision parameter storage.
+//!
+//! bf16 is the upper 16 bits of an IEEE-754 f32: same 8-bit exponent
+//! (so the full f32 dynamic range survives), 7 mantissa bits instead of
+//! 23. Encoding rounds to nearest-even, which bounds the relative error
+//! of any finite value at `2^-8` (one half-ULP of a 7-bit mantissa) —
+//! the "documented quality bound" the embedding-table storage relies
+//! on. Decoding is exact: every bf16 value is an f32.
+//!
+//! The tables that use this ([`crate::params::Precision::Bf16`]) keep
+//! all *arithmetic* in f32 — values are decoded before any FMA and
+//! gradients/optimizer moments stay f32 — so bf16 here is purely a
+//! storage/bandwidth format, the same contract as mixed-precision
+//! embedding training on GPU.
+
+/// Encode an `f32` as bf16 with round-to-nearest-even.
+///
+/// NaN maps to a quiet NaN (the truncated payload could be all-zero
+/// mantissa, which would read back as infinity); ±0 and ±inf are exact.
+#[inline]
+pub fn bf16_encode(x: f32) -> u16 {
+    let b = x.to_bits();
+    if x.is_nan() {
+        // Preserve sign, force a quiet-NaN mantissa bit.
+        return ((b >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on the truncated 16 bits: add 0x7FFF plus
+    // the current LSB of the surviving mantissa, then shift.
+    let rounded = b.wrapping_add(0x7FFF + ((b >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Decode a bf16 value back to the `f32` it denotes (exact).
+#[inline]
+pub fn bf16_decode(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Encode a slice (`dst.len() == src.len()`).
+pub fn bf16_encode_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = bf16_encode(s);
+    }
+}
+
+/// Decode a slice (`dst.len() == src.len()`).
+pub fn bf16_decode_slice(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = bf16_decode(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            -3.0,
+            256.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE, // smallest normal: exponent survives
+        ] {
+            let y = bf16_decode(bf16_encode(x));
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(bf16_decode(bf16_encode(f32::NAN)).is_nan());
+        assert!(bf16_decode(bf16_encode(-f32::NAN)).is_nan());
+        // A NaN whose payload lives entirely in the truncated bits must
+        // not decode as infinity.
+        let sneaky = f32::from_bits(0x7F80_0001);
+        assert!(sneaky.is_nan());
+        assert!(bf16_decode(bf16_encode(sneaky)).is_nan());
+    }
+
+    #[test]
+    fn relative_error_within_2_pow_neg_8() {
+        // Deterministic LCG sweep over a wide magnitude range.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mant = ((state >> 40) as f32) / (1u64 << 24) as f32; // [0,1)
+            let exp = ((state >> 8) % 61) as i32 - 30; // 2^-30 .. 2^30
+            let x = (1.0 + mant) * (exp as f32).exp2() * if state & 1 == 0 { 1.0 } else { -1.0 };
+            let y = bf16_decode(bf16_encode(x));
+            let rel = ((y - x) / x).abs();
+            assert!(rel <= 1.0 / 256.0, "x={x} y={y} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_even() {
+        // 1 + 2^-8 sits exactly between bf16(1.0) and bf16(1 + 2^-7);
+        // nearest-even picks the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_decode(bf16_encode(halfway)), 1.0);
+        // One ULP above the halfway point must round up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(
+            bf16_decode(bf16_encode(above)).to_bits(),
+            f32::from_bits(0x3F81_0000).to_bits()
+        );
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let src = [1.5f32, -2.25, 1e-20, 3e20, 0.1];
+        let mut enc = [0u16; 5];
+        bf16_encode_slice(&src, &mut enc);
+        let mut dec = [0f32; 5];
+        bf16_decode_slice(&enc, &mut dec);
+        for (i, &x) in src.iter().enumerate() {
+            assert_eq!(dec[i].to_bits(), bf16_decode(bf16_encode(x)).to_bits());
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bf16;
 pub mod init;
 pub mod matrix;
 pub mod nn;
@@ -52,14 +53,17 @@ pub mod tape;
 
 /// One-stop imports for model code.
 pub mod prelude {
+    pub use crate::bf16::{bf16_decode, bf16_encode};
     pub use crate::init::{
         normal_matrix, sample_categorical, sample_categorical_without_replacement, standard_normal,
         xavier_normal, xavier_uniform,
     };
-    pub use crate::matrix::Matrix;
+    pub use crate::matrix::{
+        active_microkernel, available_microkernels, force_microkernel, Matrix, MicrokernelKind,
+    };
     pub use crate::nn::{Activation, Embedding, Linear, Mlp};
     pub use crate::optim::{clip_global_norm, Adam, Sgd};
-    pub use crate::params::{ParamId, ParamStore};
+    pub use crate::params::{ParamId, ParamStore, Precision};
     pub use crate::tape::{Gradients, SparseTarget, Tape, Var};
 }
 

@@ -7,40 +7,56 @@
 //! # Matmul design
 //!
 //! The three matmul variants (`nn`, `nt`, `tn`) share one cache-blocked
-//! GEBP-style implementation (the private `gemm` driver):
+//! GEBP-style implementation (the private `gemm` driver), blocked for
+//! the whole cache hierarchy:
 //!
-//! 1. **Pack B.** The right operand is repacked once per call into column
-//!    panels of width [`NR`]: `bpack[panel][kk][nr]`. Each of the three
-//!    variants only differs in its packing loop, which absorbs the
-//!    transpose — the hot loop never sees a stride.
-//! 2. **Row-split in parallel.** The output rows are split across the
-//!    persistent worker pool ([`crate::parallel::par_chunks_mut`]); the
-//!    packed B is shared read-only by all workers.
-//! 3. **Microkernel.** Each worker walks its rows in blocks of [`MR`],
-//!    packs the corresponding A block (`apack[kk][mr]`, again absorbing
-//!    the `tn` transpose), and computes an `MR`×`NR` register tile per
-//!    B panel. Fringes are handled by zero-padding the packs and masking
-//!    the write-back.
+//! 1. **`jc`/[`NC`] column blocking.** The outermost loop walks B in
+//!    slices of `NC` columns so the packed KC×NC slice stays
+//!    L2-resident — without it the full packed B (4 MB at 1024²) is
+//!    re-streamed per row block and throughput falls off past the L2
+//!    size. `NC` is a multiple of every kernel's panel width.
+//! 2. **Pack the B slice.** The slice is repacked into column panels of
+//!    the active kernel's `NR`: `bpack[panel][kk][nr]`. Each of the
+//!    three variants only differs in its packing loop, which absorbs
+//!    the transpose — the hot loop never sees a stride.
+//! 3. **[`KC`] k-blocking + row-split in parallel.** Within each KC
+//!    slice the output rows are split across the persistent worker pool
+//!    ([`crate::parallel::par_chunks_mut`]); the packed B is shared
+//!    read-only by all workers.
+//! 4. **Microkernel.** Each worker walks its rows in blocks of the
+//!    kernel's `MR`, packs the corresponding A block (`apack[kk][mr]`,
+//!    again absorbing the `tn` transpose), and computes an `MR`×`NR`
+//!    register tile per B panel. Fringes are handled by zero-padding
+//!    the packs and masking the write-back (the AVX-512 kernel masks
+//!    loads/stores on C directly).
 //!
 //! # Microkernel dispatch
 //!
-//! The inner tile has two implementations behind one contract
-//! (`acc += Ablock @ Bpanel` over packed operands):
+//! The inner tile has three implementations behind one contract
+//! (`acc += Ablock @ Bpanel` over packed operands), listed by
+//! [`available_microkernels`] fastest-first and selected at runtime
+//! with `is_x86_feature_detected!`:
 //!
-//! - **AVX2+FMA** (`x86_64`, detected at runtime with
-//!   `is_x86_feature_detected!`): explicit `std::arch` intrinsics — the
-//!   4×16 tile held in 8 YMM accumulators, one broadcast + two FMAs per
-//!   row per `kk` step, and software prefetch of the B panel. This is the
-//!   default wherever the CPU supports it.
-//! - **Portable** ([`microkernel`]): `MR*NR` scalar accumulators that the
-//!   auto-vectoriser keeps in vector registers. Always available; also
-//!   reachable on SIMD hardware via [`force_portable_microkernel`] for
-//!   parity tests and A/B benchmarks.
+//! - **AVX-512** ([`MicrokernelKind::Avx512`]): 8×32 tile in 16 ZMM
+//!   accumulators, masked loads/stores for row/column fringes.
+//! - **AVX2+FMA** ([`MicrokernelKind::Avx2Fma`]): the 4×16 tile held in
+//!   8 YMM accumulators, one broadcast + two FMAs per row per `kk`
+//!   step, and software prefetch of the B panel.
+//! - **Portable** ([`MicrokernelKind::Portable`]): `MR*NR` scalar
+//!   accumulators that the auto-vectoriser keeps in vector registers.
+//!   Always available.
 //!
-//! The two differ by at most the FMA contraction (one rounding instead of
-//! two per multiply-add), so results agree to ~`sqrt(k)` ULP; see the
-//! `simd_matmul_matches_portable*` parity tests. [`active_microkernel`]
-//! reports which path the current process dispatches to.
+//! [`active_microkernel`] reports the calling thread's pick, and
+//! [`force_microkernel`] returns an RAII guard pinning the thread to
+//! any level (parity tests and A/B benchmarks).
+//!
+//! Every kernel accumulates each output element in a single register in
+//! ascending-k order, so the two FMA kernels agree **bitwise** with
+//! each other on any data; against portable they differ by at most the
+//! FMA contraction (one rounding instead of two per multiply-add), so
+//! results agree bitwise on integer data and to ~`sqrt(k)` ULP on
+//! fractional data; see the `simd_matmul_matches_portable*` and
+//! `fma_kernels_agree_*` parity tests.
 //!
 //! Packing scratch lives in thread-locals, so steady-state training does
 //! not allocate per matmul call. Small products (`m*k*n < `[`TILE_THRESHOLD`])
@@ -305,13 +321,30 @@ impl Matrix {
     }
 }
 
-/// Register-tile height: rows of A per microkernel invocation.
+/// Register-tile height of the portable and AVX2 tiles: rows of A per
+/// microkernel invocation. The AVX-512 tile is deeper (see
+/// [`MicrokernelKind::geometry`]).
 pub const MR: usize = 4;
-/// Register-tile width: columns of B per packed panel.
+/// Register-tile width of the portable and AVX2 tiles: columns of B per
+/// packed panel. The AVX-512 tile is wider (see
+/// [`MicrokernelKind::geometry`]).
 pub const NR: usize = 16;
-/// K-dimension block: the `KC`×`NR` B panel slice (16 KiB) and the
-/// `KC`×`MR` A block (4 KiB) stay L1-resident inside the microkernel.
+/// Largest register-tile height across all microkernels (the AVX-512
+/// tile is `8`×`32`); driver-side scratch is sized for this.
+pub const MR_MAX: usize = 8;
+/// Largest register-tile width across all microkernels.
+pub const NR_MAX: usize = 32;
+/// K-dimension block: the `KC`×`NR` B panel slice (16–32 KiB) and the
+/// `KC`×`MR` A block (4–8 KiB) stay L1-resident inside the microkernel.
 pub const KC: usize = 256;
+/// N-dimension block (the GEBP `jc` loop): the driver walks the packed B
+/// columns in `NC`-wide slices so one `KC`×`NC` slice (512 KiB at f32)
+/// stays L2-resident while every row block of A streams against it.
+/// Without this loop the whole packed B (4 MB at 1024²) is re-pulled from
+/// L3 per `MR`-row block, which is exactly the ~60 → ~35 GFLOP/s falloff
+/// the ROADMAP's "kernel ceiling" item describes. `NC` is a multiple of
+/// every kernel's panel width, so panel boundaries never straddle a slice.
+pub const NC: usize = 512;
 /// Products with fewer than this many fused multiply-adds use the naive
 /// loops; below it, packing costs more than it saves.
 pub const TILE_THRESHOLD: usize = 16 * 16 * 16;
@@ -353,21 +386,22 @@ enum Layout {
     Transposed,
 }
 
-/// Pack the B operand into `NR`-wide column panels, zero-padding the last
-/// panel: `bpack[p * k * NR + kk * NR + nr] = B[kk, p*NR + nr]`.
-fn pack_b(b: &[f32], k: usize, n: usize, layout: Layout, out: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
+/// Pack the B operand into `nr`-wide column panels (the active kernel's
+/// panel width), zero-padding the last panel:
+/// `bpack[p * k * nr + kk * nr + j] = B[kk, p*nr + j]`.
+fn pack_b(b: &[f32], k: usize, n: usize, layout: Layout, nr: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(nr);
     out.clear();
-    out.resize(panels * k * NR, 0.0);
+    out.resize(panels * k * nr, 0.0);
     match layout {
         Layout::RowMajor => {
             // b is (k, n) row-major
             for kk in 0..k {
                 let src = &b[kk * n..(kk + 1) * n];
                 for p in 0..panels {
-                    let j0 = p * NR;
-                    let width = NR.min(n - j0);
-                    let dst = &mut out[p * k * NR + kk * NR..p * k * NR + kk * NR + width];
+                    let j0 = p * nr;
+                    let width = nr.min(n - j0);
+                    let dst = &mut out[p * k * nr + kk * nr..p * k * nr + kk * nr + width];
                     dst.copy_from_slice(&src[j0..j0 + width]);
                 }
             }
@@ -375,13 +409,13 @@ fn pack_b(b: &[f32], k: usize, n: usize, layout: Layout, out: &mut Vec<f32>) {
         Layout::Transposed => {
             // b is (n, k) row-major; output column j is b row j
             for p in 0..panels {
-                let j0 = p * NR;
-                let width = NR.min(n - j0);
-                let panel = &mut out[p * k * NR..(p + 1) * k * NR];
-                for nr in 0..width {
-                    let src = &b[(j0 + nr) * k..(j0 + nr + 1) * k];
+                let j0 = p * nr;
+                let width = nr.min(n - j0);
+                let panel = &mut out[p * k * nr..(p + 1) * k * nr];
+                for j in 0..width {
+                    let src = &b[(j0 + j) * k..(j0 + j + 1) * k];
                     for (kk, &v) in src.iter().enumerate() {
-                        panel[kk * NR + nr] = v;
+                        panel[kk * nr + j] = v;
                     }
                 }
             }
@@ -389,9 +423,9 @@ fn pack_b(b: &[f32], k: usize, n: usize, layout: Layout, out: &mut Vec<f32>) {
     }
 }
 
-/// Pack an `MR`-row block of A (rows `r0..r0+rows`, inner indices
-/// `k0..k0+klen`), zero-padding to `MR`:
-/// `apack[kk * MR + mr] = A[r0 + mr, k0 + kk]`.
+/// Pack an `mr`-row block of A (rows `r0..r0+rows`, inner indices
+/// `k0..k0+klen`) for the active kernel's tile height, zero-padding to
+/// `mr`: `apack[kk * mr + i] = A[r0 + i, k0 + kk]`.
 ///
 /// `lead` is the leading dimension of the stored buffer: for `RowMajor`
 /// (A is `(m, k)`) it is `k`; for `Transposed` (A stored `(k, m)`) it is
@@ -406,30 +440,31 @@ fn pack_a_block(
     klen: usize,
     lead: usize,
     layout: Layout,
+    mr: usize,
     out: &mut [f32],
 ) {
-    debug_assert!(rows <= MR && out.len() >= klen * MR);
+    debug_assert!(rows <= mr && out.len() >= klen * mr);
     match layout {
         Layout::RowMajor => {
-            for mr in 0..MR {
-                if mr < rows {
-                    let src = &a[(r0 + mr) * lead + k0..(r0 + mr) * lead + k0 + klen];
+            for i in 0..mr {
+                if i < rows {
+                    let src = &a[(r0 + i) * lead + k0..(r0 + i) * lead + k0 + klen];
                     for (kk, &v) in src.iter().enumerate() {
-                        out[kk * MR + mr] = v;
+                        out[kk * mr + i] = v;
                     }
                 } else {
                     for kk in 0..klen {
-                        out[kk * MR + mr] = 0.0;
+                        out[kk * mr + i] = 0.0;
                     }
                 }
             }
         }
         Layout::Transposed => {
-            // a stored (k, m): row kk holds A[kk, :]; the MR block is a
+            // a stored (k, m): row kk holds A[kk, :]; the mr block is a
             // contiguous slice of each stored row.
             for kk in 0..klen {
                 let src = &a[(k0 + kk) * lead + r0..(k0 + kk) * lead + r0 + rows];
-                let dst = &mut out[kk * MR..kk * MR + MR];
+                let dst = &mut out[kk * mr..kk * mr + mr];
                 dst[..rows].copy_from_slice(src);
                 dst[rows..].fill(0.0);
             }
@@ -565,15 +600,111 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! Explicit AVX-512F implementation of the GEBP inner tile.
+    //!
+    //! The tile is `8`×`32`: 16 ZMM accumulators (8 rows × 2 vectors of
+    //! 16 `f32` lanes), 2 B-row loads and 8 A broadcasts per `kk` step —
+    //! 19 live ZMM registers of the 32 architectural ones. Unlike the
+    //! AVX2 path (which accumulates into a caller-held scratch tile),
+    //! this kernel reads and writes the output tile directly with
+    //! **masked** loads/stores, so row and column fringes never take a
+    //! scalar copy loop: a `width`-column fringe is two `__mmask16`
+    //! masks, a `rows`-row fringe just skips the trailing row transfers
+    //! (padded A rows still compute, against zeros).
+    //!
+    //! Per output element the accumulation is one FMA per `kk` in
+    //! ascending order — the **same** single-rounding sequence as the
+    //! AVX2 kernel — so for identical blocking the two produce
+    //! bit-identical results (asserted by the cross-ISA proptests).
+
+    use super::{MR_MAX, NR_MAX};
+    use std::arch::x86_64::*;
+
+    // The body below is written for exactly this tile shape.
+    const _: () = assert!(MR_MAX == 8 && NR_MAX == 32, "avx512 microkernel is 8x32");
+
+    /// Software-prefetch distance in `kk` steps (128 B of packed B per
+    /// step = 2 cache lines, so this runs 16 lines ahead).
+    const PREFETCH_K: usize = 8;
+
+    /// Compute one `rows`×`width` output tile: `C[.., ..] += Ablock @
+    /// Bpanel` over `k` inner steps, where `c` points at the tile's
+    /// top-left element inside a row-major buffer with leading dimension
+    /// `ldc`. When `first_k` is set the accumulators start at zero
+    /// instead of loading `C` (the `k0 == 0` block of the driver).
+    ///
+    /// # Safety
+    /// The caller must have verified `avx512f` CPU support and guarantee
+    /// `apack.len() >= k * MR_MAX`, `bpanel.len() >= k * NR_MAX`, and
+    /// that `c` addresses `rows` rows of at least `width` valid elements
+    /// at stride `ldc`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_tile(
+        k: usize,
+        apack: &[f32],
+        bpanel: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        width: usize,
+        first_k: bool,
+    ) {
+        debug_assert!(apack.len() >= k * MR_MAX && bpanel.len() >= k * NR_MAX);
+        debug_assert!(rows <= MR_MAX && width <= NR_MAX);
+        let m0: __mmask16 = ((1u32 << width.min(16)) - 1) as __mmask16;
+        let m1: __mmask16 = if width > 16 {
+            ((1u32 << (width - 16)) - 1) as __mmask16
+        } else {
+            0
+        };
+        let zero = _mm512_setzero_ps();
+        let mut acc = [[zero; 2]; MR_MAX];
+        if !first_k {
+            for (r, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                acc_row[0] = _mm512_maskz_loadu_ps(m0, c.add(r * ldc));
+                acc_row[1] = _mm512_maskz_loadu_ps(m1, c.add(r * ldc + 16));
+            }
+        }
+        let a = apack.as_ptr();
+        let b = bpanel.as_ptr();
+        for kk in 0..k {
+            // Prefetching past the end of the panel is harmless at the
+            // hardware level; wrapping_add keeps the address computation
+            // itself free of out-of-bounds-pointer UB.
+            _mm_prefetch(
+                b.wrapping_add((kk + PREFETCH_K) * NR_MAX) as *const i8,
+                _MM_HINT_T0,
+            );
+            let b0 = _mm512_loadu_ps(b.add(kk * NR_MAX));
+            let b1 = _mm512_loadu_ps(b.add(kk * NR_MAX + 16));
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let ar = _mm512_set1_ps(*a.add(kk * MR_MAX + r));
+                acc_row[0] = _mm512_fmadd_ps(ar, b0, acc_row[0]);
+                acc_row[1] = _mm512_fmadd_ps(ar, b1, acc_row[1]);
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+            _mm512_mask_storeu_ps(c.add(r * ldc), m0, acc_row[0]);
+            _mm512_mask_storeu_ps(c.add(r * ldc + 16), m1, acc_row[1]);
+        }
+    }
+}
+
 /// Microkernel implementations the GEBP driver can dispatch to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MicrokernelKind {
     /// The auto-vectorised scalar tile ([`microkernel`]). Always available
     /// and the only option off `x86_64`.
     Portable,
-    /// Explicit AVX2+FMA intrinsics with software prefetch; selected at
-    /// runtime when the CPU reports both features.
+    /// Explicit AVX2+FMA intrinsics (4×16 tile) with software prefetch;
+    /// selected at runtime when the CPU reports both features.
     Avx2Fma,
+    /// Explicit AVX-512F intrinsics (8×32 tile, masked fringes); preferred
+    /// over AVX2 when the CPU reports `avx512f`.
+    Avx512,
 }
 
 impl MicrokernelKind {
@@ -582,42 +713,138 @@ impl MicrokernelKind {
         match self {
             MicrokernelKind::Portable => "portable",
             MicrokernelKind::Avx2Fma => "avx2_fma",
+            MicrokernelKind::Avx512 => "avx512",
+        }
+    }
+
+    /// Register-tile geometry `(mr, nr)` of this kernel: A rows per
+    /// microkernel invocation × packed-B panel width. The driver packs
+    /// both operands to match the **active** kernel's geometry.
+    pub fn geometry(self) -> (usize, usize) {
+        match self {
+            MicrokernelKind::Portable | MicrokernelKind::Avx2Fma => (MR, NR),
+            MicrokernelKind::Avx512 => (MR_MAX, NR_MAX),
+        }
+    }
+
+    /// Whether the running CPU can execute this kernel.
+    pub fn is_available(self) -> bool {
+        match self {
+            MicrokernelKind::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            MicrokernelKind::Avx2Fma => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            MicrokernelKind::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
         }
     }
 }
 
-static FORCE_PORTABLE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+/// Every microkernel the running CPU can execute, fastest first — the
+/// order [`active_microkernel`] prefers them in. The list always ends
+/// with [`MicrokernelKind::Portable`], so a per-ISA parity sweep over it
+/// (the CI bench-smoke does one) necessarily exercises the portable
+/// fallback path.
+pub fn available_microkernels() -> Vec<MicrokernelKind> {
+    let mut kinds = Vec::with_capacity(3);
+    if MicrokernelKind::Avx512.is_available() {
+        kinds.push(MicrokernelKind::Avx512);
+    }
+    if MicrokernelKind::Avx2Fma.is_available() {
+        kinds.push(MicrokernelKind::Avx2Fma);
+    }
+    kinds.push(MicrokernelKind::Portable);
+    kinds
+}
 
-/// Which microkernel [`matmul_nn`]/[`matmul_nt`]/[`matmul_tn`] dispatch to
-/// in this process right now. Feature detection is cached by the standard
-/// library, so this is cheap enough to consult per `gemm` call.
+thread_local! {
+    /// Per-thread dispatch override installed by [`force_microkernel`].
+    static FORCED_KERNEL: std::cell::Cell<Option<MicrokernelKind>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Which microkernel [`matmul_nn`]/[`matmul_nt`]/[`matmul_tn`] dispatch
+/// to on **this thread** right now: a [`force_microkernel`] override if
+/// one is in scope, else the best kernel the CPU supports. Feature
+/// detection is cached by the standard library, so this is cheap enough
+/// to consult per `gemm` call.
+///
+/// `gemm` resolves the kernel once on the calling thread and the pool
+/// workers inherit that choice, so a thread-local override covers the
+/// whole parallel computation it scopes.
 pub fn active_microkernel() -> MicrokernelKind {
+    if let Some(kind) = FORCED_KERNEL.with(|c| c.get()) {
+        return kind;
+    }
     #[cfg(target_arch = "x86_64")]
     {
-        if !FORCE_PORTABLE.load(std::sync::atomic::Ordering::Relaxed)
-            && is_x86_feature_detected!("avx2")
-            && is_x86_feature_detected!("fma")
-        {
+        if MicrokernelKind::Avx512.is_available() {
+            return MicrokernelKind::Avx512;
+        }
+        if MicrokernelKind::Avx2Fma.is_available() {
             return MicrokernelKind::Avx2Fma;
         }
     }
     MicrokernelKind::Portable
 }
 
-/// Test/bench hook: force the portable microkernel even where AVX2+FMA is
-/// available (`true` forces, `false` restores runtime detection).
+/// Scoped dispatch override for A/B benchmarking and the kernel-parity
+/// tests: while the returned guard lives, [`active_microkernel`] on this
+/// thread reports `kind`; dropping the guard restores whatever was in
+/// effect before (guards nest). The override is **thread-local**, so a
+/// parity test pinning the portable kernel cannot leak its choice into
+/// concurrently running tests — the leak the old process-global
+/// set/unset hook permitted.
 ///
-/// Process-global; intended for A/B benchmarking (`perf_snapshot`) and the
-/// SIMD parity tests. Both kernels are parity-correct, so a concurrent
-/// matmul observing a mid-flight toggle still computes a valid product —
-/// only timing comparisons need the flag held stable.
-pub fn force_portable_microkernel(on: bool) {
-    FORCE_PORTABLE.store(on, std::sync::atomic::Ordering::Relaxed);
+/// Panics if `kind` is not executable on this CPU
+/// ([`MicrokernelKind::is_available`]); probe before forcing when
+/// sweeping ISA levels.
+#[must_use = "the override ends when the guard is dropped"]
+pub fn force_microkernel(kind: MicrokernelKind) -> ForceMicrokernelGuard {
+    assert!(
+        kind.is_available(),
+        "cannot force the {} microkernel: this CPU does not support it",
+        kind.name()
+    );
+    let prev = FORCED_KERNEL.with(|c| c.replace(Some(kind)));
+    ForceMicrokernelGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard of a [`force_microkernel`] override; restores the previous
+/// dispatch state (panic-safe) when dropped.
+#[derive(Debug)]
+pub struct ForceMicrokernelGuard {
+    prev: Option<MicrokernelKind>,
+    /// `!Send`: the override lives in this thread's slot; restoring it
+    /// from another thread would unwind the wrong state.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ForceMicrokernelGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        FORCED_KERNEL.with(|c| c.set(prev));
+    }
 }
 
 /// Shared tiled GEMM driver: `out = opA(A) @ opB(B)` with `out` of shape
-/// `(m, n)` and inner dimension `k`. Packs B once, then splits output rows
-/// across the worker pool.
+/// `(m, n)` and inner dimension `k`. Packs B once in the active kernel's
+/// panel geometry, then splits output rows across the worker pool; each
+/// worker walks the full GEBP loop nest `jc (NC) → k0 (KC) → row block
+/// (mr) → panel (nr)` over its rows.
+///
+/// Per output element the accumulation order is: ascending `k0` blocks,
+/// one `f32` store/reload of the partial between blocks, one FMA (or
+/// mul+add on the portable tile) per `kk` inside a block. That order is
+/// invariant under the `jc`/`NC` blocking — elements are independent and
+/// each still sees exactly the same arithmetic sequence — so adding the
+/// NC loop changed no bits of any result (parity-proptested).
 #[allow(clippy::too_many_arguments)]
 fn gemm(
     out: &mut [f32],
@@ -636,58 +863,93 @@ fn gemm(
         Layout::RowMajor => k,
         Layout::Transposed => m,
     };
-    let mut pb = take_scratch(&PACK_B);
-    pack_b(b, k, n, b_layout, &mut pb);
-    let bpack: &[f32] = &pb;
-    // Resolve the microkernel once per call; the workers inherit the copy.
+    // Resolve the microkernel once per call; the workers inherit the copy
+    // (so a thread-local force_microkernel override on the caller covers
+    // the whole parallel region), and the packing matches its geometry.
     let kernel = active_microkernel();
+    let (mr, nr) = kernel.geometry();
+    let mut pb = take_scratch(&PACK_B);
+    pack_b(b, k, n, b_layout, nr, &mut pb);
+    let bpack: &[f32] = &pb;
     let body = |r0: usize, chunk: &mut [f32]| {
         let rows_here = chunk.len() / n;
         let mut pa = take_scratch(&PACK_A);
         pa.clear();
-        pa.resize(KC.min(k) * MR, 0.0);
-        let mut i0 = 0usize;
-        while i0 < rows_here {
-            let rows = MR.min(rows_here - i0);
-            // K-blocked accumulation: each KC slice of the A block and B
-            // panel stays cache-resident; the output tile is re-loaded and
-            // re-stored per slice (registers within the microkernel).
+        pa.resize(KC.min(k) * mr, 0.0);
+        // jc/NC outer loop: one KC×NC slice of packed B (512 KiB) stays
+        // L2-resident while every row block below streams against it.
+        // The A block is repacked once per (jc, k0) pass — O(m·k·n/NC)
+        // extra packing work, noise against the O(m·k·n) FMAs it buys
+        // L2-resident B for.
+        let mut jc = 0usize;
+        while jc < n {
+            let jcw = NC.min(n - jc);
             let mut k0 = 0usize;
             while k0 < k {
                 let klen = KC.min(k - k0);
-                pack_a_block(a, r0 + i0, rows, k0, klen, a_lead, a_layout, &mut pa);
-                let mut p = 0usize;
-                let mut j0 = 0usize;
-                while j0 < n {
-                    let width = NR.min(n - j0);
-                    let bpanel = &bpack[p * k * NR + k0 * NR..p * k * NR + (k0 + klen) * NR];
-                    let mut acc = [[0.0f32; NR]; MR];
-                    if k0 > 0 {
-                        for mr in 0..rows {
-                            let src = &chunk[(i0 + mr) * n + j0..(i0 + mr) * n + j0 + width];
-                            acc[mr][..width].copy_from_slice(src);
+                let mut i0 = 0usize;
+                while i0 < rows_here {
+                    let rows = mr.min(rows_here - i0);
+                    pack_a_block(a, r0 + i0, rows, k0, klen, a_lead, a_layout, mr, &mut pa);
+                    let mut j0 = jc;
+                    while j0 < jc + jcw {
+                        let width = nr.min(n - j0);
+                        // jc is NC-aligned and NC % nr == 0, so panel
+                        // boundaries never straddle a jc slice.
+                        let p = j0 / nr;
+                        let bpanel = &bpack[p * k * nr + k0 * nr..p * k * nr + (k0 + klen) * nr];
+                        match kernel {
+                            #[cfg(target_arch = "x86_64")]
+                            // SAFETY: Avx512 is only dispatched after
+                            // runtime detection of avx512f; the tile
+                            // pointer addresses `rows` rows of `width`
+                            // valid elements at stride n, and the pack
+                            // lengths are maintained above.
+                            MicrokernelKind::Avx512 => unsafe {
+                                avx512::run_tile(
+                                    klen,
+                                    &pa,
+                                    bpanel,
+                                    chunk[i0 * n + j0..].as_mut_ptr(),
+                                    n,
+                                    rows,
+                                    width,
+                                    k0 == 0,
+                                )
+                            },
+                            _ => {
+                                let mut acc = [[0.0f32; NR]; MR];
+                                if k0 > 0 {
+                                    for r in 0..rows {
+                                        let src =
+                                            &chunk[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                                        acc[r][..width].copy_from_slice(src);
+                                    }
+                                }
+                                match kernel {
+                                    #[cfg(target_arch = "x86_64")]
+                                    // SAFETY: Avx2Fma is only dispatched
+                                    // after runtime detection of avx2+fma;
+                                    // pack lengths are maintained above.
+                                    MicrokernelKind::Avx2Fma => unsafe {
+                                        avx2::microkernel(klen, &pa, bpanel, &mut acc)
+                                    },
+                                    _ => microkernel(klen, &pa, bpanel, &mut acc),
+                                }
+                                for r in 0..rows {
+                                    let dst =
+                                        &mut chunk[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                                    dst.copy_from_slice(&acc[r][..width]);
+                                }
+                            }
                         }
+                        j0 += nr;
                     }
-                    match kernel {
-                        #[cfg(target_arch = "x86_64")]
-                        // SAFETY: Avx2Fma is only returned by
-                        // active_microkernel() after runtime detection of
-                        // avx2+fma; pack lengths are maintained above.
-                        MicrokernelKind::Avx2Fma => unsafe {
-                            avx2::microkernel(klen, &pa, bpanel, &mut acc)
-                        },
-                        _ => microkernel(klen, &pa, bpanel, &mut acc),
-                    }
-                    for mr in 0..rows {
-                        let dst = &mut chunk[(i0 + mr) * n + j0..(i0 + mr) * n + j0 + width];
-                        dst.copy_from_slice(&acc[mr][..width]);
-                    }
-                    p += 1;
-                    j0 += NR;
+                    i0 += rows;
                 }
                 k0 += klen;
             }
-            i0 += rows;
+            jc += jcw;
         }
         put_scratch(&PACK_A, pa);
     };
@@ -975,13 +1237,12 @@ pub fn fast_exp(x: f32) -> f32 {
     scale * p
 }
 
-/// Softmax within segments. `scores` is a column vector (Ex1); `seg[i]`
-/// names the segment of row `i`. Rows of the same segment are normalised
-/// together with the max-subtraction trick. Returns a column vector.
-///
-/// This is the edge-softmax of graph attention: segments are destination
-/// nodes, rows are incoming edges.
-pub fn segment_softmax(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matrix {
+/// Scalar reference implementation of [`segment_softmax`]: per-edge
+/// segment-indexed passes with f64 denominators. Kept as the parity
+/// baseline for the vectorised path (same role
+/// [`softmax_rows_naive`] plays for [`softmax_rows`]); the proptests
+/// assert the two agree within tolerance over random segment layouts.
+pub fn segment_softmax_naive(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matrix {
     assert_eq!(scores.cols, 1, "segment_softmax expects a column vector");
     assert_eq!(scores.rows, seg.len());
     let mut max = vec![f32::NEG_INFINITY; n_segments];
@@ -1006,6 +1267,168 @@ pub fn segment_softmax(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matri
         } else {
             0.0
         };
+    }
+    out
+}
+
+/// True if `seg` is non-decreasing, i.e. already in sort-by-segment
+/// layout. The attention encoder's destination segments are emitted
+/// grouped per target, so the hot path takes the no-permutation branch.
+fn seg_is_sorted(seg: &[u32]) -> bool {
+    seg.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Unsorted-layout softmax via per-segment accumulators. Permuting the
+/// edge arrays into sort-by-segment order was measured slower than the
+/// scalar reference at 2×10⁶ edges — the counting-sort gathers and
+/// scatters are random accesses over *edge*-sized arrays — so instead
+/// the edge arrays stream sequentially three times and only the
+/// `n_segments`-sized max/sum accumulators (typically orders of
+/// magnitude smaller and cache-resident) take random hits: a max fold,
+/// a [`fast_exp`] pass accumulating the f64 denominator, and a
+/// normalising pass through precomputed inverses.
+fn softmax_accum(x: &[f32], seg: &[u32], n_segments: usize, out: &mut [f32]) {
+    let mut maxs = vec![f32::NEG_INFINITY; n_segments];
+    for (&v, &s) in x.iter().zip(seg) {
+        let m = &mut maxs[s as usize];
+        if v > *m {
+            *m = v;
+        }
+    }
+    let mut sums = vec![0.0f64; n_segments];
+    for (o, (&v, &s)) in out.iter_mut().zip(x.iter().zip(seg)) {
+        let e = fast_exp(v - maxs[s as usize]);
+        *o = e;
+        sums[s as usize] += e as f64;
+    }
+    let invs: Vec<f32> = sums
+        .iter()
+        .map(|&d| if d > 0.0 { (1.0 / d) as f32 } else { 0.0 })
+        .collect();
+    for (o, &s) in out.iter_mut().zip(seg) {
+        *o *= invs[s as usize];
+    }
+}
+
+/// Blocked per-run softmax over values already in sort-by-segment
+/// layout: for each contiguous run of one segment, a max fold, a
+/// [`fast_exp`] pass, and a [`lane_sum`] denominator — the same three
+/// vectorisable passes as [`softmax_rows`], applied to variable-length
+/// runs instead of fixed-width rows.
+fn softmax_runs_inplace(vals: &mut [f32], seg: &[u32]) {
+    let n = vals.len();
+    let mut lo = 0usize;
+    while lo < n {
+        let s = seg[lo];
+        let mut hi = lo + 1;
+        while hi < n && seg[hi] == s {
+            hi += 1;
+        }
+        let run = &mut vals[lo..hi];
+        let max = run.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in run.iter_mut() {
+            *v = fast_exp(*v - max);
+        }
+        let denom = lane_sum(run);
+        if denom > 0.0 {
+            let inv = (1.0 / denom) as f32;
+            for v in run.iter_mut() {
+                *v *= inv;
+            }
+        } else {
+            run.fill(0.0);
+        }
+        lo = hi;
+    }
+}
+
+/// Softmax within segments. `scores` is a column vector (Ex1); `seg[i]`
+/// names the segment of row `i`. Rows of the same segment are normalised
+/// together with the max-subtraction trick. Returns a column vector.
+///
+/// This is the edge-softmax of graph attention: segments are destination
+/// nodes, rows are incoming edges. Already-sorted segments (the encoder
+/// emits them grouped by target) are processed as contiguous runs with
+/// blocked max/exp/sum passes; unsorted layouts take the streaming
+/// accumulator fallback (`softmax_accum`). Agrees with the scalar
+/// [`segment_softmax_naive`] within a few ULP (the denominator is
+/// lane-summed and applied as one `f32` inverse, the trade
+/// [`softmax_rows`] already makes).
+pub fn segment_softmax(scores: &Matrix, seg: &[u32], n_segments: usize) -> Matrix {
+    assert_eq!(scores.cols, 1, "segment_softmax expects a column vector");
+    assert_eq!(scores.rows, seg.len());
+    let mut out = Matrix::zeros(scores.rows, 1);
+    if seg_is_sorted(seg) {
+        out.data.copy_from_slice(&scores.data);
+        softmax_runs_inplace(&mut out.data, seg);
+    } else {
+        softmax_accum(&scores.data, seg, n_segments, &mut out.data);
+    }
+    out
+}
+
+/// 8-lane partial dot product (f32 lanes, f64 total) — [`lane_sum`]'s
+/// summation order applied to an elementwise product.
+#[inline]
+fn lane_dot(a: &[f32], b: &[f32]) -> f64 {
+    let mut lanes = [0.0f32; 8];
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for ((l, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
+            *l += x * y;
+        }
+    }
+    lanes.iter().map(|&l| l as f64).sum::<f64>()
+        + ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .map(|(&x, &y)| (x * y) as f64)
+            .sum::<f64>()
+}
+
+/// Per-run backward pass over sort-by-segment layouts:
+/// `out[j] = y[j] * (g[j] - dot_run)` with the run dot lane-summed.
+fn segment_softmax_backward_runs(y: &[f32], g: &[f32], seg: &[u32], out: &mut [f32]) {
+    let n = y.len();
+    let mut lo = 0usize;
+    while lo < n {
+        let s = seg[lo];
+        let mut hi = lo + 1;
+        while hi < n && seg[hi] == s {
+            hi += 1;
+        }
+        let dot = lane_dot(&g[lo..hi], &y[lo..hi]) as f32;
+        for j in lo..hi {
+            out[j] = y[j] * (g[j] - dot);
+        }
+        lo = hi;
+    }
+}
+
+/// Backward of [`segment_softmax`]: given the forward output `y` and the
+/// upstream gradient `g` (both Ex1 over the same `seg` layout), returns
+/// `gx[j] = y[j] * (g[j] - Σ_{i∈seg(j)} g[i]·y[i])`.
+///
+/// Vectorised exactly like the forward: contiguous runs with
+/// `lane_dot`-ordered per-segment dot products for sorted segments,
+/// streaming f64 dot accumulators per segment otherwise. The tape's
+/// `SegmentSoftmax` backward dispatches here.
+pub fn segment_softmax_backward(y: &Matrix, g: &Matrix, seg: &[u32], n_segments: usize) -> Matrix {
+    assert_eq!(y.cols, 1, "segment_softmax_backward expects column vectors");
+    assert_eq!(y.shape(), g.shape());
+    assert_eq!(y.rows, seg.len());
+    let mut out = Matrix::zeros(y.rows, 1);
+    if seg_is_sorted(seg) {
+        segment_softmax_backward_runs(&y.data, &g.data, seg, &mut out.data);
+    } else {
+        let mut dots = vec![0.0f64; n_segments];
+        for ((&yv, &gv), &s) in y.data.iter().zip(&g.data).zip(seg) {
+            dots[s as usize] += (yv * gv) as f64;
+        }
+        for ((o, (&yv, &gv)), &s) in out.data.iter_mut().zip(y.data.iter().zip(&g.data)).zip(seg) {
+            *o = yv * (gv - dots[s as usize] as f32);
+        }
     }
     out
 }

@@ -5,7 +5,7 @@
 
 use crate::init::{normal_matrix, xavier_uniform};
 use crate::matrix::Matrix;
-use crate::params::{ParamId, ParamStore};
+use crate::params::{ParamId, ParamStore, Precision};
 use crate::tape::{Tape, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -180,9 +180,20 @@ impl Embedding {
     }
 
     /// Look up rows by index.
+    ///
+    /// f32 tables replay the whole table onto the tape and gather from
+    /// it — the bit-identical historical path. bf16 tables use the fused
+    /// [`Tape::gather_param_rows`] lookup, which decodes only the
+    /// indexed rows (f32 arithmetic downstream) and never materialises
+    /// the table at full precision.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, idx: Rc<Vec<u32>>) -> Var {
-        let t = tape.param(store, self.table);
-        tape.gather_rows(t, idx)
+        match store.precision(self.table) {
+            Precision::F32 => {
+                let t = tape.param(store, self.table);
+                tape.gather_rows(t, idx)
+            }
+            Precision::Bf16 => tape.gather_param_rows(store, self.table, idx),
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! SGD, plus global-norm gradient clipping.
 
 use crate::matrix::Matrix;
-use crate::params::{ParamId, ParamStore};
+use crate::params::{ParamId, ParamStore, Precision};
 use crate::tape::Gradients;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,7 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for (id, g) in grads.iter() {
-            let shape = store.value(id).shape();
+            let shape = store.shape(id);
             assert_eq!(
                 g.shape(),
                 shape,
@@ -75,25 +75,35 @@ impl Adam {
                 store.name(id)
             );
             let (m, v) = self.slot(id, shape);
-            let p = store.value_mut(id);
-            let pd = p.as_mut_slice();
             let md = m.as_mut_slice();
             let vd = v.as_mut_slice();
             let gd = g.as_slice();
-            // weight decay hoisted out of the update loop so the fused
-            // moment/update loop below stays branch-free and vectorises
-            if wd > 0.0 {
-                for p in pd.iter_mut() {
-                    *p -= lr * wd * *p;
+            let mut update = |pd: &mut [f32]| {
+                // weight decay hoisted out of the update loop so the fused
+                // moment/update loop below stays branch-free and vectorises
+                if wd > 0.0 {
+                    for p in pd.iter_mut() {
+                        *p -= lr * wd * *p;
+                    }
                 }
-            }
-            for i in 0..pd.len() {
-                let gi = gd[i];
-                md[i] = b1 * md[i] + (1.0 - b1) * gi;
-                vd[i] = b2 * vd[i] + (1.0 - b2) * gi * gi;
-                let mhat = md[i] / bc1;
-                let vhat = vd[i] / bc2;
-                pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+                for i in 0..pd.len() {
+                    let gi = gd[i];
+                    md[i] = b1 * md[i] + (1.0 - b1) * gi;
+                    vd[i] = b2 * vd[i] + (1.0 - b2) * gi * gi;
+                    let mhat = md[i] / bc1;
+                    let vhat = vd[i] / bc2;
+                    pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            };
+            match store.precision(id) {
+                Precision::F32 => update(store.value_mut(id).as_mut_slice()),
+                // bf16 params update a decoded f32 working copy (moments
+                // are f32 either way) and round back once per step.
+                Precision::Bf16 => {
+                    let mut p = store.decode_f32(id);
+                    update(p.as_mut_slice());
+                    store.encode_from_f32(id, &p);
+                }
             }
         }
     }
@@ -135,7 +145,16 @@ impl Sgd {
             if self.velocity.len() <= i {
                 self.velocity.resize_with(i + 1, || None);
             }
-            let p = store.value_mut(id);
+            // bf16 params update a decoded f32 working copy and round
+            // back once per step; f32 params update in place.
+            let mut decoded = match store.precision(id) {
+                Precision::Bf16 => Some(store.decode_f32(id)),
+                Precision::F32 => None,
+            };
+            let p = match decoded.as_mut() {
+                Some(m) => m,
+                None => store.value_mut(id),
+            };
             if self.momentum > 0.0 {
                 let vel = self.velocity[i].get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
                 for (vv, &gg) in vel.as_mut_slice().iter_mut().zip(g.as_slice()) {
@@ -144,6 +163,9 @@ impl Sgd {
                 p.add_scaled(vel, -self.lr);
             } else {
                 p.add_scaled(g, -self.lr);
+            }
+            if let Some(p) = decoded {
+                store.encode_from_f32(id, &p);
             }
         }
     }

@@ -14,7 +14,7 @@
 use crate::matrix::{
     concat_cols_into, fast_exp, gather_rows_into, matmul_nn_into, matmul_nt_into, matmul_tn_into,
     row_softmax_stats, rowwise_dot, scale_rows, scatter_add_rows_into, segment_softmax,
-    softmax_rows_into, Matrix,
+    segment_softmax_backward, softmax_rows_into, Matrix,
 };
 use crate::params::{ParamId, ParamStore};
 use std::cell::RefCell;
@@ -50,6 +50,16 @@ enum Op {
     Exp(Var),
     ConcatCols(Var, Var),
     GatherRows(Var, Rc<Vec<u32>>),
+    /// Fused embedding lookup straight from the parameter store (the
+    /// reduced-precision path): forward decoded only the indexed rows to
+    /// f32; backward scatter-adds the row gradients into a full-shape
+    /// f32 gradient for the table.
+    GatherParamRows {
+        id: ParamId,
+        idx: Rc<Vec<u32>>,
+        /// Row count of the source table (gradient shape).
+        table_rows: usize,
+    },
     ScatterAddRows(Var, Rc<Vec<u32>>),
     SegmentSoftmax(Var, Rc<Vec<u32>>),
     ScaleRows(Var, Var),
@@ -508,6 +518,29 @@ impl Tape {
         self.push(v, Op::GatherRows(x, idx), ng)
     }
 
+    /// Fused embedding lookup `out[i,:] = table[idx[i],:]` reading the
+    /// parameter store directly: only the indexed rows are decoded to
+    /// f32 (accumulation stays f32 downstream), so a bf16-stored table
+    /// is never materialised at full precision on the tape — the
+    /// bandwidth saving that makes [`crate::params::Precision::Bf16`]
+    /// storage worthwhile. Gradients scatter-add into the table's slot
+    /// exactly as [`Tape::param`] + [`Tape::gather_rows`] would produce.
+    pub fn gather_param_rows(&mut self, store: &ParamStore, id: ParamId, idx: Rc<Vec<u32>>) -> Var {
+        self.n_params = self.n_params.max(id.index() + 1);
+        let (table_rows, cols) = store.shape(id);
+        let mut v = self.alloc_full(idx.len(), cols);
+        store.gather_rows_f32(id, &idx, &mut v);
+        self.push(
+            v,
+            Op::GatherParamRows {
+                id,
+                idx,
+                table_rows,
+            },
+            true,
+        )
+    }
+
     /// `out[idx[i],:] += x[i,:]` into `out_rows` rows (message aggregation).
     pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<u32>>, out_rows: usize) -> Var {
         let cols = self.value(x).cols();
@@ -862,20 +895,28 @@ impl Tape {
                     accum(&mut grads, *x, gx);
                 }
                 Op::SegmentSoftmax(scores, seg) => {
-                    // y_i = softmax within segment; dL/ds_i = y_i*(g_i - sum_j_in_seg g_j*y_j)
+                    // y_i = softmax within segment; dL/ds_i = y_i*(g_i -
+                    // sum_j_in_seg g_j*y_j), via the blocked run-based
+                    // kernel shared with the forward pass.
                     let y = &self.nodes[i].value;
                     let n_seg = seg.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
-                    let mut dot = vec![0.0f64; n_seg];
-                    for (j, &s) in seg.iter().enumerate() {
-                        dot[s as usize] += g.as_slice()[j] as f64 * y.as_slice()[j] as f64;
-                    }
-                    let mut gx = self.alloc_full(y.rows(), 1);
-                    for (j, &s) in seg.iter().enumerate() {
-                        let yj = y.as_slice()[j] as f64;
-                        gx.as_mut_slice()[j] =
-                            (yj * (g.as_slice()[j] as f64 - dot[s as usize])) as f32;
-                    }
+                    let gx = segment_softmax_backward(y, &g, seg, n_seg);
                     accum(&mut grads, *scores, gx);
+                }
+                Op::GatherParamRows {
+                    id,
+                    idx,
+                    table_rows,
+                } => {
+                    let mut gx = self.alloc_full(*table_rows, g.cols());
+                    scatter_add_rows_into(&g, idx, &mut gx);
+                    match &mut out.grads[id.index()] {
+                        Some(existing) => {
+                            existing.add_assign(&gx);
+                            self.pool.borrow_mut().put(gx.into_vec());
+                        }
+                        slot @ None => *slot = Some(gx),
+                    }
                 }
                 Op::ScaleRows(x, s) => {
                     if self.needs(*x) {

@@ -6,9 +6,10 @@
 use proptest::prelude::*;
 use std::rc::Rc;
 use tg_tensor::matrix::{
-    active_microkernel, concat_cols, force_portable_microkernel, gather_rows, matmul_nn,
-    matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive, scatter_add_rows,
-    segment_softmax, softmax_rows, softmax_rows_naive, Matrix, MicrokernelKind,
+    active_microkernel, available_microkernels, concat_cols, force_microkernel, gather_rows,
+    matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive,
+    scatter_add_rows, segment_softmax, segment_softmax_backward, segment_softmax_naive,
+    softmax_rows, softmax_rows_naive, Matrix, MicrokernelKind,
 };
 use tg_tensor::parallel::{par_chunks_mut, par_map, ThreadPin};
 use tg_tensor::prelude::*;
@@ -301,106 +302,199 @@ fn assert_ulp_close(a: &Matrix, b: &Matrix, max_ulp: i64, abs_tol: f32, ctx: &st
     }
 }
 
-/// Serialises the tests that toggle the process-global
-/// [`force_portable_microkernel`] flag (the toggle is benign for every
-/// *other* concurrent test — both kernels are parity-correct — but the
-/// toggling tests themselves need the flag held stable).
-static SIMD_TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+/// Fringe shapes shared by the per-ISA parity tests: MR/NR remainder
+/// tiles, KC block boundaries, NC (jc-slice) boundaries and remainders,
+/// K=0, and the AVX-512 tile geometry (MR=8/NR=32) edges.
+const PARITY_SHAPES: &[(usize, usize, usize)] = &[
+    (4, 256, 16),  // exact portable MR/KC/NR tile boundaries
+    (8, 256, 32),  // exact AVX-512 MR/NR tile boundaries
+    (9, 257, 33),  // one past each AVX-512 boundary
+    (7, 255, 31),  // one short of each AVX-512 boundary
+    (5, 257, 17),  // one past each portable boundary
+    (3, 255, 15),  // one short of each portable boundary
+    (1, 4096, 16), // single output row, many KC blocks
+    (2, 2048, 3),  // sub-NR panel width
+    (64, 0, 64),   // K = 0: output must be exactly zero
+    (6, 64, 512),  // exactly one NC slice
+    (5, 100, 513), // NC remainder of one column
+    (3, 70, 1025), // two NC slices + remainder
+    (33, 100, 47), // nothing aligned
+];
 
-/// Restores runtime microkernel detection when dropped (panic-safe).
-struct ForceGuard;
-impl Drop for ForceGuard {
-    fn drop(&mut self) {
-        force_portable_microkernel(false);
-    }
-}
-
-/// SIMD-vs-portable microkernel parity on **integer-valued** operands:
+/// Forced-vs-portable microkernel parity on **integer-valued** operands:
 /// every product and partial sum is exactly representable in f32, so FMA
-/// contraction cannot change any rounding and the two kernels must agree
-/// **bitwise** — on every transpose variant and across fringe shapes
-/// (K=0, MR/NR remainder tiles, KC block boundaries).
+/// contraction cannot change any rounding and every kernel must agree
+/// **bitwise** with the portable tile — on every transpose variant,
+/// every available ISA level, and across the fringe shapes above.
 #[test]
 fn simd_matmul_bitwise_on_integer_data() {
-    let _lock = SIMD_TOGGLE_LOCK
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let _restore = ForceGuard;
-    let shapes: &[(usize, usize, usize)] = &[
-        (4, 256, 16),  // exact MR/KC/NR tile boundaries
-        (5, 257, 17),  // one past each boundary
-        (3, 255, 15),  // one short of each boundary
-        (1, 4096, 16), // single output row, many KC blocks
-        (2, 2048, 3),  // sub-NR panel width
-        (64, 0, 64),   // K = 0: output must be exactly zero
-        (33, 100, 47),
-    ];
-    for &(m, k, n) in shapes {
+    for &(m, k, n) in PARITY_SHAPES {
         let a = Matrix::from_fn(m, k, |r, c| ((r * 3 + c * 11) % 7) as f32 - 3.0);
         let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 2) % 9) as f32 - 4.0);
         let bt = b.transpose();
         let at = a.transpose();
-        force_portable_microkernel(true);
-        assert_eq!(active_microkernel(), MicrokernelKind::Portable);
-        let p_nn = matmul_nn(&a, &b);
-        let p_nt = matmul_nt(&a, &bt);
-        let p_tn = matmul_tn(&at, &b);
-        force_portable_microkernel(false);
-        let s_nn = matmul_nn(&a, &b);
-        let s_nt = matmul_nt(&a, &bt);
-        let s_tn = matmul_tn(&at, &b);
-        assert_eq!(p_nn, s_nn, "nn ({m},{k},{n})");
-        assert_eq!(p_nt, s_nt, "nt ({m},{k},{n})");
-        assert_eq!(p_tn, s_tn, "tn ({m},{k},{n})");
+        let (p_nn, p_nt, p_tn) = {
+            let _g = force_microkernel(MicrokernelKind::Portable);
+            assert_eq!(active_microkernel(), MicrokernelKind::Portable);
+            (matmul_nn(&a, &b), matmul_nt(&a, &bt), matmul_tn(&at, &b))
+        };
         if k == 0 {
-            assert!(s_nn.as_slice().iter().all(|&v| v == 0.0), "K=0 non-zero");
+            assert!(p_nn.as_slice().iter().all(|&v| v == 0.0), "K=0 non-zero");
+        }
+        for kind in available_microkernels() {
+            let _g = force_microkernel(kind);
+            assert_eq!(active_microkernel(), kind);
+            assert_eq!(p_nn, matmul_nn(&a, &b), "{kind:?} nn ({m},{k},{n})");
+            assert_eq!(p_nt, matmul_nt(&a, &bt), "{kind:?} nt ({m},{k},{n})");
+            assert_eq!(p_tn, matmul_tn(&at, &b), "{kind:?} tn ({m},{k},{n})");
         }
     }
 }
 
-/// SIMD-vs-portable microkernel parity on fractional operands: FMA keeps
-/// one rounding per multiply-add where the portable tile keeps two, so
-/// results drift by a few ULP — bounded here by an accumulation-length-
-/// scaled budget. Exercised across the same fringe shapes as above.
+/// Forced-vs-portable microkernel parity on fractional operands: FMA
+/// keeps one rounding per multiply-add where the portable tile keeps
+/// two, so results drift by a few ULP — bounded here by an accumulation-
+/// length-scaled budget, for each available ISA level across the same
+/// fringe shapes.
 #[test]
 fn simd_matmul_matches_portable_within_ulp() {
-    let _lock = SIMD_TOGGLE_LOCK
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let _restore = ForceGuard;
-    if active_microkernel() == MicrokernelKind::Portable {
-        // no SIMD on this host: dispatched == portable, nothing to compare
-        return;
-    }
-    let shapes: &[(usize, usize, usize)] = &[
-        (4, 256, 16),
-        (5, 257, 17),
-        (3, 255, 15),
-        (1, 4096, 16),
-        (2, 2048, 3),
-        (17, 513, 31), // KC remainder + row/panel fringes together
-        (64, 64, 64),
-    ];
-    for &(m, k, n) in shapes {
+    for &(m, k, n) in PARITY_SHAPES {
         let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.093 - 1.0);
         let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.081 - 0.7);
         let bt = b.transpose();
         let at = a.transpose();
-        force_portable_microkernel(true);
-        let p_nn = matmul_nn(&a, &b);
-        let p_nt = matmul_nt(&a, &bt);
-        let p_tn = matmul_tn(&at, &b);
-        force_portable_microkernel(false);
-        let s_nn = matmul_nn(&a, &b);
-        let s_nt = matmul_nt(&a, &bt);
-        let s_tn = matmul_tn(&at, &b);
+        let (p_nn, p_nt, p_tn) = {
+            let _g = force_microkernel(MicrokernelKind::Portable);
+            (matmul_nn(&a, &b), matmul_nt(&a, &bt), matmul_tn(&at, &b))
+        };
         // error random-walks with accumulation length; 2*sqrt(k)+16 ULP is
         // a generous envelope (observed maxima are far below it)
         let budget = 2 * (k as f64).sqrt() as i64 + 16;
         let abs_tol = 1e-6 * (k as f32).sqrt();
-        assert_ulp_close(&p_nn, &s_nn, budget, abs_tol, &format!("nn ({m},{k},{n})"));
-        assert_ulp_close(&p_nt, &s_nt, budget, abs_tol, &format!("nt ({m},{k},{n})"));
-        assert_ulp_close(&p_tn, &s_tn, budget, abs_tol, &format!("tn ({m},{k},{n})"));
+        for kind in available_microkernels() {
+            if kind == MicrokernelKind::Portable {
+                continue; // comparing portable to itself proves nothing
+            }
+            let _g = force_microkernel(kind);
+            let ctx = |op: &str| format!("{kind:?} {op} ({m},{k},{n})");
+            assert_ulp_close(&p_nn, &matmul_nn(&a, &b), budget, abs_tol, &ctx("nn"));
+            assert_ulp_close(&p_nt, &matmul_nt(&a, &bt), budget, abs_tol, &ctx("nt"));
+            assert_ulp_close(&p_tn, &matmul_tn(&at, &b), budget, abs_tol, &ctx("tn"));
+        }
+    }
+}
+
+/// All FMA kernels (AVX2, AVX-512) must agree **bitwise with each other**
+/// on arbitrary fractional data: both keep a single accumulator per
+/// output element and contract every multiply-add in one rounding, in
+/// the same ascending-k order, so the tile shape cannot change results.
+#[test]
+fn fma_kernels_agree_bitwise_across_isa_levels() {
+    let fma: Vec<MicrokernelKind> = available_microkernels()
+        .into_iter()
+        .filter(|&k| k != MicrokernelKind::Portable)
+        .collect();
+    if fma.len() < 2 {
+        return; // only one FMA level on this host: nothing to compare
+    }
+    for &(m, k, n) in PARITY_SHAPES {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.093 - 1.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.081 - 0.7);
+        let reference = {
+            let _g = force_microkernel(fma[0]);
+            matmul_nn(&a, &b)
+        };
+        for &kind in &fma[1..] {
+            let _g = force_microkernel(kind);
+            assert_eq!(
+                reference,
+                matmul_nn(&a, &b),
+                "{:?} vs {kind:?} ({m},{k},{n})",
+                fma[0]
+            );
+        }
+    }
+}
+
+/// The force guard restores the previous selection on drop, nests, and
+/// stays scoped to its thread (concurrent tests cannot observe it).
+#[test]
+fn force_microkernel_guard_scopes_and_nests() {
+    let detected = active_microkernel();
+    {
+        let _g = force_microkernel(MicrokernelKind::Portable);
+        assert_eq!(active_microkernel(), MicrokernelKind::Portable);
+        {
+            let inner = *available_microkernels().first().unwrap();
+            let _g2 = force_microkernel(inner);
+            assert_eq!(active_microkernel(), inner);
+        }
+        assert_eq!(active_microkernel(), MicrokernelKind::Portable);
+        // Another thread sees normal runtime detection while this
+        // thread's override is in force.
+        let other = std::thread::spawn(active_microkernel).join().unwrap();
+        assert_eq!(other, detected);
+    }
+    assert_eq!(active_microkernel(), detected);
+}
+
+/// Scalar f64 reference for the segment-softmax backward formula.
+fn segment_backward_reference(y: &Matrix, g: &Matrix, seg: &[u32], n_seg: usize) -> Vec<f32> {
+    let mut dot = vec![0.0f64; n_seg];
+    for (j, &s) in seg.iter().enumerate() {
+        dot[s as usize] += g.as_slice()[j] as f64 * y.as_slice()[j] as f64;
+    }
+    seg.iter()
+        .enumerate()
+        .map(|(j, &s)| {
+            let yj = y.as_slice()[j] as f64;
+            (yj * (g.as_slice()[j] as f64 - dot[s as usize])) as f32
+        })
+        .collect()
+}
+
+/// Random segment layouts (sorted runs *and* shuffled assignments,
+/// including empty segments) where the vectorised segment softmax and
+/// its backward must match the scalar f64 reference implementations.
+#[test]
+fn segment_softmax_vectorised_matches_naive_on_random_layouts() {
+    let mut state = 0xdead_beef_cafe_1234u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for case in 0..40 {
+        let n_edges = 1 + (next() % 300) as usize;
+        let n_seg = 1 + (next() % 24) as usize;
+        let sorted = case % 2 == 0;
+        let mut seg: Vec<u32> = (0..n_edges)
+            .map(|_| (next() % n_seg as u64) as u32)
+            .collect();
+        if sorted {
+            seg.sort_unstable();
+        }
+        let scores: Vec<f32> = (0..n_edges)
+            .map(|_| ((next() % 2000) as f32 / 100.0) - 10.0)
+            .collect();
+        let m = Matrix::from_vec(n_edges, 1, scores);
+        let fast = segment_softmax(&m, &seg, n_seg);
+        let naive = segment_softmax_naive(&m, &seg, n_seg);
+        assert_close(&fast, &naive, 1e-4);
+
+        let g: Vec<f32> = (0..n_edges)
+            .map(|_| ((next() % 400) as f32 / 100.0) - 2.0)
+            .collect();
+        let g = Matrix::from_vec(n_edges, 1, g);
+        let back = segment_softmax_backward(&fast, &g, &seg, n_seg);
+        let reference = segment_backward_reference(&fast, &g, &seg, n_seg);
+        for (j, (&got, &want)) in back.as_slice().iter().zip(&reference).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                "case {case} edge {j}: {got} vs {want}"
+            );
+        }
     }
 }
 

@@ -18,6 +18,8 @@ pub struct TrackingAllocator;
 
 // SAFETY: delegates to `System` verbatim; only the counters are extra.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`, inheriting
+    // its contract; the counters never touch the returned memory.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -27,11 +29,15 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`;
+    // the caller's GlobalAlloc contract is exactly what we require.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: forwards all arguments unchanged to `System.realloc`;
+    // only the byte accounting differs from the system allocator.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

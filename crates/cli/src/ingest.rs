@@ -198,7 +198,14 @@ fn salvage_store(damaged: &str, out: &str, quiet: bool) -> Result<(), CliError> 
                 header.block_edges as usize,
             )?);
         }
-        writer.as_mut().expect("created above").push_chunk(edges)
+        // the insert above makes this infallible; stay typed rather
+        // than panicking on an impossible state
+        let w = writer.as_mut().ok_or_else(|| {
+            tg_store::StoreError::Io(std::io::Error::other(
+                "salvage writer vanished after initialisation",
+            ))
+        })?;
+        w.push_chunk(edges)
     });
     let report = match result {
         Ok(r) => r,

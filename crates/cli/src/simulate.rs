@@ -569,6 +569,8 @@ fn supervise_round(
         live.push(Live {
             shard: spec.shard,
             child,
+            // lint: allow(determinism) — supervisor retry/timeout
+            // bookkeeping; never reaches seeded output
             start: Instant::now(),
             timed_out: false,
         });

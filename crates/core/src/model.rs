@@ -158,12 +158,20 @@ impl Tgae {
         for level in &cg.levels {
             let mut targets: Vec<(u32, NodeId, f32)> = Vec::new();
             for (r, &(v, t)) in level.iter().enumerate() {
-                let mut row: std::collections::HashMap<NodeId, f32> =
-                    std::collections::HashMap::new();
-                for nb in g.out_neighbors_at(v, t) {
-                    *row.entry(nb).or_insert(0.0) += 1.0;
-                }
-                for (nb, w) in row {
+                // Aggregate repeated out-neighbors by sorted run-length
+                // so target order is canonical (node-id order), not
+                // hash order: the f64 loss sum and the sparse-path
+                // candidate ordering both see this sequence.
+                let mut nbs: Vec<NodeId> = g.out_neighbors_at(v, t).collect();
+                nbs.sort_unstable();
+                let mut idx = 0usize;
+                while idx < nbs.len() {
+                    let nb = nbs[idx];
+                    let mut w = 0.0f32;
+                    while idx < nbs.len() && nbs[idx] == nb {
+                        w += 1.0;
+                        idx += 1;
+                    }
                     positives.push(nb);
                     total_weight += w;
                     targets.push((r as u32, nb, w));

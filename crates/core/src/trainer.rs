@@ -216,6 +216,8 @@ pub(crate) fn train_loop(
         )));
     }
     let prior_wall: Duration = epoch_walls.iter().sum();
+    // lint: allow(determinism) — observer wall-clock only (epoch
+    // reporting and checkpoint metadata), never seeded state
     let run_start = Instant::now();
     let mut early_stopped = false;
 
@@ -224,6 +226,7 @@ pub(crate) fn train_loop(
     // steady-state loop performs (almost) no heap allocation.
     let mut tape = Tape::new();
     for epoch in start_epoch..cfg.epochs {
+        // lint: allow(determinism) — per-epoch timing for the observer
         let t0 = Instant::now();
         let centers = sampler.sample_batch(cfg.batch_centers, &mut rng);
         let (loss, stats) = model.forward_batch_into(&mut tape, g, &centers, &mut rng);

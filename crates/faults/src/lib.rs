@@ -50,6 +50,8 @@
 //! A triggered point is recorded in the ledger **before** the action runs,
 //! so even `abort`/`exit`/`sleep`-then-SIGKILL count against `max`.
 
+pub mod registry;
+
 #[cfg(feature = "enabled")]
 use std::sync::atomic::Ordering;
 

@@ -1,0 +1,181 @@
+//! The declared fault-point registry.
+//!
+//! Every `fail_point!` / [`crate::eval`] name in the workspace must appear
+//! in [`FAULT_POINTS`]; `tg-lint`'s fault-registry pass enforces it in
+//! both directions (an unregistered point in code and a registered point
+//! with no call site are both errors), and validates every `TG_FAULTS`
+//! spec embedded in CI and the process-level tests against this table.
+//! That turns the point names from stringly-typed conventions into a
+//! checked contract: a typo in a spec, a renamed point, or a deleted call
+//! site can no longer silently arm nothing.
+//!
+//! The registry is data, not behavior — it compiles identically with and
+//! without the `enabled` feature, so disabled builds can still enumerate
+//! and document the points they compiled out.
+
+/// Where evaluations of a fault point may legally appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// A real injection site in shipping code. Production points must
+    /// have at least one non-test `fail_point!` / `tg_faults::eval`
+    /// call site, and are the only points `TG_FAULTS` specs may arm.
+    Production,
+    /// A fixture point that exists only to exercise the fault machinery
+    /// itself (doctests, unit tests). Test-only points must never be
+    /// evaluated from non-test code.
+    TestOnly,
+}
+
+/// One declared fault point: its wire name, where it may be evaluated
+/// from, and what turning it on actually interrupts.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// The exact string passed to `fail_point!` / [`crate::eval`] and
+    /// used on the left-hand side of a `TG_FAULTS` spec entry.
+    pub name: &'static str,
+    /// Whether this is a production injection site or a test fixture.
+    pub scope: FaultScope,
+    /// What the point interrupts, including the call-site argument
+    /// format where one is supplied.
+    pub doc: &'static str,
+}
+
+/// Every fault point in the workspace, sorted by name.
+///
+/// Keep this table in lockstep with the call sites: `cargo run -p
+/// tg-lint -- check` fails on any drift in either direction.
+pub const FAULT_POINTS: &[FaultPoint] = &[
+    FaultPoint {
+        name: "persist.atomic.partial",
+        scope: FaultScope::Production,
+        doc: "inside the atomic JSON/edge-list writer after a partial \
+              prefix of the payload has been written to the tmp sibling \
+              (arg: destination path). Proves torn writes never replace \
+              a good generation.",
+    },
+    FaultPoint {
+        name: "persist.atomic.start",
+        scope: FaultScope::Production,
+        doc: "at the start of an atomic write, before the tmp sibling is \
+              created (arg: destination path).",
+    },
+    FaultPoint {
+        name: "persist.atomic.unrenamed",
+        scope: FaultScope::Production,
+        doc: "after the tmp sibling is fully written and fsynced but \
+              before the rename commit (arg: destination path). Proves \
+              the commit point is the rename.",
+    },
+    FaultPoint {
+        name: "serve.accept",
+        scope: FaultScope::Production,
+        doc: "evaluated once per accepted connection in the tg-serve \
+              accept loop; a trigger drops that one connection without \
+              taking the daemon down.",
+    },
+    FaultPoint {
+        name: "serve.generate.unit",
+        scope: FaultScope::Production,
+        doc: "evaluated per generation work unit while streaming a \
+              served simulation (arg: \"t:<t> chunk:<c>\"). A panic here \
+              must be contained to a typed `internal` error frame.",
+    },
+    FaultPoint {
+        name: "serve.request.decode",
+        scope: FaultScope::Production,
+        doc: "evaluated per decoded request frame (arg: the frame's op). \
+              Proves malformed/poisoned requests answer a typed error on \
+              the same connection.",
+    },
+    FaultPoint {
+        name: "store.commit",
+        scope: FaultScope::Production,
+        doc: "before the TGES writer back-patches the header and commits \
+              (arg: store path). A trigger leaves an unreadable store, \
+              never a silently short one.",
+    },
+    FaultPoint {
+        name: "store.read.block",
+        scope: FaultScope::Production,
+        doc: "before each SoA block read in the TGES reader (arg: \
+              \"block:<k>\").",
+    },
+    FaultPoint {
+        name: "store.write.block",
+        scope: FaultScope::Production,
+        doc: "before each SoA block flush in the TGES writer (arg: \
+              \"block:<k>\").",
+    },
+    FaultPoint {
+        name: "t.macro",
+        scope: FaultScope::TestOnly,
+        doc: "fixture for the zero-argument `fail_point!` form in this \
+              crate's own unit tests; never evaluated from production \
+              code.",
+    },
+    FaultPoint {
+        name: "t.macro.arg",
+        scope: FaultScope::TestOnly,
+        doc: "fixture for the lazy-argument `fail_point!` form in this \
+              crate's own unit tests; never evaluated from production \
+              code.",
+    },
+    FaultPoint {
+        name: "train.checkpoint.write",
+        scope: FaultScope::Production,
+        doc: "wraps each rotating training-checkpoint write (arg: \
+              checkpoint path). Pairs with persist.atomic.* to prove \
+              resume falls back across generations.",
+    },
+    FaultPoint {
+        name: "worker.entry",
+        scope: FaultScope::Production,
+        doc: "at shard-worker process entry in `tgx-cli simulate` (arg: \
+              \"shard:<i>\"). The supervisor's retry/backoff/quarantine \
+              story is proven against this point.",
+    },
+];
+
+/// Look up a declared fault point by its exact name.
+pub fn lookup(name: &str) -> Option<&'static FaultPoint> {
+    FAULT_POINTS
+        .binary_search_by(|p| p.name.cmp(name))
+        .ok()
+        .map(|i| &FAULT_POINTS[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for w in FAULT_POINTS.windows(2) {
+            assert!(
+                w[0].name < w[1].name,
+                "registry must stay sorted/unique: `{}` >= `{}`",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_entry_and_rejects_strangers() {
+        for p in FAULT_POINTS {
+            let hit = lookup(p.name).expect("registered point must resolve");
+            assert_eq!(hit.name, p.name);
+        }
+        assert!(lookup("no.such.point").is_none());
+        assert!(lookup("").is_none());
+    }
+
+    #[test]
+    fn scopes_are_as_declared() {
+        assert_eq!(lookup("t.macro").unwrap().scope, FaultScope::TestOnly);
+        assert_eq!(
+            lookup("worker.entry").unwrap().scope,
+            FaultScope::Production
+        );
+    }
+}

@@ -193,6 +193,8 @@ impl TemporalGraph {
     /// incident edge — with their temporal degrees. This is the sampling
     /// population `~V` of the paper.
     pub fn temporal_nodes(&self) -> Vec<(NodeId, Time, usize)> {
+        // lint: allow(determinism) — counts are drained into a Vec that
+        // is sort_unstable'd by (v, t) before anything reads it
         let mut counts: std::collections::HashMap<(NodeId, Time), usize> =
             std::collections::HashMap::new();
         for e in &self.edges {

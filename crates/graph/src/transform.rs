@@ -10,6 +10,8 @@ use std::collections::HashMap;
 /// endpoints are in `nodes`, relabeling node ids densely in the order
 /// given. Timestamp axis is preserved.
 pub fn induced_subgraph(g: &TemporalGraph, nodes: &[NodeId]) -> TemporalGraph {
+    // lint: allow(determinism) — keyed lookups only; the relabelling is
+    // fixed by the caller's `nodes` order, never by iteration
     let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
     for (i, &v) in nodes.iter().enumerate() {
         assert!((v as usize) < g.n_nodes(), "node {v} out of range");

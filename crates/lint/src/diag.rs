@@ -1,0 +1,60 @@
+//! Diagnostics: what a pass reports and how it renders.
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path (e.g. `crates/tensor/src/matrix.rs`).
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as a missing
+    /// ratchet entry).
+    pub line: u32,
+    /// Short pass name (`unsafe-audit`, `faults`, `panics`,
+    /// `determinism`, `exit-codes`).
+    pub pass: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(file: &str, line: u32, pass: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            pass,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.pass, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.pass, self.message
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_file_line_pass_message() {
+        let d = Diagnostic::new("crates/x/src/a.rs", 7, "panics", "naked .unwrap()");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/a.rs:7: [panics] naked .unwrap()"
+        );
+        let f = Diagnostic::new("lint-ratchet.toml", 0, "panics", "missing entry");
+        assert_eq!(f.to_string(), "lint-ratchet.toml: [panics] missing entry");
+    }
+}

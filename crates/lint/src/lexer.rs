@@ -1,0 +1,550 @@
+//! A hand-rolled Rust lexer: just enough token structure for the lint
+//! passes, with exactly the edge cases that break naive `grep`-based
+//! scanners handled properly — nested block comments, raw strings with
+//! arbitrary `#` fences, byte/char literals, lifetimes vs chars, and
+//! raw identifiers.
+//!
+//! The lexer is deliberately dependency-free (no `syn`): the workspace
+//! builds offline against `vendor/` stand-ins, and a proc-macro-grade
+//! parser is far more machinery than five token-level passes need. The
+//! trade-off is that the passes reason lexically, not semantically —
+//! which is fine, because every invariant they enforce was *designed*
+//! to be lexically checkable (SAFETY comments, registered string
+//! literals, counted call forms, scoped type names).
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without the
+    /// `r#` prefix).
+    Ident,
+    /// A lifetime or loop label such as `'a` (leading `'` included).
+    Lifetime,
+    /// Character literal, e.g. `'x'`, `'\''`, `'"'`.
+    Char,
+    /// String or byte-string literal (escapes NOT resolved; text
+    /// includes the quotes and prefix).
+    Str,
+    /// Raw (byte) string literal `r#"…"#` (any fence width).
+    RawStr,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation byte (`.`, `!`, `:`, `{`, …).
+    Punct,
+    /// `// …` line comment (doc comments included).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware (doc comments included).
+    BlockComment,
+}
+
+/// One token: kind, byte span into the source, and 1-based line of its
+/// first byte. Multi-line tokens (block comments, strings) also record
+/// the line their last byte falls on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte (== `line` for single-line tokens).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// For a string-literal token, the literal's content with simple escape
+/// sequences (`\\`, `\"`, `\'`, `\n`, `\t`, `\r`, `\0`) resolved. Raw
+/// strings return their content verbatim. Fault-point names and spec
+/// strings never use exotic escapes, so this is all the passes need.
+pub fn str_content(tok: &Tok, src: &str) -> String {
+    let t = tok.text(src);
+    let t = t.strip_prefix('b').unwrap_or(t);
+    if let Some(rest) = t.strip_prefix('r') {
+        let fence = rest.bytes().take_while(|&b| b == b'#').count();
+        let inner = &rest[fence..rest.len() - fence];
+        return inner[1..inner.len() - 1].to_string();
+    }
+    let inner = &t[1..t.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut it = inner.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize `src`. Unterminated constructs (string/comment running to
+/// EOF) produce a final token ending at EOF rather than an error: the
+/// passes lint real, compiling source, and fixtures deserve best-effort
+/// output instead of a panic.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in src[from..to] and advance the line counter.
+    let count_lines = |from: usize, to: usize| -> u32 {
+        b[from..to].iter().filter(|&&c| c == b'\n').count() as u32
+    };
+
+    while i < n {
+        let c = b[i];
+        // whitespace
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // line comment
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                start,
+                end: i,
+                line: start_line,
+                end_line: start_line,
+            });
+            continue;
+        }
+        // block comment (nesting!)
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(start, i);
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                start,
+                end: i,
+                line: start_line,
+                end_line: line,
+            });
+            continue;
+        }
+        // raw string / raw ident / plain ident starting with r or b
+        if is_ident_start(c) {
+            // r"…" | r#"…"# | br#"…"# | b"…" | r#ident
+            let (prefix_len, raw) = match c {
+                b'r' => (1usize, true),
+                b'b' if i + 1 < n && b[i + 1] == b'r' => (2usize, true),
+                b'b' => (1usize, false),
+                _ => (0, false),
+            };
+            if raw {
+                let mut j = i + prefix_len;
+                let mut fence = 0usize;
+                while j < n && b[j] == b'#' {
+                    fence += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == b'"' {
+                    // raw string: scan for `"` followed by `fence` hashes
+                    j += 1;
+                    'scan: while j < n {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < fence && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == fence {
+                                j += 1 + fence;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    line += count_lines(start, j);
+                    toks.push(Tok {
+                        kind: TokKind::RawStr,
+                        start,
+                        end: j,
+                        line: start_line,
+                        end_line: line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if fence == 1 && prefix_len == 1 && j < n && is_ident_start(b[j]) {
+                    // raw identifier r#ident: token text excludes `r#`
+                    let id_start = j;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        start: id_start,
+                        end: j,
+                        line: start_line,
+                        end_line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // fall through: plain ident starting with r/br
+            }
+            if prefix_len > 0 && i + prefix_len < n && b[i + prefix_len] == b'"' {
+                // b"…" byte string
+                let mut j = i + prefix_len + 1;
+                while j < n {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let j = j.min(n);
+                line += count_lines(start, j);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start,
+                    end: j,
+                    line: start_line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+            // plain identifier / keyword
+            let mut j = i;
+            while j < n && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: j,
+                line: start_line,
+                end_line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // string literal
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let j = j.min(n);
+            line += count_lines(start, j);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start,
+                end: j,
+                line: start_line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+        // lifetime vs char literal
+        if c == b'\'' {
+            // `'a` / `'static` / `'outer:` are lifetimes/labels: an
+            // ident-start follows and the char after the ident run is
+            // NOT a closing quote. `'x'` and `'_'`-the-char are chars.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' && j == i + 2 {
+                    // single ident char then a quote: char literal 'x'
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        start,
+                        end: j + 1,
+                        line: start_line,
+                        end_line: start_line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: j,
+                    line: start_line,
+                    end_line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // char literal: '\…' or a single non-ident char like '"'
+            let mut j = i + 1;
+            if j < n && b[j] == b'\\' {
+                j += 2;
+                // \u{…}
+                if j < n && b[j] == b'{' {
+                    while j < n && b[j] != b'}' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+            } else if j < n {
+                // one full char, which may be multi-byte (`'—'`)
+                j += 1;
+                while j < n && (b[j] & 0xC0) == 0x80 {
+                    j += 1;
+                }
+            }
+            if j < n && b[j] == b'\'' {
+                j += 1;
+            }
+            let j = j.min(n);
+            toks.push(Tok {
+                kind: TokKind::Char,
+                start,
+                end: j,
+                line: start_line,
+                end_line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // number
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (is_ident_cont(b[j]) || b[j] == b'.') {
+                // don't swallow `..` range operators or method calls on
+                // literals (`1.max(2)`): a `.` must be followed by a digit
+                if b[j] == b'.' && !(j + 1 < n && b[j + 1].is_ascii_digit()) {
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start,
+                end: j,
+                line: start_line,
+                end_line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // single punctuation byte; a non-ASCII leading byte consumes
+        // its whole UTF-8 sequence so spans stay on char boundaries
+        let mut j = i + 1;
+        if c >= 0x80 {
+            while j < n && (b[j] & 0xC0) == 0x80 {
+                j += 1;
+            }
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            start,
+            end: j,
+            line: start_line,
+            end_line: start_line,
+        });
+        i = j;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("fn foo(x: u32) -> u32 { x }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(ks[1], (TokKind::Ident, "foo".into()));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Punct && t == "{"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"an "unsafe" say: fail_point!("x")"#; let t = 1;"###;
+        let ks = kinds(src);
+        let raw: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::RawStr).collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].1.contains("unsafe"));
+        // the `unsafe` inside the raw string is NOT an ident token
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        // lexing resumed correctly after the fence
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0].1, "a");
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+        assert!(ks[1].1.contains("still comment"));
+        assert_eq!(ks[2].1, "b");
+    }
+
+    #[test]
+    fn char_literal_containing_quote_does_not_open_a_string() {
+        let src = "let c = '\"'; let d = unsafe_name;";
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "'\"'"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe_name"));
+        assert!(!ks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } let c = 'x'; }");
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'outer", "'outer"]);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_chars() {
+        let ks = kinds(r"let a = '\''; let b = '\\'; let c = '\u{1F600}';");
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn unsafe_inside_strings_and_comments_is_not_an_ident() {
+        let src = r#"
+            // this comment says unsafe
+            /* unsafe here too */
+            let s = "unsafe { code }";
+            let r = r"unsafe";
+            let ok = 1;
+        "#;
+        let ks = kinds(src);
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "ok"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ks = kinds("let r#type = r#fn; let x = r#\"raw\"#;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::RawStr));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let ks = kinds(r##"let b = b"TGES"; let br = br#"x"#;"##);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "b\"TGES\""));
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::RawStr));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let ks = kinds("for i in 0..10 { let x = 1.5; let y = 2.max(3); let h = 0xff; }");
+        let nums: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3", "0xff"]);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"s\ntring\" c";
+        let toks = lex(src);
+        let a = &toks[0];
+        assert_eq!((a.line, a.end_line), (1, 1));
+        let cmt = &toks[1];
+        assert_eq!((cmt.line, cmt.end_line), (2, 3));
+        let b = &toks[2];
+        assert_eq!(b.line, 4);
+        let s = &toks[3];
+        assert_eq!((s.line, s.end_line), (4, 5));
+        let c = &toks[4];
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn str_content_resolves_simple_escapes() {
+        let src = r#"let a = "worker.entry=err,arg=shard:1"; let b = "a\"b\\c";"#;
+        let toks = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(str_content(strs[0], src), "worker.entry=err,arg=shard:1");
+        assert_eq!(str_content(strs[1], src), "a\"b\\c");
+    }
+}

@@ -1,0 +1,28 @@
+//! `tg-lint`: workspace-native static analysis for the tgx workspace.
+//!
+//! The system's correctness story rests on a handful of invariants
+//! that ordinary tests cannot see drifting at the source level:
+//! audited `unsafe`, guarded `#[target_feature]` dispatch, a declared
+//! fault-point registry, a monotone panic-freedom ratchet, hash-order
+//! and wall-clock hygiene on the seeded output paths, and a stable
+//! exit-code table. This crate makes them machine-checked:
+//!
+//! ```text
+//! cargo run -p tg-lint -- check        # exit 0 clean, 1 violations
+//! cargo run -p tg-lint -- fix-ratchet  # regenerate lint-ratchet.toml
+//! ```
+//!
+//! The scanner is a hand-rolled lexer (see [`lexer`]) rather than a
+//! `syn`-based parser: the workspace builds offline against `vendor/`
+//! stand-ins, and every invariant here was designed to be lexically
+//! checkable. Passes live in [`passes`], one module each, as pure
+//! functions over the [`workspace::SourceFile`] view so fixture tests
+//! can drive them on embedded snippets.
+
+pub mod diag;
+pub mod lexer;
+pub mod lines;
+pub mod passes;
+pub mod ratchet;
+pub mod structure;
+pub mod workspace;

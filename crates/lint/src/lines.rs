@@ -1,0 +1,241 @@
+//! Per-line facts derived from the token stream: which lines hold
+//! code, which are attribute lines, and what comment text each line
+//! carries. The SAFETY walk-up rule and the `// lint: allow(…)`
+//! escape hatches are both line-oriented, so passes share this index
+//! instead of re-deriving it.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Line-indexed facts for one file. All vectors are indexed by
+/// 1-based line number (index 0 is unused padding).
+#[derive(Debug)]
+pub struct LineIndex {
+    /// Line has at least one non-comment token starting on it.
+    has_code: Vec<bool>,
+    /// First non-comment token starting on the line is `#` (an
+    /// attribute line).
+    is_attr: Vec<bool>,
+    /// Last non-comment token starting on the line is `;`, `{` or `}`
+    /// — i.e. the line ends a statement rather than continuing one.
+    stmt_end: Vec<bool>,
+    /// Concatenated text of comment tokens starting on the line.
+    comments: Vec<String>,
+}
+
+impl LineIndex {
+    /// Build the index for a lexed file.
+    pub fn build(src: &str, toks: &[Tok]) -> Self {
+        let last_line = toks.iter().map(|t| t.end_line).max().unwrap_or(1) as usize;
+        let mut has_code = vec![false; last_line + 2];
+        let mut is_attr = vec![false; last_line + 2];
+        let mut stmt_end = vec![false; last_line + 2];
+        let mut seen_code_first: Vec<bool> = vec![false; last_line + 2];
+        let mut comments = vec![String::new(); last_line + 2];
+        for t in toks {
+            let l = t.line as usize;
+            if t.is_comment() {
+                if !comments[l].is_empty() {
+                    comments[l].push(' ');
+                }
+                comments[l].push_str(t.text(src));
+            } else {
+                if !seen_code_first[l] {
+                    seen_code_first[l] = true;
+                    is_attr[l] = t.kind == TokKind::Punct && t.text(src) == "#";
+                }
+                has_code[l] = true;
+                stmt_end[l] = matches!(t.text(src), ";" | "{" | "}");
+            }
+        }
+        LineIndex {
+            has_code,
+            is_attr,
+            stmt_end,
+            comments,
+        }
+    }
+
+    fn idx(&self, line: u32) -> Option<usize> {
+        let l = line as usize;
+        (l > 0 && l < self.has_code.len()).then_some(l)
+    }
+
+    /// Does 1-based `line` have non-comment code on it?
+    pub fn has_code(&self, line: u32) -> bool {
+        self.idx(line).map(|l| self.has_code[l]).unwrap_or(false)
+    }
+
+    /// Is `line` an attribute line (`#[…]` / `#![…]`)?
+    pub fn is_attr(&self, line: u32) -> bool {
+        self.idx(line).map(|l| self.is_attr[l]).unwrap_or(false)
+    }
+
+    /// Comment text on `line` ("" if none).
+    pub fn comments(&self, line: u32) -> &str {
+        self.idx(line)
+            .map(|l| self.comments[l].as_str())
+            .unwrap_or("")
+    }
+
+    /// Is `line` blank (no tokens start on it)?
+    pub fn is_blank(&self, line: u32) -> bool {
+        !self.has_code(line) && self.comments(line).is_empty()
+    }
+
+    /// Does a `// SAFETY:` comment cover an `unsafe` on `line`?
+    ///
+    /// True if the line itself carries one, or if one appears in the
+    /// contiguous run of attribute lines and comment-only lines
+    /// immediately above (so `// SAFETY:` may sit above a
+    /// `#[target_feature]` attribute, or above doc comments). A blank
+    /// line or an unrelated code line breaks the run.
+    pub fn safety_covers(&self, line: u32) -> bool {
+        if self.comments(line).contains("SAFETY:") {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.is_attr(l) {
+                continue;
+            }
+            if !self.has_code(l) && !self.comments(l).is_empty() {
+                if self.comments(l).contains("SAFETY:") {
+                    return true;
+                }
+                continue;
+            }
+            // code line: a trailing SAFETY comment on it still counts
+            return self.comments(l).contains("SAFETY:");
+        }
+        false
+    }
+
+    /// Is a `// lint: allow(<pass>) — reason` escape hatch (with a
+    /// non-empty reason) in force on `line`?
+    ///
+    /// The hatch may be a trailing comment on the line itself, a
+    /// comment-only line directly above the statement, or — for a
+    /// statement spanning several lines — above the statement's first
+    /// line. The walk-up follows continuation lines (a line whose code
+    /// does not end in `;`/`{`/`}` continues onto the next) and stops
+    /// at blank lines or completed statements, so a hatch never leaks
+    /// past the statement it annotates.
+    pub fn allows(&self, line: u32, pass: &str) -> bool {
+        let needle = format!("lint: allow({pass})");
+        let check = |text: &str| -> bool {
+            if let Some(pos) = text.find(&needle) {
+                let rest = &text[pos + needle.len()..];
+                let reason = rest.trim_start_matches([' ', '\t', '—', '-', ':', ',']);
+                return !reason.trim().is_empty();
+            }
+            false
+        };
+        if check(self.comments(line)) {
+            return true;
+        }
+        let mut l = line;
+        for _ in 0..16 {
+            if l <= 1 {
+                break;
+            }
+            l -= 1;
+            if self.is_blank(l) {
+                break;
+            }
+            if !self.has_code(l) {
+                // comment-only line above the statement; a hatch may
+                // sit on any line of a contiguous comment block
+                if check(self.comments(l)) {
+                    return true;
+                }
+                continue;
+            }
+            // an earlier line of the same statement: a trailing hatch
+            // there counts; a completed statement ends the walk
+            if check(self.comments(l)) {
+                return true;
+            }
+            if self.idx(l).map(|i| self.stmt_end[i]).unwrap_or(true) {
+                break;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index(src: &str) -> LineIndex {
+        LineIndex::build(src, &lex(src))
+    }
+
+    #[test]
+    fn safety_same_line_and_directly_above() {
+        let src = "// SAFETY: fine\nlet x = unsafe { y };\n";
+        let li = index(src);
+        assert!(li.safety_covers(2));
+        let src2 = "let x = unsafe { y }; // SAFETY: fine\n";
+        assert!(index(src2).safety_covers(1));
+    }
+
+    #[test]
+    fn safety_walks_through_attributes_and_doc_comments() {
+        let src = "\
+/// Docs.
+///
+/// # Safety
+/// caller promises things
+// SAFETY: dispatch guarded
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn k() {}
+";
+        let li = index(src);
+        assert!(li.safety_covers(7));
+    }
+
+    #[test]
+    fn blank_line_breaks_the_safety_run() {
+        let src = "// SAFETY: too far away\n\nlet x = unsafe { y };\n";
+        assert!(!index(src).safety_covers(3));
+    }
+
+    #[test]
+    fn doc_safety_section_alone_does_not_count() {
+        let src = "\
+/// # Safety
+/// caller promises things
+pub unsafe fn k() {}
+";
+        assert!(!index(src).safety_covers(3));
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let with = "let m = HashMap::new(); // lint: allow(determinism) — lookups only\n";
+        assert!(index(with).allows(1, "determinism"));
+        let above = "// lint: allow(panic) — poisoned lock is fatal\nx.unwrap();\n";
+        assert!(index(above).allows(2, "panic"));
+        let bare = "x.unwrap(); // lint: allow(panic)\n";
+        assert!(!index(bare).allows(1, "panic"));
+        let wrong = "x.unwrap(); // lint: allow(determinism) — reason\n";
+        assert!(!index(wrong).allows(1, "panic"));
+    }
+
+    #[test]
+    fn allow_covers_a_multi_line_statement() {
+        let src = "\
+// lint: allow(determinism) — drained then sorted
+let mut counts: HashMap<u32, u32> =
+    HashMap::new();
+let other = HashMap::new();
+";
+        let li = index(src);
+        assert!(li.allows(2, "determinism"));
+        assert!(li.allows(3, "determinism"), "continuation line is covered");
+        assert!(!li.allows(4, "determinism"), "next statement is not");
+    }
+}

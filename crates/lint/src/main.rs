@@ -1,0 +1,83 @@
+//! CLI entry point: `tg-lint check` / `tg-lint fix-ratchet`.
+
+use std::path::PathBuf;
+
+use tg_lint::{ratchet, workspace};
+
+fn main() {
+    let code = match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tg-lint: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run() -> Result<i32, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("check") => cmd_check(),
+        Some("fix-ratchet") => cmd_fix_ratchet(),
+        _ => Err("usage: tg-lint <check | fix-ratchet>".to_string()),
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest when
+/// run via `cargo run -p tg-lint`, else the nearest ancestor of the
+/// current directory that has a `crates/` subdirectory.
+fn find_root() -> Result<PathBuf, String> {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("crates").is_dir() {
+                return Ok(root.to_path_buf());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("cannot locate the workspace root (no crates/ found)".to_string());
+        }
+    }
+}
+
+fn cmd_check() -> Result<i32, String> {
+    let root = find_root()?;
+    let ws = workspace::load(&root)?;
+    let diags = workspace::check(&ws);
+    if diags.is_empty() {
+        println!(
+            "tg-lint: {} files checked, 5 passes, 0 violations",
+            ws.files.len()
+        );
+        return Ok(0);
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!("tg-lint: {} violation(s)", diags.len());
+    Ok(1)
+}
+
+fn cmd_fix_ratchet() -> Result<i32, String> {
+    let root = find_root()?;
+    let ws = workspace::load(&root)?;
+    let counts = workspace::compute_ratchet(&ws);
+    let text = ratchet::render(&counts);
+    let path = root.join("lint-ratchet.toml");
+    std::fs::write(&path, &text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let total: u32 = counts.values().sum();
+    println!(
+        "tg-lint: wrote {} ({} crates, {total} panic sites)",
+        path.display(),
+        counts.len()
+    );
+    Ok(0)
+}

@@ -1,0 +1,117 @@
+//! Pass 4: determinism lint.
+//!
+//! The system's headline claim is bit-identical seeded output at any
+//! thread and shard count. Two lexically-visible hazards can quietly
+//! break it:
+//!
+//! - **Hash-order iteration.** `std` `HashMap`/`HashSet` use a
+//!   per-process random hasher, so iteration order differs between
+//!   runs. Inside the seeded output paths (`crates/core/src`,
+//!   `crates/graph/src`, `crates/sampling/src`) any mention of these
+//!   types must either be on
+//!   a `use` line or carry `// lint: allow(determinism) — reason`
+//!   documenting why order never reaches the output (lookup-only,
+//!   drained-then-sorted, …).
+//! - **Wall-clock reads.** `Instant::now`/`SystemTime::now` anywhere
+//!   outside `crates/bench` must be allowlisted the same way
+//!   (observer/retry bookkeeping is fine; feeding time into seeded
+//!   state is not).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::SourceFile;
+
+const PASS: &str = "determinism";
+
+/// Crate dirs whose sources are seeded output paths for the hash-order
+/// check.
+const SEEDED_CRATES: &[&str] = &["core", "graph", "sampling"];
+
+/// Crate dirs exempt from the wall-clock check (they exist to measure
+/// time).
+const CLOCK_EXEMPT: &[&str] = &["bench"];
+
+/// Run the pass over library sources.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| !f.is_test_file) {
+        if SEEDED_CRATES.contains(&f.crate_name.as_str()) {
+            check_hash_order(f, &mut out);
+        }
+        if !CLOCK_EXEMPT.contains(&f.crate_name.as_str()) {
+            check_wall_clock(f, &mut out);
+        }
+    }
+    out
+}
+
+fn check_hash_order(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || f.st.in_test[i] {
+            continue;
+        }
+        let name = t.text(&f.src);
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if line_is_use(f, t.line) || f.lines.allows(t.line, "determinism") {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            t.line,
+            PASS,
+            format!(
+                "`{name}` in a seeded output path: iteration order is \
+                 per-process random — sort before iterating, or annotate \
+                 `// lint: allow(determinism) — reason` if order never \
+                 reaches the output"
+            ),
+        ));
+    }
+}
+
+fn check_wall_clock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code: Vec<usize> = (0..f.toks.len())
+        .filter(|&i| !f.toks[i].is_comment())
+        .collect();
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+    for ci in 0..code.len() {
+        let ti = code[ci];
+        if f.toks[ti].kind != TokKind::Ident || f.st.in_test[ti] {
+            continue;
+        }
+        let name = text(ci);
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let is_now = ci + 3 < code.len()
+            && text(ci + 1) == ":"
+            && text(ci + 2) == ":"
+            && text(ci + 3) == "now";
+        if !is_now || f.lines.allows(f.toks[ti].line, "determinism") {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            f.toks[ti].line,
+            PASS,
+            format!(
+                "`{name}::now` outside bench code: wall-clock reads must not \
+                 influence seeded output — annotate `// lint: allow(determinism) \
+                 — reason` if this is observer/retry bookkeeping only"
+            ),
+        ));
+    }
+}
+
+/// Is the first code token on `line` the `use` keyword? (Imports may
+/// name hash types freely; only uses at expression/type positions are
+/// suspect.)
+fn line_is_use(f: &SourceFile, line: u32) -> bool {
+    f.toks
+        .iter()
+        .find(|t| !t.is_comment() && t.line == line)
+        .map(|t| t.text(&f.src) == "use")
+        .unwrap_or(false)
+}

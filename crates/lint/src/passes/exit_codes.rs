@@ -1,0 +1,166 @@
+//! Pass 5: exit-code contract.
+//!
+//! `tgx-cli`'s exit codes are a documented, stable interface
+//! (schedulers and scripts branch on them). This pass pins the three
+//! places the table lives to each other:
+//!
+//! - every `process::exit(<literal>)` in `crates/cli/src` uses a code
+//!   from the table;
+//! - `CliError::exit_code` in `errors.rs` maps onto exactly the
+//!   non-zero table entries;
+//! - the `errors.rs` module doc enumerates exactly the table;
+//! - the README documents codes 2–6 and carries the stability promise.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::SourceFile;
+use std::collections::BTreeSet;
+
+const PASS: &str = "exit-codes";
+
+/// The documented exit-code table.
+pub const TABLE: &[u32] = &[0, 1, 2, 3, 4, 5, 6];
+
+/// Run the pass over `crates/cli/src` (plus the README text).
+pub fn run(files: &[SourceFile], readme: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files
+        .iter()
+        .filter(|f| f.crate_name == "cli" && !f.is_test_file)
+    {
+        check_exit_calls(f, &mut out);
+        if f.rel_path.ends_with("errors.rs") {
+            check_exit_code_fn(f, &mut out);
+            check_module_doc(f, &mut out);
+        }
+    }
+    if let Some(readme) = readme {
+        check_readme(readme, &mut out);
+    }
+    out
+}
+
+fn parse_int(text: &str) -> Option<u32> {
+    // strip a type suffix (`2i32`) if present
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn check_exit_calls(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code: Vec<usize> = (0..f.toks.len())
+        .filter(|&i| !f.toks[i].is_comment())
+        .collect();
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+    for ci in 0..code.len() {
+        if f.toks[code[ci]].kind != TokKind::Ident || text(ci) != "process" {
+            continue;
+        }
+        if !(ci + 4 < code.len()
+            && text(ci + 1) == ":"
+            && text(ci + 2) == ":"
+            && text(ci + 3) == "exit"
+            && text(ci + 4) == "(")
+        {
+            continue;
+        }
+        let Some(&arg) = code.get(ci + 5) else {
+            continue;
+        };
+        if f.toks[arg].kind != TokKind::Num {
+            continue; // a variable — its range is pinned via exit_code()
+        }
+        let lit = parse_int(f.toks[arg].text(&f.src));
+        if lit.map(|v| TABLE.contains(&v)) != Some(true) {
+            out.push(Diagnostic::new(
+                &f.rel_path,
+                f.toks[arg].line,
+                PASS,
+                format!(
+                    "process::exit({}) uses a code outside the documented table {TABLE:?}",
+                    f.toks[arg].text(&f.src)
+                ),
+            ));
+        }
+    }
+}
+
+fn check_exit_code_fn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let Some(fi) = f.st.fns.iter().find(|fi| fi.name == "exit_code") else {
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            0,
+            PASS,
+            "errors.rs no longer defines fn exit_code — the exit-code contract \
+             lost its single mapping point",
+        ));
+        return;
+    };
+    let got: BTreeSet<u32> = f.toks[fi.body.clone()]
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .filter_map(|t| parse_int(t.text(&f.src)))
+        .collect();
+    let want: BTreeSet<u32> = TABLE.iter().copied().filter(|&v| v != 0).collect();
+    if got != want {
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            fi.line,
+            PASS,
+            format!("fn exit_code maps to {got:?} but the documented non-zero table is {want:?}"),
+        ));
+    }
+}
+
+fn check_module_doc(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // `//! N  description` lines in the module doc
+    let mut documented = BTreeSet::new();
+    for line in f.src.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("//!") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let after = &rest[digits.len()..];
+        if after.is_empty() || after.starts_with(' ') {
+            if let Ok(v) = digits.parse::<u32>() {
+                documented.insert(v);
+            }
+        }
+    }
+    let want: BTreeSet<u32> = TABLE.iter().copied().collect();
+    if documented != want {
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            1,
+            PASS,
+            format!(
+                "errors.rs module doc enumerates exit codes {documented:?} but the \
+                 table is {want:?}"
+            ),
+        ));
+    }
+}
+
+fn check_readme(readme: &str, out: &mut Vec<Diagnostic>) {
+    if !readme.contains("Exit codes are stable") {
+        out.push(Diagnostic::new(
+            "README.md",
+            0,
+            PASS,
+            "README lost the `Exit codes are stable` contract sentence",
+        ));
+    }
+    for code in TABLE.iter().filter(|&&v| v >= 2) {
+        if !readme.contains(&format!("`{code}`")) {
+            out.push(Diagnostic::new(
+                "README.md",
+                0,
+                PASS,
+                format!("README no longer documents exit code `{code}`"),
+            ));
+        }
+    }
+}

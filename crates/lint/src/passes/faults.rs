@@ -1,0 +1,224 @@
+//! Pass 2: fault-point registry.
+//!
+//! The registry (`tg_faults::registry::FAULT_POINTS`) is the single
+//! source of truth for fault-point names. This pass enforces it in
+//! both directions and validates every armed spec against it:
+//!
+//! - every `fail_point!("…")` / `tg_faults::eval("…")` /
+//!   `tg_faults::eval_lazy("…")` call site must name a registered
+//!   point;
+//! - every registered `Production` point must have at least one
+//!   non-test call site, and `TestOnly` points must have at least one
+//!   call site and none outside test code;
+//! - every `TG_FAULTS` spec embedded in CI or in test sources must arm
+//!   only registered `Production` points.
+//!
+//! Bare `eval("…")` calls (no `tg_faults::` qualifier) are NOT
+//! usages: the faults crate's own unit tests drive the machinery with
+//! throwaway names through exactly that form, and that is the
+//! machinery's test fixture, not a declared injection point.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{str_content, TokKind};
+use crate::workspace::SourceFile;
+use tg_faults::registry::{lookup, FaultScope, FAULT_POINTS};
+
+const PASS: &str = "faults";
+
+/// The registry's own source file, used to anchor table-level findings.
+const REGISTRY_FILE: &str = "crates/faults/src/registry.rs";
+
+struct Usage {
+    name: String,
+    file: String,
+    line: u32,
+    in_test: bool,
+}
+
+/// Run the pass. `ci_yaml` is the CI workflow text, if present.
+///
+/// `crates/lint` is excluded wholesale: its fixture tests embed
+/// deliberately-invalid snippets and spec strings as string literals.
+pub fn run(files: &[SourceFile], ci_yaml: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let files: Vec<&SourceFile> = files.iter().filter(|f| f.crate_name != "lint").collect();
+
+    // -- collect call sites ------------------------------------------------
+    let mut usages: Vec<Usage> = Vec::new();
+    for f in files.iter().filter(|f| !f.is_test_file) {
+        collect_usages(f, &mut usages);
+    }
+    for u in &usages {
+        match lookup(&u.name) {
+            None => out.push(Diagnostic::new(
+                &u.file,
+                u.line,
+                PASS,
+                format!(
+                    "fault point `{}` is not declared in {REGISTRY_FILE}",
+                    u.name
+                ),
+            )),
+            Some(p) if p.scope == FaultScope::TestOnly && !u.in_test => out.push(Diagnostic::new(
+                &u.file,
+                u.line,
+                PASS,
+                format!(
+                    "test-only fault point `{}` evaluated from non-test code",
+                    u.name
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // -- both directions: registered points must be live -------------------
+    for p in FAULT_POINTS {
+        let (non_test, any) = usages
+            .iter()
+            .filter(|u| u.name == p.name)
+            .fold((false, false), |(nt, _), u| (nt || !u.in_test, true));
+        match p.scope {
+            FaultScope::Production if !non_test => out.push(Diagnostic::new(
+                REGISTRY_FILE,
+                0,
+                PASS,
+                format!(
+                    "registered production point `{}` has no non-test call site \
+                     — delete the entry or restore the injection site",
+                    p.name
+                ),
+            )),
+            FaultScope::TestOnly if !any => out.push(Diagnostic::new(
+                REGISTRY_FILE,
+                0,
+                PASS,
+                format!("registered test-only point `{}` is never evaluated", p.name),
+            )),
+            _ => {}
+        }
+    }
+
+    // -- armed specs: string literals in sources/tests ---------------------
+    for f in &files {
+        for t in &f.toks {
+            if !matches!(t.kind, TokKind::Str | TokKind::RawStr) {
+                continue;
+            }
+            let content = str_content(t, &f.src);
+            if looks_like_spec(&content) {
+                check_spec(&content, &f.rel_path, t.line, &mut out);
+            }
+        }
+    }
+
+    // -- armed specs: TG_FAULTS= lines in the CI workflow ------------------
+    if let Some(yaml) = ci_yaml {
+        for (no, line) in yaml.lines().enumerate() {
+            let Some(pos) = line.find("TG_FAULTS=\"") else {
+                continue;
+            };
+            let rest = &line[pos + "TG_FAULTS=\"".len()..];
+            let Some(end) = rest.find('"') else { continue };
+            check_spec(
+                &rest[..end],
+                ".github/workflows/ci.yml",
+                no as u32 + 1,
+                &mut out,
+            );
+        }
+    }
+
+    out
+}
+
+fn collect_usages(f: &SourceFile, usages: &mut Vec<Usage>) {
+    let code: Vec<usize> = (0..f.toks.len())
+        .filter(|&i| !f.toks[i].is_comment())
+        .collect();
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+    for ci in 0..code.len() {
+        let ti = code[ci];
+        if f.toks[ti].kind != TokKind::Ident {
+            continue;
+        }
+        // fail_point!("name"[, arg])
+        let matched = if text(ci) == "fail_point"
+            && ci + 3 < code.len()
+            && text(ci + 1) == "!"
+            && text(ci + 2) == "("
+            && f.toks[code[ci + 3]].kind == TokKind::Str
+        {
+            Some(code[ci + 3])
+        // tg_faults::eval("name", …) / tg_faults::eval_lazy("name", …)
+        } else if text(ci) == "tg_faults"
+            && ci + 5 < code.len()
+            && text(ci + 1) == ":"
+            && text(ci + 2) == ":"
+            && matches!(text(ci + 3), "eval" | "eval_lazy")
+            && text(ci + 4) == "("
+            && f.toks[code[ci + 5]].kind == TokKind::Str
+        {
+            Some(code[ci + 5])
+        } else {
+            None
+        };
+        if let Some(si) = matched {
+            usages.push(Usage {
+                name: str_content(&f.toks[si], &f.src),
+                file: f.rel_path.clone(),
+                line: f.toks[si].line,
+                in_test: f.st.in_test[si],
+            });
+        }
+    }
+}
+
+/// Shape heuristic for a `TG_FAULTS` spec string: the first entry must
+/// be `<dotted.point>=<action>` where the point is a lowercase dotted
+/// path and the action is one of the spec grammar's verbs. This keeps
+/// ordinary strings containing `=` from being misread as specs.
+fn looks_like_spec(s: &str) -> bool {
+    let Some((point, rest)) = s.split_once('=') else {
+        return false;
+    };
+    if !point.contains('.')
+        || point.is_empty()
+        || !point
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+        || point.split('.').any(|seg| seg.is_empty())
+    {
+        return false;
+    }
+    let action = rest.split([',', ';']).next().unwrap_or("");
+    matches!(action, "off" | "err" | "panic" | "abort")
+        || action.starts_with("exit:")
+        || action.starts_with("sleep:")
+}
+
+/// Validate one armed spec (possibly multiple `;`-separated entries)
+/// against the registry.
+fn check_spec(spec: &str, file: &str, line: u32, out: &mut Vec<Diagnostic>) {
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let Some((point, _)) = entry.split_once('=') else {
+            continue;
+        };
+        let point = point.trim();
+        match lookup(point) {
+            None => out.push(Diagnostic::new(
+                file,
+                line,
+                PASS,
+                format!("TG_FAULTS spec arms `{point}`, which is not declared in {REGISTRY_FILE}"),
+            )),
+            Some(p) if p.scope == FaultScope::TestOnly => out.push(Diagnostic::new(
+                file,
+                line,
+                PASS,
+                format!("TG_FAULTS spec arms test-only point `{point}`"),
+            )),
+            Some(_) => {}
+        }
+    }
+}

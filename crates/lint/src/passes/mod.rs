@@ -1,0 +1,11 @@
+//! The analysis passes. Each pass is a pure function over the loaded
+//! [`crate::workspace::SourceFile`] view (plus whatever extra text it
+//! validates — CI config, README, the ratchet file) returning
+//! [`crate::diag::Diagnostic`]s, so fixture tests can drive a pass on
+//! an embedded snippet without touching the real tree.
+
+pub mod determinism;
+pub mod exit_codes;
+pub mod faults;
+pub mod panics;
+pub mod unsafe_audit;

@@ -1,0 +1,118 @@
+//! Pass 3: panic-freedom ratchet.
+//!
+//! `.unwrap()`, `.expect(` and `panic!` in non-test library code are
+//! counted per crate and compared against the checked-in
+//! `lint-ratchet.toml`. A count above the recorded value is a
+//! regression; a count below it is also an error — run
+//! `cargo run -p tg-lint -- fix-ratchet` so the improvement is
+//! recorded and can never silently regress. Individual sites can opt
+//! out with `// lint: allow(panic) — reason` (same line or the line
+//! above) when panicking is the designed behavior (e.g. poisoned-lock
+//! propagation in code that must not limp on).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::ratchet::Ratchet;
+use crate::workspace::SourceFile;
+
+const PASS: &str = "panics";
+
+/// One counted panic site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// Which construct (`.unwrap()`, `.expect(`, `panic!`).
+    pub what: &'static str,
+}
+
+/// Count the un-allowed panic sites in one file's non-test code.
+pub fn sites(f: &SourceFile) -> Vec<Site> {
+    let mut out = Vec::new();
+    let code: Vec<usize> = (0..f.toks.len())
+        .filter(|&i| !f.toks[i].is_comment())
+        .collect();
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+    for ci in 0..code.len() {
+        let ti = code[ci];
+        if f.st.in_test[ti] {
+            continue;
+        }
+        let what = if f.toks[ti].kind == TokKind::Ident
+            && ci > 0
+            && text(ci - 1) == "."
+            && ci + 1 < code.len()
+            && text(ci + 1) == "("
+        {
+            match text(ci) {
+                "unwrap" => Some(".unwrap()"),
+                "expect" => Some(".expect("),
+                _ => None,
+            }
+        } else if f.toks[ti].kind == TokKind::Ident
+            && text(ci) == "panic"
+            && ci + 1 < code.len()
+            && text(ci + 1) == "!"
+        {
+            Some("panic!")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            if !f.lines.allows(f.toks[ti].line, "panic") {
+                out.push(Site {
+                    line: f.toks[ti].line,
+                    what,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Count un-allowed panic sites per crate over library sources.
+pub fn counts(files: &[SourceFile]) -> Ratchet {
+    let mut counts = Ratchet::new();
+    for f in files.iter().filter(|f| !f.is_test_file) {
+        let n = sites(f).len() as u32;
+        *counts.entry(f.crate_name.clone()).or_insert(0) += n;
+    }
+    counts.retain(|_, &mut v| v > 0);
+    counts
+}
+
+/// Compare actual counts against the recorded ratchet.
+pub fn run(files: &[SourceFile], recorded: &Ratchet) -> Vec<Diagnostic> {
+    let actual = counts(files);
+    let mut out = Vec::new();
+    let mut crates: Vec<&String> = actual.keys().chain(recorded.keys()).collect();
+    crates.sort();
+    crates.dedup();
+    for krate in crates {
+        let a = actual.get(krate).copied().unwrap_or(0);
+        let r = recorded.get(krate).copied().unwrap_or(0);
+        if a > r {
+            out.push(Diagnostic::new(
+                "lint-ratchet.toml",
+                0,
+                PASS,
+                format!(
+                    "crate `{krate}` has {a} panic sites but the ratchet allows {r} — \
+                     replace the new .unwrap()/.expect(/panic! with typed errors or \
+                     annotate `// lint: allow(panic) — reason`"
+                ),
+            ));
+        } else if a < r {
+            out.push(Diagnostic::new(
+                "lint-ratchet.toml",
+                0,
+                PASS,
+                format!(
+                    "crate `{krate}` improved to {a} panic sites (ratchet says {r}) — \
+                     run `cargo run -p tg-lint -- fix-ratchet` to record it"
+                ),
+            ));
+        }
+    }
+    out
+}

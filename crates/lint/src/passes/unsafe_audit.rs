@@ -1,0 +1,150 @@
+//! Pass 1: unsafe-audit.
+//!
+//! Two invariants:
+//!
+//! 1. Every `unsafe` token (block, fn, impl, trait) is covered by a
+//!    literal `// SAFETY:` comment — on the same line, or reachable by
+//!    walking up through attribute lines and contiguous comment lines.
+//!    A rustdoc `# Safety` section does NOT count: it documents the
+//!    caller's obligation, while `// SAFETY:` records why *this* site
+//!    discharges it.
+//! 2. Every `#[target_feature(enable = …)]` function may only be
+//!    called from (a) another `#[target_feature]` function, or (b) a
+//!    call site whose enclosing function consults
+//!    `is_x86_feature_detected!` or a `MicrokernelKind` dispatch match
+//!    before the call. This is the file-local call-graph check that
+//!    keeps the AVX2/AVX-512 microkernels from being reachable on
+//!    hardware that lacks them.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::SourceFile;
+
+const PASS: &str = "unsafe-audit";
+
+/// Run the pass over library sources.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| !f.is_test_file) {
+        check_safety_comments(f, &mut out);
+        check_target_feature_reachability(f, &mut out);
+    }
+    out
+}
+
+fn check_safety_comments(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for t in &f.toks {
+        if t.kind == TokKind::Ident && t.text(&f.src) == "unsafe" && !f.lines.safety_covers(t.line)
+        {
+            out.push(Diagnostic::new(
+                &f.rel_path,
+                t.line,
+                PASS,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                 (a rustdoc `# Safety` section does not count)",
+            ));
+        }
+    }
+}
+
+fn check_target_feature_reachability(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tf_fns: Vec<usize> = (0..f.st.fns.len())
+        .filter(|&i| f.st.fns[i].has_target_feature)
+        .collect();
+    if tf_fns.is_empty() {
+        return;
+    }
+    // comment-free token view, preserving original indices
+    let code: Vec<usize> = (0..f.toks.len())
+        .filter(|&i| !f.toks[i].is_comment())
+        .collect();
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+
+    for ci in 0..code.len() {
+        let ti = code[ci];
+        let t = &f.toks[ti];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(&f.src);
+        let Some(&target) = tf_fns.iter().find(|&&fi| f.st.fns[fi].name == name) else {
+            continue;
+        };
+        // a call site: `name (` that is not the `fn name` definition
+        let is_call = ci + 1 < code.len() && text(ci + 1) == "(";
+        if !is_call || (ci > 0 && text(ci - 1) == "fn") {
+            continue;
+        }
+        // resolve module qualification: `seg :: name (` must end in the
+        // target's module; a bare call must come from the same module
+        let qualifier = (ci >= 3
+            && text(ci - 1) == ":"
+            && text(ci - 2) == ":"
+            && f.toks[code[ci - 3]].kind == TokKind::Ident)
+            .then(|| text(ci - 3).to_string());
+        let target_mod = &f.st.fns[target].module_path;
+        let enclosing = f.st.enclosing_fn[ti];
+        let same_module = enclosing
+            .map(|e| f.st.fns[e].module_path == *target_mod)
+            .unwrap_or(false);
+        let resolves = match &qualifier {
+            Some(q) => target_mod.last().map(|m| m == q).unwrap_or(false),
+            None => same_module,
+        };
+        if !resolves {
+            continue;
+        }
+        let Some(encl) = enclosing else {
+            out.push(Diagnostic::new(
+                &f.rel_path,
+                t.line,
+                PASS,
+                format!("`{name}` has #[target_feature] but is referenced outside any fn"),
+            ));
+            continue;
+        };
+        if f.st.fns[encl].has_target_feature {
+            continue;
+        }
+        if guarded_before(f, &code, f.st.fns[encl].body.start, ti) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &f.rel_path,
+            t.line,
+            PASS,
+            format!(
+                "call to #[target_feature] fn `{name}` from `{caller}` is not guarded by \
+                 is_x86_feature_detected! or a MicrokernelKind dispatch arm",
+                caller = f.st.fns[encl].name
+            ),
+        ));
+    }
+}
+
+/// Does the enclosing body, between its opening brace and the call,
+/// consult the CPU-feature guard or a `MicrokernelKind … =>` match arm?
+fn guarded_before(f: &SourceFile, code: &[usize], body_start_tok: usize, call_tok: usize) -> bool {
+    let text = |ci: usize| f.toks[code[ci]].text(&f.src);
+    let lo = code.partition_point(|&ti| ti < body_start_tok);
+    let hi = code.partition_point(|&ti| ti < call_tok);
+    for (ci, &ti) in code.iter().enumerate().take(hi).skip(lo) {
+        if f.toks[ti].kind != TokKind::Ident {
+            continue;
+        }
+        match text(ci) {
+            "is_x86_feature_detected" => return true,
+            "MicrokernelKind" => {
+                // a dispatch arm: `MicrokernelKind :: Variant =>` within
+                // a few tokens (`=>` lexes as `=` `>`)
+                for j in ci + 1..(ci + 7).min(hi) {
+                    if text(j) == "=" && j + 1 < hi && text(j + 1) == ">" {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,101 @@
+//! The panic-freedom ratchet file: a tiny TOML-subset reader/writer
+//! for `lint-ratchet.toml` at the workspace root.
+//!
+//! Format (exactly what the writer emits):
+//!
+//! ```toml
+//! [panic-sites]
+//! cli = 12
+//! core = 30
+//! ```
+//!
+//! Keys are crate directory names under `crates/`, values are counts
+//! of un-allowed `.unwrap()` / `.expect(` / `panic!` sites in non-test
+//! library code. `tg-lint -- check` fails if a count rises OR falls
+//! relative to this file; `tg-lint -- fix-ratchet` rewrites it, which
+//! is how an improvement gets recorded (and reviewed).
+
+use std::collections::BTreeMap;
+
+/// Parsed ratchet file: crate dir name → recorded panic-site count.
+pub type Ratchet = BTreeMap<String, u32>;
+
+/// Parse the `[panic-sites]` section. Unknown sections are ignored;
+/// malformed lines inside the section are reported as errors.
+pub fn parse(text: &str) -> Result<Ratchet, String> {
+    let mut out = Ratchet::new();
+    let mut in_section = false;
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_section = line == "[panic-sites]";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint-ratchet.toml:{}: expected `crate = N`", no + 1))?;
+        let key = key.trim();
+        let val: u32 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("lint-ratchet.toml:{}: count is not an integer", no + 1))?;
+        if out.insert(key.to_string(), val).is_some() {
+            return Err(format!(
+                "lint-ratchet.toml:{}: duplicate entry for `{key}`",
+                no + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Render a ratchet table in the canonical format `fix-ratchet` emits.
+pub fn render(r: &Ratchet) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet: un-allowed `.unwrap()` / `.expect(` / `panic!`\n\
+         # sites per crate in non-test library code. Counts may go DOWN but\n\
+         # never up. Regenerate with `cargo run -p tg-lint -- fix-ratchet`\n\
+         # after burning sites down; tg-lint's check fails on any drift.\n\
+         \n\
+         [panic-sites]\n",
+    );
+    for (k, v) in r {
+        out.push_str(&format!("{k} = {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut r = Ratchet::new();
+        r.insert("cli".into(), 12);
+        r.insert("core".into(), 30);
+        let text = render(&r);
+        assert_eq!(parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn comments_and_unknown_sections_are_ignored() {
+        let text = "[other]\nx = 1\n[panic-sites]\ncli = 3 # trailing\n";
+        let r = parse(text).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r["cli"], 3);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("[panic-sites]\ncli\n").is_err());
+        assert!(parse("[panic-sites]\ncli = many\n").is_err());
+        assert!(parse("[panic-sites]\ncli = 1\ncli = 2\n").is_err());
+    }
+}

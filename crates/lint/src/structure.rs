@@ -1,0 +1,383 @@
+//! Structural view over a token stream: a brace-matched scope tree
+//! giving each token an "am I inside test code?" flag and an enclosing
+//! function, and collecting per-function facts (name, module path,
+//! `#[target_feature]`, line) that the passes reason about.
+//!
+//! This is a heuristic item scanner, not a parser. It understands
+//! exactly the shapes the passes need: `mod name { … }`, `fn name … {
+//! … }`, attributes (`#[…]`, balanced), and plain `{ … }` blocks that
+//! inherit their surroundings. Closure bodies deliberately do NOT open
+//! a function scope, so a token inside a closure resolves to the
+//! enclosing `fn` item — which is what a reachability or ratchet check
+//! wants.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Facts about one `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `mod` names, outermost first. Impl blocks contribute
+    /// nothing (a method's path is its module's path).
+    pub module_path: Vec<String>,
+    /// Whether the item carries a `#[target_feature(…)]` attribute.
+    pub has_target_feature: bool,
+    /// Whether the item is test code (own `#[test]`-ish attribute or
+    /// any enclosing `#[cfg(test)]` scope).
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, `{`-token inclusive to the
+    /// matching `}`-token inclusive-end (empty for bodyless items).
+    pub body: std::ops::Range<usize>,
+}
+
+/// Per-file structural facts, index-aligned with the token stream.
+#[derive(Debug)]
+pub struct FileStructure {
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Per token: is this token inside a test scope?
+    pub in_test: Vec<bool>,
+    /// Per token: index into `fns` of the innermost enclosing function
+    /// item, if any.
+    pub enclosing_fn: Vec<Option<usize>>,
+}
+
+/// Does `attr` contain `word` with identifier boundaries on both sides?
+/// (`#[cfg(test)]` matches "test"; `#[target_feature(…)]` does not.)
+fn attr_has_word(attr: &str, word: &str) -> bool {
+    let b = attr.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = attr[from..].find(word) {
+        let s = from + pos;
+        let e = s + word.len();
+        let pre_ok = s == 0 || !(b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_');
+        let post_ok = e == b.len() || !(b[e].is_ascii_alphanumeric() || b[e] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = e;
+    }
+    false
+}
+
+enum Pending {
+    Mod {
+        name: String,
+        is_test: bool,
+    },
+    /// Index into `fns`; the body range is patched when `{`/`}` arrive.
+    Fn(usize),
+    /// `impl`/`struct`/`enum`/`union`/`trait` — a named scope that is
+    /// neither a module nor a function body.
+    Other,
+}
+
+struct Scope {
+    is_test: bool,
+    mod_name: Option<String>,
+    /// `fns` index whose body this scope is (to patch `body.end`).
+    owns_fn: Option<usize>,
+    /// Innermost enclosing fn visible inside this scope.
+    cur_fn: Option<usize>,
+}
+
+/// Keywords that may legally sit between an attribute and the item
+/// keyword it decorates; anything else detaches pending attributes
+/// (so `#[cfg(…)]` on a match arm doesn't leak onto the next item).
+const ATTR_CARRIERS: &[&str] = &[
+    "pub", "crate", "super", "self", "in", "unsafe", "extern", "async", "const", "static",
+    "default",
+];
+
+/// Build the structural view for one lexed file.
+pub fn analyze(src: &str, toks: &[Tok]) -> FileStructure {
+    let n = toks.len();
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut in_test = vec![false; n];
+    let mut enclosing_fn: Vec<Option<usize>> = vec![None; n];
+
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut attrs: Vec<String> = Vec::new();
+
+    let cur_test = |stack: &[Scope]| stack.last().map(|s| s.is_test).unwrap_or(false);
+    let cur_fn = |stack: &[Scope]| stack.last().and_then(|s| s.cur_fn);
+    let next_code = |from: usize| -> Option<usize> {
+        toks[from..]
+            .iter()
+            .position(|t| !t.is_comment())
+            .map(|off| from + off)
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        in_test[i] = cur_test(&stack);
+        enclosing_fn[i] = cur_fn(&stack);
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        let text = t.text(src);
+        match t.kind {
+            TokKind::Punct if text == "#" => {
+                // attribute: `#[…]` (collected) or `#![…]` (skipped)
+                let mut j = i + 1;
+                let inner = matches!(toks.get(j), Some(t2) if t2.text(src) == "!");
+                if inner {
+                    j += 1;
+                }
+                if matches!(toks.get(j), Some(t2) if t2.text(src) == "[") {
+                    let mut depth = 0usize;
+                    let mut k = j;
+                    while k < n {
+                        let tk = toks[k].text(src);
+                        if tk == "[" {
+                            depth += 1;
+                        } else if tk == "]" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        in_test[k] = cur_test(&stack);
+                        enclosing_fn[k] = cur_fn(&stack);
+                        k += 1;
+                    }
+                    let end = (k + 1).min(n);
+                    if !inner {
+                        attrs.push(src[t.start..toks[k.min(n - 1)].end].to_string());
+                    }
+                    i = end;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                match text {
+                    "mod" if pending.is_none() => {
+                        if let Some(j) = next_code(i + 1) {
+                            if toks[j].kind == TokKind::Ident {
+                                let is_test = cur_test(&stack)
+                                    || attrs.iter().any(|a| attr_has_word(a, "test"));
+                                pending = Some(Pending::Mod {
+                                    name: toks[j].text(src).to_string(),
+                                    is_test,
+                                });
+                                attrs.clear();
+                                in_test[j] = cur_test(&stack);
+                                enclosing_fn[j] = cur_fn(&stack);
+                                i = j + 1;
+                                continue;
+                            }
+                        }
+                        attrs.clear();
+                        i += 1;
+                    }
+                    "fn" if !matches!(pending, Some(Pending::Fn(_))) => {
+                        if let Some(j) = next_code(i + 1) {
+                            if toks[j].kind == TokKind::Ident {
+                                let idx = fns.len();
+                                fns.push(FnInfo {
+                                    name: toks[j].text(src).to_string(),
+                                    module_path: stack
+                                        .iter()
+                                        .filter_map(|s| s.mod_name.clone())
+                                        .collect(),
+                                    has_target_feature: attrs
+                                        .iter()
+                                        .any(|a| a.contains("target_feature")),
+                                    is_test: cur_test(&stack)
+                                        || attrs.iter().any(|a| attr_has_word(a, "test")),
+                                    line: t.line,
+                                    body: 0..0,
+                                });
+                                pending = Some(Pending::Fn(idx));
+                                attrs.clear();
+                                in_test[j] = cur_test(&stack);
+                                enclosing_fn[j] = cur_fn(&stack);
+                                i = j + 1;
+                                continue;
+                            }
+                        }
+                        attrs.clear();
+                        i += 1;
+                    }
+                    "impl" | "struct" | "enum" | "union" | "trait" if pending.is_none() => {
+                        pending = Some(Pending::Other);
+                        attrs.clear();
+                        i += 1;
+                    }
+                    kw if ATTR_CARRIERS.contains(&kw) => {
+                        i += 1;
+                    }
+                    _ => {
+                        // any other ident detaches pending attributes
+                        // (match-arm `#[cfg]`s, field attrs, …)
+                        if pending.is_none() {
+                            attrs.clear();
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            TokKind::Punct if text == "{" => {
+                let parent_test = cur_test(&stack);
+                let parent_fn = cur_fn(&stack);
+                let scope = match pending.take() {
+                    Some(Pending::Mod { name, is_test }) => Scope {
+                        is_test,
+                        mod_name: Some(name),
+                        owns_fn: None,
+                        cur_fn: None,
+                    },
+                    Some(Pending::Fn(idx)) => {
+                        fns[idx].body = i..i;
+                        Scope {
+                            is_test: parent_test || fns[idx].is_test,
+                            mod_name: None,
+                            owns_fn: Some(idx),
+                            cur_fn: Some(idx),
+                        }
+                    }
+                    Some(Pending::Other) | None => Scope {
+                        is_test: parent_test,
+                        mod_name: None,
+                        owns_fn: None,
+                        cur_fn: parent_fn,
+                    },
+                };
+                stack.push(scope);
+                attrs.clear();
+                i += 1;
+            }
+            TokKind::Punct if text == "}" => {
+                if let Some(scope) = stack.pop() {
+                    if let Some(idx) = scope.owns_fn {
+                        fns[idx].body.end = i + 1;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Punct if text == ";" => {
+                pending = None;
+                attrs.clear();
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    FileStructure {
+        fns,
+        in_test,
+        enclosing_fn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fixture() -> (&'static str, Vec<Tok>) {
+        let src = r#"
+pub fn plain() { helper(); }
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kernel(x: u32) -> u32 { x }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn checks() { assert_eq!(super::plain(), ()); foo.unwrap(); }
+}
+"#;
+        (src, lex(src))
+    }
+
+    #[test]
+    fn fns_and_module_paths() {
+        let (src, toks) = fixture();
+        let st = analyze(src, &toks);
+        let names: Vec<_> = st.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["plain", "kernel", "checks"]);
+        assert_eq!(st.fns[1].module_path, vec!["avx2"]);
+        assert!(st.fns[1].has_target_feature);
+        assert!(!st.fns[0].has_target_feature);
+    }
+
+    #[test]
+    fn test_scopes_mark_tokens() {
+        let (src, toks) = fixture();
+        let st = analyze(src, &toks);
+        assert!(st.fns[2].is_test);
+        assert!(!st.fns[0].is_test);
+        // the `.unwrap()` call tokens are inside test code
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text(src) == "unwrap")
+            .expect("unwrap token");
+        assert!(st.in_test[unwrap_idx]);
+        let helper_idx = toks
+            .iter()
+            .position(|t| t.text(src) == "helper")
+            .expect("helper token");
+        assert!(!st.in_test[helper_idx]);
+    }
+
+    #[test]
+    fn enclosing_fn_resolution_skips_closures() {
+        let src = "fn outer() { let f = |x: u32| { x.unwrap() }; }";
+        let toks = lex(src);
+        let st = analyze(src, &toks);
+        let unwrap_idx = toks.iter().position(|t| t.text(src) == "unwrap").unwrap();
+        let encl = st.enclosing_fn[unwrap_idx].expect("inside a fn");
+        assert_eq!(st.fns[encl].name, "outer");
+    }
+
+    #[test]
+    fn cfg_on_match_arm_does_not_leak_onto_next_item() {
+        let src = r#"
+fn dispatch(k: Kind) {
+    match k {
+        #[cfg(test)]
+        Kind::A => {}
+        _ => {}
+    }
+}
+fn after() { x.unwrap(); }
+"#;
+        let toks = lex(src);
+        let st = analyze(src, &toks);
+        let after = st.fns.iter().find(|f| f.name == "after").unwrap();
+        assert!(!after.is_test);
+        let unwrap_idx = toks.iter().position(|t| t.text(src) == "unwrap").unwrap();
+        assert!(!st.in_test[unwrap_idx]);
+    }
+
+    #[test]
+    fn return_position_impl_does_not_steal_the_fn_body() {
+        let src = "fn make() -> impl Iterator<Item = u32> { (0..4).map(|x| x) }";
+        let toks = lex(src);
+        let st = analyze(src, &toks);
+        assert_eq!(st.fns.len(), 1);
+        assert!(!st.fns[0].body.is_empty(), "body must be attached");
+    }
+
+    #[test]
+    fn impl_blocks_do_not_contribute_to_module_paths() {
+        let src = "mod m { struct S; impl S { fn method(&self) {} } }";
+        let toks = lex(src);
+        let st = analyze(src, &toks);
+        let f = st.fns.iter().find(|f| f.name == "method").unwrap();
+        assert_eq!(f.module_path, vec!["m"]);
+    }
+}

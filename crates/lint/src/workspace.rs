@@ -1,0 +1,156 @@
+//! Loading the workspace into the per-file view the passes consume,
+//! and orchestrating a full check.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok};
+use crate::lines::LineIndex;
+use crate::passes;
+use crate::ratchet::{self, Ratchet};
+use crate::structure::{analyze, FileStructure};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One loaded `.rs` file plus everything the passes derive from it.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate directory name under `crates/` (e.g. `tensor`).
+    pub crate_name: String,
+    /// Whether the file lives under the crate's `tests/` directory.
+    pub is_test_file: bool,
+    /// File contents.
+    pub src: String,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Structural facts (scopes, fns, test markers).
+    pub st: FileStructure,
+    /// Line-indexed facts (comments, attrs, allow/SAFETY lookups).
+    pub lines: LineIndex,
+}
+
+impl SourceFile {
+    /// Build the full derived view from a path and source text. Also
+    /// the entry point for fixture tests, which pass synthetic paths
+    /// like `crates/fix/src/lib.rs`.
+    pub fn synth(rel_path: &str, src: &str) -> SourceFile {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let is_test_file = rel_path.contains("/tests/");
+        let toks = lex(src);
+        let st = analyze(src, &toks);
+        let lines = LineIndex::build(src, &toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_test_file,
+            src: src.to_string(),
+            toks,
+            st,
+            lines,
+        }
+    }
+}
+
+/// The loaded workspace: sources plus the side files passes validate.
+pub struct Workspace {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// All `.rs` files under `crates/*/src` and `crates/*/tests`.
+    pub files: Vec<SourceFile>,
+    /// `lint-ratchet.toml` text, if present.
+    pub ratchet_text: Option<String>,
+    /// `.github/workflows/ci.yml` text, if present.
+    pub ci_yaml: Option<String>,
+    /// `README.md` text, if present.
+    pub readme: Option<String>,
+}
+
+fn push_rs_files(dir: &Path, acc: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            push_rs_files(&p, acc)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            acc.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Load every crate source (and integration test) under `root`.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut paths = Vec::new();
+    for dir in &crate_dirs {
+        for sub in ["src", "tests"] {
+            push_rs_files(&dir.join(sub), &mut paths)
+                .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
+    }
+
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let src = fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::synth(&rel, &src));
+    }
+
+    let read_opt = |rel: &str| fs::read_to_string(root.join(rel)).ok();
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        ratchet_text: read_opt("lint-ratchet.toml"),
+        ci_yaml: read_opt(".github/workflows/ci.yml"),
+        readme: read_opt("README.md"),
+    })
+}
+
+/// Run every pass; diagnostics come back sorted by file and line.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    diags.extend(passes::unsafe_audit::run(&ws.files));
+    diags.extend(passes::faults::run(&ws.files, ws.ci_yaml.as_deref()));
+    match &ws.ratchet_text {
+        Some(text) => match ratchet::parse(text) {
+            Ok(recorded) => diags.extend(passes::panics::run(&ws.files, &recorded)),
+            Err(e) => diags.push(Diagnostic::new("lint-ratchet.toml", 0, "panics", e)),
+        },
+        None => diags.push(Diagnostic::new(
+            "lint-ratchet.toml",
+            0,
+            "panics",
+            "missing — run `cargo run -p tg-lint -- fix-ratchet` to create it",
+        )),
+    }
+    diags.extend(passes::determinism::run(&ws.files));
+    diags.extend(passes::exit_codes::run(&ws.files, ws.readme.as_deref()));
+
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags
+}
+
+/// Current per-crate panic-site counts, for `fix-ratchet`.
+pub fn compute_ratchet(ws: &Workspace) -> Ratchet {
+    passes::panics::counts(&ws.files)
+}

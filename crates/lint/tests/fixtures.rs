@@ -1,0 +1,514 @@
+//! Pass-level fixture tests: every pass must flag a seeded violation
+//! with a file:line diagnostic and stay quiet on the corrected form.
+//! These are the executable spec for what `tg-lint -- check` enforces.
+
+use tg_lint::passes::{determinism, exit_codes, faults, panics, unsafe_audit};
+use tg_lint::ratchet::Ratchet;
+use tg_lint::workspace::SourceFile;
+
+fn synth(path: &str, src: &str) -> Vec<SourceFile> {
+    vec![SourceFile::synth(path, src)]
+}
+
+// ---------------------------------------------------------------- unsafe
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged_with_file_and_line() {
+    let bad = "\
+pub fn danger() {
+    let x = 1i32;
+    let y = unsafe { *(&x as *const i32) };
+    assert_eq!(y, 1);
+}
+";
+    let d = unsafe_audit::run(&synth("crates/fix/src/lib.rs", bad));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].file, "crates/fix/src/lib.rs");
+    assert_eq!(d[0].line, 3);
+    assert!(d[0].to_string().starts_with("crates/fix/src/lib.rs:3:"));
+}
+
+#[test]
+fn safety_comment_silences_the_unsafe_audit() {
+    let good = "\
+pub fn danger() {
+    let x = 1i32;
+    // SAFETY: reads a live stack local through its own address
+    let y = unsafe { *(&x as *const i32) };
+    assert_eq!(y, 1);
+}
+";
+    assert!(unsafe_audit::run(&synth("crates/fix/src/lib.rs", good)).is_empty());
+}
+
+#[test]
+fn doc_safety_section_is_not_a_safety_comment() {
+    let bad = "\
+/// # Safety
+/// caller must check avx2
+pub unsafe fn k() {}
+";
+    let d = unsafe_audit::run(&synth("crates/fix/src/lib.rs", bad));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 3);
+}
+
+#[test]
+fn unsafe_inside_strings_and_comments_does_not_count() {
+    let good = "\
+// unsafe in a comment
+pub fn f() -> &'static str {
+    /* unsafe in a block comment */
+    \"unsafe in a string\"
+}
+";
+    assert!(unsafe_audit::run(&synth("crates/fix/src/lib.rs", good)).is_empty());
+}
+
+#[test]
+fn unguarded_target_feature_call_is_flagged() {
+    let bad = "\
+mod avx2 {
+    // SAFETY: caller dispatches on detected features
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn kernel(x: u32) -> u32 { x }
+}
+pub fn driver(x: u32) -> u32 {
+    // SAFETY: WRONG — nothing checked avx2 support here
+    unsafe { avx2::kernel(x) }
+}
+";
+    let d = unsafe_audit::run(&synth("crates/fix/src/lib.rs", bad));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 8);
+    assert!(d[0].message.contains("kernel"), "{d:?}");
+    assert!(d[0].message.contains("driver"), "{d:?}");
+}
+
+#[test]
+fn feature_detected_guard_silences_the_reachability_check() {
+    let good = "\
+mod avx2 {
+    // SAFETY: caller dispatches on detected features
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn kernel(x: u32) -> u32 { x }
+}
+pub fn driver(x: u32) -> u32 {
+    if is_x86_feature_detected!(\"avx2\") {
+        // SAFETY: guarded by the detection right above
+        unsafe { avx2::kernel(x) }
+    } else {
+        x
+    }
+}
+";
+    assert!(unsafe_audit::run(&synth("crates/fix/src/lib.rs", good)).is_empty());
+}
+
+#[test]
+fn microkernel_dispatch_arm_counts_as_a_guard() {
+    let good = "\
+mod avx2 {
+    // SAFETY: caller dispatches on MicrokernelKind
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn kernel(x: u32) -> u32 { x }
+}
+pub fn driver(kind: MicrokernelKind, x: u32) -> u32 {
+    match kind {
+        // SAFETY: the Avx2Fma arm exists iff detection succeeded
+        MicrokernelKind::Avx2Fma => unsafe { avx2::kernel(x) },
+        MicrokernelKind::Portable => x,
+    }
+}
+";
+    assert!(unsafe_audit::run(&synth("crates/fix/src/lib.rs", good)).is_empty());
+}
+
+#[test]
+fn target_feature_to_target_feature_calls_are_fine() {
+    let good = "\
+mod avx2 {
+    // SAFETY: same-module TF-to-TF call
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn inner(x: u32) -> u32 { x }
+    // SAFETY: caller dispatches on detected features
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn outer(x: u32) -> u32 { inner(x) }
+}
+";
+    assert!(unsafe_audit::run(&synth("crates/fix/src/lib.rs", good)).is_empty());
+}
+
+// ---------------------------------------------------------------- faults
+
+#[test]
+fn unregistered_fail_point_is_flagged() {
+    let bad = "\
+pub fn work() -> Result<(), tg_faults::FaultError> {
+    tg_faults::fail_point!(\"no.such.point\");
+    Ok(())
+}
+";
+    let d = faults::run(&synth("crates/fix/src/lib.rs", bad), None);
+    let hit: Vec<_> = d
+        .iter()
+        .filter(|d| d.message.contains("no.such.point"))
+        .collect();
+    assert_eq!(hit.len(), 1, "{d:?}");
+    assert_eq!(hit[0].file, "crates/fix/src/lib.rs");
+    assert_eq!(hit[0].line, 2);
+}
+
+#[test]
+fn test_only_point_in_production_code_is_flagged() {
+    let bad = "\
+pub fn work() -> Result<(), tg_faults::FaultError> {
+    tg_faults::fail_point!(\"t.macro\");
+    Ok(())
+}
+";
+    let d = faults::run(&synth("crates/fix/src/lib.rs", bad), None);
+    assert!(
+        d.iter()
+            .any(|d| d.line == 2 && d.message.contains("test-only")),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn registered_production_usage_is_clean_and_liveness_sees_it() {
+    let good = "\
+pub fn work() -> Result<(), tg_faults::FaultError> {
+    tg_faults::fail_point!(\"worker.entry\", format!(\"shard:{}\", 0));
+    Ok(())
+}
+";
+    let d = faults::run(&synth("crates/fix/src/lib.rs", good), None);
+    // no diagnostic about the usage itself, and no "never evaluated"
+    // liveness complaint for worker.entry
+    assert!(
+        !d.iter().any(|d| d.message.contains("worker.entry")),
+        "{d:?}"
+    );
+    // other registered points have no call site in this one-file
+    // fixture world, so the both-directions check reports them
+    assert!(d
+        .iter()
+        .any(|d| d.message.contains("no non-test call site")));
+}
+
+#[test]
+fn spec_strings_arming_bad_points_are_flagged() {
+    let bad = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drives_faults() {
+        let unknown = \"bogus.point=err,max=1\";
+        let testonly = \"t.macro=panic\";
+        let fine = \"worker.entry=err,arg=shard:1\";
+    }
+}
+";
+    let d = faults::run(&synth("crates/fix/src/lib.rs", bad), None);
+    assert!(
+        d.iter()
+            .any(|d| d.line == 5 && d.message.contains("bogus.point")),
+        "{d:?}"
+    );
+    assert!(
+        d.iter()
+            .any(|d| d.line == 6 && d.message.contains("test-only")),
+        "{d:?}"
+    );
+    assert!(
+        !d.iter().any(|d| d.line == 7),
+        "registered production spec must be clean: {d:?}"
+    );
+}
+
+#[test]
+fn ci_yaml_tg_faults_lines_are_validated() {
+    let yaml = "\
+jobs:
+  test:
+    steps:
+      - run: |
+          TG_FAULTS=\"worker.entry=abort,max=1\" ./go
+      - run: |
+          TG_FAULTS=\"gone.point=panic\" ./go
+";
+    let d = faults::run(&[], Some(yaml));
+    let spec: Vec<_> = d
+        .iter()
+        .filter(|d| d.file == ".github/workflows/ci.yml")
+        .collect();
+    assert_eq!(spec.len(), 1, "{d:?}");
+    assert_eq!(spec[0].line, 7);
+    assert!(spec[0].message.contains("gone.point"));
+}
+
+#[test]
+fn multi_entry_specs_check_every_point() {
+    let d = faults::run(
+        &synth(
+            "crates/fix/src/lib.rs",
+            "pub const S: &str = \"worker.entry=err;phantom.pt=panic\";\n",
+        ),
+        None,
+    );
+    assert!(d.iter().any(|d| d.message.contains("phantom.pt")), "{d:?}");
+}
+
+// ---------------------------------------------------------------- panics
+
+#[test]
+fn panic_sites_are_counted_with_lines_outside_test_code_only() {
+    let src = "\
+pub fn lib_code(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"present\");
+    if a != b { panic!(\"impossible\"); }
+    a
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u32>.unwrap(); }
+}
+";
+    let f = SourceFile::synth("crates/fix/src/lib.rs", src);
+    let sites = panics::sites(&f);
+    let lines: Vec<u32> = sites.iter().map(|s| s.line).collect();
+    assert_eq!(lines, vec![2, 3, 4], "{sites:?}");
+    assert_eq!(sites[0].what, ".unwrap()");
+    assert_eq!(sites[1].what, ".expect(");
+    assert_eq!(sites[2].what, "panic!");
+}
+
+#[test]
+fn allow_panic_with_reason_suppresses_a_site() {
+    let src = "\
+pub fn f(m: &std::sync::Mutex<u32>) -> u32 {
+    // lint: allow(panic) — poisoned lock means a panicked writer; abort
+    *m.lock().unwrap()
+}
+";
+    let f = SourceFile::synth("crates/fix/src/lib.rs", src);
+    assert!(panics::sites(&f).is_empty());
+}
+
+#[test]
+fn ratchet_regression_and_improvement_both_fail() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let files = synth("crates/fix/src/lib.rs", src);
+
+    let mut exact = Ratchet::new();
+    exact.insert("fix".into(), 1);
+    assert!(panics::run(&files, &exact).is_empty());
+
+    let mut too_low = Ratchet::new();
+    too_low.insert("fix".into(), 0);
+    let d = panics::run(&files, &too_low);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("ratchet allows 0"), "{d:?}");
+
+    let mut too_high = Ratchet::new();
+    too_high.insert("fix".into(), 5);
+    let d = panics::run(&files, &too_high);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("fix-ratchet"), "{d:?}");
+}
+
+// ----------------------------------------------------------- determinism
+
+#[test]
+fn hashmap_in_a_seeded_path_is_flagged() {
+    let bad = "\
+use std::collections::HashMap;
+pub fn emit(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs { *m.entry(x).or_insert(0) += 1; }
+    m.into_iter().collect()
+}
+";
+    let d = determinism::run(&synth("crates/core/src/fix.rs", bad));
+    assert_eq!(d.len(), 2, "type + constructor mentions: {d:?}");
+    assert!(d.iter().all(|d| d.line == 3));
+    // the `use` line is exempt
+    assert!(!d.iter().any(|d| d.line == 1));
+}
+
+#[test]
+fn allowlisted_or_out_of_scope_hash_use_is_clean() {
+    let allowed = "\
+use std::collections::HashMap;
+pub fn lookup_only(keys: &[u32]) -> HashMap<u32, u32> {
+    // lint: allow(determinism) — keyed lookups only, never iterated
+    let m: HashMap<u32, u32> = HashMap::new();
+    m
+}
+";
+    // HashMap in the signature line 2 of a seeded crate WOULD flag, so
+    // scope check first: same file under a non-seeded crate is clean
+    assert!(determinism::run(&synth("crates/serve/src/fix.rs", allowed)).is_empty());
+    // and in a seeded crate the allow comment covers line 4 (line 2
+    // still flags: signatures promising hash types are part of the
+    // hazard surface)
+    let d = determinism::run(&synth("crates/graph/src/fix.rs", allowed));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 2);
+}
+
+#[test]
+fn wall_clock_reads_are_flagged_outside_bench() {
+    let src = "\
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+    let d = determinism::run(&synth("crates/store/src/fix.rs", src));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 2);
+    assert!(d[0].message.contains("Instant::now"), "{d:?}");
+    // bench exists to measure time
+    assert!(determinism::run(&synth("crates/bench/src/fix.rs", src)).is_empty());
+}
+
+// ------------------------------------------------------------ exit codes
+
+const GOOD_ERRORS_RS: &str = "\
+//! Exit codes:
+//!
+//! ```text
+//! 0  success
+//! 1  other failure
+//! 2  usage error
+//! 3  corruption
+//! 4  worker failure
+//! 5  partial
+//! 6  busy
+//! ```
+
+pub enum CliError { Usage, Other }
+
+impl CliError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Other => 1,
+            CliError::Usage => 2,
+            CliError::A => 3,
+            CliError::B => 4,
+            CliError::C => 5,
+            CliError::D => 6,
+        }
+    }
+}
+";
+
+const GOOD_README: &str = "\
+Exit codes are stable: `0` ok, `2` usage, `3` corruption, `4` worker
+failure, `5` partial, `6` busy.
+";
+
+#[test]
+fn consistent_exit_code_contract_is_clean() {
+    let files = synth("crates/cli/src/errors.rs", GOOD_ERRORS_RS);
+    assert!(exit_codes::run(&files, Some(GOOD_README)).is_empty());
+}
+
+#[test]
+fn out_of_table_process_exit_is_flagged() {
+    let src = "\
+pub fn die() {
+    std::process::exit(9);
+}
+";
+    let d = exit_codes::run(&synth("crates/cli/src/fix.rs", src), None);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 2);
+    assert!(d[0].message.contains("exit(9)"), "{d:?}");
+}
+
+#[test]
+fn exit_code_fn_drifting_from_the_table_is_flagged() {
+    let drifted = GOOD_ERRORS_RS.replace("CliError::D => 6", "CliError::D => 7");
+    let d = exit_codes::run(
+        &synth("crates/cli/src/errors.rs", &drifted),
+        Some(GOOD_README),
+    );
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("exit_code"), "{d:?}");
+}
+
+#[test]
+fn module_doc_drifting_from_the_table_is_flagged() {
+    let drifted = GOOD_ERRORS_RS.replace("//! 6  busy\n", "");
+    let d = exit_codes::run(
+        &synth("crates/cli/src/errors.rs", &drifted),
+        Some(GOOD_README),
+    );
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("module doc"), "{d:?}");
+}
+
+#[test]
+fn readme_losing_a_code_or_the_promise_is_flagged() {
+    let files = synth("crates/cli/src/errors.rs", GOOD_ERRORS_RS);
+    let d = exit_codes::run(&files, Some("Exit codes are stable: `2` `3` `4` `5`."));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("`6`"), "{d:?}");
+    let d = exit_codes::run(&files, Some("codes: `2` `3` `4` `5` `6`"));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("stable"), "{d:?}");
+}
+
+// ------------------------------------------------- the binary end to end
+
+/// `tg-lint check` exits 0 on this repository: the invariants the other
+/// tests seed violations against all hold on the real tree.
+#[test]
+fn binary_is_clean_on_this_repository() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tg-lint"))
+        .arg("check")
+        .output()
+        .expect("spawn tg-lint");
+    assert!(
+        out.status.success(),
+        "tg-lint check failed on the repo:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 violations"), "{stdout}");
+}
+
+/// Seeding a violation into a scratch workspace makes the binary exit
+/// non-zero and print a `file:line: [pass]` diagnostic.
+#[test]
+fn binary_flags_a_seeded_workspace_with_file_line_diagnostics() {
+    let scratch = std::env::temp_dir().join(format!("tg-lint-fixture-{}", std::process::id()));
+    let src_dir = scratch.join("crates/fix/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(scratch.join("lint-ratchet.toml"), "[panic-sites]\n").expect("write ratchet");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn danger() {\n    let x = 1i32;\n    let _y = unsafe { *(&x as *const i32) };\n}\n",
+    )
+    .expect("write fixture source");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tg-lint"))
+        .arg("check")
+        .current_dir(&scratch)
+        .env_remove("CARGO_MANIFEST_DIR")
+        .output()
+        .expect("spawn tg-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    std::fs::remove_dir_all(&scratch).ok();
+
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("crates/fix/src/lib.rs:3: [unsafe-audit]"),
+        "missing file:line diagnostic:\n{stderr}"
+    );
+}

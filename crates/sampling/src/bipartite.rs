@@ -77,6 +77,8 @@ impl ComputationGraph {
         for i in 0..cfg.k {
             let targets = levels[i].clone();
             let mut src_level: Vec<(NodeId, Time)> = Vec::new();
+            // lint: allow(determinism) — intern index read by key only;
+            // `src_level` order comes from deterministic push order
             let mut index: HashMap<(NodeId, Time), u32> = HashMap::new();
             let mut intern = |occ: (NodeId, Time), src_level: &mut Vec<(NodeId, Time)>| -> u32 {
                 *index.entry(occ).or_insert_with(|| {

@@ -45,9 +45,13 @@ impl InitialNodeSampler {
     ) -> Result<Self, S::Error> {
         use std::collections::HashMap;
         let mut nodes: Vec<(NodeId, Time, usize)> = Vec::new();
+        // lint: allow(determinism) — per-timestamp scratch: drained into
+        // `nodes`, which is sort_unstable'd before anything reads it
         let mut open: HashMap<NodeId, usize> = HashMap::new();
         let mut open_t: Time = 0;
         let close =
+            // lint: allow(determinism) — drain order vanishes in the
+            // caller's sort_unstable over `nodes`
             |open: &mut HashMap<NodeId, usize>, t: Time, nodes: &mut Vec<(NodeId, Time, usize)>| {
                 nodes.extend(open.drain().map(|(v, d)| (v, t, d)));
             };

@@ -13,6 +13,7 @@
 //! too-small budget must degrade to serial execution, not to starving
 //! every oversized tenant forever.
 
+use crate::sync::lock_unpoisoned;
 use std::sync::Mutex;
 
 #[derive(Debug, Default)]
@@ -70,14 +71,14 @@ impl AdmissionController {
 
     /// Currently admitted (cost, request-count).
     pub fn inflight(&self) -> (u64, usize) {
-        let g = self.inflight.lock().unwrap();
+        let g = lock_unpoisoned(&self.inflight);
         (g.cost, g.requests)
     }
 
     /// Admit a request of estimated `cost`, or explain why not. Drop the
     /// returned [`Permit`] to release the admission.
     pub fn try_admit(&self, cost: u64) -> Result<Permit<'_>, Rejection> {
-        let mut g = self.inflight.lock().unwrap();
+        let mut g = lock_unpoisoned(&self.inflight);
         if g.requests > 0 && g.cost.saturating_add(cost) > self.max_cost {
             return Err(Rejection {
                 requested: cost,
@@ -95,7 +96,7 @@ impl AdmissionController {
     }
 
     fn release(&self, cost: u64) {
-        let mut g = self.inflight.lock().unwrap();
+        let mut g = lock_unpoisoned(&self.inflight);
         g.cost = g.cost.saturating_sub(cost);
         g.requests = g.requests.saturating_sub(1);
     }

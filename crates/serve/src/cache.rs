@@ -21,6 +21,7 @@
 //! - a hit returns the same `Arc` as the previous `get` of that id;
 //! - only idle entries are ever evicted.
 
+use crate::sync::lock_unpoisoned;
 use std::sync::{Arc, Mutex};
 
 /// Whether a `get` found the value resident or had to load it.
@@ -112,7 +113,7 @@ impl<T> ModelCache<T> {
 
     /// Resident entry count (≤ capacity).
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        lock_unpoisoned(&self.entries).len()
     }
 
     /// Whether nothing is resident.
@@ -122,18 +123,14 @@ impl<T> ModelCache<T> {
 
     /// Whether `run_id` is currently resident (does not touch LRU order).
     pub fn contains(&self, run_id: &str) -> bool {
-        self.entries
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.entries)
             .iter()
             .any(|(id, _)| id == run_id)
     }
 
     /// Resident ids, most-recently-used first.
     pub fn resident(&self) -> Vec<String> {
-        self.entries
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.entries)
             .iter()
             .map(|(id, _)| id.clone())
             .collect()
@@ -144,7 +141,7 @@ impl<T> ModelCache<T> {
     /// eviction.
     pub fn get(&self, run_id: &str) -> Result<(Arc<T>, CacheOutcome), CacheError> {
         {
-            let mut entries = self.entries.lock().unwrap();
+            let mut entries = lock_unpoisoned(&self.entries);
             if let Some(pos) = entries.iter().position(|(id, _)| id == run_id) {
                 let entry = entries.remove(pos);
                 let arc = Arc::clone(&entry.1);
@@ -158,7 +155,7 @@ impl<T> ModelCache<T> {
             run_id: run_id.to_string(),
             message,
         })?;
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = lock_unpoisoned(&self.entries);
         if let Some(pos) = entries.iter().position(|(id, _)| id == run_id) {
             // A concurrent miss won the insert race; adopt its instance so
             // exactly one copy stays resident. This request still paid a

@@ -44,6 +44,7 @@ mod net;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+mod sync;
 
 pub use admission::{AdmissionController, Permit, Rejection};
 pub use cache::{CacheError, CacheOutcome, ModelCache};

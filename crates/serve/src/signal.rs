@@ -45,6 +45,10 @@ mod imp {
 
     pub fn install_handlers() {
         let handler = on_term as *const () as usize;
+        // SAFETY: libc `signal` with a handler that is itself
+        // async-signal-safe (a single atomic store); replacing the
+        // disposition for SIGTERM/SIGINT has no memory-safety
+        // preconditions beyond passing a valid function pointer.
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);

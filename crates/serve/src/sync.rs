@@ -1,0 +1,37 @@
+//! Poison-recovering mutex acquisition for the daemon's shared state.
+//!
+//! A poisoned mutex means some holder panicked. Both structures this
+//! crate guards — the admission counters and the model-cache LRU list —
+//! are only ever mutated inside a single short critical section that
+//! keeps them internally consistent at every step, so the data behind a
+//! poisoned lock is still valid. A resident multi-tenant daemon must
+//! keep answering the other connections rather than escalate one
+//! request's panic into a `PoisonError` panic on every subsequent
+//! request, so we take the data and move on.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_after_a_panicked_holder() {
+        let m = Mutex::new(7u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().expect("first lock");
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

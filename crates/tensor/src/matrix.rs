@@ -521,6 +521,10 @@ mod avx2 {
     /// # Safety
     /// The caller must have verified `avx2` and `fma` CPU support, and
     /// guarantee `apack.len() >= k * MR` and `bpanel.len() >= k * NR`.
+    // SAFETY: only reachable through the `MicrokernelKind` dispatch in
+    // `gemm`, whose `Avx2Fma` arm exists iff `is_x86_feature_detected!`
+    // confirmed avx2+fma; slice bounds are the packer's invariant,
+    // re-checked by the debug_assert below.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn microkernel(k: usize, apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
         debug_assert!(apack.len() >= k * MR && bpanel.len() >= k * NR);
@@ -640,6 +644,10 @@ mod avx512 {
     /// `apack.len() >= k * MR_MAX`, `bpanel.len() >= k * NR_MAX`, and
     /// that `c` addresses `rows` rows of at least `width` valid elements
     /// at stride `ldc`.
+    // SAFETY: only reachable through the `MicrokernelKind` dispatch in
+    // `gemm`, whose `Avx512` arm exists iff `is_x86_feature_detected!`
+    // confirmed avx512f; the pack/tile geometry the pointer math relies
+    // on is established by the blocked driver around the call.
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn run_tile(

@@ -1,33 +1,30 @@
 //! Perf snapshot: measures the current hot paths and writes
-//! `BENCH_PR8.json` so future PRs have a numeric trajectory to compare
+//! `BENCH_PR10.json` so future PRs have a numeric trajectory to compare
 //! against (PR 1 wrote the naive-vs-tiled kernel pairs, PR 2 the
 //! portable-vs-SIMD pairs and the xent fusion A/B, PR 3 the per-sink
 //! generation throughput and streaming peak-heap A/B, PR 4 the
 //! session-overhead and multi-process A/Bs, PR 5 the store ingest
 //! A/Bs and throughput, PR 6 the fault-point zero-cost proof, PR 7 the
-//! warm-vs-cold serve cache latency).
+//! warm-vs-cold serve cache latency, PR 8 the GEBP GFLOP/s sweep and
+//! bf16 storage A/B).
 //!
-//! PR 8 closes the kernel ceiling, and this snapshot records the
-//! evidence:
+//! PR 10 adds workspace-wide telemetry (`tg-obs`), and this snapshot is
+//! the **zero-cost-when-idle and zero-perturbation evidence**:
 //!
-//! - **Matmul GFLOP/s sweep** — square matmul at 256²/512²/1024²/2048²,
-//!   once per available ISA level (portable / AVX2+FMA / AVX-512) via
-//!   the scoped [`force_microkernel`] guard. The point of the new
-//!   GEBP `jc`/NC loop is that the 1024²+ rates no longer fall off the
-//!   512² rate (pre-PR-8 the packed 4 MB B panel was re-streamed per
-//!   row block: ~60 → ~35 GFLOP/s).
-//! - **Segment-softmax edges/s A/B** — the scalar-f64 reference
-//!   (`segment_softmax_naive`) vs the blocked run-based kernel at 2×10⁶
-//!   edges, on both the sorted-by-segment layout the encoder emits and
-//!   a shuffled worst case (which pays an extra counting-sort
-//!   permutation). Outputs are parity-checked here, not just timed.
-//! - **bf16-vs-f32 A/B** — parameter payload bytes, resident model
-//!   heap, and fit wall time for the same seeded model with
-//!   f32 vs bf16 embedding tables (`TgaeConfig::precision`).
-//! - **Absolute baselines** — end-to-end `fit` and `generate` wall
-//!   times through the session, carried forward every PR for trend
-//!   tracking, plus the store-fed-vs-in-memory training bit-identity
-//!   assertion.
+//! - **Telemetry on/off A/B (training)** — the same seeded `fit` with no
+//!   observer vs with the metrics registry enabled and an `ObsObserver`
+//!   attached. The loss trajectories must be bit-identical and the wall
+//!   times within noise of each other.
+//! - **Trace on/off A/B (generation)** — the same seeded `generate`
+//!   before any trace sink exists (spans compile to an inert branch) vs
+//!   with a live span sink. The streamed bytes must be identical.
+//! - **Serve latency histogram sample** — an in-process `tg-serve`
+//!   round trip (1 cold, N warm), cross-checked against the
+//!   `serve.request.seconds{cache=...}` histogram counts the server
+//!   recorded in the global registry.
+//! - **Absolute baselines** — `fit_500n_30ep` and `generate_500n_10t`,
+//!   carried forward every PR for trend tracking, plus the
+//!   store-fed-vs-in-memory training bit-identity assertion.
 //!
 //! The binary doubles as the CI kernel-dispatch gate: it prints
 //! `active_microkernel()`, runs a bitwise matmul parity check forced to
@@ -43,16 +40,17 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
-use tg_bench::memtrack::{self, TrackingAllocator};
+use tg_bench::memtrack::TrackingAllocator;
+use tg_bench::ObsObserver;
 use tg_datasets::SyntheticConfig;
-use tg_graph::sink::GraphSink;
+use tg_graph::io::StreamingWriterSink;
 use tg_graph::TemporalGraph;
 use tg_store::StoreSource;
 use tg_tensor::matrix::{
-    active_microkernel, available_microkernels, force_microkernel, matmul_nn, segment_softmax,
-    segment_softmax_naive, Matrix, MicrokernelKind,
+    active_microkernel, available_microkernels, force_microkernel, matmul_nn, Matrix,
+    MicrokernelKind,
 };
-use tgae::{Precision, Session, TgaeConfig};
+use tgae::{RunObserver, Session, TgaeConfig};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -60,21 +58,14 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 #[derive(Serialize)]
 struct Entry {
     name: String,
-    /// Median seconds per call on the "before" side (absent for absolute
-    /// baselines and rate-only entries).
+    /// Median seconds per call on the "before" (telemetry-off) side;
+    /// absent for absolute baselines.
     before_s: Option<f64>,
-    /// Median seconds per call, this PR (absent for memory-only entries).
-    after_s: Option<f64>,
-    /// `before_s / after_s` when both sides exist.
+    /// Median seconds per call, this PR / telemetry-on side.
+    after_s: f64,
+    /// `before_s / after_s` when both sides exist. For the on/off A/Bs a
+    /// value near 1.0 IS the result: telemetry costs nothing measurable.
     speedup: Option<f64>,
-    /// Edges per second (segment-softmax / store entries).
-    edges_per_s: Option<f64>,
-    /// Billions of f32 FLOPs per second (matmul sweep entries).
-    gflops: Option<f64>,
-    /// Peak heap bytes, before side (memory A/B entries only).
-    before_peak_bytes: Option<usize>,
-    /// Peak heap bytes, after side (memory A/B entries only).
-    after_peak_bytes: Option<usize>,
 }
 
 impl Entry {
@@ -82,56 +73,8 @@ impl Entry {
         Entry {
             name: name.into(),
             before_s,
-            after_s: Some(after_s),
+            after_s,
             speedup: before_s.map(|b| b / after_s),
-            edges_per_s: None,
-            gflops: None,
-            before_peak_bytes: None,
-            after_peak_bytes: None,
-        }
-    }
-
-    fn gflops(name: impl Into<String>, seconds: f64, flops: f64) -> Self {
-        Entry {
-            name: name.into(),
-            before_s: None,
-            after_s: Some(seconds),
-            speedup: None,
-            edges_per_s: None,
-            gflops: Some(flops / seconds / 1e9),
-            before_peak_bytes: None,
-            after_peak_bytes: None,
-        }
-    }
-
-    fn edge_rate(
-        name: impl Into<String>,
-        before_s: Option<f64>,
-        after_s: f64,
-        edges: usize,
-    ) -> Self {
-        Entry {
-            name: name.into(),
-            before_s,
-            after_s: Some(after_s),
-            speedup: before_s.map(|b| b / after_s),
-            edges_per_s: Some(edges as f64 / after_s),
-            gflops: None,
-            before_peak_bytes: None,
-            after_peak_bytes: None,
-        }
-    }
-
-    fn memory(name: impl Into<String>, before_peak: usize, after_peak: usize) -> Self {
-        Entry {
-            name: name.into(),
-            before_s: None,
-            after_s: None,
-            speedup: None,
-            edges_per_s: None,
-            gflops: None,
-            before_peak_bytes: Some(before_peak),
-            after_peak_bytes: Some(after_peak),
         }
     }
 }
@@ -210,146 +153,197 @@ fn check_dispatch_parity() {
     }
 }
 
-/// Square-matmul GFLOP/s per ISA level. The jc/NC loop's job is keeping
-/// the 1024²+ rates near the 512² rate.
-fn matmul_sweep(entries: &mut Vec<Entry>) {
-    for kind in available_microkernels() {
-        let _g = force_microkernel(kind);
-        for &n in &[256usize, 512, 1024, 2048] {
-            // Portable at 2048² is ~seconds per rep; one size down tells
-            // the same falloff story at a fraction of the wall time.
-            if kind == MicrokernelKind::Portable && n > 1024 {
-                continue;
-            }
-            let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.093 - 1.0);
-            let b = Matrix::from_fn(n, n, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.081 - 0.7);
-            let flops = 2.0 * (n as f64).powi(3);
-            let reps = if n >= 1024 { 3 } else { 7 };
-            let secs = median_time(reps, || matmul_nn(&a, &b));
-            let name = format!("matmul_{n}sq_{}", kind.name());
-            println!("{name}: {:.1} GFLOP/s", flops / secs / 1e9);
-            entries.push(Entry::gflops(name, secs, flops));
+/// Fit the standard baseline model, optionally with an `ObsObserver`
+/// recording into the metrics registry, returning (median wall, losses).
+fn fit_baseline(g: &TemporalGraph, telemetry: bool) -> (f64, Vec<f32>) {
+    let mut losses = Vec::new();
+    let secs = median_time(5, || {
+        let mut builder = Session::builder(g).config(small_cfg(30));
+        if telemetry {
+            let mut obs = ObsObserver::new("perf_snapshot");
+            builder = builder.observer(move |ev: &tgae::EpochEvent| obs.on_epoch_end(ev));
         }
-    }
+        let mut s = builder.build().expect("session");
+        let report = s.train().expect("train");
+        losses = report.losses;
+    });
+    (secs, losses)
 }
 
-/// Naive-vs-vectorised segment softmax at 2M edges, sorted and shuffled
-/// segment layouts. Parity-asserted, then timed.
-fn segment_softmax_ab(entries: &mut Vec<Entry>) {
-    const N_EDGES: usize = 2_000_000;
-    const RUN: usize = 20; // edges per segment, encoder-typical fan-in
-    let n_seg = N_EDGES / RUN;
-    let scores: Vec<f32> = (0..N_EDGES)
-        .map(|i| ((i * 2654435761) % 1000) as f32 / 100.0 - 5.0)
-        .collect();
-    let m = Matrix::from_vec(N_EDGES, 1, scores);
-
-    let sorted: Vec<u32> = (0..N_EDGES).map(|i| (i / RUN) as u32).collect();
-    let mut shuffled = sorted.clone();
-    // Deterministic Fisher-Yates (LCG) — the unsorted worst case.
-    let mut state = 0x9e3779b97f4a7c15u64;
-    for i in (1..shuffled.len()).rev() {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        shuffled.swap(i, (state % (i as u64 + 1)) as usize);
-    }
-
-    for (tag, seg) in [("sorted", &sorted), ("shuffled", &shuffled)] {
-        let fast = segment_softmax(&m, seg, n_seg);
-        let naive = segment_softmax_naive(&m, seg, n_seg);
-        let max_diff = fast
-            .as_slice()
-            .iter()
-            .zip(naive.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
-        assert!(max_diff < 1e-5, "{tag}: parity diff {max_diff}");
-        let naive_s = median_time(5, || segment_softmax_naive(&m, seg, n_seg));
-        let fast_s = median_time(5, || segment_softmax(&m, seg, n_seg));
-        println!(
-            "segment_softmax_2m_{tag}: naive {:.1} ms vs vectorised {:.1} ms \
-             ({:.1}x, {:.0} Medges/s)",
-            naive_s * 1e3,
-            fast_s * 1e3,
-            naive_s / fast_s,
-            N_EDGES as f64 / fast_s / 1e6
-        );
-        entries.push(Entry::edge_rate(
-            format!("segment_softmax_2m_{tag}"),
-            Some(naive_s),
-            fast_s,
-            N_EDGES,
-        ));
-    }
+/// Stream the baseline generation into memory, returning (median wall,
+/// bytes of one run).
+fn generate_baseline(session: &Session<'_>, master: u64) -> (f64, Vec<u8>) {
+    let mut bytes = Vec::new();
+    let secs = median_time(9, || {
+        let mut buf = Vec::new();
+        session
+            .simulate_seeded(master, StreamingWriterSink::new(&mut buf))
+            .expect("simulate")
+            .expect("in-memory write cannot fail");
+        bytes = buf;
+    });
+    (secs, bytes)
 }
 
-/// f32-vs-bf16 A/B on one seeded model: parameter payload bytes,
-/// resident heap after build, and fit wall time.
-fn bf16_ab(entries: &mut Vec<Entry>) {
-    // A wide node table so the embedding storage dominates the model.
-    let g = synthetic(5_000, 25_000, 11);
-    let cfg_at = |precision: Precision| {
-        let mut cfg = small_cfg(6);
-        cfg.d_in = 48;
-        cfg.precision = precision;
-        cfg
-    };
-    let mut stats = Vec::new();
-    for precision in [Precision::F32, Precision::Bf16] {
-        let baseline = memtrack::current_bytes();
-        let model = tgae::Tgae::new(g.n_nodes(), g.n_timestamps(), cfg_at(precision));
-        let resident = memtrack::current_bytes().saturating_sub(baseline);
-        let param_bytes = model.parameter_bytes();
-        drop(model);
-        let fit_s = median_time(3, || {
-            let mut s = Session::builder(&g)
-                .config(cfg_at(precision))
-                .seed(5)
-                .build()
-                .expect("session");
-            s.train().expect("train")
-        });
-        println!(
-            "bf16_ab[{}]: params {} resident {} fit {:.1} ms",
-            match precision {
-                Precision::F32 => "f32",
-                Precision::Bf16 => "bf16",
-            },
-            memtrack::fmt_bytes(param_bytes),
-            memtrack::fmt_bytes(resident),
-            fit_s * 1e3
-        );
-        stats.push((param_bytes, resident, fit_s));
-    }
-    let (f32_stats, bf_stats) = (&stats[0], &stats[1]);
-    assert!(
-        bf_stats.0 < f32_stats.0,
-        "bf16 must shrink parameter payload: {} vs {}",
-        bf_stats.0,
-        f32_stats.0
+/// The telemetry on/off A/B: same seeds, registry + observer + trace
+/// sink live on the "on" side. Asserts bit-identity of losses and
+/// streamed bytes, and that the on side stays within noise of off.
+fn telemetry_ab(entries: &mut Vec<Entry>, tmp: &std::path::Path) {
+    let g = synthetic(500, 4_000, 1);
+
+    // OFF side first: the metrics gate and the trace sink are one-way
+    // per-process switches, so the idle numbers must be taken before
+    // anything is enabled.
+    let (fit_off_s, losses_off) = fit_baseline(&g, false);
+    println!("fit_500n_30ep (telemetry off): {:.1} ms", fit_off_s * 1e3);
+    entries.push(Entry::timing("fit_500n_30ep", None, fit_off_s));
+
+    let mut trained = Session::builder(&g)
+        .config(small_cfg(30))
+        .build()
+        .expect("session");
+    trained.train().expect("train");
+    let master = trained.seed_policy().simulation_master(0);
+    let (gen_off_s, bytes_off) = generate_baseline(&trained, master);
+    println!("generate_500n_10t (trace off): {:.1} ms", gen_off_s * 1e3);
+    entries.push(Entry::timing("generate_500n_10t", None, gen_off_s));
+
+    // ON side: metrics registry live with a per-epoch observer, span
+    // sink installed so every engine span is recorded for real.
+    tg_obs::enable_metrics();
+    tg_obs::trace::install(&tmp.join("perf_snapshot_trace.jsonl"), "perf_snapshot")
+        .expect("install trace sink");
+    let (fit_on_s, losses_on) = fit_baseline(&g, true);
+    let (gen_on_s, bytes_on) = generate_baseline(&trained, master);
+    tg_obs::trace::flush().expect("flush trace");
+
+    assert_eq!(
+        losses_off, losses_on,
+        "telemetry perturbed the training trajectory"
     );
-    entries.push(Entry::memory(
-        "model_param_bytes_f32_vs_bf16",
-        f32_stats.0,
-        bf_stats.0,
-    ));
-    entries.push(Entry::memory(
-        "model_resident_heap_f32_vs_bf16",
-        f32_stats.1,
-        bf_stats.1,
+    assert_eq!(
+        bytes_off, bytes_on,
+        "tracing perturbed the generated edge stream"
+    );
+    // Within noise: generous bound, this is a sanity ratchet against
+    // accidentally putting allocation or locking on the hot path, not a
+    // microbenchmark.
+    for (name, off, on) in [
+        ("fit", fit_off_s, fit_on_s),
+        ("generate", gen_off_s, gen_on_s),
+    ] {
+        assert!(
+            on < off * 1.75 + 0.005,
+            "telemetry-on {name} is {:.1}x telemetry-off — observability must be ~free \
+             ({:.1} ms vs {:.1} ms)",
+            on / off,
+            on * 1e3,
+            off * 1e3
+        );
+    }
+    println!(
+        "fit_500n_30ep_telemetry_ab: off {:.1} ms vs on {:.1} ms ({:.2}x), losses bit-identical",
+        fit_off_s * 1e3,
+        fit_on_s * 1e3,
+        fit_off_s / fit_on_s
+    );
+    println!(
+        "generate_500n_10t_trace_ab: off {:.1} ms vs on {:.1} ms ({:.2}x), bytes identical",
+        gen_off_s * 1e3,
+        gen_on_s * 1e3,
+        gen_off_s / gen_on_s
+    );
+    entries.push(Entry::timing(
+        "fit_500n_30ep_telemetry_ab",
+        Some(fit_off_s),
+        fit_on_s,
     ));
     entries.push(Entry::timing(
-        "fit_5000n_6ep_f32_vs_bf16",
-        Some(f32_stats.2),
-        bf_stats.2,
+        "generate_500n_10t_trace_ab",
+        Some(gen_off_s),
+        gen_on_s,
     ));
+}
+
+/// One in-process serve round trip: 1 cold request, N warm ones, client
+/// wall times recorded and cross-checked against the server's
+/// `serve.request.seconds` histogram counts.
+fn serve_latency_sample(entries: &mut Vec<Entry>) {
+    use tg_serve::{Client, ServeConfig, Server};
+
+    let g = synthetic(200, 1_500, 3);
+    let mut session = Session::builder(&g)
+        .config(small_cfg(4))
+        .seed(9)
+        .build()
+        .expect("session");
+    session.train().expect("train");
+    let run = session.into_shared();
+    let loader = Box::new(move |run_id: &str| {
+        if run_id == "perf" {
+            Ok(run.clone())
+        } else {
+            Err(format!("no run named `{run_id}`"))
+        }
+    });
+    let server =
+        Server::bind_tcp("127.0.0.1:0", loader, ServeConfig::default()).expect("bind server");
+    let addr = server.tcp_addr().expect("tcp").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let mut sink = Vec::new();
+    let t = Instant::now();
+    let outcome = client.simulate("perf", 1, &mut sink).expect("cold request");
+    let cold_s = t.elapsed().as_secs_f64();
+    assert_eq!(outcome.cache, "miss", "first request must be a cold load");
+
+    const WARM: usize = 7;
+    let warm_s = median_time(WARM, || {
+        let mut sink = Vec::new();
+        let outcome = client.simulate("perf", 2, &mut sink).expect("warm request");
+        assert_eq!(outcome.cache, "hit");
+    });
+    handle.shutdown();
+    thread.join().expect("server thread").expect("clean drain");
+
+    // The server recorded every request in the global histogram —
+    // telemetry agrees with what this client measured.
+    let snap = tg_obs::Registry::global().snapshot();
+    let count_for = |cache: &str| -> u64 {
+        snap.iter()
+            .find(|m| {
+                m.name == "serve.request.seconds"
+                    && m.labels == [("cache".to_string(), cache.to_string())]
+            })
+            .map(|m| match &m.value {
+                tg_obs::MetricValue::Histogram(h) => h.count(),
+                other => panic!("serve.request.seconds must be a histogram, got {other:?}"),
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(count_for("miss"), 1, "one cold request was issued");
+    assert_eq!(
+        count_for("hit"),
+        WARM as u64,
+        "every warm request must land in the hit histogram"
+    );
+
+    println!(
+        "serve_request_latency: cold {:.1} ms, warm median {:.1} ms \
+         (histogram: 1 miss / {WARM} hits)",
+        cold_s * 1e3,
+        warm_s * 1e3
+    );
+    entries.push(Entry::timing("serve_request_cold", None, cold_s));
+    entries.push(Entry::timing("serve_request_warm", None, warm_s));
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     assert!(
         !tg_faults::is_compiled(),
         "perf snapshot must run with fault injection compiled out \
@@ -363,41 +357,16 @@ fn main() {
     let tmp = std::env::temp_dir().join(format!("tgae_perf_snapshot_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
 
-    // --- kernel-layer evidence: GFLOP/s sweep + segment softmax ---
-    matmul_sweep(&mut entries);
-    segment_softmax_ab(&mut entries);
-
-    // --- bf16 embedding-table storage A/B ---
-    bf16_ab(&mut entries);
-
-    // --- absolute baselines for the trajectory (same names every PR) ---
-    let g = synthetic(500, 4_000, 1);
-    let fit_s = median_time(5, || {
-        let mut s = Session::builder(&g)
-            .config(small_cfg(30))
-            .build()
-            .expect("session");
-        s.train().expect("train")
-    });
-    println!("fit_500n_30ep: {:.1} ms", fit_s * 1e3);
-    entries.push(Entry::timing("fit_500n_30ep", None, fit_s));
-
-    let mut trained = Session::builder(&g)
-        .config(small_cfg(30))
-        .build()
-        .expect("session");
-    trained.train().expect("train");
-    let master = trained.seed_policy().simulation_master(0);
-    let gen_s = median_time(9, || {
-        trained
-            .simulate_seeded(master, GraphSink::new(g.n_nodes(), g.n_timestamps()))
-            .expect("simulate")
-    });
-    println!("generate_500n_10t: {:.1} ms", gen_s * 1e3);
-    entries.push(Entry::timing("generate_500n_10t", None, gen_s));
+    // --- the PR-10 evidence: serve histogram + telemetry on/off A/B.
+    // The serve sample runs first so it measures the production shape
+    // (metrics on, no trace sink); the A/B then installs the span sink,
+    // which is a one-way per-process switch. ---
+    serve_latency_sample(&mut entries);
+    telemetry_ab(&mut entries, &tmp);
 
     // --- bit-identity sanity: store-fed training == in-memory training ---
     {
+        let g = synthetic(500, 4_000, 1);
         let store_path = tmp.join("sanity.tgs");
         tg_store::write_graph(&g, &store_path).expect("write store");
         let mut mem = Session::builder(&g)
@@ -423,7 +392,7 @@ fn main() {
 
     std::fs::remove_dir_all(&tmp).ok();
     let snapshot = Snapshot {
-        pr: 8,
+        pr: 10,
         threads: tg_tensor::parallel::num_threads(),
         active_microkernel: active_microkernel().name().to_string(),
         microkernels: available_microkernels()

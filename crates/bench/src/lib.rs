@@ -19,6 +19,8 @@
 pub mod datasets;
 pub mod memtrack;
 pub mod methods;
+pub mod obs;
 pub mod runner;
 
 pub use memtrack::TrackingAllocator;
+pub use obs::ObsObserver;

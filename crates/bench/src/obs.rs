@@ -1,0 +1,162 @@
+//! Training-run telemetry: a [`RunObserver`] that records each epoch's
+//! loss, wall time, and heap high-water mark into the global `tg-obs`
+//! metrics registry and (optionally) a `telemetry.jsonl` file.
+//!
+//! The observer lives in `tg-bench` rather than `tgae` because the heap
+//! reading comes from [`memtrack`] — a binary that wants
+//! non-zero heap telemetry must install
+//! [`TrackingAllocator`](crate::TrackingAllocator) as its
+//! `#[global_allocator]` (as `tgx-cli` and the experiment binaries do);
+//! without it the heap fields are simply `0`, everything else still
+//! works.
+//!
+//! Telemetry is *observation only*: the observer always returns
+//! [`TrainControl::Continue`] and touches nothing the seeded training
+//! trajectory depends on, so a run with telemetry writes bit-identical
+//! parameters to one without (regression-tested in the CLI's
+//! `telemetry_does_not_perturb_training` test).
+
+use crate::memtrack;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use tgae::{EpochEvent, RunObserver, TrainControl};
+
+/// Records per-epoch training telemetry into the metrics registry and an
+/// optional JSONL file. Construct one per run with [`ObsObserver::new`],
+/// then hand it to `Session::builder(..).observer(..)` (possibly composed
+/// with a progress printer).
+pub struct ObsObserver {
+    run_label: String,
+    sink: Option<BufWriter<File>>,
+    epochs_seen: usize,
+}
+
+impl ObsObserver {
+    /// A registry-only observer. `run_label` becomes the `run` label on
+    /// the `train.*` metrics this observer emits.
+    pub fn new(run_label: &str) -> ObsObserver {
+        tg_obs::enable_metrics();
+        ObsObserver {
+            run_label: run_label.to_string(),
+            sink: None,
+            epochs_seen: 0,
+        }
+    }
+
+    /// Additionally append one JSON record per epoch to `path`
+    /// (`{"epoch":..,"loss":..,"wall_ns":..,"heap_peak_bytes":..,"heap_live_bytes":..}`).
+    pub fn with_file(run_label: &str, path: &Path) -> std::io::Result<ObsObserver> {
+        let mut obs = ObsObserver::new(run_label);
+        obs.sink = Some(BufWriter::new(File::create(path)?));
+        Ok(obs)
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs_seen(&self) -> usize {
+        self.epochs_seen
+    }
+
+    fn record(&mut self, event: &EpochEvent) {
+        self.epochs_seen += 1;
+        let heap_peak = memtrack::peak_bytes();
+        let heap_live = memtrack::current_bytes();
+        let run = self.run_label.as_str();
+        tg_obs::counter!("train.epochs", run = run).inc();
+        tg_obs::gauge!("train.loss", run = run).set(f64::from(event.loss));
+        tg_obs::gauge!("train.heap_peak_bytes", run = run).set(heap_peak as f64);
+        tg_obs::histogram!("train.epoch.seconds", tg_obs::LATENCY_SECONDS, run = run)
+            .observe(event.wall.as_secs_f64());
+        if let Some(w) = self.sink.as_mut() {
+            // Telemetry is best-effort by contract: a full disk must not
+            // abort a training run, so write errors drop the file sink
+            // (the registry keeps recording) rather than propagate.
+            let line = format!(
+                "{{\"epoch\":{},\"n_epochs\":{},\"loss\":{},\"wall_ns\":{},\"heap_peak_bytes\":{},\"heap_live_bytes\":{}}}",
+                event.epoch,
+                event.n_epochs,
+                event.loss,
+                event.wall.as_nanos(),
+                heap_peak,
+                heap_live
+            );
+            // Flushed per epoch so a crashed run still leaves its
+            // trajectory on disk up to the last completed epoch.
+            let ok = writeln!(w, "{line}").is_ok() && w.flush().is_ok();
+            if !ok {
+                self.sink = None;
+            }
+        }
+    }
+}
+
+impl RunObserver for ObsObserver {
+    fn on_epoch_end(&mut self, event: &EpochEvent) -> TrainControl {
+        self.record(event);
+        TrainControl::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn event(epoch: usize, loss: f32) -> EpochEvent {
+        EpochEvent {
+            epoch,
+            n_epochs: 3,
+            loss,
+            wall: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn observer_counts_epochs_and_feeds_the_registry() {
+        let mut obs = ObsObserver::new("obs_unit_a");
+        for e in 0..3 {
+            assert!(matches!(
+                obs.on_epoch_end(&event(e, 1.5 - e as f32 * 0.25)),
+                TrainControl::Continue
+            ));
+        }
+        assert_eq!(obs.epochs_seen(), 3);
+        let snap = tg_obs::Registry::global().snapshot();
+        let epochs = snap
+            .iter()
+            .find(|m| {
+                m.name == "train.epochs" && m.labels == [("run".to_string(), "obs_unit_a".into())]
+            })
+            .expect("epoch counter registered");
+        assert!(matches!(epochs.value, tg_obs::MetricValue::Counter(3)));
+        let loss = snap
+            .iter()
+            .find(|m| {
+                m.name == "train.loss" && m.labels == [("run".to_string(), "obs_unit_a".into())]
+            })
+            .expect("loss gauge registered");
+        match loss.value {
+            tg_obs::MetricValue::Gauge(v) => assert_eq!(v, 1.0, "last epoch's loss"),
+            ref other => panic!("loss must be a gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_sink_writes_one_record_per_epoch() {
+        let dir = std::env::temp_dir().join(format!("tgx_obs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let mut obs = ObsObserver::with_file("obs_unit_b", &path).unwrap();
+        for e in 0..3 {
+            obs.on_epoch_end(&event(e, 0.5));
+        }
+        drop(obs);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"epoch\":0,\"n_epochs\":3,\"loss\":0.5,"));
+        assert!(lines[2].contains("\"epoch\":2"));
+        assert!(lines[2].contains("\"heap_peak_bytes\":"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -4,9 +4,16 @@
 //! tgx-cli client simulate (--addr HOST:PORT | --socket PATH)
 //!                 --run-id ID [--seed S] [--out FILE] [--stats] [--quiet]
 //! tgx-cli client eval     (--addr ... | --socket ...) --run-id ID [--seed S]
+//! tgx-cli client status   (--addr ... | --socket ...)
+//! tgx-cli client metrics  (--addr ... | --socket ...)
 //! tgx-cli client ping     (--addr ... | --socket ...)
 //! tgx-cli client shutdown (--addr ... | --socket ...)
 //! ```
+//!
+//! `status` prints the daemon's introspection report (resident models,
+//! in-flight cost vs budget, cache and per-run counters); `metrics`
+//! dumps the raw Prometheus exposition of the daemon's metrics registry
+//! to stdout, ready for a scraper or `grep`.
 //!
 //! `simulate` streams the server's edge list into `--out` (default
 //! `simulated.edges`; `-` for stdout) — byte-identical to what
@@ -42,7 +49,9 @@ fn connect(args: &Args) -> Result<Client, CliError> {
 /// Run the subcommand.
 pub fn run(args: &Args) -> Result<(), CliError> {
     let op = args.positional().first().cloned().ok_or_else(|| {
-        CliError::Usage("client needs an operation: simulate|eval|ping|shutdown".into())
+        CliError::Usage(
+            "client needs an operation: simulate|eval|status|metrics|ping|shutdown".into(),
+        )
     })?;
     if args.positional().len() > 1 {
         return Err(CliError::Usage(format!(
@@ -52,6 +61,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     match op.as_str() {
         "simulate" => simulate(args),
         "eval" => eval(args),
+        "status" => status(args),
+        "metrics" => {
+            let mut client = connect(args)?;
+            args.reject_unused().map_err(CliError::Usage)?;
+            let text = client.metrics().map_err(map_client_err)?;
+            print!("{text}");
+            Ok(())
+        }
         "ping" => {
             let mut client = connect(args)?;
             args.reject_unused().map_err(CliError::Usage)?;
@@ -125,6 +142,45 @@ fn simulate(args: &Args) -> Result<(), CliError> {
             "simulated {} edges -> {} (cache {}, cost {})",
             outcome.n_edges, out, outcome.cache, outcome.cost.cost
         );
+    }
+    Ok(())
+}
+
+fn status(args: &Args) -> Result<(), CliError> {
+    let mut client = connect(args)?;
+    args.reject_unused().map_err(CliError::Usage)?;
+    let report = client.status().map_err(map_client_err)?;
+    println!(
+        "server: {} ({} served, {} active)",
+        if report.draining { "draining" } else { "up" },
+        report.requests_served,
+        report.active_requests
+    );
+    println!(
+        "admission: {}/{} cost in flight ({} requests, {} rejected)",
+        report.inflight_cost, report.max_cost, report.inflight_requests, report.admission_rejected
+    );
+    println!(
+        "cache: {}/{} resident ({} hits, {} misses, {} evictions, {} saturations)",
+        report.resident.len(),
+        report.cache_capacity,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.saturations
+    );
+    for model in &report.resident {
+        println!(
+            "  {} ({})",
+            model.run_id,
+            if model.pinned { "in use" } else { "idle" }
+        );
+    }
+    if !report.runs.is_empty() {
+        println!("{:<24} {:>10} {:>14}", "run", "requests", "bytes");
+        for run in &report.runs {
+            println!("{:<24} {:>10} {:>14}", run.run_id, run.requests, run.bytes);
+        }
     }
     Ok(())
 }

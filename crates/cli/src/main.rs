@@ -24,6 +24,7 @@ mod eval;
 mod ingest;
 mod input;
 mod merge;
+mod obs;
 mod rundir;
 mod serve;
 mod simulate;
@@ -31,6 +32,12 @@ mod train;
 
 use args::Args;
 use errors::CliError;
+
+/// Byte-accounting allocator from the benchmark harness: it is what
+/// makes the heap fields of `train --telemetry` real numbers instead of
+/// zeros. Allocation itself is delegated to `System` untouched.
+#[global_allocator]
+static ALLOC: tg_bench::TrackingAllocator = tg_bench::TrackingAllocator;
 
 const USAGE: &str = "\
 tgx-cli — multi-process driver for the TGAE temporal-graph simulator
@@ -46,19 +53,26 @@ USAGE:
                                   | --store FILE)
                    [--epochs N] [--batch-centers N] [--seed S] [--full]
                    [--checkpoint-every N] [--checkpoint-keep K] [--resume]
-                   [--quiet]
+                   [--telemetry] [--quiet]
   tgx-cli simulate --run-dir DIR [--shards K] [--master M] [--stats]
                    [--verify] [--retries N] [--shard-timeout SECS]
                    [--backoff-base-ms MS] [--degrade partial]
-                   [--in-process] [--keep-shards] [--quiet]
+                   [--in-process] [--keep-shards] [--trace] [--quiet]
   tgx-cli merge    [--stats] --out FILE INPUT...
   tgx-cli eval     --run-dir DIR [--generated FILE]
   tgx-cli eval     --observed FILE --generated FILE --n-nodes N --n-timestamps T
   tgx-cli serve    --root DIR [--addr HOST:PORT | --socket PATH]
                    [--cache N] [--max-cost C] [--batch-edges N] [--quiet]
   tgx-cli client   (simulate --run-id ID [--seed S] [--out FILE] [--stats]
-                    | eval --run-id ID [--seed S] | ping | shutdown)
+                    | eval --run-id ID [--seed S]
+                    | status | metrics | ping | shutdown)
                    (--addr HOST:PORT | --socket PATH) [--quiet]
+
+OBSERVABILITY:
+  train --telemetry   per-epoch loss/wall/heap -> DIR/telemetry.jsonl
+  simulate --trace    cross-process spans -> DIR/trace.json (chrome://tracing)
+  client status       daemon residency, admission, and cache report
+  client metrics      Prometheus text exposition of the daemon's registry
 
 EXIT CODES:
   0 success         3 ingest/store corruption   5 --degrade partial completion

@@ -1,0 +1,87 @@
+//! Trace plumbing shared by the `simulate` driver and its shard workers:
+//! installing sinks, the best-effort flush (with its `obs.flush` fault
+//! point), and the driver-side Chrome merge.
+//!
+//! Telemetry is **best-effort by contract**: every failure in here warns
+//! on stderr and lets the simulation proceed — a run must never lose its
+//! edges because its trace could not be written. The `obs.flush` fault
+//! point exists to test exactly that contract (see
+//! `tests/serve_faults.rs` and `crates/faults`).
+
+use crate::rundir::RunDir;
+use std::path::PathBuf;
+
+/// Install the driver-side trace sink for a `simulate --trace` run.
+/// Returns whether a sink is live (installation failure only warns).
+pub fn install_driver_trace(run_dir: &RunDir) -> bool {
+    let path = run_dir.trace_driver_path();
+    match tg_obs::trace::install(&path, "driver") {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "tgx-cli: tracing disabled (cannot install sink at {}: {e})",
+                path.display()
+            );
+            tg_obs::trace::enabled()
+        }
+    }
+}
+
+/// Install the worker-side trace sink when the driver exported
+/// [`tg_obs::trace::ENV_TRACE_FILE`]. Returns whether a sink is live.
+pub fn install_worker_trace(shard_index: u32) -> bool {
+    let Some(path) = tg_obs::trace::env_trace_file() else {
+        return false;
+    };
+    match tg_obs::trace::install(&path, &format!("shard_{shard_index}")) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "tgx-cli: shard {shard_index} tracing disabled (cannot install sink at {}: {e})",
+                path.display()
+            );
+            tg_obs::trace::enabled()
+        }
+    }
+}
+
+/// Flush this process's trace buffers to the installed sink,
+/// warn-and-continue on failure. `context` names the flushing process in
+/// diagnostics (and is handed to the `obs.flush` fault point so tests
+/// can target one process).
+pub fn flush_trace(context: &str) {
+    if !tg_obs::trace::enabled() {
+        return;
+    }
+    if let Err(e) = tg_faults::eval("obs.flush", Some(context)) {
+        eprintln!("tgx-cli: trace flush skipped ({context}): {e}");
+        return;
+    }
+    if let Err(e) = tg_obs::trace::flush() {
+        eprintln!("tgx-cli: trace flush failed ({context}): {e}");
+    }
+}
+
+/// Merge the driver's and every completed shard's span files into the
+/// run dir's `trace.json` (Chrome `trace_event` format, loadable in
+/// `chrome://tracing` / Perfetto). Missing or torn shard files are
+/// skipped by the merger; total failure only warns.
+pub fn merge_run_traces(run_dir: &RunDir, shards: &[u32], quiet: bool) {
+    let mut inputs: Vec<PathBuf> = vec![run_dir.trace_driver_path()];
+    inputs.extend(shards.iter().map(|&s| run_dir.trace_shard_path(s)));
+    let out = run_dir.trace_merged_path();
+    match tg_obs::chrome::merge_traces(&inputs, &out) {
+        Ok(summary) => {
+            if !quiet {
+                eprintln!(
+                    "trace: {} spans from {} process(es), {} cross-process link(s) -> {}",
+                    summary.spans,
+                    summary.processes,
+                    summary.links,
+                    out.display()
+                );
+            }
+        }
+        Err(e) => eprintln!("tgx-cli: trace merge failed: {e}"),
+    }
+}

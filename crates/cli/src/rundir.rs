@@ -140,6 +140,29 @@ impl RunDir {
         self.root.join("partial_manifest.json")
     }
 
+    /// `trace_driver.jsonl` — the driver process's span records of a
+    /// `simulate --trace` run.
+    pub fn trace_driver_path(&self) -> PathBuf {
+        self.root.join("trace_driver.jsonl")
+    }
+
+    /// `trace_shard_<i>.jsonl` — one worker process's span records.
+    pub fn trace_shard_path(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("trace_shard_{shard}.jsonl"))
+    }
+
+    /// `trace.json` — the merged Chrome `trace_event` view of a
+    /// `simulate --trace` run (driver + every worker, flow-linked).
+    pub fn trace_merged_path(&self) -> PathBuf {
+        self.root.join("trace.json")
+    }
+
+    /// `telemetry.jsonl` — per-epoch loss/wall/heap records of a
+    /// `train --telemetry` run.
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.root.join("telemetry.jsonl")
+    }
+
     /// Write the manifest (atomically: a crash mid-write must not leave
     /// a torn run.json, or the whole run dir becomes unreadable).
     pub fn save_manifest(&self, m: &RunManifest) -> Result<(), String> {

@@ -131,6 +131,9 @@ struct PartialManifest {
 struct Supervisor {
     stats: bool,
     quiet: bool,
+    /// Export the trace handshake (`TG_TRACE`/`TG_TRACE_PARENT`) to every
+    /// worker so its spans stitch under this driver's supervision spans.
+    trace: bool,
     /// Kill a worker after this wall-clock budget (None = wait forever).
     timeout: Option<Duration>,
     /// Base of the exponential backoff between retry rounds (0 = none).
@@ -162,6 +165,31 @@ fn worker(run_dir: &RunDir, shard_index: u32, stats: bool, quiet: bool) -> Resul
     // a seeded TG_FAULTS spec can fail, abort, or hang (sleep) selected
     // shard workers right here, before any real work starts.
     tg_faults::fail_point!("worker.entry", format!("shard:{shard_index}"));
+    // A traced driver exports TG_TRACE/TG_TRACE_PARENT on our
+    // environment; adopt its supervision span as this process's root
+    // parent so the merged view stitches driver and workers together.
+    let traced = crate::obs::install_worker_trace(shard_index);
+    let result = {
+        let _span = match tg_obs::trace::env_parent() {
+            Some(parent) => tg_obs::trace::span_with_parent("worker.shard", parent),
+            None => tg_obs::trace::span("worker.shard"),
+        };
+        worker_inner(run_dir, shard_index, stats, quiet)
+    };
+    if traced {
+        crate::obs::flush_trace(&format!("shard {shard_index}"));
+    }
+    result
+}
+
+/// The worker's actual shard execution, separated so its root span is
+/// closed before the trace buffers flush.
+fn worker_inner(
+    run_dir: &RunDir,
+    shard_index: u32,
+    stats: bool,
+    quiet: bool,
+) -> Result<(), String> {
     let (manifest, observed) = run_dir.load_all()?;
     let session = run_dir.session(&manifest, &observed)?;
     let specs = load_shard_manifest(run_dir)?;
@@ -257,6 +285,7 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), CliError> {
     let in_process = args.flag("in-process");
     let keep_shards = args.flag("keep-shards");
     let quiet = args.flag("quiet");
+    let trace = args.flag("trace");
     let (manifest, observed) = run_dir.load_all()?;
     let session = run_dir.session(&manifest, &observed)?;
     let master: u64 = args
@@ -276,6 +305,13 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), CliError> {
     // documents.
     remove_stale(&run_dir.retry_log_path())?;
     remove_stale(&run_dir.partial_manifest_path())?;
+
+    // --trace: install this process's span sink and open the run's root
+    // span. Worker spans land in their own trace_shard_<i>.jsonl via the
+    // env handshake; everything merges to trace.json at the end. The
+    // guard is held in an Option so it provably closes before the flush.
+    let tracing = trace && crate::obs::install_driver_trace(run_dir);
+    let mut root_span = Some(tg_obs::trace::span("simulate.driver"));
 
     // 1. Plan and serialise the shard manifest.
     let specs = session
@@ -309,12 +345,21 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), CliError> {
         let sup = Supervisor {
             stats,
             quiet,
+            trace: tracing,
             timeout: (timeout_secs > 0.0).then(|| Duration::from_secs_f64(timeout_secs)),
             backoff_base_ms,
             master,
         };
         let log = run_workers_with_retries(run_dir, &specs, retries, &sup)?;
         if !log.completed && !degrade_partial {
+            if tracing {
+                // The failed run's trace is the most interesting one:
+                // flush and merge what the completed workers wrote
+                // before bailing out.
+                drop(root_span.take());
+                crate::obs::flush_trace("driver");
+                crate::obs::merge_run_traces(run_dir, &log.excluded, quiet);
+            }
             return Err(CliError::WorkerFailure(format!(
                 "shard worker(s) {:?} still failing after {retries} retr{} (see {})",
                 log.quarantined,
@@ -419,6 +464,21 @@ fn driver(args: &Args, run_dir: &RunDir) -> Result<(), CliError> {
             std::fs::remove_file(run_dir.shard_stats_path(spec.shard)).ok();
         }
     }
+    if tracing {
+        // Close the root span, flush this process's buffers, and merge
+        // driver + worker span files into the Chrome trace_event view.
+        // (In-process runs have no worker files; the merger skips
+        // whatever is absent.)
+        drop(root_span.take());
+        crate::obs::flush_trace("driver");
+        let traced_shards: Vec<u32> = if in_process {
+            Vec::new()
+        } else {
+            completed_specs.iter().map(|s| s.shard).collect()
+        };
+        crate::obs::merge_run_traces(run_dir, &traced_shards, quiet);
+    }
+    drop(root_span);
     println!("{}", merged.display());
 
     // 5. A partial run delivers its merge but still reports the gap:
@@ -547,6 +607,10 @@ fn supervise_round(
         child: std::process::Child,
         start: Instant,
         timed_out: bool,
+        /// Supervision span covering spawn-to-reap; the worker adopts
+        /// its id as root parent via `TG_TRACE_PARENT`. Inert unless the
+        /// driver installed a trace sink.
+        _span: tg_obs::trace::SpanGuard,
     }
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let mut live = Vec::new();
@@ -563,6 +627,16 @@ fn supervise_round(
         if sup.quiet {
             cmd.arg("--quiet");
         }
+        let span = tg_obs::trace::span("shard.supervise");
+        if sup.trace {
+            cmd.env(
+                tg_obs::trace::ENV_TRACE_FILE,
+                run_dir.trace_shard_path(spec.shard),
+            );
+            if let Some(id) = span.id() {
+                cmd.env(tg_obs::trace::ENV_TRACE_PARENT, id.to_string());
+            }
+        }
         let child = cmd
             .spawn()
             .map_err(|e| format!("spawn worker for shard {}: {e}", spec.shard))?;
@@ -573,6 +647,7 @@ fn supervise_round(
             // bookkeeping; never reaches seeded output
             start: Instant::now(),
             timed_out: false,
+            _span: span,
         });
     }
     let mut records = Vec::new();

@@ -7,7 +7,7 @@
 //!                              | --store FILE)
 //!               [--epochs N] [--batch-centers N] [--seed S] [--full]
 //!               [--checkpoint-every N] [--checkpoint-keep K] [--resume]
-//!               [--quiet]
+//!               [--telemetry] [--quiet]
 //! ```
 //!
 //! Training runs through the `Session` API: a progress observer prints
@@ -31,7 +31,7 @@ use crate::rundir::{RunDir, RunManifest, RUN_VERSION};
 use tg_graph::io::save_edge_list_atomic;
 use tg_graph::TemporalGraph;
 use tg_store::StoreSource;
-use tgae::{EpochEvent, Session, TgaeConfig, TrainControl, TrainReport};
+use tgae::{EpochEvent, RunObserver, Session, TgaeConfig, TrainControl, TrainReport};
 
 /// The resolved observed graph plus its provenance.
 struct ObservedInput {
@@ -102,6 +102,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let run_dir = RunDir::create(args.require::<String>("run-dir")?)?;
     let quiet = args.flag("quiet");
     let resume = args.flag("resume");
+    let telemetry = args.flag("telemetry");
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 0)?;
     let checkpoint_keep: usize = args.get_parsed("checkpoint-keep", 2)?;
     if checkpoint_keep == 0 {
@@ -165,10 +166,36 @@ pub fn run(args: &Args) -> Result<(), String> {
         })?;
     }
 
+    // --telemetry: record per-epoch loss/wall/heap into the global
+    // metrics registry and telemetry.jsonl, composed with the progress
+    // printer (the session takes one observer). The observer only
+    // *reads* the epoch events, so the parameter trajectory — and
+    // therefore model.json — is bit-identical with the flag on or off
+    // (asserted by the CLI trace test).
+    let mut obs = if telemetry {
+        let run_label = run_dir
+            .root()
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "train".to_string());
+        Some(
+            tg_bench::ObsObserver::with_file(&run_label, &run_dir.telemetry_path())
+                .map_err(|e| format!("create telemetry.jsonl: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let mut progress = progress_observer(quiet, epochs);
+    let observer = move |ev: &EpochEvent| {
+        if let Some(o) = obs.as_mut() {
+            o.on_epoch_end(ev);
+        }
+        progress(ev)
+    };
     let mut builder = Session::builder(&observed)
         .config(cfg)
         .seed(seed)
-        .observer(progress_observer(quiet, epochs));
+        .observer(observer);
     if checkpoint_every > 0 || resume {
         builder = builder.checkpoint_rotating(
             run_dir.train_checkpoint_path(),

@@ -318,3 +318,42 @@ fn admission_rejection_surfaces_as_client_exit_6() {
     daemon.shutdown_clean();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn status_fault_is_typed_and_the_daemon_survives() {
+    if !tg_faults::is_compiled() {
+        return;
+    }
+    let dir = tmp("status_fault");
+    let (root, _run_dir) = runs_root(&dir, "r");
+    let daemon = Daemon::start(&root, Some("serve.status=err,max=1"), &[]);
+
+    // The faulted status answers a typed internal error — the report is
+    // telemetry, so failing to assemble it must not cost the connection,
+    // let alone the daemon.
+    let mut client = daemon.connect();
+    match client.status() {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, "internal");
+            assert!(
+                message.contains("serve.status"),
+                "error must name the fault point: {message}"
+            );
+        }
+        Ok(_) => panic!("status must fail while the fault budget lasts"),
+        Err(other) => panic!("expected a typed server error, got: {other}"),
+    }
+
+    // Same connection, fault budget spent: a real report comes back and
+    // normal work is unaffected.
+    let report = client.status().expect("status after the fault budget");
+    assert!(!report.draining);
+    let mut bytes = Vec::new();
+    client
+        .simulate("r", 3, &mut bytes)
+        .expect("simulate still works");
+    assert!(!bytes.is_empty());
+
+    daemon.shutdown_clean();
+    std::fs::remove_dir_all(&dir).ok();
+}

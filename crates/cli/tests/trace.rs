@@ -1,0 +1,152 @@
+//! Process-level tests of the observability surface:
+//!
+//! - a 2-shard `simulate --trace` produces a merged Chrome `trace.json`
+//!   covering the driver and both workers, with worker root spans
+//!   stitched (flow-linked) under the driver's supervision spans;
+//! - **bit-identity**: the seeded pipeline's outputs are byte-identical
+//!   with telemetry on and off — `simulate --trace` vs plain for
+//!   `simulated.edges`, `train --telemetry` vs plain for `model.json`.
+//!   Observability must observe, never perturb.
+
+mod common;
+
+use common::{cli, tmp, train_run, write_ring_edges};
+use std::path::Path;
+use std::process::Stdio;
+
+/// Run `tgx-cli simulate` over `run_dir` and return `simulated.edges`.
+fn simulate_bytes(run_dir: &Path, master: u64, extra: &[&str]) -> Vec<u8> {
+    let status = cli()
+        .args(["simulate", "--run-dir"])
+        .arg(run_dir)
+        .args(["--shards", "2", "--master", &master.to_string(), "--quiet"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run tgx-cli simulate");
+    assert!(status.success(), "simulate {extra:?} failed");
+    std::fs::read(run_dir.join("simulated.edges")).expect("simulated.edges")
+}
+
+#[test]
+fn traced_two_shard_run_merges_driver_and_worker_spans() {
+    let dir = tmp("trace_merge");
+    let edges = dir.join("ring.edges");
+    write_ring_edges(&edges);
+    let run_dir = train_run(&dir, "traced", &edges);
+
+    simulate_bytes(&run_dir, 99, &["--trace"]);
+
+    for shard_file in [
+        "trace_driver.jsonl",
+        "trace_shard_0.jsonl",
+        "trace_shard_1.jsonl",
+    ] {
+        assert!(
+            run_dir.join(shard_file).exists(),
+            "{shard_file} missing after a traced run"
+        );
+    }
+    let trace = std::fs::read_to_string(run_dir.join("trace.json")).expect("merged trace.json");
+
+    // Three process-name metadata records: the driver and both workers.
+    for label in ["\"driver\"", "\"shard_0\"", "\"shard_1\""] {
+        assert!(
+            trace.contains(&format!("{{\"name\":{label}}}")),
+            "process label {label} missing from merged trace"
+        );
+    }
+    // The spans every layer was instrumented with all made it through
+    // the per-process files into the one merged view.
+    for span in [
+        "\"simulate.driver\"",
+        "\"shard.supervise\"",
+        "\"worker.shard\"",
+        "\"engine.generate_shard\"",
+        "\"engine.execute\"",
+        "\"engine.unit\"",
+    ] {
+        assert!(
+            trace.contains(span),
+            "span {span} missing from merged trace"
+        );
+    }
+    // Cross-process stitching: each worker adopted a driver supervision
+    // span as its root parent, which the merger renders as a flow
+    // (start/finish) pair per worker.
+    let starts = trace.matches("\"ph\":\"s\"").count();
+    let finishes = trace.matches("\"ph\":\"f\"").count();
+    assert_eq!(
+        (starts, finishes),
+        (2, 2),
+        "expected one flow link per worker"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tracing_does_not_perturb_simulation() {
+    let dir = tmp("trace_identity");
+    let edges = dir.join("ring.edges");
+    write_ring_edges(&edges);
+    let run_dir = train_run(&dir, "ident", &edges);
+
+    let plain = simulate_bytes(&run_dir, 123, &[]);
+    let traced = simulate_bytes(&run_dir, 123, &["--trace"]);
+    assert!(!plain.is_empty());
+    assert_eq!(
+        plain, traced,
+        "simulated.edges diverged between --trace and plain runs"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_does_not_perturb_training() {
+    let dir = tmp("telemetry_identity");
+    let edges = dir.join("ring.edges");
+    write_ring_edges(&edges);
+
+    let train = |name: &str, extra: &[&str]| -> Vec<u8> {
+        let run_dir = dir.join(name);
+        let status = cli()
+            .args(["train", "--run-dir"])
+            .arg(&run_dir)
+            .arg("--edges")
+            .arg(&edges)
+            .args(["--epochs", "3", "--seed", "11", "--quiet"])
+            .args(extra)
+            .stdout(Stdio::null())
+            .status()
+            .expect("run tgx-cli train");
+        assert!(status.success(), "train {extra:?} failed");
+        std::fs::read(run_dir.join("model.json")).expect("model.json")
+    };
+
+    let plain = train("plain", &[]);
+    let telemetered = train("telemetered", &["--telemetry"]);
+    assert_eq!(
+        plain, telemetered,
+        "model.json diverged between --telemetry and plain runs"
+    );
+
+    // The flag's observable side effect: one record per epoch, each with
+    // the loss and a heap reading from the CLI's tracking allocator.
+    let telemetry =
+        std::fs::read_to_string(dir.join("telemetered").join("telemetry.jsonl")).unwrap();
+    let lines: Vec<&str> = telemetry.lines().collect();
+    assert_eq!(lines.len(), 3, "one telemetry record per epoch");
+    assert!(lines[0].starts_with("{\"epoch\":0,"));
+    assert!(
+        !telemetry.contains("\"heap_peak_bytes\":0"),
+        "heap telemetry must be live under the CLI's tracking allocator"
+    );
+    assert!(
+        !dir.join("plain").join("telemetry.jsonl").exists(),
+        "no telemetry file without the flag"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

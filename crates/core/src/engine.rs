@@ -323,10 +323,17 @@ impl<'a> SimulationEngine<'a> {
     /// at `O(window × chunk edges)` no matter how many edges the plan
     /// emits in total.
     pub fn execute<S: EdgeSink>(&self, units: &[PlannedUnit], sink: &mut S) {
+        let _span = tg_obs::trace::span("engine.execute");
         let window = num_threads().max(1) * 4;
         for group in units.chunks(window) {
-            let outs: Vec<Vec<TemporalEdge>> =
-                par_map(group.len(), |i| self.execute_unit(&group[i]));
+            let outs: Vec<Vec<TemporalEdge>> = par_map(group.len(), |i| {
+                // Worker-thread span: lands in that thread's trace
+                // buffer under this process's pid lane in the merged
+                // view. Inert (no clock read, no allocation) unless a
+                // trace sink is installed.
+                let _span = tg_obs::trace::span("engine.unit");
+                self.execute_unit(&group[i])
+            });
             for (unit, edges) in group.iter().zip(&outs) {
                 sink.accept(unit.t, unit.chunk, edges);
             }
@@ -387,6 +394,7 @@ pub fn generate_with_sink<S: EdgeSink>(
     master_seed: u64,
     mut sink: S,
 ) -> S::Output {
+    let _span = tg_obs::trace::span("engine.generate");
     let engine = SimulationEngine::new(model, observed);
     let plan = engine.plan(master_seed);
     engine.execute(plan.units(), &mut sink);
@@ -403,6 +411,7 @@ pub fn generate_shard_with_sink<S: EdgeSink>(
     spec: &ShardSpec,
     mut sink: S,
 ) -> S::Output {
+    let _span = tg_obs::trace::span("engine.generate_shard");
     let engine = SimulationEngine::new(model, observed);
     let plan = engine.plan(spec.master_seed);
     engine.execute(plan.shard_units(spec), &mut sink);

@@ -226,6 +226,7 @@ pub(crate) fn train_loop(
     // steady-state loop performs (almost) no heap allocation.
     let mut tape = Tape::new();
     for epoch in start_epoch..cfg.epochs {
+        let _span = tg_obs::trace::span("train.epoch");
         // lint: allow(determinism) — per-epoch timing for the observer
         let t0 = Instant::now();
         let centers = sampler.sample_batch(cfg.batch_centers, &mut rng);

@@ -46,6 +46,14 @@ pub struct FaultPoint {
 /// tg-lint -- check` fails on any drift in either direction.
 pub const FAULT_POINTS: &[FaultPoint] = &[
     FaultPoint {
+        name: "obs.flush",
+        scope: FaultScope::Production,
+        doc: "wraps the trace-buffer flush in `tgx-cli` before a traced \
+              process exits (arg: trace file path). Telemetry is \
+              best-effort by contract: a trigger here must cost at most \
+              the trace, never the run's exit status.",
+    },
+    FaultPoint {
         name: "persist.atomic.partial",
         scope: FaultScope::Production,
         doc: "inside the atomic JSON/edge-list writer after a partial \
@@ -86,6 +94,14 @@ pub const FAULT_POINTS: &[FaultPoint] = &[
         doc: "evaluated per decoded request frame (arg: the frame's op). \
               Proves malformed/poisoned requests answer a typed error on \
               the same connection.",
+    },
+    FaultPoint {
+        name: "serve.status",
+        scope: FaultScope::Production,
+        doc: "evaluated while assembling a `status` report in tg-serve. \
+              Proves an introspection failure answers a typed `internal` \
+              error frame on the same connection without taking the \
+              daemon or its data-plane requests down.",
     },
     FaultPoint {
         name: "store.commit",

@@ -375,6 +375,40 @@ pub fn stamp() -> std::time::Instant {
     assert!(determinism::run(&synth("crates/bench/src/fix.rs", src)).is_empty());
 }
 
+#[test]
+fn obs_clock_reads_need_an_argued_hatch() {
+    // tg-obs is where telemetry clock reads are *supposed* to live, but
+    // each one still has to argue (via the allow hatch) that its reading
+    // is exported, never fed back into seeded state.
+    let hatched = "\
+pub fn stopwatch() -> std::time::Instant {
+    // lint: allow(determinism) — metrics-only latency timing; the
+    // reading is exported, never fed back into seeded state
+    std::time::Instant::now()
+}
+";
+    assert!(determinism::run(&synth("crates/obs/src/fix.rs", hatched)).is_empty());
+
+    let bare = "\
+pub fn stopwatch() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+    let d = determinism::run(&synth("crates/obs/src/fix.rs", bare));
+    assert_eq!(d.len(), 1, "unhatched clock read in obs must flag: {d:?}");
+    assert_eq!(d[0].line, 2);
+
+    // SystemTime is a clock too (trace epoch anchoring uses it).
+    let sys = "\
+pub fn anchor() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+";
+    let d = determinism::run(&synth("crates/obs/src/fix.rs", sys));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("SystemTime::now"), "{d:?}");
+}
+
 // ------------------------------------------------------------ exit codes
 
 const GOOD_ERRORS_RS: &str = "\

@@ -14,7 +14,8 @@
 //! every oversized tenant forever.
 
 use crate::sync::lock_unpoisoned;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Default)]
 struct Inflight {
@@ -53,6 +54,7 @@ impl std::error::Error for Rejection {}
 pub struct AdmissionController {
     max_cost: u64,
     inflight: Mutex<Inflight>,
+    rejected: AtomicU64,
 }
 
 impl AdmissionController {
@@ -61,12 +63,37 @@ impl AdmissionController {
         AdmissionController {
             max_cost,
             inflight: Mutex::new(Inflight::default()),
+            rejected: AtomicU64::new(0),
         }
     }
 
     /// The configured budget.
     pub fn max_cost(&self) -> u64 {
         self.max_cost
+    }
+
+    /// Requests this controller has busy-rejected over its lifetime.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The global-registry mirrors, fetched fresh per update: the
+    /// controller is created before any registry user and mutates
+    /// rarely (per request, not per work unit), so interning cost is
+    /// irrelevant next to keeping this struct free of obs handles in
+    /// its `Debug` surface.
+    fn gauges() -> (Arc<tg_obs::Gauge>, Arc<tg_obs::Gauge>) {
+        let reg = tg_obs::Registry::global();
+        (
+            reg.gauge("serve.inflight.cost", &[]),
+            reg.gauge("serve.inflight.requests", &[]),
+        )
+    }
+
+    fn publish(cost: u64, requests: usize) {
+        let (g_cost, g_reqs) = Self::gauges();
+        g_cost.set(cost as f64);
+        g_reqs.set(requests as f64);
     }
 
     /// Currently admitted (cost, request-count).
@@ -80,6 +107,8 @@ impl AdmissionController {
     pub fn try_admit(&self, cost: u64) -> Result<Permit<'_>, Rejection> {
         let mut g = lock_unpoisoned(&self.inflight);
         if g.requests > 0 && g.cost.saturating_add(cost) > self.max_cost {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            tg_obs::counter!("serve.admission.rejected").inc();
             return Err(Rejection {
                 requested: cost,
                 inflight_cost: g.cost,
@@ -89,6 +118,7 @@ impl AdmissionController {
         }
         g.cost = g.cost.saturating_add(cost);
         g.requests += 1;
+        Self::publish(g.cost, g.requests);
         Ok(Permit {
             controller: self,
             cost,
@@ -99,6 +129,7 @@ impl AdmissionController {
         let mut g = lock_unpoisoned(&self.inflight);
         g.cost = g.cost.saturating_sub(cost);
         g.requests = g.requests.saturating_sub(1);
+        Self::publish(g.cost, g.requests);
     }
 }
 
@@ -133,6 +164,7 @@ mod tests {
         let b = ctl.try_admit(40).unwrap();
         assert_eq!(ctl.inflight(), (100, 2));
         let rej = ctl.try_admit(1).unwrap_err();
+        assert_eq!(ctl.rejected(), 1);
         assert_eq!(rej.requested, 1);
         assert_eq!(rej.inflight_cost, 100);
         assert_eq!(rej.inflight_requests, 2);

@@ -22,6 +22,7 @@
 //! - only idle entries are ever evicted.
 
 use crate::sync::lock_unpoisoned;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Whether a `get` found the value resident or had to load it.
@@ -82,6 +83,71 @@ impl std::error::Error for CacheError {}
 /// The fallible value loader a [`ModelCache`] fills misses through.
 pub type CacheLoader<T> = Box<dyn Fn(&str) -> Result<T, String> + Send + Sync>;
 
+/// Lifetime totals of one cache instance (see [`ModelCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found the value resident.
+    pub hits: u64,
+    /// `get` calls that paid a load.
+    pub misses: u64,
+    /// Idle entries evicted to make room.
+    pub evictions: u64,
+    /// Misses refused because every resident entry was pinned.
+    pub saturations: u64,
+}
+
+/// Instance counters plus their global-registry mirrors. The instance
+/// side is the source of truth for [`ModelCache::stats`] (tests and
+/// the `status` frame get exact per-cache numbers); the mirrors make
+/// the same events visible to `metrics` scrapes as
+/// `serve.cache.{hit,miss,eviction,saturation}`.
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    saturations: AtomicU64,
+    g_hits: Arc<tg_obs::Counter>,
+    g_misses: Arc<tg_obs::Counter>,
+    g_evictions: Arc<tg_obs::Counter>,
+    g_saturations: Arc<tg_obs::Counter>,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        let reg = tg_obs::Registry::global();
+        Counters {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            saturations: AtomicU64::new(0),
+            g_hits: reg.counter("serve.cache.hit", &[]),
+            g_misses: reg.counter("serve.cache.miss", &[]),
+            g_evictions: reg.counter("serve.cache.eviction", &[]),
+            g_saturations: reg.counter("serve.cache.saturation", &[]),
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.g_hits.inc();
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.g_misses.inc();
+    }
+
+    fn eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.g_evictions.inc();
+    }
+
+    fn saturation(&self) {
+        self.saturations.fetch_add(1, Ordering::Relaxed);
+        self.g_saturations.inc();
+    }
+}
+
 /// A bounded, thread-safe LRU cache of `Arc<T>` values produced by a
 /// fallible loader. See the [module docs](self) for the contract.
 pub struct ModelCache<T> {
@@ -89,6 +155,7 @@ pub struct ModelCache<T> {
     loader: CacheLoader<T>,
     /// Most-recently-used first.
     entries: Mutex<Vec<(String, Arc<T>)>>,
+    counters: Counters,
 }
 
 impl<T> ModelCache<T> {
@@ -103,7 +170,30 @@ impl<T> ModelCache<T> {
             capacity,
             loader: Box::new(loader),
             entries: Mutex::new(Vec::new()),
+            counters: Counters::new(),
         }
+    }
+
+    /// This cache's lifetime hit/miss/eviction/saturation totals. The
+    /// same events are mirrored into the global metrics registry as
+    /// `serve.cache.*` counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            saturations: self.counters.saturations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resident ids with their pinned state, most-recently-used first.
+    /// An entry is *pinned* while any in-flight request still holds its
+    /// `Arc` (strong count above the cache's own reference).
+    pub fn resident_detailed(&self) -> Vec<(String, bool)> {
+        lock_unpoisoned(&self.entries)
+            .iter()
+            .map(|(id, arc)| (id.clone(), Arc::strong_count(arc) > 1))
+            .collect()
     }
 
     /// The configured capacity.
@@ -146,6 +236,7 @@ impl<T> ModelCache<T> {
                 let entry = entries.remove(pos);
                 let arc = Arc::clone(&entry.1);
                 entries.insert(0, entry);
+                self.counters.hit();
                 return Ok((arc, CacheOutcome::Hit));
             }
         }
@@ -163,6 +254,7 @@ impl<T> ModelCache<T> {
             let entry = entries.remove(pos);
             let arc = Arc::clone(&entry.1);
             entries.insert(0, entry);
+            self.counters.miss();
             return Ok((arc, CacheOutcome::Miss));
         }
         if entries.len() >= self.capacity {
@@ -175,16 +267,19 @@ impl<T> ModelCache<T> {
             {
                 Some(pos) => {
                     entries.remove(pos);
+                    self.counters.eviction();
                 }
                 None => {
+                    self.counters.saturation();
                     return Err(CacheError::Saturated {
                         capacity: self.capacity,
-                    })
+                    });
                 }
             }
         }
         let arc = Arc::new(loaded);
         entries.insert(0, (run_id.to_string(), Arc::clone(&arc)));
+        self.counters.miss();
         Ok((arc, CacheOutcome::Miss))
     }
 }
@@ -248,6 +343,31 @@ mod tests {
         cache.get("b").unwrap();
         assert!(cache.contains("b"));
         assert!(!cache.contains("a"));
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions_and_saturations() {
+        let (_, cache) = counting_cache(1);
+        drop(cache.get("a").unwrap()); // miss
+        drop(cache.get("a").unwrap()); // hit
+        drop(cache.get("b").unwrap()); // miss + eviction of a
+        let (held, _) = cache.get("b").unwrap(); // hit, now pinned
+        let _ = cache.get("c").unwrap_err(); // saturation
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                evictions: 1,
+                saturations: 1,
+            }
+        );
+        assert_eq!(cache.resident_detailed(), vec![("b".to_string(), true)]);
+        drop(held);
+        assert_eq!(cache.resident_detailed(), vec![("b".to_string(), false)]);
+        // loader failures count as neither hit nor miss
+        let _ = cache.get("missing");
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::net::Conn;
 use crate::protocol::{kind, read_frame, write_frame, Frame};
+use crate::telemetry::StatusReport;
 use std::io::{self, Write};
 use tg_metrics::MetricScore;
 use tgae::CostEstimate;
@@ -229,6 +230,41 @@ impl Client {
             "error" => Err(error_frame(frame)),
             other => Err(ClientError::Protocol(format!(
                 "expected scores, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Fetch the server's introspection report: resident models,
+    /// in-flight cost vs budget, cache and per-run request counters.
+    pub fn status(&mut self) -> Result<StatusReport, ClientError> {
+        self.send(&Frame::status())?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "status_report" => {
+                let json = frame.data.ok_or_else(|| {
+                    ClientError::Protocol("status_report frame without data".into())
+                })?;
+                serde_json::from_str(&json)
+                    .map_err(|e| ClientError::Protocol(format!("undecodable status report: {e}")))
+            }
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected status_report, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics registry as Prometheus text.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Frame::metrics())?;
+        let frame = self.recv()?;
+        match frame.op.as_str() {
+            "metrics_report" => frame
+                .data
+                .ok_or_else(|| ClientError::Protocol("metrics_report frame without data".into())),
+            "error" => Err(error_frame(frame)),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics_report, got `{other}`"
             ))),
         }
     }

@@ -18,6 +18,8 @@
 //!   `serve.accept` / `serve.request.decode` / `serve.generate.unit`
 //!   fault points, and graceful drain.
 //! - [`client`] — the blocking client the CLI, tests, and benchmarks use.
+//! - [`telemetry`] — the `status`/`metrics` introspection ops' report
+//!   types, fed by the global [`tg_obs`] metrics registry.
 //! - [`signal`] — `SIGTERM`/`SIGINT` → drain, with no external crate.
 //!
 //! ```no_run
@@ -45,9 +47,11 @@ pub mod protocol;
 pub mod server;
 pub mod signal;
 mod sync;
+pub mod telemetry;
 
 pub use admission::{AdmissionController, Permit, Rejection};
-pub use cache::{CacheError, CacheOutcome, ModelCache};
+pub use cache::{CacheError, CacheOutcome, CacheStats, ModelCache};
 pub use client::{Client, ClientError, SimulateOutcome, StatsOutcome};
 pub use protocol::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
 pub use server::{Loader, ServeConfig, ServeReport, Server, ServerHandle};
+pub use telemetry::{CacheCounters, ResidentModel, RunCounters, StatusReport};

@@ -35,6 +35,11 @@
 //!
 //! ping → ← pong        shutdown → ← bye
 //!
+//! status{}                     →
+//!                              ←       status_report{data}  (JSON report)
+//! metrics{}                    →
+//!                              ←       metrics_report{data} (Prometheus text)
+//!
 //! any request may instead be answered by
 //!                              ←       error{kind,message}
 //! ```
@@ -76,9 +81,10 @@ pub mod kind {
 /// One protocol message; see the [module docs](self) for the shapes.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Frame {
-    /// Message type: `simulate` / `eval` / `ping` / `shutdown` requests,
-    /// `start` / `edges` / `stats` / `done` / `scores` / `pong` / `bye` /
-    /// `error` responses.
+    /// Message type: `simulate` / `eval` / `ping` / `status` /
+    /// `metrics` / `shutdown` requests, `start` / `edges` / `stats` /
+    /// `done` / `scores` / `status_report` / `metrics_report` / `pong`
+    /// / `bye` / `error` responses.
     pub op: String,
     /// Requests: the run directory name to serve.
     pub run_id: Option<String>,
@@ -158,6 +164,32 @@ impl Frame {
     /// The `shutdown` acknowledgement.
     pub fn bye() -> Frame {
         Frame::base("bye")
+    }
+
+    /// Ask for the introspection report (resident models, in-flight
+    /// cost, per-run counters).
+    pub fn status() -> Frame {
+        Frame::base("status")
+    }
+
+    /// The `status` answer: `data` holds the JSON-encoded
+    /// [`StatusReport`](crate::telemetry::StatusReport).
+    pub fn status_report(json: String) -> Frame {
+        let mut f = Frame::base("status_report");
+        f.data = Some(json);
+        f
+    }
+
+    /// Ask for the metrics registry in Prometheus text exposition form.
+    pub fn metrics() -> Frame {
+        Frame::base("metrics")
+    }
+
+    /// The `metrics` answer: `data` holds the Prometheus text.
+    pub fn metrics_report(text: String) -> Frame {
+        let mut f = Frame::base("metrics_report");
+        f.data = Some(text);
+        f
     }
 
     /// Request admitted: its price and whether the model was resident.

@@ -19,6 +19,9 @@
 //!   `t:<t> chunk:<c>`); an injected error fails the request with a typed
 //!   `internal` error frame, an injected panic is caught at the request
 //!   boundary. Either way the daemon and all concurrent requests survive.
+//! - `serve.status` — evaluated while assembling a `status` report; an
+//!   injected error answers a typed `internal` frame and the connection
+//!   (and daemon) stay usable.
 //!
 //! # Drain
 //!
@@ -33,6 +36,7 @@ use crate::cache::{CacheError, ModelCache};
 use crate::net::{Conn, Listener};
 use crate::protocol::{kind, read_frame, write_frame, Frame};
 use crate::signal;
+use crate::telemetry::{self, CacheCounters, ResidentModel, StatusReport};
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -91,6 +95,36 @@ struct SharedState {
 impl SharedState {
     fn is_draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signal::termination_requested()
+    }
+
+    /// Assemble the `status` payload from live state plus the metrics
+    /// registry (the per-run counters live only there).
+    fn status_report(&self) -> StatusReport {
+        let (inflight_cost, inflight_requests) = self.admission.inflight();
+        let cs = self.cache.stats();
+        StatusReport {
+            draining: self.is_draining(),
+            requests_served: self.served.load(Ordering::SeqCst),
+            active_requests: self.active.load(Ordering::SeqCst) as u64,
+            inflight_cost,
+            inflight_requests: inflight_requests as u64,
+            max_cost: self.admission.max_cost(),
+            admission_rejected: self.admission.rejected(),
+            cache_capacity: self.cache.capacity() as u64,
+            cache: CacheCounters {
+                hits: cs.hits,
+                misses: cs.misses,
+                evictions: cs.evictions,
+                saturations: cs.saturations,
+            },
+            resident: self
+                .cache
+                .resident_detailed()
+                .into_iter()
+                .map(|(run_id, pinned)| ResidentModel { run_id, pinned })
+                .collect(),
+            runs: telemetry::runs_from_registry(),
+        }
     }
 }
 
@@ -180,6 +214,9 @@ impl Server {
     /// [`ServerHandle::shutdown`], or a termination signal — once every
     /// in-flight request has completed.
     pub fn run(self) -> io::Result<ServeReport> {
+        // A resident daemon IS a metrics sink by definition: arm the
+        // obs stopwatch so request latencies land in the registry.
+        tg_obs::enable_metrics();
         let Server { listener, shared } = self;
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
@@ -284,6 +321,27 @@ fn handle_connection(mut conn: Conn, shared: Arc<SharedState>) {
                 Ok(true) => {}
                 Ok(false) | Err(_) => return,
             },
+            "status" => {
+                // An introspection failure (injected here) must answer
+                // typed on this connection and leave the daemon — and
+                // every data-plane request — untouched.
+                let response = match tg_faults::eval("serve.status", None) {
+                    Err(e) => Frame::error(kind::INTERNAL, e.to_string()),
+                    Ok(()) => match serde_json::to_string(&shared.status_report()) {
+                        Ok(json) => Frame::status_report(json),
+                        Err(e) => Frame::error(kind::INTERNAL, e.to_string()),
+                    },
+                };
+                if write_frame(&mut conn, &response).is_err() {
+                    return;
+                }
+            }
+            "metrics" => {
+                let text = tg_obs::Registry::global().render_prometheus();
+                if write_frame(&mut conn, &Frame::metrics_report(text)).is_err() {
+                    return;
+                }
+            }
             other => {
                 let op = other.to_string();
                 if write_frame(
@@ -303,6 +361,7 @@ fn handle_connection(mut conn: Conn, shared: Arc<SharedState>) {
 /// connection may serve further requests; `Ok(false)` means it must close
 /// (a response stream was torn mid-flight).
 fn handle_request(conn: &mut Conn, shared: &SharedState, frame: &Frame) -> io::Result<bool> {
+    let stopwatch = tg_obs::Stopwatch::start();
     let run_id = match frame.run_id.as_deref() {
         Some(id) => id,
         None => {
@@ -361,7 +420,8 @@ fn handle_request(conn: &mut Conn, shared: &SharedState, frame: &Frame) -> io::R
             let json = serde_json::to_string(&stats).map_err(|e| e.to_string())?;
             Ok(Frame::stats_summary(json, stats.n_edges()))
         } else {
-            let sink = FaultGate::new(FrameSink::new(conn, batch_edges));
+            let bytes_counter = tg_obs::counter!("serve.bytes", run = run_id);
+            let sink = FaultGate::new(FrameSink::new(conn, batch_edges, bytes_counter));
             let streamed = run
                 .simulate_seeded(seed, sink)
                 .map_err(|e| e.to_string())??;
@@ -373,6 +433,15 @@ fn handle_request(conn: &mut Conn, shared: &SharedState, frame: &Frame) -> io::R
         Ok(Ok(response)) => {
             write_frame(conn, &response)?;
             shared.served.fetch_add(1, Ordering::SeqCst);
+            tg_obs::counter!("serve.requests", run = run_id).inc();
+            // Cold/warm split: a miss paid the model load, a hit is
+            // pure generation time.
+            let latency = tg_obs::histogram!(
+                "serve.request.seconds",
+                tg_obs::LATENCY_SECONDS,
+                cache = outcome.as_str()
+            );
+            stopwatch.observe(&latency);
             Ok(true)
         }
         Ok(Err(message)) => {
@@ -459,10 +528,13 @@ struct FrameSink<'a> {
     batch_edges: usize,
     n_edges: u64,
     deferred: Option<io::Error>,
+    /// Per-run `serve.bytes` registry counter; counts payload bytes
+    /// actually handed to the transport.
+    bytes: Arc<tg_obs::Counter>,
 }
 
 impl<'a> FrameSink<'a> {
-    fn new(conn: &'a mut Conn, batch_edges: usize) -> Self {
+    fn new(conn: &'a mut Conn, batch_edges: usize, bytes: Arc<tg_obs::Counter>) -> Self {
         FrameSink {
             conn,
             buf: String::new(),
@@ -470,6 +542,7 @@ impl<'a> FrameSink<'a> {
             batch_edges: batch_edges.max(1),
             n_edges: 0,
             deferred: None,
+            bytes,
         }
     }
 
@@ -479,8 +552,10 @@ impl<'a> FrameSink<'a> {
         }
         let data = std::mem::take(&mut self.buf);
         self.buffered_rows = 0;
-        if let Err(e) = write_frame(self.conn, &Frame::edges(data)) {
-            self.deferred = Some(e);
+        let n = data.len() as u64;
+        match write_frame(self.conn, &Frame::edges(data)) {
+            Ok(()) => self.bytes.add(n),
+            Err(e) => self.deferred = Some(e),
         }
     }
 }
